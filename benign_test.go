@@ -1,0 +1,174 @@
+package kiss
+
+import (
+	"strings"
+	"testing"
+)
+
+// The benign annotation is the future-work feature proposed in Section 6
+// of the paper: "we intend to deal with the problem of benign races by
+// allowing the programmer to annotate an access as benign. KISS can then
+// use this annotation as a directive to not instrument that access."
+
+// fakemodemOpenCount is the benign-race pattern of Section 6: OpenCount is
+// incremented under a lock everywhere except one read whose decision does
+// not need the lock ("The read operation is atomic already; performing it
+// while holding the protecting lock will not reduce the set of values that
+// may be read").
+const fakemodemOpenCount = `
+record EXT { lock; OpenCount; }
+
+func DispatchCreate(e) {
+  atomic { assume(e->lock == 0); e->lock = 1; }
+  e->OpenCount = e->OpenCount + 1;
+  atomic { e->lock = 0; }
+}
+
+func DispatchCleanup(e) {
+  var v;
+  %s
+}
+
+func main() {
+  var e;
+  e = new EXT;
+  async DispatchCreate(e);
+  DispatchCleanup(e);
+}
+`
+
+func TestBenignAnnotationSuppressesReport(t *testing.T) {
+	target := RaceTarget{Record: "EXT", Field: "OpenCount"}
+
+	// Unannotated: the unprotected read races the locked increment and
+	// KISS reports it, as in the paper's fakemodem experiment.
+	plain := strings.Replace(fakemodemOpenCount, "%s",
+		`v = e->OpenCount;
+  if (v == 0) { skip; }`, 1)
+	prog, err := Parse(plain)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := CheckRace(prog, target, Options{MaxTS: 0}, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Error {
+		t.Fatalf("unannotated benign race not reported: %v", res.Verdict)
+	}
+
+	// Annotated: the same access inside benign{} is not instrumented, so
+	// the warning disappears.
+	annotated := strings.Replace(fakemodemOpenCount, "%s",
+		`benign {
+    v = e->OpenCount;
+  }
+  if (v == 0) { skip; }`, 1)
+	prog2, err := Parse(annotated)
+	if err != nil {
+		t.Fatalf("parse annotated: %v", err)
+	}
+	res2, err := CheckRace(prog2, target, Options{MaxTS: 0}, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Verdict != Safe {
+		t.Fatalf("annotated access still reported: %v (%s)", res2.Verdict, res2.Message)
+	}
+}
+
+// TestBenignDoesNotMaskOtherAccesses: only the annotated accesses are
+// exempt; a second unannotated conflicting access is still reported.
+func TestBenignDoesNotMaskOtherAccesses(t *testing.T) {
+	src := `
+record EXT { OpenCount; }
+func reader(e) {
+  var v;
+  benign {
+    v = e->OpenCount;
+  }
+  v = e->OpenCount;     // unannotated read still races
+}
+func writer(e) {
+  e->OpenCount = 1;
+}
+func main() {
+  var e;
+  e = new EXT;
+  async writer(e);
+  reader(e);
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CheckRace(prog, RaceTarget{Record: "EXT", Field: "OpenCount"},
+		Options{MaxTS: 0}, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Error {
+		t.Fatalf("unannotated access masked by a sibling benign block: %v", res.Verdict)
+	}
+}
+
+// TestBenignPreservesExecutionSemantics: the annotation changes nothing
+// for assertion checking or the concurrent semantics.
+func TestBenignPreservesExecutionSemantics(t *testing.T) {
+	src := `
+var x;
+func worker() {
+  benign {
+    x = x + 1;
+  }
+}
+func main() {
+  x = 0;
+  async worker();
+  assume(x == 1);
+  assert(x == 1);
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CheckAssertions(prog, Options{MaxTS: 1}, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Safe {
+		t.Fatalf("benign changed assertion semantics: %v (%s)", res.Verdict, res.Message)
+	}
+	ground, err := ExploreConcurrent(prog, Budget{}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ground.Verdict != Safe {
+		t.Fatalf("benign changed concurrent semantics: %v", ground.Verdict)
+	}
+}
+
+// TestBenignRoundTrip: the annotation survives printing and reparsing.
+func TestBenignRoundTrip(t *testing.T) {
+	src := `
+var x;
+func main() {
+  benign {
+    x = 1;
+  }
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := prog.Source()
+	if !strings.Contains(printed, "benign {") {
+		t.Fatalf("benign lost in printing:\n%s", printed)
+	}
+	if _, err := Parse(printed); err != nil {
+		t.Fatalf("printed benign does not reparse: %v", err)
+	}
+}

@@ -1,0 +1,264 @@
+// Command kiss is the command-line front end of the KISS checker: it
+// parses a concurrent program in the parallel language (conventionally a
+// .pl file), applies the sequentializing transformation, runs the
+// sequential model checker, and reports a reconstructed concurrent error
+// trace — the full pipeline of Figure 1 of the paper.
+//
+// Usage:
+//
+//	kiss check [-ts N] [-bfs] [-certify] [-summaries] prog.pl   assertion checking
+//	kiss race  [-ts N] -target T [-max-states N] prog.pl        race checking
+//	kiss transform [-ts N] [-target T] prog.pl        print the sequential program
+//	kiss explore [-context N] prog.pl                 baseline interleaving exploration
+//	kiss print prog.pl                                parse, lower, and pretty-print
+//	kiss cfg [-fn NAME] [-ts N] prog.pl               Graphviz DOT of the instrumented CFG
+//
+// The race target T is either a global variable name ("stopped") or
+// record.field ("DEVICE_EXTENSION.stoppingFlag").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	kiss "repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "check":
+		err = runCheck(args)
+	case "race":
+		err = runRace(args)
+	case "transform":
+		err = runTransform(args)
+	case "explore":
+		err = runExplore(args)
+	case "print":
+		err = runPrint(args)
+	case "cfg":
+		err = runCFG(args)
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "kiss: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kiss: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `kiss - sequentializing checker for concurrent programs (Qadeer & Wu, PLDI 2004)
+
+commands:
+  check     [-ts N] [-max-states N] [-max-steps N] prog.pl
+  race      [-ts N] -target T [-max-states N] [-max-steps N] prog.pl
+  transform [-ts N] [-target T] prog.pl
+  explore   [-context N] [-max-states N] prog.pl
+  print     prog.pl
+  cfg       [-fn NAME] [-ts N] [-target T] prog.pl   (DOT of the transformed CFG)
+
+The race target T is a global name or Record.Field.
+`)
+}
+
+func parseTarget(s string) (kiss.RaceTarget, error) {
+	if s == "" {
+		return kiss.RaceTarget{}, fmt.Errorf("missing -target")
+	}
+	if rec, field, ok := strings.Cut(s, "."); ok {
+		return kiss.RaceTarget{Record: rec, Field: field}, nil
+	}
+	return kiss.RaceTarget{Global: s}, nil
+}
+
+func loadProgram(fs *flag.FlagSet) (*kiss.Program, error) {
+	if fs.NArg() != 1 {
+		return nil, fmt.Errorf("expected exactly one program file, got %d args", fs.NArg())
+	}
+	return kiss.ParseFile(fs.Arg(0))
+}
+
+func report(res *kiss.Result) {
+	switch res.Verdict {
+	case kiss.Safe:
+		fmt.Printf("result: no bug found (states=%d steps=%d)\n", res.States, res.Steps)
+	case kiss.ResourceBound:
+		fmt.Printf("result: resource bound exhausted (states=%d steps=%d)\n", res.States, res.Steps)
+	case kiss.Error:
+		fmt.Printf("result: ERROR at %s: %s (states=%d steps=%d)\n", res.Pos, res.Message, res.States, res.Steps)
+		if res.Trace != nil {
+			fmt.Println()
+			fmt.Print(res.Trace.Format())
+		}
+	}
+}
+
+func runCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	ts := fs.Int("ts", 0, "bound MAX on the pending-thread multiset ts")
+	maxStates := fs.Int("max-states", 0, "state budget (0 = unlimited)")
+	maxSteps := fs.Int("max-steps", 0, "step budget (0 = unlimited)")
+	bfs := fs.Bool("bfs", false, "breadth-first search (shortest counterexample)")
+	certify := fs.Bool("certify", false, "on error, replay the reconstructed schedule on the concurrent program")
+	summaries := fs.Bool("summaries", false, "use the summary-based engine (pointer-free fragment; handles recursion; no trace)")
+	fs.Parse(args)
+	prog, err := loadProgram(fs)
+	if err != nil {
+		return err
+	}
+	budget := kiss.Budget{MaxStates: *maxStates, MaxSteps: *maxSteps, BFS: *bfs}
+	opts := kiss.Options{MaxTS: *ts}
+	var res *kiss.Result
+	if *summaries {
+		res, err = kiss.CheckAssertionsSummaries(prog, opts, budget)
+	} else {
+		res, err = kiss.CheckAssertions(prog, opts, budget)
+	}
+	if err != nil {
+		return err
+	}
+	report(res)
+	if *certify && res.Verdict == kiss.Error && res.Trace != nil {
+		ok, err := kiss.CertifyTrace(prog, res, budget)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nguided replay of schedule %v: certified=%v\n", res.Trace.Schedule(), ok)
+	}
+	return nil
+}
+
+func runRace(args []string) error {
+	fs := flag.NewFlagSet("race", flag.ExitOnError)
+	ts := fs.Int("ts", 0, "bound MAX on the pending-thread multiset ts")
+	target := fs.String("target", "", "race target: global name or Record.Field")
+	maxStates := fs.Int("max-states", 0, "state budget (0 = unlimited)")
+	maxSteps := fs.Int("max-steps", 0, "step budget (0 = unlimited)")
+	fs.Parse(args)
+	t, err := parseTarget(*target)
+	if err != nil {
+		return err
+	}
+	prog, err := loadProgram(fs)
+	if err != nil {
+		return err
+	}
+	res, err := kiss.CheckRace(prog, t, kiss.Options{MaxTS: *ts},
+		kiss.Budget{MaxStates: *maxStates, MaxSteps: *maxSteps})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("race check on %s:\n", t)
+	report(res)
+	return nil
+}
+
+func runTransform(args []string) error {
+	fs := flag.NewFlagSet("transform", flag.ExitOnError)
+	ts := fs.Int("ts", 0, "bound MAX on the pending-thread multiset ts")
+	target := fs.String("target", "", "optional race target: instrument for race checking")
+	stats := fs.Bool("stats", false, "print instrumentation blowup statistics instead of the program")
+	fs.Parse(args)
+	prog, err := loadProgram(fs)
+	if err != nil {
+		return err
+	}
+	var seq *kiss.Program
+	if *target != "" {
+		t, err := parseTarget(*target)
+		if err != nil {
+			return err
+		}
+		seq, err = kiss.TransformRace(prog, t, kiss.Options{MaxTS: *ts})
+		if err != nil {
+			return err
+		}
+	} else {
+		seq, err = kiss.Transform(prog, kiss.Options{MaxTS: *ts})
+		if err != nil {
+			return err
+		}
+	}
+	if *stats {
+		fmt.Println(kiss.MeasureTransform(prog, seq))
+		return nil
+	}
+	fmt.Print(seq.Source())
+	return nil
+}
+
+func runExplore(args []string) error {
+	fs := flag.NewFlagSet("explore", flag.ExitOnError)
+	contextBound := fs.Int("context", -1, "context-switch bound (-1 = unlimited)")
+	maxStates := fs.Int("max-states", 0, "state budget (0 = unlimited)")
+	fs.Parse(args)
+	prog, err := loadProgram(fs)
+	if err != nil {
+		return err
+	}
+	res, err := kiss.ExploreConcurrent(prog, kiss.Budget{MaxStates: *maxStates}, *contextBound)
+	if err != nil {
+		return err
+	}
+	report(res)
+	return nil
+}
+
+func runCFG(args []string) error {
+	fs := flag.NewFlagSet("cfg", flag.ExitOnError)
+	fn := fs.String("fn", "main", "function to render")
+	ts := fs.Int("ts", 0, "bound MAX on the pending-thread multiset ts")
+	target := fs.String("target", "", "optional race target: render the race-instrumented program")
+	fs.Parse(args)
+	prog, err := loadProgram(fs)
+	if err != nil {
+		return err
+	}
+	var seq *kiss.Program
+	if *target != "" {
+		t, err := parseTarget(*target)
+		if err != nil {
+			return err
+		}
+		seq, err = kiss.TransformRace(prog, t, kiss.Options{MaxTS: *ts})
+		if err != nil {
+			return err
+		}
+	} else {
+		seq, err = kiss.Transform(prog, kiss.Options{MaxTS: *ts})
+		if err != nil {
+			return err
+		}
+	}
+	dot, err := seq.DotCFG(*fn)
+	if err != nil {
+		return err
+	}
+	fmt.Print(dot)
+	return nil
+}
+
+func runPrint(args []string) error {
+	fs := flag.NewFlagSet("print", flag.ExitOnError)
+	fs.Parse(args)
+	prog, err := loadProgram(fs)
+	if err != nil {
+		return err
+	}
+	fmt.Print(prog.Source())
+	return nil
+}

@@ -1,0 +1,130 @@
+// Command kissbench regenerates every experimental result of the KISS
+// paper (see EXPERIMENTS.md for the experiment index):
+//
+//	kissbench -table1     Table 1: permissive-harness races, 18 drivers
+//	kissbench -table2     Table 2: refined-harness rerun of Table 1 races
+//	kissbench -refcount   Section 6 reference-counting experiments
+//	kissbench -blowup     interleaving-blowup ablation (Section 1 claim)
+//	kissbench -coverage   ts coverage/cost ablation (Section 4 knob)
+//	kissbench -lockset    lockset-baseline flexibility comparison (Section 6.1)
+//	kissbench -contextbound  context-bound coverage study (Section 2 claim)
+//	kissbench -schedulers    scheduler-policy study (Section 4 remark)
+//	kissbench -all        everything
+//
+// Optional: -drivers a,b,c restricts the corpus tables to named drivers;
+// -budget N overrides the per-field state budget.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	kiss "repro"
+	"repro/internal/eval"
+)
+
+func main() {
+	table1 := flag.Bool("table1", false, "regenerate Table 1")
+	table2 := flag.Bool("table2", false, "regenerate Table 2")
+	refcount := flag.Bool("refcount", false, "run the reference-counting experiments")
+	blowup := flag.Bool("blowup", false, "run the interleaving-blowup study")
+	coverage := flag.Bool("coverage", false, "run the ts coverage/cost study")
+	locksetCmp := flag.Bool("lockset", false, "run the lockset-baseline flexibility comparison")
+	contextBound := flag.Bool("contextbound", false, "run the context-bound coverage study")
+	schedulers := flag.Bool("schedulers", false, "run the scheduler-policy study")
+	all := flag.Bool("all", false, "run everything")
+	driversFlag := flag.String("drivers", "", "comma-separated driver subset for the tables")
+	budget := flag.Int("budget", 0, "per-field state budget override (0 = default)")
+	blowupN := flag.Int("blowup-threads", 6, "max thread count for the blowup study")
+	flag.Parse()
+
+	if *all {
+		*table1, *table2, *refcount, *blowup, *coverage, *locksetCmp, *contextBound, *schedulers = true, true, true, true, true, true, true, true
+	}
+	if !*table1 && !*table2 && !*refcount && !*blowup && !*coverage && !*locksetCmp && !*contextBound && !*schedulers {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := eval.Options{}
+	if *budget > 0 {
+		opts.Budget = kiss.Budget{MaxStates: *budget}
+	}
+	if *driversFlag != "" {
+		opts.Drivers = map[string]bool{}
+		for _, d := range strings.Split(*driversFlag, ",") {
+			opts.Drivers[strings.TrimSpace(d)] = true
+		}
+	}
+
+	var t1 []*eval.DriverResult
+	if *table1 || *table2 {
+		var err error
+		t1, err = eval.RunCorpus(opts)
+		fatal(err)
+	}
+	if *table1 {
+		fmt.Println(eval.FormatTable1(t1))
+		printMismatches("Table 1", eval.CompareTable1(t1))
+	}
+	if *table2 {
+		opts2 := opts
+		opts2.Refined = true
+		opts2.Only = eval.RacedFields(t1)
+		t2, err := eval.RunCorpus(opts2)
+		fatal(err)
+		fmt.Println(eval.FormatTable2(t2))
+		printMismatches("Table 2", eval.CompareTable2(t2))
+	}
+	if *refcount {
+		rows, err := eval.RunRefcount()
+		fatal(err)
+		fmt.Println(eval.FormatRefcount(rows))
+	}
+	if *blowup {
+		rows, err := eval.RunBlowup(*blowupN)
+		fatal(err)
+		fmt.Println(eval.FormatBlowup(rows))
+	}
+	if *coverage {
+		rows, err := eval.RunCoverage(4, 5)
+		fatal(err)
+		fmt.Println(eval.FormatCoverage(rows))
+	}
+	if *locksetCmp {
+		rows, err := eval.RunLocksetComparison()
+		fatal(err)
+		fmt.Println(eval.FormatLocksetComparison(rows))
+	}
+	if *contextBound {
+		s, err := eval.RunContextBound(80, 4)
+		fatal(err)
+		fmt.Println(eval.FormatContextBound(s))
+	}
+	if *schedulers {
+		s, err := eval.RunSchedulerStudy(60)
+		fatal(err)
+		fmt.Println(eval.FormatSchedulerStudy(s))
+	}
+}
+
+func printMismatches(what string, ms []string) {
+	if len(ms) == 0 {
+		fmt.Printf("%s matches the paper's verdict counts exactly.\n\n", what)
+		return
+	}
+	fmt.Printf("%s mismatches vs the paper:\n", what)
+	for _, m := range ms {
+		fmt.Printf("  %s\n", m)
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kissbench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,83 @@
+// Drivers: run the per-field race analysis of the Table 1 experiment on
+// one driver of the synthetic Windows-driver corpus and show the effect of
+// the refined harness (Table 2).
+//
+// The default driver is toaster/toastmon, whose DevicePnPState field
+// carries the confirmed read/write race of Figure 6: DispatchPnp writes it
+// holding a lock, DispatchPower reads it with no protection.
+//
+// Run:
+//
+//	go run ./examples/drivers [driver-name]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	kiss "repro"
+	"repro/internal/drivers"
+	"repro/internal/eval"
+)
+
+func main() {
+	name := "toaster/toastmon"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	spec := drivers.FindSpec(name)
+	if spec == nil {
+		log.Fatalf("unknown driver %q (see internal/drivers.Specs for the corpus)", name)
+	}
+
+	model := drivers.Generate(spec)
+	fmt.Printf("driver %s: %d extension fields, generated model %d LOC (real driver: %.1f KLOC)\n\n",
+		spec.Name, len(spec.Fields), model.LOC, spec.KLOC)
+
+	sel := map[string]bool{name: true}
+	results, err := eval.RunCorpus(eval.Options{Drivers: sel})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dr := results[0]
+	fmt.Printf("%-24s %-24s %-10s %8s\n", "Field", "Planted pattern", "Verdict", "States")
+	for _, fr := range dr.Fields {
+		fmt.Printf("%-24s %-24s %-10s %8d\n", fr.Field, fr.Pattern.String(), fr.Verdict, fr.States)
+	}
+	fmt.Printf("\nTable 1 row: fields=%d races=%d no-race=%d timeouts=%d (paper: %d/%d/%d/%d)\n",
+		len(dr.Fields), dr.Races, dr.NoRace, dr.Timeouts,
+		spec.PaperFields, spec.PaperRaces, spec.PaperNoRace, spec.Timeouts())
+
+	// Rerun the raced fields under the refined harness (Table 2).
+	raced := eval.RacedFields(results)
+	if len(raced[name]) > 0 {
+		refined, err := eval.RunCorpus(eval.Options{Drivers: sel, Refined: true, Only: raced})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("refined harness: races %d -> %d (paper Table 2: %d)\n",
+			dr.Races, refined[0].Races, spec.PaperRacesRefined)
+	}
+
+	// Show a concrete error trace for the first racing field.
+	for _, fr := range dr.Fields {
+		if fr.Verdict != eval.Race {
+			continue
+		}
+		src := model.HarnessProgram(fr.Field, false)
+		prog, err := kiss.Parse(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := kiss.CheckRace(prog,
+			kiss.RaceTarget{Record: "DEVICE_EXTENSION", Field: fr.Field},
+			kiss.Options{MaxTS: 0}, kiss.Budget{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nerror trace for the race on %s:\n", fr.Field)
+		fmt.Print(res.Trace.Format())
+		break
+	}
+}

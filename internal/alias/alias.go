@@ -1,0 +1,438 @@
+// Package alias implements a unification-based (Steensgaard-style),
+// flow-insensitive, context-insensitive may-alias analysis for the parallel
+// language. It plays the role of the pointer analysis of Das [12] in the
+// KISS paper (Section 5): "We use a static alias analysis to optimize away
+// most of the calls to check_r and check_w. If the alias analysis
+// determines that the variable v being accessed cannot be aliased to the
+// distinguished variable r, then the call to check_r (or check_w) has no
+// effect and is therefore omitted in the instrumentation."
+//
+// Abstract locations are: one node per global, one node per (function,
+// local) pair, one node per (record, field) pair, and one synthetic node
+// per function return. Each equivalence class (union-find) carries a single
+// points-to class and the set of record type names it may reference, as in
+// Steensgaard's typed treatment of allocation.
+package alias
+
+import (
+	"repro/internal/ast"
+)
+
+// node is a union-find element.
+type node struct {
+	parent *node
+	rank   int
+	// pts is the class this class points to (nil until first needed).
+	pts *node
+	// recs is the set of record type names objects in this class may have.
+	recs map[string]bool
+}
+
+func (n *node) find() *node {
+	for n.parent != nil {
+		if n.parent.parent != nil {
+			n.parent = n.parent.parent // path halving
+		}
+		n = n.parent
+	}
+	return n
+}
+
+// Analysis holds the solved constraint system.
+type Analysis struct {
+	prog    *ast.Program
+	globals map[string]*node
+	locals  map[string]map[string]*node // function -> var -> node
+	fields  map[string]*node            // "record.field" -> node
+	returns map[string]*node            // function -> return-value node
+
+	// addressTaken lists functions whose name appears as a constant
+	// anywhere other than a direct call target; indirect calls are
+	// resolved conservatively against this set.
+	addressTaken map[string]bool
+}
+
+// Analyze runs the analysis on a core-form program. (Running it on surface
+// programs also works: it simply treats the same expression shapes.)
+func Analyze(p *ast.Program) *Analysis {
+	a := &Analysis{
+		prog:         p,
+		globals:      map[string]*node{},
+		locals:       map[string]map[string]*node{},
+		fields:       map[string]*node{},
+		returns:      map[string]*node{},
+		addressTaken: map[string]bool{},
+	}
+	for _, g := range p.Globals {
+		a.globals[g.Name] = &node{}
+	}
+	for _, r := range p.Records {
+		for _, f := range r.Fields {
+			a.fields[r.Name+"."+f] = &node{}
+		}
+	}
+	for _, f := range p.Funcs {
+		m := map[string]*node{}
+		for _, prm := range f.Params {
+			m[prm] = &node{}
+		}
+		for _, l := range f.Locals {
+			m[l.Name] = &node{}
+		}
+		a.locals[f.Name] = m
+		a.returns[f.Name] = &node{}
+	}
+	a.collectAddressTaken()
+	// Unification with evolving recs sets and indirect-call resolution is
+	// iterated to a fixpoint; each pass only merges classes, so the
+	// process terminates (the lattice of partitions is finite).
+	for {
+		if !a.pass() {
+			break
+		}
+	}
+	return a
+}
+
+// varNode returns the node of a variable in fn's scope (local first, then
+// global); nil for unknown names (malformed programs).
+func (a *Analysis) varNode(fn, name string) *node {
+	if m, ok := a.locals[fn]; ok {
+		if n, ok := m[name]; ok {
+			return n
+		}
+	}
+	return a.globals[name]
+}
+
+// tgt returns (creating if needed) the points-to class of n's class.
+func tgt(n *node) *node {
+	r := n.find()
+	if r.pts == nil {
+		r.pts = &node{}
+	}
+	return r.pts.find()
+}
+
+// union merges two classes, recursively unifying their points-to classes
+// (Steensgaard's conditional join). Returns true if a merge happened.
+func union(x, y *node) bool {
+	x, y = x.find(), y.find()
+	if x == y {
+		return false
+	}
+	if x.rank < y.rank {
+		x, y = y, x
+	}
+	y.parent = x
+	if x.rank == y.rank {
+		x.rank++
+	}
+	// merge record sets
+	if y.recs != nil {
+		if x.recs == nil {
+			x.recs = map[string]bool{}
+		}
+		for r := range y.recs {
+			x.recs[r] = true
+		}
+	}
+	// unify points-to classes
+	if y.pts != nil {
+		if x.pts == nil {
+			x.pts = y.pts
+		} else {
+			union(x.pts, y.pts)
+		}
+	}
+	return true
+}
+
+func (a *Analysis) addRec(n *node, rec string) bool {
+	r := n.find()
+	if r.recs == nil {
+		r.recs = map[string]bool{}
+	}
+	if r.recs[rec] {
+		return false
+	}
+	r.recs[rec] = true
+	return true
+}
+
+func (a *Analysis) recsOf(n *node) []string {
+	r := n.find()
+	out := make([]string, 0, len(r.recs))
+	for name := range r.recs {
+		out = append(out, name)
+	}
+	return out
+}
+
+func (a *Analysis) collectAddressTaken() {
+	for _, f := range a.prog.Funcs {
+		ast.WalkStmts(f.Body, func(s ast.Stmt) bool {
+			skipDirect := map[ast.Expr]bool{}
+			switch s := s.(type) {
+			case *ast.CallStmt:
+				skipDirect[s.Fn] = true
+			case *ast.AsyncStmt:
+				skipDirect[s.Fn] = true
+			case *ast.TsPutStmt:
+				skipDirect[s.Fn] = true
+			}
+			ast.WalkExprs(s, func(e ast.Expr) {
+				if ce, ok := e.(*ast.CallExpr); ok {
+					skipDirect[ce.Fn] = true
+				}
+			})
+			ast.WalkExprs(s, func(e ast.Expr) {
+				if fl, ok := e.(*ast.FuncLit); ok && !skipDirect[e] {
+					a.addressTaken[fl.Name] = true
+				}
+			})
+			return true
+		})
+	}
+}
+
+// pass runs all constraints once; reports whether anything changed.
+func (a *Analysis) pass() bool {
+	changed := false
+	for _, f := range a.prog.Funcs {
+		fn := f.Name
+		ast.WalkStmts(f.Body, func(s ast.Stmt) bool {
+			switch s := s.(type) {
+			case *ast.AssignStmt:
+				changed = a.assign(fn, s.Lhs, s.Rhs) || changed
+			case *ast.CallStmt:
+				changed = a.call(fn, s.Result, s.Fn, s.Args) || changed
+			case *ast.AsyncStmt:
+				changed = a.call(fn, "", s.Fn, s.Args) || changed
+			case *ast.TsPutStmt:
+				changed = a.call(fn, "", s.Fn, s.Args) || changed
+			case *ast.ReturnStmt:
+				if s.Value != nil {
+					if rn := a.exprClass(fn, s.Value); rn != nil {
+						changed = union(tgt(a.returns[fn]), tgt(rn)) || changed
+					}
+					changed = a.flowRecs(fn, s.Value, a.returns[fn]) || changed
+				}
+			}
+			return true
+		})
+	}
+	return changed
+}
+
+// exprClass returns the variable-like node whose *contents* correspond to
+// evaluating e, or nil when e's value carries no pointers we track through
+// variables (constants, arithmetic).
+func (a *Analysis) exprClass(fn string, e ast.Expr) *node {
+	switch e := e.(type) {
+	case *ast.VarExpr:
+		return a.varNode(fn, e.Name)
+	case *ast.DerefExpr:
+		if base := a.exprClass(fn, e.X); base != nil {
+			return tgt(base)
+		}
+		return nil
+	case *ast.FieldExpr:
+		return a.fieldClassOf(fn, e.X, e.Field)
+	}
+	return nil
+}
+
+// fieldClassOf returns a node standing for base->field. When the base's
+// record set is still empty the result is nil (no objects yet).
+func (a *Analysis) fieldClassOf(fn string, base ast.Expr, field string) *node {
+	bn := a.exprClass(fn, base)
+	if bn == nil {
+		return nil
+	}
+	// Merge the field nodes of every record the base may point to into a
+	// single representative by unioning them (sound, possibly imprecise).
+	var rep *node
+	for _, rec := range a.recsOf(tgt(bn)) {
+		fnode, ok := a.fields[rec+"."+field]
+		if !ok {
+			continue
+		}
+		if rep == nil {
+			rep = fnode
+		} else {
+			union(rep, fnode)
+		}
+	}
+	return rep
+}
+
+// assign processes lhs = rhs.
+func (a *Analysis) assign(fn string, lhs, rhs ast.Expr) bool {
+	changed := false
+
+	// Resolve the class holding the assigned-to contents.
+	var dst *node
+	switch l := lhs.(type) {
+	case *ast.VarExpr:
+		dst = a.varNode(fn, l.Name)
+	case *ast.DerefExpr:
+		if base := a.exprClass(fn, l.X); base != nil {
+			dst = tgt(base)
+		}
+	case *ast.FieldExpr:
+		dst = a.fieldClassOf(fn, l.X, l.Field)
+	}
+	if dst == nil {
+		return false
+	}
+
+	switch r := rhs.(type) {
+	case *ast.VarExpr, *ast.DerefExpr, *ast.FieldExpr:
+		if src := a.exprClass(fn, r.(ast.Expr)); src != nil {
+			changed = union(tgt(dst), tgt(src)) || changed
+			changed = a.flowRecs(fn, r.(ast.Expr), dst) || changed
+		}
+	case *ast.AddrOfExpr:
+		if vn := a.varNode(fn, r.Name); vn != nil {
+			changed = union(tgt(dst), vn) || changed
+		}
+	case *ast.AddrFieldExpr:
+		if fnode := a.fieldClassOf(fn, r.X, r.Field); fnode != nil {
+			changed = union(tgt(dst), fnode) || changed
+		}
+	case *ast.NewExpr:
+		changed = a.addRec(tgt(dst), r.Record) || changed
+	case *ast.CallExpr:
+		changed = a.call(fn, "", r.Fn, r.Args) || changed
+		// result flows handled in call via result name only for CallStmt;
+		// core programs have no CallExpr, so this is best-effort.
+	}
+	return changed
+}
+
+// flowRecs propagates record-type sets when pointer values flow from src
+// expression to dst class.
+func (a *Analysis) flowRecs(fn string, src ast.Expr, dst *node) bool {
+	sn := a.exprClass(fn, src)
+	if sn == nil {
+		return false
+	}
+	changed := false
+	for _, rec := range a.recsOf(tgt(sn)) {
+		changed = a.addRec(tgt(dst), rec) || changed
+	}
+	return changed
+}
+
+// call connects arguments to parameters and the result to the return node.
+func (a *Analysis) call(fn, result string, fnExpr ast.Expr, args []ast.Expr) bool {
+	changed := false
+	var callees []*ast.Func
+	switch t := fnExpr.(type) {
+	case *ast.FuncLit:
+		if f := a.prog.FindFunc(t.Name); f != nil {
+			callees = append(callees, f)
+		}
+	case *ast.VarExpr:
+		// Indirect call: conservatively any address-taken function with a
+		// matching arity.
+		for _, f := range a.prog.Funcs {
+			if a.addressTaken[f.Name] && len(f.Params) == len(args) {
+				callees = append(callees, f)
+			}
+		}
+	}
+	for _, callee := range callees {
+		params := a.locals[callee.Name]
+		for i, arg := range args {
+			if i >= len(callee.Params) {
+				break
+			}
+			an := a.exprClass(fn, arg)
+			if an == nil {
+				continue
+			}
+			pn := params[callee.Params[i]]
+			changed = union(tgt(pn), tgt(an)) || changed
+			changed = a.flowRecs(fn, arg, pn) || changed
+		}
+		if result != "" {
+			if rn := a.varNode(fn, result); rn != nil {
+				ret := a.returns[callee.Name]
+				changed = union(tgt(rn), tgt(ret)) || changed
+				for _, rec := range a.recsOf(tgt(ret)) {
+					changed = a.addRec(tgt(rn), rec) || changed
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// AccessMayTarget reports whether an access through the given address
+// expression, occurring in function fn, may touch the distinguished race
+// target. addr takes the shapes the race instrumentation uses:
+//
+//   - &v            (read/write of variable v)
+//   - v             (a pointer variable whose referent is read/written, *v)
+//   - &p->f         (read/write of a record field)
+//
+// A false answer is a proof of non-aliasing, licensing check elision.
+func (a *Analysis) AccessMayTarget(fn string, addr ast.Expr, t *ast.RaceTarget) bool {
+	if t == nil {
+		return false
+	}
+	switch e := addr.(type) {
+	case *ast.AddrOfExpr:
+		if t.Global != "" {
+			// Direct access to a variable: aliases the target global iff
+			// it is that global (locals shadow; varNode resolves scope).
+			if m, ok := a.locals[fn]; ok {
+				if _, isLocal := m[e.Name]; isLocal {
+					return false
+				}
+			}
+			return e.Name == t.Global
+		}
+		return false // a named variable is never a record field
+	case *ast.VarExpr:
+		// Dereference through pointer variable: may the variable point to
+		// the target cell?
+		vn := a.varNode(fn, e.Name)
+		if vn == nil {
+			return false
+		}
+		return a.classMayBeTarget(tgt(vn), t)
+	case *ast.AddrFieldExpr:
+		if t.Global != "" {
+			return false
+		}
+		if e.Field != t.Field {
+			return false
+		}
+		bn := a.exprClass(fn, e.X)
+		if bn == nil {
+			return false
+		}
+		for _, rec := range a.recsOf(tgt(bn)) {
+			if rec == t.Record {
+				return true
+			}
+		}
+		return false
+	}
+	// Unknown shape: be conservative.
+	return true
+}
+
+// classMayBeTarget reports whether the points-to class n may contain the
+// target cell.
+func (a *Analysis) classMayBeTarget(n *node, t *ast.RaceTarget) bool {
+	if t.Global != "" {
+		g := a.globals[t.Global]
+		return g != nil && g.find() == n.find()
+	}
+	f, ok := a.fields[t.Record+"."+t.Field]
+	return ok && f.find() == n.find()
+}

@@ -1,0 +1,254 @@
+package alias
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/lower"
+	"repro/internal/parser"
+)
+
+func analyze(t *testing.T, src string) *Analysis {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	lower.Program(p)
+	return Analyze(p)
+}
+
+func global(name string) *ast.RaceTarget { return &ast.RaceTarget{Global: name} }
+func field(rec, f string) *ast.RaceTarget {
+	return &ast.RaceTarget{Record: rec, Field: f}
+}
+
+func TestDirectGlobalAccess(t *testing.T) {
+	a := analyze(t, `
+var g;
+var h;
+func main() { g = 1; h = 2; }
+`)
+	if !a.AccessMayTarget("main", ast.Addr("g"), global("g")) {
+		t.Error("&g must alias target g")
+	}
+	if a.AccessMayTarget("main", ast.Addr("h"), global("g")) {
+		t.Error("&h must not alias target g")
+	}
+}
+
+func TestLocalShadowsGlobal(t *testing.T) {
+	a := analyze(t, `
+var g;
+func main() { var g; g = 1; }
+`)
+	if a.AccessMayTarget("main", ast.Addr("g"), global("g")) {
+		t.Error("local g shadows the global; its accesses cannot touch the target")
+	}
+}
+
+func TestPointerToGlobal(t *testing.T) {
+	a := analyze(t, `
+var g;
+var h;
+func main() {
+  var p; var q; var x;
+  p = &g;
+  q = &h;
+  x = *p;
+  x = *q;
+}
+`)
+	if !a.AccessMayTarget("main", ast.V("p"), global("g")) {
+		t.Error("*p may touch g")
+	}
+	if a.AccessMayTarget("main", ast.V("q"), global("g")) {
+		t.Error("*q cannot touch g (points only to h)")
+	}
+}
+
+func TestUnificationMergesOnAssignment(t *testing.T) {
+	a := analyze(t, `
+var g;
+var h;
+func main() {
+  var p; var q;
+  p = &g;
+  q = p;      // q now may point to g
+}
+`)
+	if !a.AccessMayTarget("main", ast.V("q"), global("g")) {
+		t.Error("q = p must propagate the points-to set")
+	}
+}
+
+func TestFieldSensitivity(t *testing.T) {
+	a := analyze(t, `
+record R { f; g; }
+func main() {
+  var e;
+  e = new R;
+  e->f = 1;
+  e->g = 2;
+}
+`)
+	base := ast.V("e")
+	if !a.AccessMayTarget("main", ast.AddrField(base, "f"), field("R", "f")) {
+		t.Error("&e->f must alias target R.f")
+	}
+	if a.AccessMayTarget("main", ast.AddrField(base, "g"), field("R", "f")) {
+		t.Error("&e->g must not alias target R.f (distinct fields)")
+	}
+}
+
+func TestRecordTypeSeparation(t *testing.T) {
+	a := analyze(t, `
+record A { f; }
+record B { f; }
+func main() {
+  var pa; var pb;
+  pa = new A;
+  pb = new B;
+  pa->f = 1;
+  pb->f = 2;
+}
+`)
+	if !a.AccessMayTarget("main", ast.AddrField(ast.V("pa"), "f"), field("A", "f")) {
+		t.Error("&pa->f must alias A.f")
+	}
+	if a.AccessMayTarget("main", ast.AddrField(ast.V("pb"), "f"), field("A", "f")) {
+		t.Error("&pb->f must not alias A.f (different record type)")
+	}
+}
+
+func TestFlowThroughCalls(t *testing.T) {
+	a := analyze(t, `
+record R { f; }
+func use(e) {
+  e->f = 1;
+}
+func main() {
+  var x;
+  x = new R;
+  use(x);
+}
+`)
+	// Inside use, the parameter e may point to an R, so &e->f may be R.f.
+	if !a.AccessMayTarget("use", ast.AddrField(ast.V("e"), "f"), field("R", "f")) {
+		t.Error("parameter flow lost: e in use() may point to an R")
+	}
+}
+
+func TestFlowThroughReturn(t *testing.T) {
+	a := analyze(t, `
+var g;
+func getp() {
+  var p;
+  p = &g;
+  return p;
+}
+func main() {
+  var q; var x;
+  q = getp();
+  x = *q;
+}
+`)
+	if !a.AccessMayTarget("main", ast.V("q"), global("g")) {
+		t.Error("return-value flow lost: q may point to g")
+	}
+}
+
+func TestIndirectCallConservative(t *testing.T) {
+	a := analyze(t, `
+record R { f; }
+func h1(e) { e->f = 1; }
+func h2(e) { e->f = 2; }
+func main() {
+  var v; var x;
+  x = new R;
+  choice { { v = @h1; } [] { v = @h2; } }
+  v(x);
+}
+`)
+	for _, fn := range []string{"h1", "h2"} {
+		if !a.AccessMayTarget(fn, ast.AddrField(ast.V("e"), "f"), field("R", "f")) {
+			t.Errorf("indirect call to %s: argument flow lost", fn)
+		}
+	}
+}
+
+func TestFieldAddressFlow(t *testing.T) {
+	a := analyze(t, `
+record R { lock; data; }
+func main() {
+  var e; var l; var x;
+  e = new R;
+  l = &e->lock;
+  x = *l;
+}
+`)
+	if !a.AccessMayTarget("main", ast.V("l"), field("R", "lock")) {
+		t.Error("*l may touch R.lock")
+	}
+	if a.AccessMayTarget("main", ast.V("l"), field("R", "data")) {
+		t.Error("*l must not touch R.data")
+	}
+}
+
+func TestVariableNeverFieldTarget(t *testing.T) {
+	a := analyze(t, `
+record R { f; }
+var g;
+func main() { g = 1; }
+`)
+	if a.AccessMayTarget("main", ast.Addr("g"), field("R", "f")) {
+		t.Error("a named variable access can never be a record-field target")
+	}
+}
+
+func TestDriverShapedElision(t *testing.T) {
+	// The pattern the Table 1 instrumentation relies on: accesses to other
+	// fields of the extension are elided, accesses to the target survive,
+	// including through the lock routine's pointer parameter.
+	a := analyze(t, `
+record EXT { SpinLock; Flags; Count; }
+func KeAcquireSpinLock(l) { atomic { assume(*l == 0); *l = 1; } }
+func DispatchA(e) {
+  var v;
+  KeAcquireSpinLock(&e->SpinLock);
+  v = e->Flags;
+}
+func DispatchB(e) {
+  e->Count = 1;
+}
+func main() {
+  var x;
+  x = new EXT;
+  async DispatchA(x);
+  DispatchB(x);
+}
+`)
+	target := field("EXT", "Flags")
+	if !a.AccessMayTarget("DispatchA", ast.AddrField(ast.V("e"), "Flags"), target) {
+		t.Error("target access in DispatchA wrongly elided")
+	}
+	if a.AccessMayTarget("DispatchB", ast.AddrField(ast.V("e"), "Count"), target) {
+		t.Error("Count access should be elided for target Flags")
+	}
+	// The lock routine's parameter only ever receives &e->SpinLock.
+	if a.AccessMayTarget("KeAcquireSpinLock", ast.V("l"), target) {
+		t.Error("lock-word pointer should not alias Flags")
+	}
+	if !a.AccessMayTarget("KeAcquireSpinLock", ast.V("l"), field("EXT", "SpinLock")) {
+		t.Error("lock-word pointer must alias SpinLock")
+	}
+}
+
+func TestUnknownShapeConservative(t *testing.T) {
+	a := analyze(t, `var g; func main() { g = 1; }`)
+	// An expression shape the analysis does not model must be treated as
+	// possibly aliasing.
+	if !a.AccessMayTarget("main", ast.Deref(ast.V("g")), global("g")) {
+		t.Error("unknown address shape must be conservative")
+	}
+}

@@ -1,0 +1,502 @@
+// Package ast defines the abstract syntax tree for the parallel language of
+// Qadeer and Wu's "KISS: Keep It Simple and Sequential" (PLDI 2004), Figure 3.
+//
+// The language is a procedural language with asynchronous procedure calls
+// (async), atomic statements (atomic), blocking statements (assume),
+// nondeterministic choice (choice) and iteration (iter), and pointer
+// operations for taking the address of a variable and dereferencing.
+// Following the paper ("Fields have been omitted for simplicity of
+// exposition; however, KISS can handle them just as well"), the language is
+// extended with record types, field access through pointers, and a `new`
+// allocation expression, which the Windows-driver models require.
+//
+// Two statement layers coexist in the same AST:
+//
+//   - The surface layer produced by the parser may contain `if`/`while`
+//     sugar and arbitrarily nested expressions.
+//   - The core layer, produced by package lower, contains only the
+//     statement and expression forms of the paper's Figure 3 (three-address
+//     form); `if` and `while` have been desugared into choice/iter+assume
+//     exactly as defined in Section 3 of the paper.
+//
+// The KISS transformation (package kiss) and the operational semantics
+// (package sem) operate on the core layer only.
+package ast
+
+import "fmt"
+
+// Pos is a source position (1-based line and column). The zero Pos means
+// "no position" and is used for generated code.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// IsValid reports whether p carries real position information.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "<generated>"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
+// Program is a complete parallel-language program: record declarations,
+// global variable declarations, and function definitions. Execution starts
+// at the function named "main".
+type Program struct {
+	Records []*Record
+	Globals []*VarDecl
+	Funcs   []*Func
+
+	// MaxTS is the bound on the thread multiset ts in a program produced by
+	// the KISS transformation (the parameter MAX of Figure 4). It is 0 and
+	// meaningless for source programs, which never contain ts intrinsics.
+	MaxTS int
+
+	// RaceTarget identifies the distinguished variable r of Section 5 in a
+	// program produced by the race-checking transformation. It is nil for
+	// source programs and assertion-checking transforms.
+	RaceTarget *RaceTarget
+}
+
+// Record declares a record (struct) type with untyped fields. All values in
+// the language are dynamically typed scalars (int, bool, function name,
+// pointer, null), so fields carry names only.
+type Record struct {
+	Name   string
+	Fields []string
+	Pos    Pos
+}
+
+// FieldIndex returns the index of the named field, or -1.
+func (r *Record) FieldIndex(name string) int {
+	for i, f := range r.Fields {
+		if f == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// VarDecl declares a global or local variable. Variables are untyped and
+// initialized to the integer 0.
+type VarDecl struct {
+	Name string
+	Pos  Pos
+}
+
+// Func is a function definition. Parameters and locals share a flat scope;
+// there is no block scoping.
+type Func struct {
+	Name   string
+	Params []string
+	Locals []*VarDecl
+	Body   *Block
+	Pos    Pos
+}
+
+// RaceTarget identifies the distinguished variable r on which the
+// race-checking instrumentation of Section 5 checks for conflicting
+// accesses. Exactly one of the two forms is set:
+//
+//   - Global names a global variable, corresponding to the paper's
+//     formulation where r is a variable with a static address; or
+//   - Record/Field name a field of a record type, the form used for device
+//     extension fields in the driver experiments.
+type RaceTarget struct {
+	Global string // global-variable target, or ""
+	Record string // record-field target: record type name
+	Field  string // record-field target: field name
+}
+
+func (t *RaceTarget) String() string {
+	if t == nil {
+		return "<none>"
+	}
+	if t.Global != "" {
+		return t.Global
+	}
+	return t.Record + "." + t.Field
+}
+
+// FindFunc returns the function with the given name, or nil.
+func (p *Program) FindFunc(name string) *Func {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// FindRecord returns the record with the given name, or nil.
+func (p *Program) FindRecord(name string) *Record {
+	for _, r := range p.Records {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// FindGlobal returns the global declaration with the given name, or nil.
+func (p *Program) FindGlobal(name string) *VarDecl {
+	for _, g := range p.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	stmtNode()
+	// StmtPos returns the source position of the statement.
+	StmtPos() Pos
+}
+
+// Block is a statement sequence (the paper's s1; s2, generalized to a list).
+type Block struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// AssignStmt is an assignment Lhs = Rhs. In core form, Lhs is a *VarExpr,
+// *DerefExpr with a variable base, or *FieldExpr with a variable base, and
+// Rhs is one of the right-hand sides of Figure 3 (constant, variable,
+// address-of, dereference, binary operation) or a field read, `new`, or a
+// unary operation.
+type AssignStmt struct {
+	Lhs Expr
+	Rhs Expr
+	Pos Pos
+}
+
+// AssertStmt is assert(Cond): the program "goes wrong" if Cond is false.
+type AssertStmt struct {
+	Cond Expr
+	Pos  Pos
+}
+
+// AssumeStmt is assume(Cond): execution blocks until Cond is true. In a
+// sequential program a false assume blocks forever (the path is pruned); in
+// a concurrent program another thread may unblock it.
+type AssumeStmt struct {
+	Cond Expr
+	Pos  Pos
+}
+
+// AtomicStmt executes its body without interruption by other threads.
+// Section 3 requires the body to be free of function calls (synchronous and
+// asynchronous), returns, and nested atomics; package sema enforces this.
+type AtomicStmt struct {
+	Body *Block
+	Pos  Pos
+}
+
+// CallStmt is a synchronous call, optionally assigning the returned value:
+// Result = Fn(Args...). Result may be "" for a bare call. Fn is a *VarExpr
+// (indirect call through a function-valued variable, the paper's v = v0())
+// or a *FuncLit (direct call).
+type CallStmt struct {
+	Result string
+	Fn     Expr
+	Args   []Expr
+	Pos    Pos
+}
+
+// AsyncStmt is an asynchronous call: async Fn(Args...) creates a new thread
+// whose starting function is the value of Fn; its actions are interleaved
+// with those of existing threads. Arguments are evaluated at fork time.
+type AsyncStmt struct {
+	Fn   Expr
+	Args []Expr
+	Pos  Pos
+}
+
+// ReturnStmt returns from the current function, optionally with a value
+// (Value may be nil, in which case the unit value is returned).
+type ReturnStmt struct {
+	Value Expr
+	Pos   Pos
+}
+
+// IfStmt is surface sugar. Per Section 3:
+//
+//	if (v) s1 else s2  ==  choice{assume(v); s1 [] assume(!v); s2}
+//
+// Package lower performs this desugaring; core-layer programs contain no
+// IfStmt nodes.
+type IfStmt struct {
+	Cond Expr
+	Then *Block
+	Else *Block // may be nil
+	Pos  Pos
+}
+
+// WhileStmt is surface sugar. Per Section 3:
+//
+//	while (v) s  ==  iter{assume(v); s}; assume(!v)
+type WhileStmt struct {
+	Cond Expr
+	Body *Block
+	Pos  Pos
+}
+
+// ChoiceStmt executes exactly one nondeterministically chosen branch.
+type ChoiceStmt struct {
+	Branches []*Block
+	Pos      Pos
+}
+
+// IterStmt executes its body a nondeterministic number of times (>= 0).
+type IterStmt struct {
+	Body *Block
+	Pos  Pos
+}
+
+// SkipStmt does nothing; it abbreviates assume(true) as in Section 4.
+type SkipStmt struct {
+	Pos Pos
+}
+
+// BenignStmt marks the accesses syntactically inside its body as benign
+// with respect to race checking: the race-checking translation emits no
+// check_r/check_w calls for them (nondeterministic termination points are
+// preserved). It implements the annotation proposed as future work in
+// Section 6 of the paper: "we intend to deal with the problem of benign
+// races by allowing the programmer to annotate an access as benign. KISS
+// can then use this annotation as a directive to not instrument that
+// access." It has no effect on execution semantics or assertion checking.
+type BenignStmt struct {
+	Body *Block
+	Pos  Pos
+}
+
+// ---------------------------------------------------------------------------
+// Intrinsic statements, generated only by the KISS transformation
+// ---------------------------------------------------------------------------
+
+// TsPutStmt adds a pending asynchronous call (function value plus evaluated
+// arguments) to the bounded multiset ts of Section 4 ("the function put ...
+// takes as argument a function name and adds it to ts"). The transformation
+// guards every TsPut with a size test, so executing a TsPut on a full ts is
+// a checker-internal error rather than a program error.
+//
+// The paper treats ts, put, get and size as special: "We introduce a fresh
+// global variable ts ... There are three special functions to access and
+// modify the variable ts." We mirror that by making them intrinsic forms of
+// the sequential target language rather than encoding them into scalars.
+type TsPutStmt struct {
+	Fn   Expr
+	Args []Expr
+	Pos  Pos
+}
+
+// TsDispatchStmt removes a nondeterministically chosen pending call from ts
+// (the paper's get) and immediately invokes it synchronously. It requires
+// ts to be nonempty. This is the body of the paper's schedule loop:
+//
+//	f = get(); [[f]](); ...
+type TsDispatchStmt struct {
+	Pos Pos
+}
+
+func (*Block) stmtNode()          {}
+func (*AssignStmt) stmtNode()     {}
+func (*AssertStmt) stmtNode()     {}
+func (*AssumeStmt) stmtNode()     {}
+func (*AtomicStmt) stmtNode()     {}
+func (*CallStmt) stmtNode()       {}
+func (*AsyncStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()         {}
+func (*WhileStmt) stmtNode()      {}
+func (*ChoiceStmt) stmtNode()     {}
+func (*IterStmt) stmtNode()       {}
+func (*SkipStmt) stmtNode()       {}
+func (*BenignStmt) stmtNode()     {}
+func (*TsPutStmt) stmtNode()      {}
+func (*TsDispatchStmt) stmtNode() {}
+
+func (s *Block) StmtPos() Pos          { return s.Pos }
+func (s *AssignStmt) StmtPos() Pos     { return s.Pos }
+func (s *AssertStmt) StmtPos() Pos     { return s.Pos }
+func (s *AssumeStmt) StmtPos() Pos     { return s.Pos }
+func (s *AtomicStmt) StmtPos() Pos     { return s.Pos }
+func (s *CallStmt) StmtPos() Pos       { return s.Pos }
+func (s *AsyncStmt) StmtPos() Pos      { return s.Pos }
+func (s *ReturnStmt) StmtPos() Pos     { return s.Pos }
+func (s *IfStmt) StmtPos() Pos         { return s.Pos }
+func (s *WhileStmt) StmtPos() Pos      { return s.Pos }
+func (s *ChoiceStmt) StmtPos() Pos     { return s.Pos }
+func (s *IterStmt) StmtPos() Pos       { return s.Pos }
+func (s *SkipStmt) StmtPos() Pos       { return s.Pos }
+func (s *BenignStmt) StmtPos() Pos     { return s.Pos }
+func (s *TsPutStmt) StmtPos() Pos      { return s.Pos }
+func (s *TsDispatchStmt) StmtPos() Pos { return s.Pos }
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	exprNode()
+	// ExprPos returns the source position of the expression.
+	ExprPos() Pos
+}
+
+// IntLit is an integer constant.
+type IntLit struct {
+	Value int64
+	Pos   Pos
+}
+
+// BoolLit is a boolean constant (true or false).
+type BoolLit struct {
+	Value bool
+	Pos   Pos
+}
+
+// FuncLit is a function-name constant (the paper's constants c include
+// function names f).
+type FuncLit struct {
+	Name string
+	Pos  Pos
+}
+
+// NullLit is the null pointer constant.
+type NullLit struct {
+	Pos Pos
+}
+
+// VarExpr references a variable (parameter, local, or global).
+type VarExpr struct {
+	Name string
+	Pos  Pos
+}
+
+// AddrOfExpr is &v, the address of a variable.
+type AddrOfExpr struct {
+	Name string
+	Pos  Pos
+}
+
+// DerefExpr is *X. In core form X is a *VarExpr. As an assignment
+// left-hand side it denotes the cell pointed to by X.
+type DerefExpr struct {
+	X   Expr
+	Pos Pos
+}
+
+// FieldExpr is X->Field, reading (or, as an lvalue, writing) a record field
+// through a pointer. In core form X is a *VarExpr.
+type FieldExpr struct {
+	X     Expr
+	Field string
+	Pos   Pos
+}
+
+// AddrFieldExpr is &X->Field, the address of a record field. Useful for
+// passing lock fields by pointer (lock_acquire(&e->lock)).
+type AddrFieldExpr struct {
+	X     Expr
+	Field string
+	Pos   Pos
+}
+
+// UnaryExpr applies Op ("!" or "-") to X.
+type UnaryExpr struct {
+	Op  string
+	X   Expr
+	Pos Pos
+}
+
+// BinaryExpr applies Op to X and Y. Supported operators: + - * == != < <=
+// > >= && ||. The paper's primitives are + - × ==; the rest are standard
+// derived comparisons and boolean connectives supported natively for
+// convenience (&& and || here are non-short-circuit boolean operations on
+// already-evaluated operands, which is equivalent for the effect-free
+// operand forms of the core layer).
+type BinaryExpr struct {
+	Op  string
+	X   Expr
+	Y   Expr
+	Pos Pos
+}
+
+// NewExpr allocates a fresh record of the named type with all fields
+// initialized to the integer 0, and evaluates to a pointer to it.
+type NewExpr struct {
+	Record string
+	Pos    Pos
+}
+
+// CallExpr is surface sugar for a call in expression position; package
+// lower hoists it into a CallStmt assigning a fresh temporary. Core-layer
+// programs contain no CallExpr nodes.
+type CallExpr struct {
+	Fn   Expr
+	Args []Expr
+	Pos  Pos
+}
+
+// ---------------------------------------------------------------------------
+// Intrinsic expressions, generated only by the KISS transformation
+// ---------------------------------------------------------------------------
+
+// TsSizeExpr evaluates to the number of pending calls in ts (the paper's
+// size()).
+type TsSizeExpr struct {
+	Pos Pos
+}
+
+// RaceCellExpr evaluates to true iff its pointer operand addresses the
+// distinguished race cell identified by Program.RaceTarget: the target
+// global variable's cell, or any cell that is field Field of a record of
+// type Record. It implements the pointer test "x == &r" of the paper's
+// check_r/check_w (Section 5), lifted to record fields.
+type RaceCellExpr struct {
+	X   Expr
+	Pos Pos
+}
+
+func (*IntLit) exprNode()        {}
+func (*BoolLit) exprNode()       {}
+func (*FuncLit) exprNode()       {}
+func (*NullLit) exprNode()       {}
+func (*VarExpr) exprNode()       {}
+func (*AddrOfExpr) exprNode()    {}
+func (*DerefExpr) exprNode()     {}
+func (*FieldExpr) exprNode()     {}
+func (*AddrFieldExpr) exprNode() {}
+func (*UnaryExpr) exprNode()     {}
+func (*BinaryExpr) exprNode()    {}
+func (*NewExpr) exprNode()       {}
+func (*CallExpr) exprNode()      {}
+func (*TsSizeExpr) exprNode()    {}
+func (*RaceCellExpr) exprNode()  {}
+
+func (e *IntLit) ExprPos() Pos        { return e.Pos }
+func (e *BoolLit) ExprPos() Pos       { return e.Pos }
+func (e *FuncLit) ExprPos() Pos       { return e.Pos }
+func (e *NullLit) ExprPos() Pos       { return e.Pos }
+func (e *VarExpr) ExprPos() Pos       { return e.Pos }
+func (e *AddrOfExpr) ExprPos() Pos    { return e.Pos }
+func (e *DerefExpr) ExprPos() Pos     { return e.Pos }
+func (e *FieldExpr) ExprPos() Pos     { return e.Pos }
+func (e *AddrFieldExpr) ExprPos() Pos { return e.Pos }
+func (e *UnaryExpr) ExprPos() Pos     { return e.Pos }
+func (e *BinaryExpr) ExprPos() Pos    { return e.Pos }
+func (e *NewExpr) ExprPos() Pos       { return e.Pos }
+func (e *CallExpr) ExprPos() Pos      { return e.Pos }
+func (e *TsSizeExpr) ExprPos() Pos    { return e.Pos }
+func (e *RaceCellExpr) ExprPos() Pos  { return e.Pos }

@@ -1,0 +1,224 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPosString(t *testing.T) {
+	if got := (Pos{}).String(); got != "<generated>" {
+		t.Errorf("zero pos: %q", got)
+	}
+	if got := (Pos{Line: 3, Col: 7}).String(); got != "3:7" {
+		t.Errorf("3:7 pos: %q", got)
+	}
+	if (Pos{}).IsValid() {
+		t.Error("zero pos is valid")
+	}
+	if !(Pos{Line: 1, Col: 1}).IsValid() {
+		t.Error("1:1 pos is invalid")
+	}
+}
+
+func TestRecordFieldIndex(t *testing.T) {
+	r := &Record{Name: "R", Fields: []string{"a", "b", "c"}}
+	if r.FieldIndex("b") != 1 {
+		t.Errorf("FieldIndex(b) = %d", r.FieldIndex("b"))
+	}
+	if r.FieldIndex("z") != -1 {
+		t.Errorf("FieldIndex(z) = %d", r.FieldIndex("z"))
+	}
+}
+
+func TestProgramLookups(t *testing.T) {
+	p := &Program{
+		Records: []*Record{{Name: "R"}},
+		Globals: []*VarDecl{{Name: "g"}},
+		Funcs:   []*Func{{Name: "main", Body: Blk()}},
+	}
+	if p.FindRecord("R") == nil || p.FindRecord("X") != nil {
+		t.Error("FindRecord wrong")
+	}
+	if p.FindGlobal("g") == nil || p.FindGlobal("x") != nil {
+		t.Error("FindGlobal wrong")
+	}
+	if p.FindFunc("main") == nil || p.FindFunc("other") != nil {
+		t.Error("FindFunc wrong")
+	}
+}
+
+func TestRaceTargetString(t *testing.T) {
+	var nilT *RaceTarget
+	if nilT.String() != "<none>" {
+		t.Errorf("nil target: %q", nilT.String())
+	}
+	if (&RaceTarget{Global: "g"}).String() != "g" {
+		t.Error("global target string")
+	}
+	if (&RaceTarget{Record: "R", Field: "f"}).String() != "R.f" {
+		t.Error("field target string")
+	}
+}
+
+// buildSample constructs a program exercising every node type through the
+// builder helpers.
+func buildSample() *Program {
+	f := NewFunc("main", nil, []string{"x", "p", "b"},
+		Set("x", I(1)),
+		Set("x", Add(V("x"), I(2))),
+		Set("x", Sub(V("x"), I(1))),
+		Set("p", Addr("g")),
+		Assign(Deref(V("p")), I(3)),
+		Set("b", Eq(V("x"), I(2))),
+		Set("b", Ne(V("x"), I(9))),
+		Set("b", Not(V("b"))),
+		Assert(V("b")),
+		Assume(B(true)),
+		Atomic(Set("x", I(0))),
+		Benign(Set("x", I(5))),
+		Call("x", Fn("aux"), I(1)),
+		CallDirect("", "aux", I(2)),
+		Async(Fn("aux"), V("x")),
+		If(V("b"), Blk(Skip()), Blk(Skip())),
+		While(V("b"), Blk(Set("b", B(false)))),
+		Choice(Blk(Skip()), Blk(Set("x", Null()))),
+		Iter(Blk(Skip())),
+		Ret(V("x")),
+	)
+	aux := NewFunc("aux", []string{"a"}, []string{"e", "q"},
+		Set("e", New("R")),
+		Assign(Field(V("e"), "f"), V("a")),
+		Set("q", AddrField(V("e"), "f")),
+		Set("a", Field(V("e"), "f")),
+		Ret(V("a")),
+	)
+	return &Program{
+		Records: []*Record{{Name: "R", Fields: []string{"f"}}},
+		Globals: []*VarDecl{{Name: "g"}},
+		Funcs:   []*Func{f, aux},
+	}
+}
+
+func TestCloneProgramIsDeepAndEqual(t *testing.T) {
+	p := buildSample()
+	c := CloneProgram(p)
+	if Print(p) != Print(c) {
+		t.Fatal("clone prints differently")
+	}
+	// Mutate the clone; the original must not change.
+	before := Print(p)
+	c.Funcs[0].Body.Stmts[0].(*AssignStmt).Rhs = I(99)
+	c.Records[0].Fields[0] = "changed"
+	c.Globals[0].Name = "renamed"
+	if Print(p) != before {
+		t.Error("mutating the clone changed the original")
+	}
+}
+
+func TestCloneStmtCoversAllTypes(t *testing.T) {
+	p := buildSample()
+	for _, f := range p.Funcs {
+		for _, s := range f.Body.Stmts {
+			c := CloneStmt(s)
+			if PrintStmt(c) != PrintStmt(s) {
+				t.Errorf("clone of %T prints differently:\n%s\nvs\n%s", s, PrintStmt(s), PrintStmt(c))
+			}
+		}
+	}
+	// Intrinsics too.
+	for _, s := range []Stmt{
+		&TsPutStmt{Fn: Fn("f"), Args: []Expr{I(1)}},
+		&TsDispatchStmt{},
+	} {
+		if PrintStmt(CloneStmt(s)) != PrintStmt(s) {
+			t.Errorf("intrinsic clone differs for %T", s)
+		}
+	}
+}
+
+func TestCloneExprCoversIntrinsics(t *testing.T) {
+	for _, e := range []Expr{
+		&TsSizeExpr{},
+		&RaceCellExpr{X: V("x")},
+		Null(), B(true), I(-3), Fn("f"), Addr("v"), Deref(V("p")),
+		Field(V("p"), "f"), AddrField(V("p"), "f"), Not(V("b")),
+		Bin("<=", V("a"), V("b")), New("R"),
+	} {
+		c := CloneExpr(e)
+		if PrintExpr(c) != PrintExpr(e) {
+			t.Errorf("clone of %T prints differently", e)
+		}
+	}
+	if CloneExpr(nil) != nil {
+		t.Error("clone of nil expr")
+	}
+}
+
+func TestWalkStmtsVisitsEverything(t *testing.T) {
+	p := buildSample()
+	count := 0
+	WalkStmts(p.Funcs[0].Body, func(Stmt) bool { count++; return true })
+	// main body has 20 top statements plus nested blocks/branches.
+	if count < 25 {
+		t.Errorf("WalkStmts visited only %d nodes", count)
+	}
+
+	// Early cutoff: returning false skips children.
+	shallow := 0
+	WalkStmts(p.Funcs[0].Body, func(s Stmt) bool {
+		shallow++
+		_, isBlock := s.(*Block)
+		return isBlock && shallow == 1 // only descend from the root block
+	})
+	if shallow != 1+len(p.Funcs[0].Body.Stmts) {
+		t.Errorf("cutoff walk visited %d, want %d", shallow, 1+len(p.Funcs[0].Body.Stmts))
+	}
+}
+
+func TestWalkExprsFindsLeaves(t *testing.T) {
+	s := Set("x", Add(V("a"), V("b")))
+	var names []string
+	WalkExprs(s, func(e Expr) {
+		if v, ok := e.(*VarExpr); ok {
+			names = append(names, v.Name)
+		}
+	})
+	joined := strings.Join(names, ",")
+	if !strings.Contains(joined, "a") || !strings.Contains(joined, "b") || !strings.Contains(joined, "x") {
+		t.Errorf("WalkExprs missed leaves: %v", names)
+	}
+}
+
+func TestCountStmtsAndUsesConcurrency(t *testing.T) {
+	p := buildSample()
+	if n := CountStmts(p); n < 25 {
+		t.Errorf("CountStmts = %d", n)
+	}
+	if !UsesConcurrency(p) {
+		t.Error("sample uses async+atomic but UsesConcurrency is false")
+	}
+	seq := &Program{Funcs: []*Func{NewFunc("main", nil, nil, Skip())}}
+	if UsesConcurrency(seq) {
+		t.Error("sequential program misdetected as concurrent")
+	}
+}
+
+func TestPrintStableUnderClone(t *testing.T) {
+	p := buildSample()
+	if Print(p) != Print(CloneProgram(CloneProgram(p))) {
+		t.Error("double clone changes printing")
+	}
+}
+
+func TestPrintParenthesization(t *testing.T) {
+	// *(p + 1) style nesting must print unambiguously.
+	e := Deref(Bin("+", V("p"), I(1)))
+	out := PrintExpr(e)
+	if out != "*((p + 1))" && out != "*(p + 1)" {
+		t.Errorf("deref of binary printed as %q", out)
+	}
+	u := Not(Bin("==", V("a"), V("b")))
+	if got := PrintExpr(u); !strings.HasPrefix(got, "!(") {
+		t.Errorf("negated comparison printed as %q", got)
+	}
+}

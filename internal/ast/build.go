@@ -1,0 +1,121 @@
+package ast
+
+// This file provides terse constructors for building programs
+// programmatically. The KISS transformation and the synthetic driver
+// generator construct large amounts of AST; these helpers keep that code
+// readable. All constructed nodes carry the zero ("generated") position
+// unless a position is set afterwards.
+
+// V returns a variable reference.
+func V(name string) *VarExpr { return &VarExpr{Name: name} }
+
+// I returns an integer literal.
+func I(v int64) *IntLit { return &IntLit{Value: v} }
+
+// B returns a boolean literal.
+func B(v bool) *BoolLit { return &BoolLit{Value: v} }
+
+// Fn returns a function-name constant.
+func Fn(name string) *FuncLit { return &FuncLit{Name: name} }
+
+// Null returns the null pointer literal.
+func Null() *NullLit { return &NullLit{} }
+
+// Addr returns &name.
+func Addr(name string) *AddrOfExpr { return &AddrOfExpr{Name: name} }
+
+// Deref returns *x.
+func Deref(x Expr) *DerefExpr { return &DerefExpr{X: x} }
+
+// Field returns x->field.
+func Field(x Expr, field string) *FieldExpr { return &FieldExpr{X: x, Field: field} }
+
+// AddrField returns &x->field.
+func AddrField(x Expr, field string) *AddrFieldExpr {
+	return &AddrFieldExpr{X: x, Field: field}
+}
+
+// Not returns !x.
+func Not(x Expr) *UnaryExpr { return &UnaryExpr{Op: "!", X: x} }
+
+// Bin returns x op y.
+func Bin(op string, x, y Expr) *BinaryExpr { return &BinaryExpr{Op: op, X: x, Y: y} }
+
+// Eq returns x == y.
+func Eq(x, y Expr) *BinaryExpr { return Bin("==", x, y) }
+
+// Ne returns x != y.
+func Ne(x, y Expr) *BinaryExpr { return Bin("!=", x, y) }
+
+// Add returns x + y.
+func Add(x, y Expr) *BinaryExpr { return Bin("+", x, y) }
+
+// Sub returns x - y.
+func Sub(x, y Expr) *BinaryExpr { return Bin("-", x, y) }
+
+// New returns new record.
+func New(record string) *NewExpr { return &NewExpr{Record: record} }
+
+// Blk returns a block of the given statements.
+func Blk(stmts ...Stmt) *Block { return &Block{Stmts: stmts} }
+
+// Assign returns lhs = rhs.
+func Assign(lhs, rhs Expr) *AssignStmt { return &AssignStmt{Lhs: lhs, Rhs: rhs} }
+
+// Set returns name = rhs for a variable target.
+func Set(name string, rhs Expr) *AssignStmt { return Assign(V(name), rhs) }
+
+// Assert returns assert(cond).
+func Assert(cond Expr) *AssertStmt { return &AssertStmt{Cond: cond} }
+
+// Assume returns assume(cond).
+func Assume(cond Expr) *AssumeStmt { return &AssumeStmt{Cond: cond} }
+
+// Atomic returns atomic { stmts }.
+func Atomic(stmts ...Stmt) *AtomicStmt { return &AtomicStmt{Body: Blk(stmts...)} }
+
+// Benign returns benign { stmts }.
+func Benign(stmts ...Stmt) *BenignStmt { return &BenignStmt{Body: Blk(stmts...)} }
+
+// Call returns result = fn(args) (use result "" for a bare call).
+func Call(result string, fn Expr, args ...Expr) *CallStmt {
+	return &CallStmt{Result: result, Fn: fn, Args: args}
+}
+
+// CallDirect returns result = @fn(args) for a direct call by function name.
+func CallDirect(result, fn string, args ...Expr) *CallStmt {
+	return Call(result, Fn(fn), args...)
+}
+
+// Async returns async fn(args).
+func Async(fn Expr, args ...Expr) *AsyncStmt { return &AsyncStmt{Fn: fn, Args: args} }
+
+// Ret returns return value (value may be nil).
+func Ret(value Expr) *ReturnStmt { return &ReturnStmt{Value: value} }
+
+// If returns if (cond) then else els (els may be nil).
+func If(cond Expr, then *Block, els *Block) *IfStmt {
+	return &IfStmt{Cond: cond, Then: then, Else: els}
+}
+
+// While returns while (cond) body.
+func While(cond Expr, body *Block) *WhileStmt { return &WhileStmt{Cond: cond, Body: body} }
+
+// Choice returns choice { branches }.
+func Choice(branches ...*Block) *ChoiceStmt { return &ChoiceStmt{Branches: branches} }
+
+// Iter returns iter { body }.
+func Iter(body *Block) *IterStmt { return &IterStmt{Body: body} }
+
+// Skip returns skip.
+func Skip() *SkipStmt { return &SkipStmt{} }
+
+// NewFunc returns a function with the given name, parameters, locals and
+// body statements.
+func NewFunc(name string, params []string, locals []string, stmts ...Stmt) *Func {
+	f := &Func{Name: name, Params: params, Body: Blk(stmts...)}
+	for _, l := range locals {
+		f.Locals = append(f.Locals, &VarDecl{Name: l})
+	}
+	return f
+}

@@ -1,0 +1,143 @@
+package ast
+
+// CloneProgram returns a deep copy of p. The KISS transformation clones its
+// input so the caller's program is never mutated.
+func CloneProgram(p *Program) *Program {
+	out := &Program{MaxTS: p.MaxTS}
+	if p.RaceTarget != nil {
+		rt := *p.RaceTarget
+		out.RaceTarget = &rt
+	}
+	for _, r := range p.Records {
+		rc := &Record{Name: r.Name, Fields: append([]string(nil), r.Fields...), Pos: r.Pos}
+		out.Records = append(out.Records, rc)
+	}
+	for _, g := range p.Globals {
+		out.Globals = append(out.Globals, &VarDecl{Name: g.Name, Pos: g.Pos})
+	}
+	for _, f := range p.Funcs {
+		out.Funcs = append(out.Funcs, CloneFunc(f))
+	}
+	return out
+}
+
+// CloneFunc returns a deep copy of f.
+func CloneFunc(f *Func) *Func {
+	nf := &Func{
+		Name:   f.Name,
+		Params: append([]string(nil), f.Params...),
+		Body:   CloneBlock(f.Body),
+		Pos:    f.Pos,
+	}
+	for _, l := range f.Locals {
+		nf.Locals = append(nf.Locals, &VarDecl{Name: l.Name, Pos: l.Pos})
+	}
+	return nf
+}
+
+// CloneBlock returns a deep copy of b.
+func CloneBlock(b *Block) *Block {
+	if b == nil {
+		return nil
+	}
+	nb := &Block{Pos: b.Pos}
+	for _, s := range b.Stmts {
+		nb.Stmts = append(nb.Stmts, CloneStmt(s))
+	}
+	return nb
+}
+
+// CloneStmt returns a deep copy of s.
+func CloneStmt(s Stmt) Stmt {
+	switch s := s.(type) {
+	case *Block:
+		return CloneBlock(s)
+	case *AssignStmt:
+		return &AssignStmt{Lhs: CloneExpr(s.Lhs), Rhs: CloneExpr(s.Rhs), Pos: s.Pos}
+	case *AssertStmt:
+		return &AssertStmt{Cond: CloneExpr(s.Cond), Pos: s.Pos}
+	case *AssumeStmt:
+		return &AssumeStmt{Cond: CloneExpr(s.Cond), Pos: s.Pos}
+	case *AtomicStmt:
+		return &AtomicStmt{Body: CloneBlock(s.Body), Pos: s.Pos}
+	case *BenignStmt:
+		return &BenignStmt{Body: CloneBlock(s.Body), Pos: s.Pos}
+	case *CallStmt:
+		return &CallStmt{Result: s.Result, Fn: CloneExpr(s.Fn), Args: cloneExprs(s.Args), Pos: s.Pos}
+	case *AsyncStmt:
+		return &AsyncStmt{Fn: CloneExpr(s.Fn), Args: cloneExprs(s.Args), Pos: s.Pos}
+	case *ReturnStmt:
+		return &ReturnStmt{Value: CloneExpr(s.Value), Pos: s.Pos}
+	case *IfStmt:
+		return &IfStmt{Cond: CloneExpr(s.Cond), Then: CloneBlock(s.Then), Else: CloneBlock(s.Else), Pos: s.Pos}
+	case *WhileStmt:
+		return &WhileStmt{Cond: CloneExpr(s.Cond), Body: CloneBlock(s.Body), Pos: s.Pos}
+	case *ChoiceStmt:
+		nc := &ChoiceStmt{Pos: s.Pos}
+		for _, b := range s.Branches {
+			nc.Branches = append(nc.Branches, CloneBlock(b))
+		}
+		return nc
+	case *IterStmt:
+		return &IterStmt{Body: CloneBlock(s.Body), Pos: s.Pos}
+	case *SkipStmt:
+		return &SkipStmt{Pos: s.Pos}
+	case *TsPutStmt:
+		return &TsPutStmt{Fn: CloneExpr(s.Fn), Args: cloneExprs(s.Args), Pos: s.Pos}
+	case *TsDispatchStmt:
+		return &TsDispatchStmt{Pos: s.Pos}
+	default:
+		panic("ast: CloneStmt: unknown statement type")
+	}
+}
+
+func cloneExprs(es []Expr) []Expr {
+	if es == nil {
+		return nil
+	}
+	out := make([]Expr, len(es))
+	for i, e := range es {
+		out[i] = CloneExpr(e)
+	}
+	return out
+}
+
+// CloneExpr returns a deep copy of e. Cloning nil yields nil.
+func CloneExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *IntLit:
+		return &IntLit{Value: e.Value, Pos: e.Pos}
+	case *BoolLit:
+		return &BoolLit{Value: e.Value, Pos: e.Pos}
+	case *FuncLit:
+		return &FuncLit{Name: e.Name, Pos: e.Pos}
+	case *NullLit:
+		return &NullLit{Pos: e.Pos}
+	case *VarExpr:
+		return &VarExpr{Name: e.Name, Pos: e.Pos}
+	case *AddrOfExpr:
+		return &AddrOfExpr{Name: e.Name, Pos: e.Pos}
+	case *DerefExpr:
+		return &DerefExpr{X: CloneExpr(e.X), Pos: e.Pos}
+	case *FieldExpr:
+		return &FieldExpr{X: CloneExpr(e.X), Field: e.Field, Pos: e.Pos}
+	case *AddrFieldExpr:
+		return &AddrFieldExpr{X: CloneExpr(e.X), Field: e.Field, Pos: e.Pos}
+	case *UnaryExpr:
+		return &UnaryExpr{Op: e.Op, X: CloneExpr(e.X), Pos: e.Pos}
+	case *BinaryExpr:
+		return &BinaryExpr{Op: e.Op, X: CloneExpr(e.X), Y: CloneExpr(e.Y), Pos: e.Pos}
+	case *NewExpr:
+		return &NewExpr{Record: e.Record, Pos: e.Pos}
+	case *CallExpr:
+		return &CallExpr{Fn: CloneExpr(e.Fn), Args: cloneExprs(e.Args), Pos: e.Pos}
+	case *TsSizeExpr:
+		return &TsSizeExpr{Pos: e.Pos}
+	case *RaceCellExpr:
+		return &RaceCellExpr{X: CloneExpr(e.X), Pos: e.Pos}
+	default:
+		panic("ast: CloneExpr: unknown expression type")
+	}
+}

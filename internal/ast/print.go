@@ -1,0 +1,279 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a program back to concrete syntax. The output parses back
+// to an equivalent program (including the __ts_put/__ts_dispatch/__ts_size/
+// __race_cell spellings of the KISS intrinsics), which the golden tests of
+// the transformation rely on.
+func Print(p *Program) string {
+	var pr printer
+	pr.program(p)
+	return pr.b.String()
+}
+
+// PrintStmt renders a single statement (at the given indent level) to
+// concrete syntax. Useful in error messages and traces.
+func PrintStmt(s Stmt) string {
+	var pr printer
+	pr.stmt(s, 0)
+	return strings.TrimSuffix(pr.b.String(), "\n")
+}
+
+// PrintExpr renders a single expression to concrete syntax.
+func PrintExpr(e Expr) string {
+	var pr printer
+	pr.expr(e)
+	return pr.b.String()
+}
+
+type printer struct {
+	b strings.Builder
+}
+
+func (pr *printer) printf(format string, args ...any) {
+	fmt.Fprintf(&pr.b, format, args...)
+}
+
+func (pr *printer) indent(n int) {
+	for i := 0; i < n; i++ {
+		pr.b.WriteString("  ")
+	}
+}
+
+func (pr *printer) program(p *Program) {
+	for _, r := range p.Records {
+		pr.printf("record %s { ", r.Name)
+		for _, f := range r.Fields {
+			pr.printf("%s; ", f)
+		}
+		pr.printf("}\n")
+	}
+	if len(p.Records) > 0 {
+		pr.printf("\n")
+	}
+	for _, g := range p.Globals {
+		pr.printf("var %s;\n", g.Name)
+	}
+	if len(p.Globals) > 0 {
+		pr.printf("\n")
+	}
+	for i, f := range p.Funcs {
+		if i > 0 {
+			pr.printf("\n")
+		}
+		pr.fn(f)
+	}
+}
+
+func (pr *printer) fn(f *Func) {
+	pr.printf("func %s(%s) {\n", f.Name, strings.Join(f.Params, ", "))
+	for _, l := range f.Locals {
+		pr.indent(1)
+		pr.printf("var %s;\n", l.Name)
+	}
+	for _, s := range f.Body.Stmts {
+		pr.stmt(s, 1)
+	}
+	pr.printf("}\n")
+}
+
+func (pr *printer) block(b *Block, depth int) {
+	pr.printf("{\n")
+	for _, s := range b.Stmts {
+		pr.stmt(s, depth+1)
+	}
+	pr.indent(depth)
+	pr.printf("}")
+}
+
+func (pr *printer) stmt(s Stmt, depth int) {
+	switch s := s.(type) {
+	case *Block:
+		pr.indent(depth)
+		pr.block(s, depth)
+		pr.printf("\n")
+	case *AssignStmt:
+		pr.indent(depth)
+		pr.expr(s.Lhs)
+		pr.printf(" = ")
+		pr.expr(s.Rhs)
+		pr.printf(";\n")
+	case *AssertStmt:
+		pr.indent(depth)
+		pr.printf("assert(")
+		pr.expr(s.Cond)
+		pr.printf(");\n")
+	case *AssumeStmt:
+		pr.indent(depth)
+		pr.printf("assume(")
+		pr.expr(s.Cond)
+		pr.printf(");\n")
+	case *AtomicStmt:
+		pr.indent(depth)
+		pr.printf("atomic ")
+		pr.block(s.Body, depth)
+		pr.printf("\n")
+	case *BenignStmt:
+		pr.indent(depth)
+		pr.printf("benign ")
+		pr.block(s.Body, depth)
+		pr.printf("\n")
+	case *CallStmt:
+		pr.indent(depth)
+		if s.Result != "" {
+			pr.printf("%s = ", s.Result)
+		}
+		pr.expr(s.Fn)
+		pr.printf("(")
+		pr.exprList(s.Args)
+		pr.printf(");\n")
+	case *AsyncStmt:
+		pr.indent(depth)
+		pr.printf("async ")
+		pr.expr(s.Fn)
+		pr.printf("(")
+		pr.exprList(s.Args)
+		pr.printf(");\n")
+	case *ReturnStmt:
+		pr.indent(depth)
+		if s.Value != nil {
+			pr.printf("return ")
+			pr.expr(s.Value)
+			pr.printf(";\n")
+		} else {
+			pr.printf("return;\n")
+		}
+	case *IfStmt:
+		pr.indent(depth)
+		pr.printf("if (")
+		pr.expr(s.Cond)
+		pr.printf(") ")
+		pr.block(s.Then, depth)
+		if s.Else != nil {
+			pr.printf(" else ")
+			pr.block(s.Else, depth)
+		}
+		pr.printf("\n")
+	case *WhileStmt:
+		pr.indent(depth)
+		pr.printf("while (")
+		pr.expr(s.Cond)
+		pr.printf(") ")
+		pr.block(s.Body, depth)
+		pr.printf("\n")
+	case *ChoiceStmt:
+		pr.indent(depth)
+		pr.printf("choice {\n")
+		for i, br := range s.Branches {
+			if i > 0 {
+				pr.indent(depth)
+				pr.printf("[]\n")
+			}
+			pr.indent(depth + 1)
+			pr.block(br, depth+1)
+			pr.printf("\n")
+		}
+		pr.indent(depth)
+		pr.printf("}\n")
+	case *IterStmt:
+		pr.indent(depth)
+		pr.printf("iter ")
+		pr.block(s.Body, depth)
+		pr.printf("\n")
+	case *SkipStmt:
+		pr.indent(depth)
+		pr.printf("skip;\n")
+	case *TsPutStmt:
+		pr.indent(depth)
+		pr.printf("__ts_put(")
+		pr.expr(s.Fn)
+		for _, a := range s.Args {
+			pr.printf(", ")
+			pr.expr(a)
+		}
+		pr.printf(");\n")
+	case *TsDispatchStmt:
+		pr.indent(depth)
+		pr.printf("__ts_dispatch();\n")
+	default:
+		pr.indent(depth)
+		pr.printf("/* unknown stmt %T */;\n", s)
+	}
+}
+
+func (pr *printer) exprList(es []Expr) {
+	for i, e := range es {
+		if i > 0 {
+			pr.printf(", ")
+		}
+		pr.expr(e)
+	}
+}
+
+func (pr *printer) expr(e Expr) {
+	switch e := e.(type) {
+	case *IntLit:
+		pr.printf("%d", e.Value)
+	case *BoolLit:
+		pr.printf("%t", e.Value)
+	case *FuncLit:
+		pr.printf("@%s", e.Name)
+	case *NullLit:
+		pr.printf("null")
+	case *VarExpr:
+		pr.printf("%s", e.Name)
+	case *AddrOfExpr:
+		pr.printf("&%s", e.Name)
+	case *DerefExpr:
+		pr.printf("*")
+		pr.atom(e.X)
+	case *FieldExpr:
+		pr.atom(e.X)
+		pr.printf("->%s", e.Field)
+	case *AddrFieldExpr:
+		pr.printf("&")
+		pr.atom(e.X)
+		pr.printf("->%s", e.Field)
+	case *UnaryExpr:
+		pr.printf("%s", e.Op)
+		pr.atom(e.X)
+	case *BinaryExpr:
+		pr.printf("(")
+		pr.expr(e.X)
+		pr.printf(" %s ", e.Op)
+		pr.expr(e.Y)
+		pr.printf(")")
+	case *NewExpr:
+		pr.printf("new %s", e.Record)
+	case *CallExpr:
+		pr.expr(e.Fn)
+		pr.printf("(")
+		pr.exprList(e.Args)
+		pr.printf(")")
+	case *TsSizeExpr:
+		pr.printf("__ts_size()")
+	case *RaceCellExpr:
+		pr.printf("__race_cell(")
+		pr.expr(e.X)
+		pr.printf(")")
+	default:
+		pr.printf("/* unknown expr %T */", e)
+	}
+}
+
+// atom prints e, parenthesizing it when it is not a primary expression, so
+// that prefix operators bind visually as intended.
+func (pr *printer) atom(e Expr) {
+	switch e.(type) {
+	case *BinaryExpr, *UnaryExpr, *DerefExpr, *CallExpr, *NewExpr:
+		pr.printf("(")
+		pr.expr(e)
+		pr.printf(")")
+	default:
+		pr.expr(e)
+	}
+}

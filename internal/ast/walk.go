@@ -1,0 +1,134 @@
+package ast
+
+// WalkStmts calls fn for every statement reachable from s, including s
+// itself, in pre-order. If fn returns false, children of that statement are
+// not visited.
+func WalkStmts(s Stmt, fn func(Stmt) bool) {
+	if s == nil || !fn(s) {
+		return
+	}
+	switch s := s.(type) {
+	case *Block:
+		for _, c := range s.Stmts {
+			WalkStmts(c, fn)
+		}
+	case *AtomicStmt:
+		WalkStmts(s.Body, fn)
+	case *BenignStmt:
+		WalkStmts(s.Body, fn)
+	case *IfStmt:
+		WalkStmts(s.Then, fn)
+		if s.Else != nil {
+			WalkStmts(s.Else, fn)
+		}
+	case *WhileStmt:
+		WalkStmts(s.Body, fn)
+	case *ChoiceStmt:
+		for _, b := range s.Branches {
+			WalkStmts(b, fn)
+		}
+	case *IterStmt:
+		WalkStmts(s.Body, fn)
+	}
+}
+
+// WalkExprs calls fn for every expression appearing directly in s (not
+// descending into nested statements) and, recursively, every
+// subexpression. Use together with WalkStmts to visit all expressions in a
+// function body.
+func WalkExprs(s Stmt, fn func(Expr)) {
+	visit := func(e Expr) {
+		walkExpr(e, fn)
+	}
+	switch s := s.(type) {
+	case *AssignStmt:
+		visit(s.Lhs)
+		visit(s.Rhs)
+	case *AssertStmt:
+		visit(s.Cond)
+	case *AssumeStmt:
+		visit(s.Cond)
+	case *CallStmt:
+		visit(s.Fn)
+		for _, a := range s.Args {
+			visit(a)
+		}
+	case *AsyncStmt:
+		visit(s.Fn)
+		for _, a := range s.Args {
+			visit(a)
+		}
+	case *ReturnStmt:
+		if s.Value != nil {
+			visit(s.Value)
+		}
+	case *IfStmt:
+		visit(s.Cond)
+	case *WhileStmt:
+		visit(s.Cond)
+	case *TsPutStmt:
+		visit(s.Fn)
+		for _, a := range s.Args {
+			visit(a)
+		}
+	}
+}
+
+func walkExpr(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch e := e.(type) {
+	case *DerefExpr:
+		walkExpr(e.X, fn)
+	case *FieldExpr:
+		walkExpr(e.X, fn)
+	case *AddrFieldExpr:
+		walkExpr(e.X, fn)
+	case *UnaryExpr:
+		walkExpr(e.X, fn)
+	case *BinaryExpr:
+		walkExpr(e.X, fn)
+		walkExpr(e.Y, fn)
+	case *CallExpr:
+		walkExpr(e.Fn, fn)
+		for _, a := range e.Args {
+			walkExpr(a, fn)
+		}
+	case *RaceCellExpr:
+		walkExpr(e.X, fn)
+	}
+}
+
+// CountStmts returns the number of statements reachable from the bodies of
+// all functions in p. Used for program-size metrics in the evaluation.
+func CountStmts(p *Program) int {
+	n := 0
+	for _, f := range p.Funcs {
+		WalkStmts(f.Body, func(Stmt) bool { n++; return true })
+	}
+	return n
+}
+
+// UsesConcurrency reports whether p contains any async calls or atomic
+// statements, i.e. whether it is a genuinely concurrent program rather than
+// a program in the sequential fragment of the language (Section 4: "a
+// sequential program is one expressible in the parallel language without
+// using asynchronous function calls and atomic statements").
+func UsesConcurrency(p *Program) bool {
+	found := false
+	for _, f := range p.Funcs {
+		WalkStmts(f.Body, func(s Stmt) bool {
+			switch s.(type) {
+			case *AsyncStmt, *AtomicStmt:
+				found = true
+			}
+			return !found
+		})
+		if found {
+			break
+		}
+	}
+	return found
+}

@@ -1,0 +1,273 @@
+// Package concheck is an explicit-state model checker for *concurrent*
+// programs in the parallel language: it explores thread interleavings
+// directly, in the style of the model checkers the KISS paper contrasts
+// with (SPIN, JPF, Bogor). Its state space grows exponentially with the
+// number of threads — which is exactly the blowup KISS avoids, and which
+// the blowup benchmark quantifies.
+//
+// The checker serves three roles in this reproduction:
+//
+//  1. Ground truth on small programs: the unsoundness characterization
+//     (Theorem 1) and the no-false-errors property are tested by comparing
+//     its verdicts against the KISS pipeline's.
+//  2. Context-bounded exploration: with ContextBound set it explores only
+//     executions with at most that many context switches, matching the
+//     paper's observation that for a 2-threaded program the transformed
+//     sequential program covers all executions with at most two context
+//     switches.
+//  3. The baseline in the interleaving-blowup study.
+package concheck
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/sem"
+)
+
+// Verdict is the outcome of a check.
+type Verdict int
+
+const (
+	// Safe: all reachable states (within the context bound, if any) were
+	// explored without failure.
+	Safe Verdict = iota
+	// Error: some interleaving fails an assertion or goes wrong.
+	Error
+	// ResourceBound: a search budget was exhausted first.
+	ResourceBound
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Safe:
+		return "safe"
+	case Error:
+		return "error"
+	default:
+		return "resource-bound"
+	}
+}
+
+// Options configure the search. Zero values mean "unlimited" except
+// ContextBound, where a negative value means unlimited and 0 means "no
+// context switches" (each thread runs to completion or blocks before
+// another is scheduled... note that a blocked thread forces a switch,
+// which still counts against the bound).
+type Options struct {
+	MaxStates    int
+	MaxSteps     int
+	MaxDepth     int
+	ContextBound int // < 0: unlimited
+	// POR enables a simple sound partial-order reduction ("the model
+	// checkers [SPIN, JPF, Bandera, Bogor] exploit partial-order reduction
+	// techniques to reduce the number of explored interleavings" —
+	// Section 7): when some thread's next instruction is invisible (it
+	// reads and writes only that thread's locals and control state), only
+	// that thread is expanded, since the instruction commutes with every
+	// transition of every other thread. Failure reachability is preserved;
+	// the Deadlocks diagnostic and ContextBound accounting are not
+	// meaningful under POR and should not be combined with it.
+	POR bool
+}
+
+// Result reports the verdict, witness trace, and statistics.
+type Result struct {
+	Verdict Verdict
+	Failure *sem.Failure
+	Trace   []sem.Event
+	States  int
+	Steps   int
+	// Deadlocks counts states in which some thread was still running but
+	// every live thread was blocked on an assume. A deadlock is not an
+	// error in the paper's semantics (a false assume simply blocks), but
+	// the count is reported for diagnostics.
+	Deadlocks int
+}
+
+func (r *Result) String() string {
+	switch r.Verdict {
+	case Error:
+		return fmt.Sprintf("error: %s (states=%d steps=%d)", r.Failure, r.States, r.Steps)
+	case Safe:
+		return fmt.Sprintf("safe (states=%d steps=%d)", r.States, r.Steps)
+	default:
+		return fmt.Sprintf("resource bound exhausted (states=%d steps=%d)", r.States, r.Steps)
+	}
+}
+
+type node struct {
+	parent *node
+	event  sem.Event
+	depth  int
+}
+
+func (n *node) trace() []sem.Event {
+	var rev []sem.Event
+	for cur := n; cur != nil && cur.parent != nil; cur = cur.parent {
+		rev = append(rev, cur.event)
+	}
+	out := make([]sem.Event, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+type searchState struct {
+	st       *sem.State
+	nd       *node
+	lastTh   int // index of last-scheduled thread (-1 initially)
+	switches int // context switches consumed
+}
+
+// Check explores the concurrent program compiled in c.
+func Check(c *sem.Compiled, opts Options) *Result {
+	res := &Result{}
+	init := sem.NewState(c)
+	bounded := opts.ContextBound >= 0
+
+	visited := map[string]bool{}
+	key := func(s *sem.State, lastTh, switches int) string {
+		fp := s.Fingerprint()
+		if bounded {
+			return fmt.Sprintf("%s#%d#%d", fp, lastTh, switches)
+		}
+		return fp
+	}
+	visited[key(init, -1, 0)] = true
+	res.States = 1
+
+	stack := []searchState{{st: init, nd: &node{}, lastTh: -1}}
+
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		if opts.MaxDepth > 0 && cur.nd.depth >= opts.MaxDepth {
+			continue
+		}
+
+		// POR: if some live thread's next instruction is invisible, expand
+		// only that thread.
+		expand := -1
+		if opts.POR {
+			for ti := range cur.st.Threads {
+				if cur.st.Threads[ti].Done() {
+					continue
+				}
+				if invisibleNext(cur.st, ti) {
+					expand = ti
+					break
+				}
+			}
+		}
+
+		anyLive, anyProgress := false, false
+		for ti := range cur.st.Threads {
+			if cur.st.Threads[ti].Done() {
+				continue
+			}
+			if expand >= 0 && ti != expand {
+				continue
+			}
+			anyLive = true
+
+			// A context switch occurs whenever adjacent transitions in the
+			// execution string are labeled with different thread ids
+			// (Section 4.1's formal model).
+			switches := cur.switches
+			if cur.lastTh >= 0 && cur.lastTh != ti {
+				switches++
+				if bounded && switches > opts.ContextBound {
+					continue
+				}
+			}
+
+			if opts.MaxSteps > 0 && res.Steps >= opts.MaxSteps {
+				res.Verdict = ResourceBound
+				return res
+			}
+			sr := sem.Step(cur.st, ti)
+			res.Steps++
+			if sr.Failure != nil {
+				res.Verdict = Error
+				res.Failure = sr.Failure
+				failEv := sem.Event{
+					Kind:     sem.EvStmt,
+					ThreadID: sr.Failure.ThreadID,
+					Pos:      sr.Failure.Pos,
+					Text:     sr.Failure.Msg,
+				}
+				res.Trace = append(cur.nd.trace(), failEv)
+				return res
+			}
+			if sr.Blocked {
+				continue
+			}
+			anyProgress = anyProgress || len(sr.Outcomes) > 0
+			for _, out := range sr.Outcomes {
+				k := key(out.State, ti, switches)
+				if visited[k] {
+					continue
+				}
+				visited[k] = true
+				res.States++
+				if opts.MaxStates > 0 && res.States > opts.MaxStates {
+					res.Verdict = ResourceBound
+					return res
+				}
+				stack = append(stack, searchState{
+					st:       out.State,
+					nd:       &node{parent: cur.nd, event: out.Event, depth: cur.nd.depth + 1},
+					lastTh:   ti,
+					switches: switches,
+				})
+			}
+		}
+		if anyLive && !anyProgress {
+			res.Deadlocks++
+		}
+	}
+	res.Verdict = Safe
+	return res
+}
+
+// invisibleNext reports whether thread ti's next instruction neither
+// reads nor writes shared state: pure control transfers, and assignments
+// whose target and operands are all frame-local. Such an instruction
+// commutes with every transition of every other thread, so expanding only
+// it preserves failure reachability.
+func invisibleNext(s *sem.State, ti int) bool {
+	fr := s.Threads[ti].Top()
+	if fr == nil || fr.PC >= len(fr.CF.Code) {
+		return false // implicit return delivers into the caller frame; keep simple
+	}
+	in := &fr.CF.Code[fr.PC]
+	switch in.Op {
+	case sem.OpSkip, sem.OpJump, sem.OpNondetJump:
+		return true
+	case sem.OpAssign:
+		return localExpr(fr, in.Lhs) && localExpr(fr, in.Rhs)
+	}
+	return false
+}
+
+// localExpr reports whether evaluating e touches only the frame's locals
+// and constants (no globals, no heap, no pointers).
+func localExpr(fr *sem.Frame, e ast.Expr) bool {
+	switch e := e.(type) {
+	case nil:
+		return true
+	case *ast.IntLit, *ast.BoolLit, *ast.FuncLit:
+		return true
+	case *ast.VarExpr:
+		_, isLocal := fr.CF.VarIdx[e.Name]
+		return isLocal
+	case *ast.UnaryExpr:
+		return localExpr(fr, e.X)
+	case *ast.BinaryExpr:
+		return localExpr(fr, e.X) && localExpr(fr, e.Y)
+	}
+	return false
+}

@@ -1,0 +1,147 @@
+// Package drivers contains the device-driver models of the KISS
+// evaluation: the hand-written Bluetooth model of Figure 2 (verbatim,
+// buggy and fixed), the fakemodem reference-counting model, and the
+// synthetic corpus standing in for the 18 Windows DDK drivers of Table 1
+// (see corpus.go and generator.go; the substitution is documented in
+// DESIGN.md).
+package drivers
+
+// BluetoothSource is the simplified model of the Windows NT Bluetooth
+// driver, transcribed from Figure 2 of the paper. The device extension has
+// a pendingIo count of threads executing in the driver (initialized to 1),
+// a stoppingFlag set by the stopping thread, and a stoppingEvent that
+// fires when pendingIo reaches 0. The global `stopped` encodes the safety
+// property: a worker asserts !stopped before doing work.
+//
+// Two distinct bugs live here, exactly as in Sections 2.2 and 2.3:
+//
+//   - a race condition on stoppingFlag (written by BCSP_PnpStop without
+//     synchronization, read by BCSP_IoIncrement), exposed with ts bound 0;
+//   - an assertion violation caused by the check-then-increment window in
+//     BCSP_IoIncrement, exposed only with ts bound 1.
+const BluetoothSource = `
+record DEVICE_EXTENSION {
+  pendingIo;
+  stoppingFlag;
+  stoppingEvent;
+}
+
+var stopped;
+
+func main() {
+  var e;
+  e = new DEVICE_EXTENSION;
+  e->pendingIo = 1;
+  e->stoppingFlag = false;
+  e->stoppingEvent = false;
+  stopped = false;
+  async BCSP_PnpStop(e);
+  BCSP_PnpAdd(e);
+}
+
+func BCSP_PnpAdd(e) {
+  var status;
+  status = BCSP_IoIncrement(e);
+  if (status == 0) {
+    // do work here
+    assert(!stopped);
+  }
+  BCSP_IoDecrement(e);
+}
+
+func BCSP_PnpStop(e) {
+  e->stoppingFlag = true;
+  BCSP_IoDecrement(e);
+  assume(e->stoppingEvent);
+  // release allocated resources
+  stopped = true;
+}
+
+func BCSP_IoIncrement(e) {
+  if (e->stoppingFlag) {
+    return -1;
+  }
+  atomic {
+    e->pendingIo = e->pendingIo + 1;
+  }
+  return 0;
+}
+
+func BCSP_IoDecrement(e) {
+  var pendingIo;
+  atomic {
+    e->pendingIo = e->pendingIo - 1;
+    pendingIo = e->pendingIo;
+  }
+  if (pendingIo == 0) {
+    e->stoppingEvent = true;
+  }
+}
+`
+
+// BluetoothFixedSource is the driver after the fix suggested by the driver
+// quality team (Section 6): BCSP_IoIncrement increments pendingIo *before*
+// checking stoppingFlag, and backs the increment out if the driver is
+// stopping — closing the window in which the stopping thread can observe
+// pendingIo == 0 while a worker is still entering. Rerunning KISS on the
+// fixed driver reports no errors, as in the paper.
+const BluetoothFixedSource = `
+record DEVICE_EXTENSION {
+  pendingIo;
+  stoppingFlag;
+  stoppingEvent;
+}
+
+var stopped;
+
+func main() {
+  var e;
+  e = new DEVICE_EXTENSION;
+  e->pendingIo = 1;
+  e->stoppingFlag = false;
+  e->stoppingEvent = false;
+  stopped = false;
+  async BCSP_PnpStop(e);
+  BCSP_PnpAdd(e);
+}
+
+func BCSP_PnpAdd(e) {
+  var status;
+  status = BCSP_IoIncrement(e);
+  if (status == 0) {
+    // do work here
+    assert(!stopped);
+  }
+  BCSP_IoDecrement(e);
+}
+
+func BCSP_PnpStop(e) {
+  e->stoppingFlag = true;
+  BCSP_IoDecrement(e);
+  assume(e->stoppingEvent);
+  // release allocated resources
+  stopped = true;
+}
+
+func BCSP_IoIncrement(e) {
+  atomic {
+    e->pendingIo = e->pendingIo + 1;
+  }
+  if (e->stoppingFlag) {
+    BCSP_IoDecrement(e);
+    return -1;
+  }
+  return 0;
+}
+
+func BCSP_IoDecrement(e) {
+  var pendingIo;
+  atomic {
+    e->pendingIo = e->pendingIo - 1;
+    pendingIo = e->pendingIo;
+  }
+  if (pendingIo == 0) {
+    e->stoppingEvent = true;
+  }
+}
+`

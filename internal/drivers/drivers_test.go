@@ -1,0 +1,178 @@
+package drivers
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpecsCalibration(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 18 {
+		t.Fatalf("%d drivers, want 18", len(specs))
+	}
+	var kloc float64
+	for _, s := range specs {
+		kloc += s.KLOC
+		if len(s.Fields) != s.PaperFields {
+			t.Errorf("%s: %d fields, want %d", s.Name, len(s.Fields), s.PaperFields)
+		}
+		if s.Timeouts() < 0 {
+			t.Errorf("%s: negative implied timeouts", s.Name)
+		}
+		seen := map[string]bool{}
+		for _, f := range s.Fields {
+			if seen[f.Name] {
+				t.Errorf("%s: duplicate field name %s", s.Name, f.Name)
+			}
+			seen[f.Name] = true
+		}
+		if !seen["SpinLock"] {
+			t.Errorf("%s: missing SpinLock field", s.Name)
+		}
+	}
+	if kloc < 69.5 || kloc > 69.7 {
+		t.Errorf("total KLOC %.1f, paper reports 69.6", kloc)
+	}
+}
+
+func TestSpecialFieldNames(t *testing.T) {
+	tm := FindSpec("toaster/toastmon")
+	found := false
+	for _, f := range tm.Fields {
+		if f.Name == "DevicePnPState" && f.Pattern == FieldRace {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("toaster/toastmon missing the DevicePnPState race field (Figure 6)")
+	}
+	fm := FindSpec("fakemodem")
+	found = false
+	for _, f := range fm.Fields {
+		if f.Name == "OpenCount" && f.Pattern == FieldBenign {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("fakemodem missing the OpenCount benign race field")
+	}
+}
+
+func TestPairAllowedRules(t *testing.T) {
+	cases := []struct {
+		a, b    Category
+		ser     bool
+		refined bool
+		want    bool
+	}{
+		// permissive allows everything
+		{CatPnp, CatPnp, false, false, true},
+		{CatPnpStartRemove, CatRead, false, false, true},
+		// A1: two Pnp IRPs
+		{CatPnp, CatPnp, false, true, false},
+		{CatPnp, CatPnpStartRemove, false, true, false},
+		// A2: anything with start/remove
+		{CatPnpStartRemove, CatRead, false, true, false},
+		{CatIoctl, CatPnpStartRemove, false, true, false},
+		// A3: same-category Power
+		{CatPowerSystem, CatPowerSystem, false, true, false},
+		{CatPowerDevice, CatPowerDevice, false, true, false},
+		{CatPowerSystem, CatPowerDevice, false, true, true},
+		// plain Pnp with non-Pnp is fine
+		{CatPnp, CatPowerDevice, false, true, true},
+		{CatPnp, CatRead, false, true, true},
+		// driver-specific Ioctl serialization
+		{CatIoctl, CatIoctl, true, true, false},
+		{CatIoctl, CatIoctl, false, true, true},
+		{CatIoctl, CatRead, true, true, true},
+		// ordinary pairs
+		{CatRead, CatWrite, false, true, true},
+		{CatCreate, CatClose, false, true, true},
+	}
+	for i, c := range cases {
+		if got := PairAllowed(c.refined, c.a, c.b, c.ser); got != c.want {
+			t.Errorf("case %d: PairAllowed(refined=%v, %v, %v, ser=%v) = %v, want %v",
+				i, c.refined, c.a, c.b, c.ser, got, c.want)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := FindSpec("fdc")
+	m1 := Generate(spec)
+	m2 := Generate(FindSpec("fdc"))
+	if m1.Text != m2.Text {
+		t.Error("generation is not deterministic")
+	}
+}
+
+func TestGeneratedModelContainsWinmodel(t *testing.T) {
+	m := Generate(FindSpec("imca"))
+	for _, fn := range []string{"KeAcquireSpinLock", "KeReleaseSpinLock", "KeSetEvent",
+		"KeWaitForSingleObject", "InterlockedIncrement", "InterlockedCompareExchange"} {
+		if !strings.Contains(m.Text, "func "+fn) {
+			t.Errorf("model missing %s", fn)
+		}
+	}
+	if !strings.Contains(m.Text, "record DEVICE_EXTENSION") {
+		t.Error("model missing the device extension record")
+	}
+}
+
+func TestHardWorkersOnlyWhenNeeded(t *testing.T) {
+	noHard := Generate(FindSpec("tracedrv"))
+	if strings.Contains(noHard.Text, "HardWorker") {
+		t.Error("tracedrv has no hard fields but got hard workers")
+	}
+	withHard := Generate(FindSpec("fakemodem"))
+	if !strings.Contains(withHard.Text, "func HardWorkerA") {
+		t.Error("fakemodem has hard fields but no hard workers")
+	}
+}
+
+func TestFieldRoutineMetadata(t *testing.T) {
+	m := Generate(FindSpec("toaster/toastmon"))
+	rs := m.FieldRoutines["DevicePnPState"]
+	if len(rs) != 2 {
+		t.Fatalf("DevicePnPState accessors: %v, want 2", rs)
+	}
+	joined := strings.Join(rs, ",")
+	if !strings.Contains(joined, "DispatchPnp") || !strings.Contains(joined, "DispatchPowerDevice") {
+		t.Errorf("DevicePnPState accessors %v, want DispatchPnp + DispatchPowerDevice (Figure 6)", rs)
+	}
+	if len(m.FieldRoutines["SpinLock"]) != 0 {
+		t.Errorf("SpinLock should have no accessor routines, got %v", m.FieldRoutines["SpinLock"])
+	}
+}
+
+func TestHarnessPairSlicing(t *testing.T) {
+	m := Generate(FindSpec("moufiltr"))
+	// Ioctl-only race field: permissive harness has 4 ordered pairs,
+	// refined has none (Ioctls serialized on this driver).
+	var ioctlField string
+	for _, f := range m.Spec.Fields {
+		if f.Pattern == FieldRaceIoctl {
+			ioctlField = f.Name
+			break
+		}
+	}
+	if ioctlField == "" {
+		t.Fatal("no ioctl race field in moufiltr")
+	}
+	perm := m.HarnessProgram(ioctlField, false)
+	if strings.Count(perm, "async ") != 4 {
+		t.Errorf("permissive harness has %d pairs, want 4:\n%s", strings.Count(perm, "async "), perm)
+	}
+	ref := m.HarnessProgram(ioctlField, true)
+	if strings.Contains(ref, "async ") {
+		t.Errorf("refined harness should have no allowed pairs:\n%s", ref)
+	}
+}
+
+func TestModelLOCScalesWithKLOC(t *testing.T) {
+	small := Generate(FindSpec("tracedrv")).LOC
+	large := Generate(FindSpec("fdc")).LOC
+	if large <= small {
+		t.Errorf("fdc model (%d LOC) not larger than tracedrv (%d LOC)", large, small)
+	}
+}

@@ -1,0 +1,381 @@
+package drivers
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/winmodel"
+)
+
+// Routine is one dispatch routine of a generated driver model.
+type Routine struct {
+	Name string
+	Cat  Category
+}
+
+// roster is the dispatch-routine set every generated driver exposes (the
+// hard workers are emitted only for drivers with hard fields).
+var roster = []Routine{
+	{"DispatchCreate", CatCreate},
+	{"DispatchClose", CatClose},
+	{"DispatchRead", CatRead},
+	{"DispatchWrite", CatWrite},
+	{"DispatchIoctl", CatIoctl},
+	{"DispatchIoctlEx", CatIoctl},
+	{"DispatchInternalIoctl", CatInternalIoctl},
+	{"DispatchCleanup", CatCleanup},
+	{"DispatchPnp", CatPnp},
+	{"DispatchPnpQuery", CatPnp},
+	{"DispatchPnpStartRemove", CatPnpStartRemove},
+	{"DispatchPowerSystem", CatPowerSystem},
+	{"DispatchPowerSystemQuery", CatPowerSystem},
+	{"DispatchPowerDevice", CatPowerDevice},
+	{"HardWorkerA", CatHardWork},
+	{"HardWorkerB", CatHardWork},
+}
+
+// accessKind is one planted access snippet.
+type accessKind int
+
+const (
+	readU      accessKind = iota // unprotected read
+	writeU                       // unprotected write
+	readP                        // spin-lock-protected read
+	writeP                       // spin-lock-protected write
+	readDecide                   // unprotected read feeding a branch (benign pattern)
+	evSet                        // KeSetEvent
+	evWait                       // KeWaitForSingleObject (emitted last)
+	refInc                       // InterlockedIncrement
+	refDec                       // InterlockedDecrement
+)
+
+type plantedAccess struct {
+	field string
+	kind  accessKind
+}
+
+// AmplifierBound is the counter bound of the hard-worker loop; together
+// with the evaluation's per-field state budget it determines which fields
+// exceed the resource bound (the Table 1 timeout columns).
+const AmplifierBound = 6000
+
+// Model is a generated driver model: the library text (records, winmodel
+// routines, dispatch routines) without a harness, plus the metadata the
+// evaluation uses to build per-field harnesses.
+type Model struct {
+	Spec *DriverSpec
+	// Text is the harness-less model source.
+	Text string
+	// FieldRoutines maps each extension field to the dispatch routines
+	// that access it — the slice of the program relevant to that field.
+	FieldRoutines map[string][]string
+	// RoutineCats maps routine name to IRP category.
+	RoutineCats map[string]Category
+	// LOC is the number of non-blank lines of the generated model text.
+	LOC int
+}
+
+// Generate builds the model for one driver spec. Field-to-routine
+// assignment is deterministic, so repeated generations agree.
+func Generate(spec *DriverSpec) *Model {
+	g := &generator{
+		spec:     spec,
+		accesses: map[string][]plantedAccess{},
+		routines: map[string][]string{},
+		cats:     map[string]Category{},
+	}
+	for _, r := range roster {
+		g.cats[r.Name] = r.Cat
+	}
+	for _, f := range spec.Fields {
+		g.plant(f)
+	}
+	text := g.render()
+	m := &Model{
+		Spec:          spec,
+		Text:          text,
+		FieldRoutines: g.routines,
+		RoutineCats:   g.cats,
+		LOC:           countLOC(text),
+	}
+	return m
+}
+
+type generator struct {
+	spec *DriverSpec
+	// accesses collects the snippets per routine, in plant order.
+	accesses map[string][]plantedAccess
+	// routines records which routines access each field.
+	routines map[string][]string
+	cats     map[string]Category
+	rot      int // rotation counter for pair variety
+	hasHard  bool
+}
+
+func (g *generator) add(routine, field string, kind accessKind) {
+	g.accesses[routine] = append(g.accesses[routine], plantedAccess{field: field, kind: kind})
+	for _, r := range g.routines[field] {
+		if r == routine {
+			return
+		}
+	}
+	g.routines[field] = append(g.routines[field], routine)
+}
+
+// normalPairs are routine pairs the refined harness always allows; real
+// races and protected fields rotate through them.
+var normalPairs = [][2]string{
+	{"DispatchRead", "DispatchWrite"},
+	{"DispatchIoctl", "DispatchRead"},
+	{"DispatchCreate", "DispatchIoctlEx"},
+	{"DispatchWrite", "DispatchInternalIoctl"},
+	{"DispatchCleanup", "DispatchRead"},
+	{"DispatchClose", "DispatchWrite"},
+	{"DispatchPnp", "DispatchPowerDevice"},
+	{"DispatchPowerSystem", "DispatchPowerDevice"},
+}
+
+func (g *generator) nextPair() [2]string {
+	p := normalPairs[g.rot%len(normalPairs)]
+	g.rot++
+	return p
+}
+
+func (g *generator) plant(f FieldSpec) {
+	switch f.Pattern {
+	case FieldLock:
+		// The lock word is used by every protected access; it has no
+		// dispatch routines of its own (its per-field run has an empty
+		// harness and is trivially race-free).
+		g.routines[f.Name] = nil
+
+	case FieldEvent:
+		g.add("DispatchCreate", f.Name, evSet)
+		g.add("DispatchClose", f.Name, evWait)
+
+	case FieldRefCount:
+		g.add("DispatchCreate", f.Name, refInc)
+		g.add("DispatchClose", f.Name, refDec)
+
+	case FieldProtected:
+		p := g.nextPair()
+		g.add(p[0], f.Name, writeP)
+		g.add(p[1], f.Name, readP)
+
+	case FieldReadShared:
+		p := g.nextPair()
+		g.add(p[0], f.Name, readU)
+		g.add(p[1], f.Name, readU)
+
+	case FieldRace:
+		if f.Name == "DevicePnPState" {
+			// Figure 6: DispatchPnp writes DevicePnPState while holding
+			// the remove lock (modeled by the spin lock: still a lock,
+			// still racing the unprotected read); DispatchPower reads it
+			// with no protection.
+			g.add("DispatchPnp", f.Name, writeP)
+			g.add("DispatchPowerDevice", f.Name, readU)
+			return
+		}
+		p := g.nextPair()
+		g.add(p[0], f.Name, writeU)
+		g.add(p[1], f.Name, readU)
+
+	case FieldBenign:
+		// fakemodem OpenCount: increments under the lock, one unprotected
+		// read feeding a decision.
+		g.add("DispatchCreate", f.Name, writeP)
+		g.add("DispatchCleanup", f.Name, readDecide)
+
+	case FieldRaceIoctl:
+		g.add("DispatchIoctl", f.Name, writeU)
+		g.add("DispatchIoctlEx", f.Name, readU)
+
+	case FieldRacePnp:
+		g.add("DispatchPnp", f.Name, writeU)
+		g.add("DispatchPnpQuery", f.Name, readU)
+
+	case FieldRaceStartRemove:
+		g.add("DispatchPnpStartRemove", f.Name, writeU)
+		g.add("DispatchRead", f.Name, readU)
+
+	case FieldRacePowerSame:
+		g.add("DispatchPowerSystem", f.Name, writeU)
+		g.add("DispatchPowerSystemQuery", f.Name, readU)
+
+	case FieldHard:
+		g.hasHard = true
+		g.add("HardWorkerA", f.Name, readP)
+		g.add("HardWorkerB", f.Name, writeP)
+
+	default:
+		panic(fmt.Sprintf("drivers: unknown field pattern %v", f.Pattern))
+	}
+}
+
+// render emits the model source: record declaration, the winmodel library,
+// and one function per dispatch routine.
+func (g *generator) render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Synthetic model of driver %q (see DESIGN.md for the substitution).\n", g.spec.Name)
+	b.WriteString("record DEVICE_EXTENSION {\n")
+	for _, f := range g.spec.Fields {
+		fmt.Fprintf(&b, "  %s;\n", f.Name)
+	}
+	b.WriteString("}\n")
+	b.WriteString(winmodel.Source)
+	b.WriteString("\n")
+
+	padLines := int(g.spec.KLOC * 3)
+	for _, r := range roster {
+		if r.Cat == CatHardWork && !g.hasHard {
+			continue
+		}
+		if r.Cat == CatHardWork {
+			g.renderHard(&b, r.Name)
+			continue
+		}
+		g.renderDispatch(&b, r.Name, padLines)
+	}
+	return b.String()
+}
+
+// renderDispatch emits one ordinary dispatch routine: padding (straight-
+// line local arithmetic standing in for the driver's per-IRP bookkeeping,
+// scaled by the real driver's KLOC), then the planted accesses, with
+// event waits last so they cannot mask accesses behind a block.
+func (g *generator) renderDispatch(b *strings.Builder, name string, padLines int) {
+	fmt.Fprintf(b, "func %s(e) {\n", name)
+	b.WriteString("  var v;\n  var status;\n  var work;\n")
+	b.WriteString("  status = 0;\n")
+	b.WriteString("  work = 1;\n")
+	for i := 0; i < padLines; i++ {
+		fmt.Fprintf(b, "  work = work + %d;\n", i%7)
+	}
+
+	accs := g.accesses[name]
+	var waits []plantedAccess
+	seq := 0
+	for _, a := range accs {
+		if a.kind == evWait {
+			waits = append(waits, a)
+			continue
+		}
+		g.renderAccess(b, a, &seq)
+	}
+	for _, a := range waits {
+		g.renderAccess(b, a, &seq)
+	}
+	b.WriteString("  return status;\n")
+	b.WriteString("}\n\n")
+}
+
+func (g *generator) renderAccess(b *strings.Builder, a plantedAccess, seq *int) {
+	*seq++
+	val := *seq % 3
+	switch a.kind {
+	case readU:
+		fmt.Fprintf(b, "  v = e->%s;\n", a.field)
+	case writeU:
+		fmt.Fprintf(b, "  e->%s = %d;\n", a.field, val)
+	case readP:
+		fmt.Fprintf(b, "  KeAcquireSpinLock(&e->SpinLock);\n")
+		fmt.Fprintf(b, "  v = e->%s;\n", a.field)
+		fmt.Fprintf(b, "  KeReleaseSpinLock(&e->SpinLock);\n")
+	case writeP:
+		fmt.Fprintf(b, "  KeAcquireSpinLock(&e->SpinLock);\n")
+		fmt.Fprintf(b, "  e->%s = %d;\n", a.field, val)
+		fmt.Fprintf(b, "  KeReleaseSpinLock(&e->SpinLock);\n")
+	case readDecide:
+		fmt.Fprintf(b, "  v = e->%s;\n", a.field)
+		fmt.Fprintf(b, "  if (v == 0) {\n    status = status + 1;\n  }\n")
+	case evSet:
+		fmt.Fprintf(b, "  KeSetEvent(&e->%s);\n", a.field)
+	case evWait:
+		fmt.Fprintf(b, "  KeWaitForSingleObject(&e->%s);\n", a.field)
+	case refInc:
+		fmt.Fprintf(b, "  v = InterlockedIncrement(&e->%s);\n", a.field)
+	case refDec:
+		fmt.Fprintf(b, "  v = InterlockedDecrement(&e->%s);\n", a.field)
+	}
+}
+
+// renderHard emits a hard-worker routine: its planted (lock-protected,
+// race-free) accesses sit inside a nondeterministic counter loop whose
+// state space exceeds the evaluation's per-field budget, reproducing the
+// per-field resource-bound timeouts of Table 1. The loop counter is local,
+// so runs targeting *other* fields never explore these routines (their
+// harness slices them out) and stay cheap.
+func (g *generator) renderHard(b *strings.Builder, name string) {
+	fmt.Fprintf(b, "func %s(e) {\n", name)
+	b.WriteString("  var v;\n  var c;\n")
+	b.WriteString("  c = 0;\n")
+	b.WriteString("  iter {\n")
+	fmt.Fprintf(b, "    assume(c < %d);\n", AmplifierBound)
+	b.WriteString("    c = c + 1;\n")
+	b.WriteString("    KeAcquireSpinLock(&e->SpinLock);\n")
+	for _, a := range g.accesses[name] {
+		if a.kind == readP {
+			fmt.Fprintf(b, "    v = e->%s;\n", a.field)
+		} else {
+			fmt.Fprintf(b, "    e->%s = c;\n", a.field)
+		}
+	}
+	b.WriteString("    KeReleaseSpinLock(&e->SpinLock);\n")
+	b.WriteString("  }\n")
+	b.WriteString("  return 0;\n")
+	b.WriteString("}\n\n")
+}
+
+// HarnessProgram builds the complete per-field checking program: the model
+// plus a main that allocates the device extension and runs two concurrent
+// dispatch invocations, one asynchronous and one synchronous, chosen
+// nondeterministically among the ordered pairs of routines that access the
+// target field and that the harness allows (Section 6: "we created a
+// concurrent program with two threads, each of which nondeterministically
+// calls a dispatch routine").
+//
+// Restricting the pairs to the target field's accessor routines is the
+// explicit-state analogue of SLAM's property-directed abstraction: a pair
+// in which one thread never accesses the field cannot drive the field's
+// race monitor to a violation, so those runs are vacuous.
+func (m *Model) HarnessProgram(field string, refined bool) string {
+	var pairs [][2]string
+	accessors := m.FieldRoutines[field]
+	for _, a := range accessors {
+		for _, b := range accessors {
+			if PairAllowed(refined, m.RoutineCats[a], m.RoutineCats[b], m.Spec.IoctlSerialized) {
+				pairs = append(pairs, [2]string{a, b})
+			}
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString(m.Text)
+	b.WriteString("\nfunc main() {\n  var e;\n  e = new DEVICE_EXTENSION;\n")
+	switch {
+	case len(pairs) == 0:
+		// No concurrently-allowed accessor pair: nothing to run.
+	default:
+		b.WriteString("  choice {\n")
+		for i, p := range pairs {
+			if i > 0 {
+				b.WriteString("  []\n")
+			}
+			fmt.Fprintf(&b, "    { async %s(e); %s(e); }\n", p[0], p[1])
+		}
+		b.WriteString("  }\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func countLOC(text string) int {
+	n := 0
+	for _, line := range strings.Split(text, "\n") {
+		if strings.TrimSpace(line) != "" {
+			n++
+		}
+	}
+	return n
+}

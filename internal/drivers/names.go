@@ -1,0 +1,82 @@
+package drivers
+
+import "fmt"
+
+// namePool supplies plausible device-extension field names; when exhausted
+// the allocator falls back to numbered names. Names that carry meaning in
+// the paper's discussion (DevicePnPState for toaster/toastmon, OpenCount
+// for fakemodem) are assigned specially by the allocator.
+var namePool = []string{
+	"Flags", "PowerState", "DeviceState", "PendingIoCount", "Removing",
+	"StartedFlag", "QueueHead", "QueueTail", "ByteCount", "ReadIndex",
+	"WriteIndex", "ErrorCount", "RetryCount", "TimeoutValue", "ModemStatus",
+	"LineControl", "BaudRate", "FifoDepth", "InterruptCount", "DmaLength",
+	"SymbolicLinkState", "ConfigData", "HwRevision", "PortBase",
+	"VectorBase", "IrqLevel", "DpcCount", "IsrCount", "MediaType",
+	"SectorSize", "CylinderCount", "HeadCount", "MotorOn", "DriveSelect",
+	"TransferMode", "ControllerState", "RequestCount", "CancelFlag",
+	"CleanupFlag", "WaitMask", "EventMask", "RxBufferSize", "TxBufferSize",
+	"HoldingReg", "DivisorLatch", "ScratchReg", "AcpiState", "WakeEnable",
+	"IdleCounter", "PowerIrpCount", "SystemState", "ReferenceState",
+	"SessionCount", "LinkSpeed", "NodeAddress", "GenerationCount",
+	"BusNumber", "SlotNumber", "Caps", "AlignMask", "MaxTransfer",
+	"BufferedData", "StackSize", "AttachedDevice", "FilterState",
+	"KeyCount", "LedState", "SampleRate", "ResolutionX", "ResolutionY",
+	"WheelDelta", "ButtonMask", "ScanCodeMode", "TypematicRate",
+	"TypematicDelay", "InputCount", "OutputCount", "OverrunCount",
+	"FrameErrors", "ParityErrors", "BreakCount", "XonLimit", "XoffLimit",
+	"FlowControl", "HandshakeState", "EscapeChar", "EventChar",
+	"PerfCounterLo", "PerfCounterHi", "QueryCount", "IdleState",
+	"BusRelationsCount", "EjectPending", "SurpriseRemoved", "D3ColdEnable",
+}
+
+// nameAllocator hands out unique field names for one driver.
+type nameAllocator struct {
+	driver string
+	idx    int
+	seq    int
+	used   map[string]bool
+	// special names, assigned to the first field of a matching pattern
+	specialRace   string // first FieldRace name
+	specialBenign string // first FieldBenign name
+}
+
+func newNameAllocator(driver string) *nameAllocator {
+	na := &nameAllocator{driver: driver, used: map[string]bool{
+		"SpinLock": true, "StopEvent": true, "RefCount": true,
+	}}
+	switch driver {
+	case "toaster/toastmon":
+		// Figure 6: the confirmed read/write race on DevicePnPState.
+		na.specialRace = "DevicePnPState"
+	case "fakemodem":
+		// Section 6: the benign race on OpenCount.
+		na.specialBenign = "OpenCount"
+	}
+	return na
+}
+
+func (na *nameAllocator) next(p FieldPattern) string {
+	if p == FieldRace && na.specialRace != "" {
+		n := na.specialRace
+		na.specialRace = ""
+		na.used[n] = true
+		return n
+	}
+	if p == FieldBenign && na.specialBenign != "" {
+		n := na.specialBenign
+		na.specialBenign = ""
+		na.used[n] = true
+		return n
+	}
+	for na.idx < len(namePool) {
+		n := namePool[na.idx]
+		na.idx++
+		if !na.used[n] {
+			na.used[n] = true
+			return n
+		}
+	}
+	na.seq++
+	return fmt.Sprintf("Field%02d", na.seq)
+}

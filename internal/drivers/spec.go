@@ -1,0 +1,347 @@
+package drivers
+
+import "fmt"
+
+// Category classifies a dispatch routine by the kind of IRP it handles.
+// The refined harness of Section 6 constrains which categories the
+// operating system sends concurrently (rules A1-A3, plus driver-specific
+// rules such as serialized Ioctls for the keyboard/mouse filter drivers).
+type Category int
+
+const (
+	CatCreate Category = iota
+	CatClose
+	CatRead
+	CatWrite
+	CatIoctl
+	CatInternalIoctl
+	CatCleanup
+	CatPnp            // a plain PnP IRP
+	CatPnpStartRemove // a PnP IRP that starts or removes the device
+	CatPowerSystem    // a system Power IRP
+	CatPowerDevice    // a device Power IRP
+	CatHardWork       // synthetic heavy worker (state-space amplifier)
+)
+
+func (c Category) String() string {
+	switch c {
+	case CatCreate:
+		return "Create"
+	case CatClose:
+		return "Close"
+	case CatRead:
+		return "Read"
+	case CatWrite:
+		return "Write"
+	case CatIoctl:
+		return "Ioctl"
+	case CatInternalIoctl:
+		return "InternalIoctl"
+	case CatCleanup:
+		return "Cleanup"
+	case CatPnp:
+		return "Pnp"
+	case CatPnpStartRemove:
+		return "PnpStartRemove"
+	case CatPowerSystem:
+		return "PowerSystem"
+	case CatPowerDevice:
+		return "PowerDevice"
+	case CatHardWork:
+		return "HardWork"
+	}
+	return "?"
+}
+
+// isPnp reports whether the category is a PnP IRP (rule A1 treats start/
+// remove PnP IRPs as PnP IRPs too).
+func (c Category) isPnp() bool { return c == CatPnp || c == CatPnpStartRemove }
+
+// isPower reports whether the category is a Power IRP.
+func (c Category) isPower() bool { return c == CatPowerSystem || c == CatPowerDevice }
+
+// PairAllowed reports whether the operating system may invoke dispatch
+// routines of categories a and b concurrently. The permissive harness
+// (refined == false) allows every pair; the refined harness applies the
+// driver quality team's rules from Section 6:
+//
+//	A1. Two Pnp IRPs will not be sent by the operating system concurrently.
+//	A2. The operating system will not send any IRP concurrently with a Pnp
+//	    IRP for starting or removing a device.
+//	A3. Two Power IRPs sent concurrently must belong to different
+//	    categories (system vs device).
+//
+// ioctlSerialized additionally encodes the driver-specific rule for
+// kbfiltr and moufiltr: their position in the driver stack ensures they
+// never receive two concurrent Ioctl IRPs.
+func PairAllowed(refined bool, a, b Category, ioctlSerialized bool) bool {
+	if !refined {
+		return true
+	}
+	if a.isPnp() && b.isPnp() { // A1
+		return false
+	}
+	if a == CatPnpStartRemove || b == CatPnpStartRemove { // A2
+		return false
+	}
+	if a.isPower() && b.isPower() && a == b { // A3
+		return false
+	}
+	if ioctlSerialized && a == CatIoctl && b == CatIoctl {
+		return false
+	}
+	return true
+}
+
+// FieldPattern describes the synchronization discipline planted on one
+// device-extension field, which determines the verdict KISS should reach.
+type FieldPattern int
+
+const (
+	// FieldLock is the spin-lock word itself; only touched inside atomic
+	// lock models, so no checkable access exists. Verdict: no race.
+	FieldLock FieldPattern = iota
+	// FieldEvent is an event cell set (atomically) by one routine and
+	// awaited by another. Verdict: no race.
+	FieldEvent
+	// FieldRefCount is a reference count manipulated exclusively through
+	// interlocked operations. Verdict: no race.
+	FieldRefCount
+	// FieldProtected has conflicting accesses that all hold the driver
+	// spin lock. Verdict: no race.
+	FieldProtected
+	// FieldReadShared is only ever read. Verdict: no race.
+	FieldReadShared
+	// FieldRace has an unprotected write racing a read in a routine pair
+	// the OS genuinely sends concurrently. Verdict: race in both the
+	// permissive and the refined harness (a confirmed bug).
+	FieldRace
+	// FieldBenign is the fakemodem OpenCount pattern: writes under the
+	// lock, plus one unprotected read used for a decision ("The read
+	// operation is atomic already; ... the programmer chose to not pay
+	// for the overhead of locking"). KISS reports it in both harnesses;
+	// triage would classify it benign.
+	FieldBenign
+	// FieldRaceIoctl races only between two Ioctl dispatch routines:
+	// spurious for drivers whose stack position serializes Ioctls.
+	FieldRaceIoctl
+	// FieldRacePnp races only between two plain-PnP routines: spurious by
+	// rule A1.
+	FieldRacePnp
+	// FieldRaceStartRemove races only between the start/remove-PnP routine
+	// and a normal routine: spurious by rule A2.
+	FieldRaceStartRemove
+	// FieldRacePowerSame races only between two same-category Power
+	// routines: spurious by rule A3.
+	FieldRacePowerSame
+	// FieldHard is race-free but deliberately expensive to verify: its
+	// accessor routines contain a nondeterministic-counter loop that
+	// exceeds the per-field resource bound, reproducing the Table 1
+	// timeout columns.
+	FieldHard
+)
+
+func (p FieldPattern) String() string {
+	switch p {
+	case FieldLock:
+		return "lock"
+	case FieldEvent:
+		return "event"
+	case FieldRefCount:
+		return "refcount"
+	case FieldProtected:
+		return "protected"
+	case FieldReadShared:
+		return "read-shared"
+	case FieldRace:
+		return "race"
+	case FieldBenign:
+		return "benign-race"
+	case FieldRaceIoctl:
+		return "race-ioctl-only"
+	case FieldRacePnp:
+		return "race-pnp-only"
+	case FieldRaceStartRemove:
+		return "race-startremove-only"
+	case FieldRacePowerSame:
+		return "race-power-same"
+	case FieldHard:
+		return "hard"
+	}
+	return "?"
+}
+
+// RacesPermissive reports whether KISS should report a race on a field of
+// this pattern under the permissive harness.
+func (p FieldPattern) RacesPermissive() bool {
+	switch p {
+	case FieldRace, FieldBenign, FieldRaceIoctl, FieldRacePnp,
+		FieldRaceStartRemove, FieldRacePowerSame:
+		return true
+	}
+	return false
+}
+
+// RacesRefined reports whether KISS should report a race on a field of
+// this pattern under the refined harness; ioctlSerialized is the
+// driver-specific rule flag.
+func (p FieldPattern) RacesRefined(ioctlSerialized bool) bool {
+	switch p {
+	case FieldRace, FieldBenign:
+		return true
+	case FieldRaceIoctl:
+		return !ioctlSerialized
+	}
+	return false
+}
+
+// TimesOut reports whether the field is designed to exceed the per-field
+// resource bound.
+func (p FieldPattern) TimesOut() bool { return p == FieldHard }
+
+// FieldSpec is one planted device-extension field.
+type FieldSpec struct {
+	Name    string
+	Pattern FieldPattern
+}
+
+// DriverSpec describes one synthetic driver of the corpus, calibrated to a
+// row of Table 1 / Table 2.
+type DriverSpec struct {
+	Name string
+	// KLOC is the size of the real driver as reported in Table 1 (the
+	// proprietary C source we cannot ship); the generated model's own size
+	// is reported separately by the evaluation.
+	KLOC float64
+	// Table 1 row: total extension fields, fields with a reported race
+	// under the permissive harness, and fields verified race-free within
+	// the resource bound. Fields-Races-NoRace fields hit the bound.
+	PaperFields, PaperRaces, PaperNoRace int
+	// PaperRacesRefined is the Table 2 row (races remaining under the
+	// refined harness), or -1 for drivers absent from Table 2.
+	PaperRacesRefined int
+	// IoctlSerialized is the driver-specific rule of kbfiltr/moufiltr.
+	IoctlSerialized bool
+	// Fields is the planted field list; its verdict pattern counts match
+	// the paper rows by construction (validated by TestSpecsMatchPaper).
+	Fields []FieldSpec
+}
+
+// Timeouts returns the number of fields expected to exceed the resource
+// bound (Table 1: Fields - Races - NoRace).
+func (d *DriverSpec) Timeouts() int {
+	return d.PaperFields - d.PaperRaces - d.PaperNoRace
+}
+
+// buildFields assembles the planted field list for a driver from the
+// per-mechanism spurious counts and the paper's row. realRaces is the
+// Table 2 count; spurious mechanism counts must sum to
+// PaperRaces - realRaces.
+type fieldPlan struct {
+	realRaces     int // FieldRace (first may be specialized by name)
+	benign        int // FieldBenign (counted among real races)
+	spuriousIoctl int
+	spuriousPnp   int
+	spuriousSR    int
+	spuriousPower int
+	hard          int
+}
+
+func (d *DriverSpec) build(plan fieldPlan, names *nameAllocator) {
+	add := func(pattern FieldPattern, n int) {
+		for i := 0; i < n; i++ {
+			d.Fields = append(d.Fields, FieldSpec{Name: names.next(pattern), Pattern: pattern})
+		}
+	}
+	add(FieldRace, plan.realRaces)
+	add(FieldBenign, plan.benign)
+	add(FieldRaceIoctl, plan.spuriousIoctl)
+	add(FieldRacePnp, plan.spuriousPnp)
+	add(FieldRaceStartRemove, plan.spuriousSR)
+	add(FieldRacePowerSame, plan.spuriousPower)
+	add(FieldHard, plan.hard)
+
+	// The remainder are race-free fields: one lock word (always), one
+	// event and one interlocked refcount when room permits, then a
+	// rotation of protected and read-shared fields.
+	noRace := d.PaperFields - len(d.Fields)
+	if noRace < 1 {
+		panic(fmt.Sprintf("driver %s: field plan overflows the paper's field count", d.Name))
+	}
+	d.Fields = append(d.Fields, FieldSpec{Name: "SpinLock", Pattern: FieldLock})
+	noRace--
+	if noRace > 0 {
+		d.Fields = append(d.Fields, FieldSpec{Name: "StopEvent", Pattern: FieldEvent})
+		noRace--
+	}
+	if noRace > 0 {
+		d.Fields = append(d.Fields, FieldSpec{Name: "RefCount", Pattern: FieldRefCount})
+		noRace--
+	}
+	for i := 0; i < noRace; i++ {
+		p := FieldProtected
+		if i%3 == 2 {
+			p = FieldReadShared
+		}
+		d.Fields = append(d.Fields, FieldSpec{Name: names.next(p), Pattern: p})
+	}
+}
+
+// Specs returns the full 18-driver corpus, calibrated to Tables 1 and 2.
+func Specs() []*DriverSpec {
+	type row struct {
+		name                  string
+		kloc                  float64
+		fields, races, noRace int
+		racesRefined          int // -1 if absent from Table 2
+		ioctlSerialized       bool
+		plan                  fieldPlan
+	}
+	rows := []row{
+		{"tracedrv", 0.5, 3, 0, 3, -1, false, fieldPlan{}},
+		{"moufiltr", 1.0, 14, 7, 7, 0, true, fieldPlan{spuriousIoctl: 7}},
+		{"kbfiltr", 1.1, 15, 8, 7, 0, true, fieldPlan{spuriousIoctl: 8}},
+		{"imca", 1.1, 5, 1, 4, 1, false, fieldPlan{realRaces: 1}},
+		{"startio", 1.1, 9, 0, 9, -1, false, fieldPlan{}},
+		{"toaster/toastmon", 1.4, 8, 1, 7, 1, false, fieldPlan{realRaces: 1}},
+		{"diskperf", 2.4, 16, 2, 14, 0, false, fieldPlan{spuriousPnp: 1, spuriousPower: 1}},
+		{"1394diag", 2.7, 18, 1, 17, 1, false, fieldPlan{realRaces: 1}},
+		{"1394vdev", 2.8, 18, 1, 17, 1, false, fieldPlan{realRaces: 1}},
+		{"fakemodem", 2.9, 39, 6, 31, 6, false, fieldPlan{realRaces: 5, benign: 1, hard: 2}},
+		{"gameenum", 3.9, 45, 11, 24, 1, false, fieldPlan{realRaces: 1, spuriousPnp: 4, spuriousSR: 3, spuriousPower: 3, hard: 10}},
+		{"toaster/bus", 5.0, 30, 0, 22, -1, false, fieldPlan{hard: 8}},
+		{"serenum", 5.9, 41, 5, 21, 2, false, fieldPlan{realRaces: 2, spuriousPnp: 1, spuriousSR: 1, spuriousPower: 1, hard: 15}},
+		{"toaster/func", 6.6, 24, 7, 17, 5, false, fieldPlan{realRaces: 5, spuriousPnp: 1, spuriousSR: 1}},
+		{"mouclass", 7.0, 34, 1, 32, 1, false, fieldPlan{realRaces: 1, hard: 1}},
+		{"kbdclass", 7.4, 36, 1, 33, 1, false, fieldPlan{realRaces: 1, hard: 2}},
+		{"mouser", 7.6, 34, 1, 27, 1, false, fieldPlan{realRaces: 1, hard: 6}},
+		{"fdc", 9.2, 92, 18, 54, 9, false, fieldPlan{realRaces: 9, spuriousPnp: 3, spuriousSR: 3, spuriousPower: 3, hard: 20}},
+	}
+
+	var specs []*DriverSpec
+	for _, r := range rows {
+		d := &DriverSpec{
+			Name:              r.name,
+			KLOC:              r.kloc,
+			PaperFields:       r.fields,
+			PaperRaces:        r.races,
+			PaperNoRace:       r.noRace,
+			PaperRacesRefined: r.racesRefined,
+			IoctlSerialized:   r.ioctlSerialized,
+		}
+		names := newNameAllocator(r.name)
+		d.build(r.plan, names)
+		specs = append(specs, d)
+	}
+	return specs
+}
+
+// FindSpec returns the spec with the given name, or nil.
+func FindSpec(name string) *DriverSpec {
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}

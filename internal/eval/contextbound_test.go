@@ -1,0 +1,36 @@
+package eval
+
+import "testing"
+
+// TestContextBoundStudy: KISS at ts=1 finds exactly the errors reachable
+// within 2 context switches on 2-thread programs; error counts are
+// monotone in the bound and the unbounded column dominates.
+func TestContextBoundStudy(t *testing.T) {
+	s, err := RunContextBound(80, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatContextBound(s))
+	for i := 1; i < len(s.Rows); i++ {
+		if s.Rows[i].Errors < s.Rows[i-1].Errors {
+			t.Errorf("error counts not monotone in the context bound: %v", s.Rows)
+		}
+	}
+	var cb2 int
+	for _, r := range s.Rows {
+		if r.Bound == 2 {
+			cb2 = r.Errors
+		}
+	}
+	if s.KissErrors != cb2 {
+		t.Errorf("KISS ts=1 found %d errors, CB=2 found %d; they must coincide on 2-thread programs",
+			s.KissErrors, cb2)
+	}
+	unbounded := s.Rows[len(s.Rows)-1].Errors
+	if unbounded < cb2 {
+		t.Errorf("unbounded (%d) below CB=2 (%d)", unbounded, cb2)
+	}
+	if cb2 == 0 {
+		t.Error("no errors found at CB=2; study is vacuous")
+	}
+}

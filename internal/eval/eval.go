@@ -1,0 +1,241 @@
+// Package eval regenerates the experimental results of the KISS paper:
+// Table 1 (per-driver race counts under the permissive harness), Table 2
+// (counts under the refined harness), the reference-counting experiments
+// of Section 6, and two ablation studies quantifying claims of Sections 1
+// and 4 (interleaving blowup avoided; the ts coverage/cost knob).
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	kiss "repro"
+	"repro/internal/drivers"
+)
+
+// FieldVerdict is the per-field outcome of a race-checking run.
+type FieldVerdict int
+
+const (
+	// NoRace: the sequential state space was exhausted with no violation.
+	NoRace FieldVerdict = iota
+	// Race: a conflicting-access pair was found.
+	Race
+	// Timeout: the per-field resource bound was exhausted first.
+	Timeout
+)
+
+func (v FieldVerdict) String() string {
+	switch v {
+	case NoRace:
+		return "no-race"
+	case Race:
+		return "race"
+	default:
+		return "timeout"
+	}
+}
+
+// FieldResult is the outcome for one device-extension field.
+type FieldResult struct {
+	Driver  string
+	Field   string
+	Pattern drivers.FieldPattern
+	Verdict FieldVerdict
+	States  int
+	Steps   int
+	Message string
+}
+
+// DriverResult aggregates one driver's row.
+type DriverResult struct {
+	Spec     *drivers.DriverSpec
+	ModelLOC int
+	Fields   []FieldResult
+	Races    int
+	NoRace   int
+	Timeouts int
+}
+
+// Options configure a corpus run.
+type Options struct {
+	// Budget is the per-field resource bound, the analogue of the paper's
+	// "20 minutes of CPU time and 800MB of memory" per run. The default
+	// (zero) is DefaultBudget.
+	Budget kiss.Budget
+	// Refined selects the refined harness (rules A1-A3 + driver-specific).
+	Refined bool
+	// Only restricts the run to the given driver->fields subset (Table 2
+	// reruns only the fields that raced in Table 1). Nil means all fields.
+	Only map[string]map[string]bool
+	// Drivers restricts to a subset of driver names (nil = all).
+	Drivers map[string]bool
+}
+
+// DefaultBudget is calibrated so that FieldHard runs (whose hard-worker
+// loops explore >= AmplifierBound counter states) exceed it while every
+// other pattern completes well inside it.
+var DefaultBudget = kiss.Budget{MaxStates: 40000}
+
+// RunCorpus checks every selected field of every selected driver and
+// returns per-driver results in corpus order.
+func RunCorpus(opts Options) ([]*DriverResult, error) {
+	budget := opts.Budget
+	if budget == (kiss.Budget{}) {
+		budget = DefaultBudget
+	}
+	var out []*DriverResult
+	for _, spec := range drivers.Specs() {
+		if opts.Drivers != nil && !opts.Drivers[spec.Name] {
+			continue
+		}
+		model := drivers.Generate(spec)
+		dr := &DriverResult{Spec: spec, ModelLOC: model.LOC}
+		for _, f := range spec.Fields {
+			if opts.Only != nil {
+				only := opts.Only[spec.Name]
+				if only == nil || !only[f.Name] {
+					continue
+				}
+			}
+			fr, err := checkField(model, f, opts.Refined, budget)
+			if err != nil {
+				return nil, fmt.Errorf("%s.%s: %w", spec.Name, f.Name, err)
+			}
+			dr.Fields = append(dr.Fields, fr)
+			switch fr.Verdict {
+			case Race:
+				dr.Races++
+			case NoRace:
+				dr.NoRace++
+			case Timeout:
+				dr.Timeouts++
+			}
+		}
+		out = append(out, dr)
+	}
+	return out, nil
+}
+
+func checkField(model *drivers.Model, f drivers.FieldSpec, refined bool, budget kiss.Budget) (FieldResult, error) {
+	fr := FieldResult{Driver: model.Spec.Name, Field: f.Name, Pattern: f.Pattern}
+	src := model.HarnessProgram(f.Name, refined)
+	prog, err := kiss.Parse(src)
+	if err != nil {
+		return fr, fmt.Errorf("generated model does not parse: %w", err)
+	}
+	// Table 1/2 configuration (Section 6): "Guided by the intuition of the
+	// Bluetooth driver example in Section 2.2, we set the size of ts to 0."
+	res, err := kiss.CheckRace(prog,
+		kiss.RaceTarget{Record: "DEVICE_EXTENSION", Field: f.Name},
+		kiss.Options{MaxTS: 0}, budget)
+	if err != nil {
+		return fr, err
+	}
+	fr.States, fr.Steps = res.States, res.Steps
+	switch res.Verdict {
+	case kiss.Error:
+		fr.Verdict = Race
+		fr.Message = res.Message
+	case kiss.Safe:
+		fr.Verdict = NoRace
+	case kiss.ResourceBound:
+		fr.Verdict = Timeout
+	}
+	return fr, nil
+}
+
+// RacedFields extracts the driver->field set that raced, for feeding a
+// Table 1 run into the Table 2 rerun.
+func RacedFields(results []*DriverResult) map[string]map[string]bool {
+	out := map[string]map[string]bool{}
+	for _, dr := range results {
+		for _, fr := range dr.Fields {
+			if fr.Verdict == Race {
+				if out[dr.Spec.Name] == nil {
+					out[dr.Spec.Name] = map[string]bool{}
+				}
+				out[dr.Spec.Name][fr.Field] = true
+			}
+		}
+	}
+	return out
+}
+
+// FormatTable1 renders results in the layout of Table 1.
+func FormatTable1(results []*DriverResult) string {
+	var b strings.Builder
+	b.WriteString("Table 1: race detection under the permissive harness (ts size 0)\n")
+	fmt.Fprintf(&b, "%-18s %6s %8s %7s %6s %9s %9s\n",
+		"Driver", "KLOC", "ModelLOC", "Fields", "Races", "No Races", "Timeouts")
+	var tKloc float64
+	var tFields, tRaces, tNoRace, tTimeout int
+	for _, dr := range results {
+		fields := len(dr.Fields)
+		fmt.Fprintf(&b, "%-18s %6.1f %8d %7d %6d %9d %9d\n",
+			dr.Spec.Name, dr.Spec.KLOC, dr.ModelLOC, fields, dr.Races, dr.NoRace, dr.Timeouts)
+		tKloc += dr.Spec.KLOC
+		tFields += fields
+		tRaces += dr.Races
+		tNoRace += dr.NoRace
+		tTimeout += dr.Timeouts
+	}
+	fmt.Fprintf(&b, "%-18s %6.1f %8s %7d %6d %9d %9d\n",
+		"Total", tKloc, "", tFields, tRaces, tNoRace, tTimeout)
+	return b.String()
+}
+
+// FormatTable2 renders results in the layout of Table 2 (drivers that had
+// races in Table 1, rerun under the refined harness).
+func FormatTable2(results []*DriverResult) string {
+	var b strings.Builder
+	b.WriteString("Table 2: races remaining under the refined harness (rules A1-A3 + driver-specific)\n")
+	fmt.Fprintf(&b, "%-18s %6s\n", "Driver", "Races")
+	total := 0
+	for _, dr := range results {
+		if len(dr.Fields) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-18s %6d\n", dr.Spec.Name, dr.Races)
+		total += dr.Races
+	}
+	fmt.Fprintf(&b, "%-18s %6d\n", "Total", total)
+	return b.String()
+}
+
+// CompareTable1 checks a Table 1 run against the paper's rows, returning a
+// list of mismatches (empty = exact reproduction of the verdict counts).
+func CompareTable1(results []*DriverResult) []string {
+	var bad []string
+	for _, dr := range results {
+		s := dr.Spec
+		if len(dr.Fields) != s.PaperFields {
+			bad = append(bad, fmt.Sprintf("%s: checked %d fields, paper has %d", s.Name, len(dr.Fields), s.PaperFields))
+		}
+		if dr.Races != s.PaperRaces {
+			bad = append(bad, fmt.Sprintf("%s: %d races, paper reports %d", s.Name, dr.Races, s.PaperRaces))
+		}
+		if dr.NoRace != s.PaperNoRace {
+			bad = append(bad, fmt.Sprintf("%s: %d no-race, paper reports %d", s.Name, dr.NoRace, s.PaperNoRace))
+		}
+		if dr.Timeouts != s.Timeouts() {
+			bad = append(bad, fmt.Sprintf("%s: %d timeouts, paper implies %d", s.Name, dr.Timeouts, s.Timeouts()))
+		}
+	}
+	return bad
+}
+
+// CompareTable2 checks a Table 2 rerun against the paper's rows.
+func CompareTable2(results []*DriverResult) []string {
+	var bad []string
+	for _, dr := range results {
+		s := dr.Spec
+		if s.PaperRacesRefined < 0 {
+			continue
+		}
+		if dr.Races != s.PaperRacesRefined {
+			bad = append(bad, fmt.Sprintf("%s: %d races refined, paper reports %d", s.Name, dr.Races, s.PaperRacesRefined))
+		}
+	}
+	return bad
+}

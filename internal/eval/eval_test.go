@@ -1,0 +1,155 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/drivers"
+)
+
+// TestSpecsMatchPaper validates the corpus calibration statically: the
+// planted field patterns of every driver imply exactly the verdict counts
+// of Tables 1 and 2.
+func TestSpecsMatchPaper(t *testing.T) {
+	specs := drivers.Specs()
+	if len(specs) != 18 {
+		t.Fatalf("corpus has %d drivers, want 18", len(specs))
+	}
+	totFields, totRaces, totNoRace, totTimeout, totRefined := 0, 0, 0, 0, 0
+	for _, s := range specs {
+		if len(s.Fields) != s.PaperFields {
+			t.Errorf("%s: %d fields planted, paper has %d", s.Name, len(s.Fields), s.PaperFields)
+		}
+		races, noRace, timeouts, refined := 0, 0, 0, 0
+		for _, f := range s.Fields {
+			switch {
+			case f.Pattern.RacesPermissive():
+				races++
+			case f.Pattern.TimesOut():
+				timeouts++
+			default:
+				noRace++
+			}
+			if f.Pattern.RacesPermissive() && f.Pattern.RacesRefined(s.IoctlSerialized) {
+				refined++
+			}
+		}
+		if races != s.PaperRaces {
+			t.Errorf("%s: %d racy fields planted, paper reports %d", s.Name, races, s.PaperRaces)
+		}
+		if noRace != s.PaperNoRace {
+			t.Errorf("%s: %d no-race fields planted, paper reports %d", s.Name, noRace, s.PaperNoRace)
+		}
+		if timeouts != s.Timeouts() {
+			t.Errorf("%s: %d hard fields planted, paper implies %d", s.Name, timeouts, s.Timeouts())
+		}
+		if s.PaperRacesRefined >= 0 && refined != s.PaperRacesRefined {
+			t.Errorf("%s: %d refined-racy fields planted, paper reports %d", s.Name, refined, s.PaperRacesRefined)
+		}
+		totFields += len(s.Fields)
+		totRaces += races
+		totNoRace += noRace
+		totTimeout += timeouts
+		totRefined += refined
+	}
+	if totFields != 481 || totRaces != 71 || totNoRace != 346 || totTimeout != 64 {
+		t.Errorf("corpus totals %d/%d/%d/%d, paper totals 481/71/346/64",
+			totFields, totRaces, totNoRace, totTimeout)
+	}
+	if totRefined != 30 {
+		t.Errorf("corpus refined total %d, paper total 30", totRefined)
+	}
+}
+
+// TestCorpusModelsWellFormed generates every driver model and checks each
+// per-field harness parses and passes semantic checking (via kiss.Parse in
+// checkField's path), without running the full model checking.
+func TestCorpusModelsWellFormed(t *testing.T) {
+	for _, spec := range drivers.Specs() {
+		model := drivers.Generate(spec)
+		if model.LOC < 100 {
+			t.Errorf("%s: model suspiciously small (%d LOC)", spec.Name, model.LOC)
+		}
+		for _, f := range spec.Fields {
+			accessors := model.FieldRoutines[f.Name]
+			if f.Pattern != drivers.FieldLock && len(accessors) == 0 {
+				t.Errorf("%s.%s (%v): no accessor routines planted", spec.Name, f.Name, f.Pattern)
+			}
+		}
+	}
+}
+
+// TestTable1Reproduction runs the full permissive-harness corpus and
+// requires the per-driver verdict counts to equal Table 1 exactly.
+// Skipped in -short mode (the full run takes over a minute).
+func TestTable1Reproduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus run; skipped in -short mode")
+	}
+	results, err := RunCorpus(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatTable1(results))
+	for _, m := range CompareTable1(results) {
+		t.Errorf("table 1 mismatch: %s", m)
+	}
+}
+
+// TestTable2Reproduction feeds the Table 1 raced fields into the refined
+// harness and requires the remaining race counts to equal Table 2 exactly.
+func TestTable2Reproduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus run; skipped in -short mode")
+	}
+	t1, err := RunCorpus(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := RunCorpus(Options{Refined: true, Only: RacedFields(t1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatTable2(t2))
+	for _, m := range CompareTable2(t2) {
+		t.Errorf("table 2 mismatch: %s", m)
+	}
+}
+
+// TestTable1SingleDriverFast exercises the full pipeline on the three
+// smallest drivers even in -short mode, checking their exact rows.
+func TestTable1SingleDriverFast(t *testing.T) {
+	sel := map[string]bool{"tracedrv": true, "imca": true, "toaster/toastmon": true}
+	results, err := RunCorpus(Options{Drivers: sel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d driver results, want 3", len(results))
+	}
+	for _, m := range CompareTable1(results) {
+		t.Errorf("mismatch: %s", m)
+	}
+}
+
+// TestRacedFieldsRoundTrip checks the Table1 -> Table2 plumbing.
+func TestRacedFieldsRoundTrip(t *testing.T) {
+	sel := map[string]bool{"moufiltr": true}
+	t1, err := RunCorpus(Options{Drivers: sel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raced := RacedFields(t1)
+	if got := len(raced["moufiltr"]); got != 7 {
+		t.Fatalf("moufiltr raced fields = %d, want 7", got)
+	}
+	t2, err := RunCorpus(Options{Drivers: sel, Refined: true, Only: raced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2[0].Races != 0 {
+		t.Errorf("moufiltr refined races = %d, want 0 (Ioctls serialized)", t2[0].Races)
+	}
+	if len(t2[0].Fields) != 7 {
+		t.Errorf("refined rerun checked %d fields, want 7", len(t2[0].Fields))
+	}
+}

@@ -1,0 +1,94 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/drivers"
+)
+
+func TestFieldVerdictStrings(t *testing.T) {
+	if NoRace.String() != "no-race" || Race.String() != "race" || Timeout.String() != "timeout" {
+		t.Error("verdict strings wrong")
+	}
+}
+
+func TestFormatTable1Layout(t *testing.T) {
+	spec := drivers.FindSpec("tracedrv")
+	results := []*DriverResult{{
+		Spec:     spec,
+		ModelLOC: 250,
+		Fields: []FieldResult{
+			{Field: "SpinLock", Verdict: NoRace},
+			{Field: "StopEvent", Verdict: NoRace},
+			{Field: "RefCount", Verdict: NoRace},
+		},
+		NoRace: 3,
+	}}
+	out := FormatTable1(results)
+	for _, frag := range []string{"Table 1", "tracedrv", "Driver", "Races", "Timeouts", "Total"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Table 1 output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestFormatTable2SkipsEmptyDrivers(t *testing.T) {
+	specA := drivers.FindSpec("imca")
+	specB := drivers.FindSpec("startio")
+	results := []*DriverResult{
+		{Spec: specA, Fields: []FieldResult{{Field: "x", Verdict: Race}}, Races: 1},
+		{Spec: specB}, // no rerun fields: omitted from Table 2
+	}
+	out := FormatTable2(results)
+	if !strings.Contains(out, "imca") {
+		t.Errorf("imca missing:\n%s", out)
+	}
+	if strings.Contains(out, "startio") {
+		t.Errorf("driver with no rerun fields should be omitted:\n%s", out)
+	}
+}
+
+func TestCompareTable1ReportsMismatches(t *testing.T) {
+	spec := drivers.FindSpec("imca") // paper: 5 fields, 1 race, 4 no-race
+	wrong := []*DriverResult{{
+		Spec:   spec,
+		Fields: make([]FieldResult, 5),
+		Races:  0, NoRace: 5,
+	}}
+	ms := CompareTable1(wrong)
+	if len(ms) == 0 {
+		t.Fatal("mismatching result not reported")
+	}
+	right := []*DriverResult{{
+		Spec:   spec,
+		Fields: make([]FieldResult, 5),
+		Races:  1, NoRace: 4,
+	}}
+	if ms := CompareTable1(right); len(ms) != 0 {
+		t.Errorf("matching result flagged: %v", ms)
+	}
+}
+
+func TestCompareTable2IgnoresAbsentDrivers(t *testing.T) {
+	spec := drivers.FindSpec("tracedrv") // PaperRacesRefined == -1
+	results := []*DriverResult{{Spec: spec, Races: 99}}
+	if ms := CompareTable2(results); len(ms) != 0 {
+		t.Errorf("driver absent from Table 2 compared anyway: %v", ms)
+	}
+}
+
+func TestFormatStudiesMentionKeyFacts(t *testing.T) {
+	bl := FormatBlowup([]BlowupRow{{Threads: 2, ConcheckStates: 10, KissStates: 5}})
+	if !strings.Contains(bl, "Ratio") || !strings.Contains(bl, "2") {
+		t.Errorf("blowup format:\n%s", bl)
+	}
+	cv := FormatCoverage([]CoverageRow{{BugDepth: 1, MaxTS: 1, Found: true, States: 10}})
+	if !strings.Contains(cv, "FOUND") {
+		t.Errorf("coverage format:\n%s", cv)
+	}
+	rc := FormatRefcount([]RefcountResult{{Driver: "bt", Verdict: 0, Expected: 0, States: 1}})
+	if !strings.Contains(rc, "bt") {
+		t.Errorf("refcount format:\n%s", rc)
+	}
+}

@@ -1,0 +1,32 @@
+package eval
+
+import "testing"
+
+// TestLocksetComparison validates the Section 6.1 flexibility study: the
+// lockset baseline flags exactly the fields with conflicting unprotected
+// accesses (the permissive-harness race set), and cannot benefit from the
+// harness refinement that takes KISS from 71 to 30 warnings.
+func TestLocksetComparison(t *testing.T) {
+	rows, err := RunLocksetComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatLocksetComparison(rows))
+	totalLockset, totalRefined := 0, 0
+	for _, r := range rows {
+		if r.LocksetRacy != r.KissRaces {
+			t.Errorf("%s: lockset flags %d fields, KISS permissive finds %d",
+				r.Driver, r.LocksetRacy, r.KissRaces)
+		}
+		totalLockset += r.LocksetRacy
+		if r.PaperRefined >= 0 {
+			totalRefined += r.KissRefined
+		}
+	}
+	if totalLockset != 71 {
+		t.Errorf("lockset total %d, want 71", totalLockset)
+	}
+	if totalRefined != 30 {
+		t.Errorf("refined total %d, want 30", totalRefined)
+	}
+}

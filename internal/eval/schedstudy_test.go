@@ -1,0 +1,33 @@
+package eval
+
+import (
+	kiss "repro"
+	"testing"
+)
+
+// TestSchedulerStudy: the nondeterministic scheduler dominates the
+// restricted policies in coverage and costs at least as many states.
+func TestSchedulerStudy(t *testing.T) {
+	s, err := RunSchedulerStudy(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatSchedulerStudy(s))
+	byPolicy := map[kiss.Scheduler]SchedulerRow{}
+	for _, r := range s.Rows {
+		byPolicy[r.Scheduler] = r
+	}
+	nd := byPolicy[kiss.SchedulerNondet]
+	for _, p := range []kiss.Scheduler{kiss.SchedulerDrainAll, kiss.SchedulerAtCallsOnly} {
+		r := byPolicy[p]
+		if r.BugsFound > nd.BugsFound {
+			t.Errorf("%v found more bugs (%d) than nondet (%d)", p, r.BugsFound, nd.BugsFound)
+		}
+		if r.TotalStates > nd.TotalStates {
+			t.Errorf("%v explored more states (%d) than nondet (%d)", p, r.TotalStates, nd.TotalStates)
+		}
+	}
+	if nd.BugsFound == 0 {
+		t.Error("no bugs found; study vacuous")
+	}
+}

@@ -1,0 +1,169 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	kiss "repro"
+)
+
+// BlowupRow compares the interleaving-exploring baseline with the KISS
+// pipeline on the same N-thread program.
+type BlowupRow struct {
+	Threads        int
+	ConcheckStates int
+	KissStates     int
+}
+
+// blowupProgram builds a concurrent program with n worker threads, each
+// performing a read-modify-write on a shared counter — the classic
+// workload on which the set of reachable control states "grows
+// exponentially with the number of threads" (Section 1).
+func blowupProgram(n int) string {
+	var b strings.Builder
+	b.WriteString("var x;\n")
+	b.WriteString("func worker() {\n  var t;\n  t = x;\n  x = t + 1;\n}\n")
+	b.WriteString("func main() {\n  x = 0;\n")
+	for i := 0; i < n; i++ {
+		b.WriteString("  async worker();\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// RunBlowup quantifies the paper's motivating claim: explicit interleaving
+// exploration scales exponentially in the thread count, while the KISS
+// sequential analysis of the same program (with ts bound = thread count,
+// enough to defer every fork) stays polynomial.
+func RunBlowup(maxThreads int) ([]BlowupRow, error) {
+	var rows []BlowupRow
+	for n := 1; n <= maxThreads; n++ {
+		src := blowupProgram(n)
+
+		prog, err := kiss.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		con, err := kiss.ExploreConcurrent(prog, kiss.Budget{}, -1)
+		if err != nil {
+			return nil, err
+		}
+
+		prog2, err := kiss.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		seq, err := kiss.CheckAssertions(prog2, kiss.Options{MaxTS: n}, kiss.Budget{})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, BlowupRow{Threads: n, ConcheckStates: con.States, KissStates: seq.States})
+	}
+	return rows, nil
+}
+
+// FormatBlowup renders the study.
+func FormatBlowup(rows []BlowupRow) string {
+	var b strings.Builder
+	b.WriteString("Interleaving blowup study: states explored, N-thread shared counter\n")
+	fmt.Fprintf(&b, "%8s %18s %14s %8s\n", "Threads", "Interleaving MC", "KISS (seq)", "Ratio")
+	for _, r := range rows {
+		ratio := float64(r.ConcheckStates) / float64(max(1, r.KissStates))
+		fmt.Fprintf(&b, "%8d %18d %14d %8.2f\n", r.Threads, r.ConcheckStates, r.KissStates, ratio)
+	}
+	return b.String()
+}
+
+// CoverageRow reports whether a bug requiring k deferred threads is found
+// at a given ts bound, and at what cost.
+type CoverageRow struct {
+	BugDepth int // number of deferred threads the error trace needs
+	MaxTS    int
+	Found    bool
+	States   int
+}
+
+// coverageProgram builds a program whose single assertion violation
+// requires depth worker threads to all be deferred past main's final
+// assignment: each worker blocks until y == 1 and the violation needs all
+// depth increments. With ts bound < depth, some fork is forced to run
+// inline (ts full), where it either blocks before y = 1 (path pruned) or
+// is terminated by RAISE without contributing — so the bug is missed,
+// exactly the coverage/cost trade-off of Section 4.
+func coverageProgram(depth int) string {
+	var b strings.Builder
+	b.WriteString("var x;\nvar y;\n")
+	fmt.Fprintf(&b, "func f() {\n  assume(y == 1);\n  x = x + 1;\n  assert(x < %d);\n}\n", depth)
+	b.WriteString("func main() {\n  x = 0;\n  y = 0;\n")
+	for i := 0; i < depth; i++ {
+		b.WriteString("  async f();\n")
+	}
+	b.WriteString("  y = 1;\n}\n")
+	return b.String()
+}
+
+// RunCoverage sweeps the ts bound against bugs of increasing depth,
+// producing the tuning-knob ablation: "Increasing the size of ts increases
+// the number of simulated behaviors at the cost of increasing the global
+// state space of the translated sequential program" (Section 2).
+func RunCoverage(maxDepth, maxTS int) ([]CoverageRow, error) {
+	var rows []CoverageRow
+	for depth := 1; depth <= maxDepth; depth++ {
+		src := coverageProgram(depth)
+		for ts := 0; ts <= maxTS; ts++ {
+			prog, err := kiss.Parse(src)
+			if err != nil {
+				return nil, err
+			}
+			res, err := kiss.CheckAssertions(prog, kiss.Options{MaxTS: ts}, kiss.Budget{})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, CoverageRow{
+				BugDepth: depth,
+				MaxTS:    ts,
+				Found:    res.Verdict == kiss.Error,
+				States:   res.States,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatCoverage renders the study as a depth x ts grid.
+func FormatCoverage(rows []CoverageRow) string {
+	var b strings.Builder
+	b.WriteString("ts coverage/cost study: bug of depth k found at ts bound MAX? (cell: verdict/states)\n")
+	maxTS := 0
+	maxDepth := 0
+	for _, r := range rows {
+		if r.MaxTS > maxTS {
+			maxTS = r.MaxTS
+		}
+		if r.BugDepth > maxDepth {
+			maxDepth = r.BugDepth
+		}
+	}
+	fmt.Fprintf(&b, "%8s", "depth\\MAX")
+	for ts := 0; ts <= maxTS; ts++ {
+		fmt.Fprintf(&b, " %12d", ts)
+	}
+	b.WriteString("\n")
+	grid := map[[2]int]CoverageRow{}
+	for _, r := range rows {
+		grid[[2]int{r.BugDepth, r.MaxTS}] = r
+	}
+	for d := 1; d <= maxDepth; d++ {
+		fmt.Fprintf(&b, "%8d", d)
+		for ts := 0; ts <= maxTS; ts++ {
+			r := grid[[2]int{d, ts}]
+			mark := "miss"
+			if r.Found {
+				mark = "FOUND"
+			}
+			fmt.Fprintf(&b, " %6s/%-5d", mark, r.States)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,116 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/drivers"
+)
+
+// TestRefcountExperiment reproduces the Section 6 reference-counting
+// results: bluetooth buggy found only at ts=1, fixed clean, fakemodem
+// clean.
+func TestRefcountExperiment(t *testing.T) {
+	rows, err := RunRefcount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatRefcount(rows))
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Verdict != r.Expected {
+			t.Errorf("%s: verdict %v, want %v (%s)", r.Driver, r.Verdict, r.Expected, r.Message)
+		}
+	}
+}
+
+// TestBlowupStudy checks the motivating claim quantitatively: on the
+// N-thread shared-counter family, the interleaving explorer's state count
+// grows by a larger factor per added thread than the KISS sequential
+// analysis's, and the baseline overtakes KISS in absolute cost.
+func TestBlowupStudy(t *testing.T) {
+	n := 5
+	rows, err := RunBlowup(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatBlowup(rows))
+	last := rows[len(rows)-1]
+	if last.ConcheckStates <= last.KissStates {
+		t.Errorf("at %d threads, interleaving MC explored %d states <= KISS's %d; expected blowup",
+			last.Threads, last.ConcheckStates, last.KissStates)
+	}
+	// Per-thread growth factor over the last step.
+	prev := rows[len(rows)-2]
+	conGrowth := float64(last.ConcheckStates) / float64(prev.ConcheckStates)
+	kissGrowth := float64(last.KissStates) / float64(prev.KissStates)
+	if conGrowth <= kissGrowth {
+		t.Errorf("per-thread growth: interleaving %.1fx <= KISS %.1fx; expected exponential separation",
+			conGrowth, kissGrowth)
+	}
+}
+
+// TestCoverageStudy checks the ts knob end to end: a bug requiring k
+// deferred threads is found exactly when MAX >= k, and the cost (states)
+// is monotone in MAX for a fixed program.
+func TestCoverageStudy(t *testing.T) {
+	rows, err := RunCoverage(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatCoverage(rows))
+	for _, r := range rows {
+		want := r.MaxTS >= r.BugDepth
+		if r.Found != want {
+			t.Errorf("depth=%d MAX=%d: found=%v, want %v", r.BugDepth, r.MaxTS, r.Found, want)
+		}
+	}
+	// Cost grows with MAX until the bug is found (error runs stop early,
+	// so compare only the miss cells).
+	byDepth := map[int][]CoverageRow{}
+	for _, r := range rows {
+		byDepth[r.BugDepth] = append(byDepth[r.BugDepth], r)
+	}
+	for depth, rs := range byDepth {
+		for i := 1; i < len(rs); i++ {
+			if rs[i].Found || rs[i-1].Found {
+				continue
+			}
+			if rs[i].States < rs[i-1].States {
+				t.Errorf("depth=%d: states not monotone in MAX (%d at MAX=%d, %d at MAX=%d)",
+					depth, rs[i-1].States, rs[i-1].MaxTS, rs[i].States, rs[i].MaxTS)
+			}
+		}
+	}
+}
+
+// TestDefaultBudgetSeparation verifies the calibration invariant behind
+// the Table 1 timeouts: a hard field exceeds the default budget while a
+// protected field of the same driver finishes inside it.
+func TestDefaultBudgetSeparation(t *testing.T) {
+	sel := map[string]bool{"mouclass": true}
+	res, err := RunCorpus(Options{Drivers: sel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawHardTimeout, sawEasySafe bool
+	for _, fr := range res[0].Fields {
+		if fr.Pattern.TimesOut() && fr.Verdict == Timeout {
+			sawHardTimeout = true
+			if fr.States <= DefaultBudget.MaxStates {
+				t.Errorf("hard field %s stopped at %d states, expected to exceed budget %d",
+					fr.Field, fr.States, DefaultBudget.MaxStates)
+			}
+		}
+		if fr.Pattern == drivers.FieldProtected && fr.Verdict == NoRace {
+			sawEasySafe = true
+		}
+	}
+	if !sawHardTimeout {
+		t.Error("no hard field timed out in mouclass")
+	}
+	if !sawEasySafe {
+		t.Error("no protected field verified safe in mouclass")
+	}
+}

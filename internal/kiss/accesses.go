@@ -1,0 +1,171 @@
+package kiss
+
+import (
+	"repro/internal/ast"
+)
+
+// access describes one potential memory access performed by a statement:
+// whether it writes, and an address expression (&v, a pointer variable for
+// *v, or &p->f) suitable as the argument of check_r/check_w. A nil addr
+// marks an access whose address is not expressible in those shapes (deep
+// dereference chains inside assume conditions); such accesses keep the
+// nondeterministic-termination branch but carry no check, mirroring the
+// paper's treatment where all accesses are to the simple Figure 3 shapes.
+type access struct {
+	write bool
+	addr  ast.Expr
+}
+
+func readOf(addr ast.Expr) access  { return access{addr: addr} }
+func writeOf(addr ast.Expr) access { return access{write: true, addr: addr} }
+
+// operandReads returns the read accesses of a core operand: a variable
+// read for VarExpr, nothing for literals.
+func operandReads(e ast.Expr) []access {
+	if v, ok := e.(*ast.VarExpr); ok {
+		return []access{readOf(&ast.AddrOfExpr{Name: v.Name, Pos: v.Pos})}
+	}
+	return nil
+}
+
+// assignAccesses enumerates the accesses of a core-form assignment,
+// generalizing the Figure 5 rows:
+//
+//	v = c           : W(&v)
+//	v = &v1         : W(&v)
+//	v = *v1         : R(&v1), R(v1), W(&v)
+//	*v = v1         : R(&v1), R(&v), W(v)
+//	v = v1 op v2    : R(&v1), R(&v2), W(&v)
+//
+// plus the record-field extensions:
+//
+//	v = p->f        : R(&p), R(&p->f), W(&v)
+//	p->f = v1       : R(&p), R(&v1), W(&p->f)
+//	v = &p->f       : R(&p), W(&v)
+//	v = new R       : W(&v)
+func assignAccesses(s *ast.AssignStmt) []access {
+	var accs []access
+
+	// Right-hand side reads.
+	switch r := s.Rhs.(type) {
+	case *ast.IntLit, *ast.BoolLit, *ast.FuncLit, *ast.NullLit, *ast.NewExpr, *ast.TsSizeExpr:
+		// no reads
+	case *ast.VarExpr:
+		accs = append(accs, operandReads(r)...)
+	case *ast.AddrOfExpr:
+		// taking an address reads nothing
+	case *ast.DerefExpr:
+		accs = append(accs, operandReads(r.X)...)
+		if v, ok := r.X.(*ast.VarExpr); ok {
+			accs = append(accs, readOf(&ast.VarExpr{Name: v.Name, Pos: v.Pos}))
+		} else {
+			accs = append(accs, access{}) // inexpressible
+		}
+	case *ast.FieldExpr:
+		accs = append(accs, operandReads(r.X)...)
+		if v, ok := r.X.(*ast.VarExpr); ok {
+			accs = append(accs, readOf(&ast.AddrFieldExpr{X: &ast.VarExpr{Name: v.Name}, Field: r.Field, Pos: r.Pos}))
+		} else {
+			accs = append(accs, access{})
+		}
+	case *ast.AddrFieldExpr:
+		accs = append(accs, operandReads(r.X)...)
+	case *ast.UnaryExpr:
+		accs = append(accs, operandReads(r.X)...)
+	case *ast.BinaryExpr:
+		accs = append(accs, operandReads(r.X)...)
+		accs = append(accs, operandReads(r.Y)...)
+	case *ast.RaceCellExpr:
+		accs = append(accs, operandReads(r.X)...)
+	}
+
+	// Left-hand side: base reads plus the write.
+	switch l := s.Lhs.(type) {
+	case *ast.VarExpr:
+		accs = append(accs, writeOf(&ast.AddrOfExpr{Name: l.Name, Pos: l.Pos}))
+	case *ast.DerefExpr:
+		accs = append(accs, operandReads(l.X)...)
+		if v, ok := l.X.(*ast.VarExpr); ok {
+			accs = append(accs, writeOf(&ast.VarExpr{Name: v.Name, Pos: v.Pos}))
+		} else {
+			accs = append(accs, access{write: true})
+		}
+	case *ast.FieldExpr:
+		accs = append(accs, operandReads(l.X)...)
+		if v, ok := l.X.(*ast.VarExpr); ok {
+			accs = append(accs, writeOf(&ast.AddrFieldExpr{X: &ast.VarExpr{Name: v.Name}, Field: l.Field, Pos: l.Pos}))
+		} else {
+			accs = append(accs, access{write: true})
+		}
+	}
+	return accs
+}
+
+// readAccesses enumerates the reads of an effect-free condition tree
+// (assert/assume conditions). Reads whose addresses fit the check shapes
+// get address expressions; deeper dereferences contribute inexpressible
+// accesses (bare termination branches).
+func readAccesses(e ast.Expr) []access {
+	var accs []access
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		switch e := e.(type) {
+		case nil:
+		case *ast.VarExpr:
+			accs = append(accs, readOf(&ast.AddrOfExpr{Name: e.Name, Pos: e.Pos}))
+		case *ast.AddrOfExpr:
+			// address-of reads nothing
+		case *ast.DerefExpr:
+			walk(e.X)
+			if v, ok := e.X.(*ast.VarExpr); ok {
+				accs = append(accs, readOf(&ast.VarExpr{Name: v.Name, Pos: v.Pos}))
+			} else {
+				accs = append(accs, access{})
+			}
+		case *ast.FieldExpr:
+			walk(e.X)
+			if v, ok := e.X.(*ast.VarExpr); ok {
+				accs = append(accs, readOf(&ast.AddrFieldExpr{X: &ast.VarExpr{Name: v.Name}, Field: e.Field, Pos: e.Pos}))
+			} else {
+				accs = append(accs, access{})
+			}
+		case *ast.AddrFieldExpr:
+			walk(e.X)
+		case *ast.UnaryExpr:
+			walk(e.X)
+		case *ast.BinaryExpr:
+			walk(e.X)
+			walk(e.Y)
+		case *ast.RaceCellExpr:
+			walk(e.X)
+		}
+	}
+	walk(e)
+	return accs
+}
+
+// callAccesses enumerates the accesses of v = v0(a1, ..., an): reads of
+// the target variable and the arguments, and a write of the result
+// (Figure 5's row for v = v0()).
+func callAccesses(s *ast.CallStmt) []access {
+	var accs []access
+	accs = append(accs, operandReads(s.Fn)...)
+	for _, a := range s.Args {
+		accs = append(accs, operandReads(a)...)
+	}
+	if s.Result != "" {
+		accs = append(accs, writeOf(&ast.AddrOfExpr{Name: s.Result, Pos: s.Pos}))
+	}
+	return accs
+}
+
+// asyncAccesses enumerates the accesses of async v0(a1, ..., an): reads of
+// the target variable and the fork-time argument evaluation.
+func asyncAccesses(s *ast.AsyncStmt) []access {
+	var accs []access
+	accs = append(accs, operandReads(s.Fn)...)
+	for _, a := range s.Args {
+		accs = append(accs, operandReads(a)...)
+	}
+	return accs
+}

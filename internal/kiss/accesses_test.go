@@ -1,0 +1,207 @@
+package kiss
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+)
+
+// renderAccess gives a canonical string for comparing access lists.
+func renderAccess(a access) string {
+	kind := "R"
+	if a.write {
+		kind = "W"
+	}
+	if a.addr == nil {
+		return kind + "(?)"
+	}
+	return kind + "(" + ast.PrintExpr(a.addr) + ")"
+}
+
+func renderAll(accs []access) string {
+	parts := make([]string, len(accs))
+	for i, a := range accs {
+		parts[i] = renderAccess(a)
+	}
+	return strings.Join(parts, " ")
+}
+
+// TestAssignAccesses checks the access enumeration against the rows of
+// Figure 5 (generalized to fields).
+func TestAssignAccesses(t *testing.T) {
+	cases := []struct {
+		name string
+		stmt *ast.AssignStmt
+		want string
+	}{
+		{"v = c", ast.Set("v", ast.I(1)), "W(&v)"},
+		{"v = v1", ast.Set("v", ast.V("v1")), "R(&v1) W(&v)"},
+		{"v = &v1", ast.Set("v", ast.Addr("v1")), "W(&v)"},
+		{"v = *v1", ast.Set("v", ast.Deref(ast.V("v1"))), "R(&v1) R(v1) W(&v)"},
+		{"*v = v1", ast.Assign(ast.Deref(ast.V("v")), ast.V("v1")), "R(&v1) R(&v) W(v)"},
+		{"v = v1 op v2", ast.Set("v", ast.Add(ast.V("v1"), ast.V("v2"))), "R(&v1) R(&v2) W(&v)"},
+		{"v = v1 op c", ast.Set("v", ast.Add(ast.V("v1"), ast.I(3))), "R(&v1) W(&v)"},
+		{"v = p->f", ast.Set("v", ast.Field(ast.V("p"), "f")), "R(&p) R(&p->f) W(&v)"},
+		{"p->f = v1", ast.Assign(ast.Field(ast.V("p"), "f"), ast.V("v1")), "R(&v1) R(&p) W(&p->f)"},
+		{"v = &p->f", ast.Set("v", ast.AddrField(ast.V("p"), "f")), "R(&p) W(&v)"},
+		{"v = new R", ast.Set("v", ast.New("R")), "W(&v)"},
+		{"v = !v1", ast.Set("v", ast.Not(ast.V("v1"))), "R(&v1) W(&v)"},
+	}
+	for _, tc := range cases {
+		got := renderAll(assignAccesses(tc.stmt))
+		if got != tc.want {
+			t.Errorf("%s: accesses %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestReadAccessesOfConditions(t *testing.T) {
+	cases := []struct {
+		cond ast.Expr
+		want string
+	}{
+		{ast.V("v"), "R(&v)"},
+		{ast.Eq(ast.V("a"), ast.V("b")), "R(&a) R(&b)"},
+		{ast.Deref(ast.V("p")), "R(&p) R(p)"},
+		{ast.Field(ast.V("p"), "f"), "R(&p) R(&p->f)"},
+		{ast.Not(ast.Eq(ast.Field(ast.V("e"), "flag"), ast.B(true))), "R(&e) R(&e->flag)"},
+		{ast.I(1), ""},
+	}
+	for i, tc := range cases {
+		got := renderAll(readAccesses(tc.cond))
+		if got != tc.want {
+			t.Errorf("case %d (%s): %q, want %q", i, ast.PrintExpr(tc.cond), got, tc.want)
+		}
+	}
+}
+
+// TestDeepConditionYieldsInexpressibleAccess: nested dereference chains in
+// assume conditions produce a bare (uncheckable) access, preserving the
+// termination point.
+func TestDeepConditionYieldsInexpressibleAccess(t *testing.T) {
+	// *(p->f) : reading through a field value; the inner read's address is
+	// not one of the three checkable shapes.
+	cond := ast.Deref(ast.Field(ast.V("p"), "f"))
+	accs := readAccesses(cond)
+	sawInexpressible := false
+	for _, a := range accs {
+		if a.addr == nil {
+			sawInexpressible = true
+		}
+	}
+	if !sawInexpressible {
+		t.Errorf("deep dereference should yield an inexpressible access: %s", renderAll(accs))
+	}
+}
+
+func TestCallAndAsyncAccesses(t *testing.T) {
+	call := ast.Call("r", ast.V("fp"), ast.V("a"), ast.I(2))
+	got := renderAll(callAccesses(call))
+	want := "R(&fp) R(&a) W(&r)"
+	if got != want {
+		t.Errorf("call accesses %q, want %q", got, want)
+	}
+
+	bare := ast.Call("", ast.Fn("f"), ast.V("a"))
+	got = renderAll(callAccesses(bare))
+	if got != "R(&a)" {
+		t.Errorf("bare call accesses %q, want R(&a)", got)
+	}
+
+	as := ast.Async(ast.V("fp"), ast.V("x"))
+	got = renderAll(asyncAccesses(as))
+	if got != "R(&fp) R(&x)" {
+		t.Errorf("async accesses %q", got)
+	}
+}
+
+// TestPrefixBranchStructure: the generated choice has skip first, then one
+// check branch per surviving access (race mode with elision disabled), or
+// a single RAISE branch (assertion mode).
+func TestPrefixBranchStructure(t *testing.T) {
+	p := parseLowered(t, `
+var g;
+var h;
+func main() {
+  g = h;
+}
+`)
+	// Assertion mode: choice{skip [] RAISE}.
+	out, err := Transform(p, Options{MaxTS: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := out.FindFunc(TranslatedName("main"))
+	choice := firstChoice(main.Body)
+	if choice == nil || len(choice.Branches) != 2 {
+		t.Fatalf("assertion-mode prefix branches = %v", branchCount(choice))
+	}
+
+	// Race mode with elision disabled: skip + one branch per access
+	// (R(&h), W(&g)) each ending in RAISE.
+	out2, err := TransformRace(parseLowered(t, `
+var g;
+var h;
+func main() {
+  g = h;
+}
+`), ast.RaceTarget{Global: "g"}, Options{MaxTS: 0, DisableAliasElision: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	main2 := out2.FindFunc(TranslatedName("main"))
+	choice2 := firstChoice(main2.Body)
+	if choice2 == nil || len(choice2.Branches) != 3 {
+		t.Fatalf("race-mode prefix branches = %s, want 3 (skip + 2 checks)", branchCount(choice2))
+	}
+	// With elision enabled, the read of h is elided into a shared bare
+	// RAISE branch: skip + check_w(&g) + RAISE = 3 as well, but one branch
+	// has no check call.
+	out3, err := TransformRace(parseLowered(t, `
+var g;
+var h;
+func main() {
+  g = h;
+}
+`), ast.RaceTarget{Global: "g"}, Options{MaxTS: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	main3 := out3.FindFunc(TranslatedName("main"))
+	choice3 := firstChoice(main3.Body)
+	checkCalls := 0
+	for _, br := range choice3.Branches {
+		ast.WalkStmts(br, func(s ast.Stmt) bool {
+			if c, ok := s.(*ast.CallStmt); ok {
+				if fl, ok := c.Fn.(*ast.FuncLit); ok && (fl.Name == CheckRFn || fl.Name == CheckWFn) {
+					checkCalls++
+				}
+			}
+			return true
+		})
+	}
+	if checkCalls != 1 {
+		t.Errorf("with elision, want exactly 1 surviving check call, got %d\n%s",
+			checkCalls, ast.Print(out3))
+	}
+}
+
+func firstChoice(b *ast.Block) *ast.ChoiceStmt {
+	var out *ast.ChoiceStmt
+	ast.WalkStmts(b, func(s ast.Stmt) bool {
+		if c, ok := s.(*ast.ChoiceStmt); ok && out == nil {
+			out = c
+		}
+		return out == nil
+	})
+	return out
+}
+
+func branchCount(c *ast.ChoiceStmt) string {
+	if c == nil {
+		return "no choice found"
+	}
+	return fmt.Sprint(len(c.Branches))
+}

@@ -1,0 +1,87 @@
+package kiss
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/lower"
+	"repro/internal/parser"
+	"repro/internal/sem"
+	"repro/internal/sema"
+)
+
+// FuzzTransform drives the whole front end plus both transformations with
+// arbitrary source text: any program that parses and checks must
+// transform without panicking, and the output must be a well-formed
+// core-form sequential program that compiles.
+//
+// Run long with: go test -fuzz FuzzTransform ./internal/kiss
+func FuzzTransform(f *testing.F) {
+	seeds := []string{
+		"func main() { skip; }",
+		"var g; func w() { g = 1; } func main() { async w(); assert(g == 0); }",
+		"record R { f; } func main() { var e; e = new R; e->f = 1; }",
+		"var l; func main() { atomic { assume(l == 0); l = 1; } }",
+		"func f(a) { return a; } func main() { var v; v = f(3); }",
+		"var g; func main() { benign { g = 1; } }",
+		"func main() { choice { { skip; } [] { skip; } } }",
+	}
+	for _, s := range seeds {
+		f.Add(s, uint8(1))
+	}
+	f.Fuzz(func(t *testing.T, src string, tsRaw uint8) {
+		p, err := parser.Parse(src)
+		if err != nil {
+			return
+		}
+		if sema.Check(p, sema.Source) != nil {
+			return
+		}
+		lower.Program(p)
+		maxTS := int(tsRaw % 3)
+
+		out, err := Transform(p, Options{MaxTS: maxTS})
+		if err != nil {
+			// Only the reserved-name restriction may reject a valid
+			// source program.
+			if !hasReservedNames(p) {
+				t.Fatalf("transform rejected a valid program: %v\n%s", err, src)
+			}
+			return
+		}
+		if err := sema.Check(out, sema.Transformed); err != nil {
+			t.Fatalf("transformed program ill-formed: %v", err)
+		}
+		if ok, why := lower.IsCore(out); !ok {
+			t.Fatalf("transformed program not core: %s", why)
+		}
+		if _, err := sem.Compile(out); err != nil {
+			t.Fatalf("transformed program does not compile: %v", err)
+		}
+
+		// Race mode on the first global, if any.
+		if len(p.Globals) > 0 {
+			rout, err := TransformRace(p, ast.RaceTarget{Global: p.Globals[0].Name}, Options{MaxTS: maxTS})
+			if err != nil {
+				return
+			}
+			if _, err := sem.Compile(rout); err != nil {
+				t.Fatalf("race-transformed program does not compile: %v", err)
+			}
+		}
+	})
+}
+
+func hasReservedNames(p *ast.Program) bool {
+	for _, g := range p.Globals {
+		if len(g.Name) >= 2 && g.Name[:2] == "__" {
+			return true
+		}
+	}
+	for _, fn := range p.Funcs {
+		if len(fn.Name) >= 2 && fn.Name[:2] == "__" {
+			return true
+		}
+	}
+	return false
+}

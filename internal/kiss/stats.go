@@ -1,0 +1,63 @@
+package kiss
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+)
+
+// Stats quantifies the instrumentation blowup of a transformation, the
+// quantities behind the paper's complexity claim (Section 4): "Our
+// instrumentation introduces a small constant blowup in the control-flow
+// graph of the concurrent program and adds a small constant number of
+// global variables. Thus, the complexity of using KISS on a concurrent
+// program of a certain size is about the same as using a standard
+// interprocedural dataflow analysis or model checking on a sequential
+// program of the same size."
+type Stats struct {
+	// SourceStmts and OutputStmts count statements (|C|, the control-flow
+	// graph size) before and after the transformation.
+	SourceStmts int
+	OutputStmts int
+	// SourceGlobals and OutputGlobals count global variables (the g of
+	// O(|C| * 2^(g+l))).
+	SourceGlobals int
+	OutputGlobals int
+	// SourceFuncs and OutputFuncs count functions (translated bodies plus
+	// the generated schedule/check/wrapper helpers).
+	SourceFuncs int
+	OutputFuncs int
+}
+
+// StmtBlowup is the control-flow-graph growth factor.
+func (s Stats) StmtBlowup() float64 {
+	if s.SourceStmts == 0 {
+		return 0
+	}
+	return float64(s.OutputStmts) / float64(s.SourceStmts)
+}
+
+// AddedGlobals is the number of fresh globals the instrumentation added
+// (the paper: raise, ts, and for race checking access — a constant).
+func (s Stats) AddedGlobals() int { return s.OutputGlobals - s.SourceGlobals }
+
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"statements: %d -> %d (%.2fx)\nglobals:    %d -> %d (+%d)\nfunctions:  %d -> %d",
+		s.SourceStmts, s.OutputStmts, s.StmtBlowup(),
+		s.SourceGlobals, s.OutputGlobals, s.AddedGlobals(),
+		s.SourceFuncs, s.OutputFuncs)
+}
+
+// Measure computes the blowup statistics for a source program and its
+// transformation output.
+func Measure(src, out *ast.Program) Stats {
+	return Stats{
+		SourceStmts:   ast.CountStmts(src),
+		OutputStmts:   ast.CountStmts(out),
+		SourceGlobals: len(src.Globals),
+		OutputGlobals: len(out.Globals),
+		SourceFuncs:   len(src.Funcs),
+		OutputFuncs:   len(out.Funcs),
+	}
+}

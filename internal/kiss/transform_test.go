@@ -1,0 +1,300 @@
+package kiss
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/lower"
+	"repro/internal/parser"
+	"repro/internal/sema"
+)
+
+func parseLowered(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := sema.Check(p, sema.Source); err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	lower.Program(p)
+	return p
+}
+
+const smallSrc = `
+var g;
+func worker(v) {
+  g = v;
+  return v;
+}
+func main() {
+  var r;
+  async worker(1);
+  r = worker(2);
+  assert(g > 0);
+}
+`
+
+func TestTransformProducesSequentialProgram(t *testing.T) {
+	p := parseLowered(t, smallSrc)
+	out, err := Transform(p, Options{MaxTS: 1})
+	if err != nil {
+		t.Fatalf("Transform: %v", err)
+	}
+	// Output is in the sequential fragment and core form.
+	if err := sema.Check(out, sema.Transformed); err != nil {
+		t.Fatalf("output ill-formed: %v", err)
+	}
+	if ok, why := lower.IsCore(out); !ok {
+		t.Fatalf("output not core: %s", why)
+	}
+	if ast.UsesConcurrency(out) {
+		t.Fatal("output still contains async/atomic")
+	}
+	if out.MaxTS != 1 {
+		t.Errorf("MaxTS not recorded: %d", out.MaxTS)
+	}
+}
+
+func TestTransformAddsExpectedDeclarations(t *testing.T) {
+	p := parseLowered(t, smallSrc)
+	out, err := Transform(p, Options{MaxTS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.FindGlobal(RaiseVar) == nil {
+		t.Errorf("missing %s global", RaiseVar)
+	}
+	if out.FindGlobal(AccessVar) != nil {
+		t.Errorf("%s must not exist in assertion mode", AccessVar)
+	}
+	for _, name := range []string{"main", ScheduleFn, TranslatedName("main"), TranslatedName("worker")} {
+		if out.FindFunc(name) == nil {
+			t.Errorf("missing function %s", name)
+		}
+	}
+	if out.FindFunc("worker") != nil {
+		t.Error("untranslated source function leaked into the output")
+	}
+}
+
+func TestRaceTransformAddsChecks(t *testing.T) {
+	p := parseLowered(t, smallSrc)
+	out, err := TransformRace(p, ast.RaceTarget{Global: "g"}, Options{MaxTS: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.FindGlobal(AccessVar) == nil {
+		t.Errorf("missing %s global", AccessVar)
+	}
+	for _, name := range []string{CheckRFn, CheckWFn} {
+		if out.FindFunc(name) == nil {
+			t.Errorf("missing %s", name)
+		}
+	}
+	// The worker's write g = v must be preceded by a check_w branch.
+	src := ast.Print(out)
+	if !strings.Contains(src, CheckWFn+"(") || !strings.Contains(src, "&g") {
+		t.Errorf("no check_w call on &g in output:\n%s", src)
+	}
+	if !strings.Contains(src, "__race_cell(x)") {
+		t.Errorf("check bodies missing the distinguished-cell test:\n%s", src)
+	}
+}
+
+// TestRaiseChoiceBeforeStatements: Figure 4 inserts
+// choice{skip [] RAISE} before every statement; RAISE is
+// raise := true; return.
+func TestRaiseInstrumentationShape(t *testing.T) {
+	p := parseLowered(t, `var g; func main() { g = 1; }`)
+	out, err := Transform(p, Options{MaxTS: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := out.FindFunc(TranslatedName("main"))
+	if tm == nil {
+		t.Fatal("no translated main")
+	}
+	src := ast.Print(out)
+	if !strings.Contains(src, RaiseVar+" = true") {
+		t.Error("no RAISE assignment in output")
+	}
+	// With MaxTS == 0 the schedule call is elided as dead code.
+	callsSchedule := false
+	ast.WalkStmts(tm.Body, func(s ast.Stmt) bool {
+		if c, ok := s.(*ast.CallStmt); ok {
+			if fl, ok := c.Fn.(*ast.FuncLit); ok && fl.Name == ScheduleFn {
+				callsSchedule = true
+			}
+		}
+		return true
+	})
+	if callsSchedule {
+		t.Error("schedule() emitted despite MaxTS == 0")
+	}
+	outTS1, err := Transform(parseLowered(t, `var g; func main() { g = 1; }`), Options{MaxTS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ast.Print(outTS1), ScheduleFn) {
+		t.Error("schedule() missing with MaxTS == 1")
+	}
+}
+
+func TestAsyncTranslation(t *testing.T) {
+	p := parseLowered(t, smallSrc)
+	// MaxTS = 0: async becomes a direct synchronous call, no ts ops.
+	out0, err := Transform(p, Options{MaxTS: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src0 := ast.Print(out0)
+	if strings.Contains(src0, "__ts_put") || strings.Contains(src0, "__ts_size") {
+		t.Errorf("MaxTS=0 output contains ts operations:\n%s", src0)
+	}
+	if !strings.Contains(src0, TranslatedName("worker")+"(") {
+		t.Errorf("inlined async call missing:\n%s", src0)
+	}
+
+	// MaxTS = 1: the size test and put appear.
+	out1, err := Transform(parseLowered(t, smallSrc), Options{MaxTS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src1 := ast.Print(out1)
+	for _, frag := range []string{"__ts_put(@" + TranslatedName("worker"), "__ts_size()", "__ts_dispatch()"} {
+		if !strings.Contains(src1, frag) {
+			t.Errorf("MaxTS=1 output missing %q:\n%s", frag, src1)
+		}
+	}
+}
+
+func TestFunctionConstantsRewritten(t *testing.T) {
+	p := parseLowered(t, `
+var g;
+func f() { g = 1; }
+func main() {
+  var v;
+  v = @f;
+  v();
+}
+`)
+	out, err := Transform(p, Options{MaxTS: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := ast.Print(out)
+	if !strings.Contains(src, "@"+TranslatedName("f")) {
+		t.Errorf("function constant not rewritten:\n%s", src)
+	}
+	// No reference to the untranslated name may remain in expressions.
+	if strings.Contains(src, "@f;") || strings.Contains(src, "@f\n") {
+		t.Errorf("untranslated function constant leaked:\n%s", src)
+	}
+}
+
+func TestAtomicBodyNotInstrumented(t *testing.T) {
+	p := parseLowered(t, `
+var l;
+func main() {
+  atomic { assume(l == 0); l = 1; }
+}
+`)
+	out, err := Transform(p, Options{MaxTS: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := out.FindFunc(TranslatedName("main"))
+	// Exactly one choice (the prefix); the body's two statements execute
+	// with no per-statement instrumentation; the atomic wrapper is gone.
+	choices := 0
+	atomics := 0
+	ast.WalkStmts(tm.Body, func(s ast.Stmt) bool {
+		switch s.(type) {
+		case *ast.ChoiceStmt:
+			choices++
+		case *ast.AtomicStmt:
+			atomics++
+		}
+		return true
+	})
+	if atomics != 0 {
+		t.Error("atomic statement survived the translation")
+	}
+	if choices != 1 {
+		t.Errorf("got %d choice statements, want exactly the single prefix", choices)
+	}
+}
+
+func TestReservedNamesRejected(t *testing.T) {
+	p := parseLowered(t, `var g; func main() { g = 1; }`)
+	p.Globals = append(p.Globals, &ast.VarDecl{Name: "__kiss_raise"})
+	if _, err := Transform(p, Options{MaxTS: 0}); err == nil {
+		t.Error("reserved global name accepted")
+	}
+}
+
+func TestBadTargetsRejected(t *testing.T) {
+	p := parseLowered(t, `var g; func main() { g = 1; }`)
+	if _, err := TransformRace(p, ast.RaceTarget{Global: "nosuch"}, Options{}); err == nil {
+		t.Error("unknown global target accepted")
+	}
+	if _, err := TransformRace(p, ast.RaceTarget{Record: "R", Field: "f"}, Options{}); err == nil {
+		t.Error("unknown record target accepted")
+	}
+	if _, err := Transform(p, Options{MaxTS: -1}); err == nil {
+		t.Error("negative ts bound accepted")
+	}
+}
+
+func TestInputNotMutated(t *testing.T) {
+	p := parseLowered(t, smallSrc)
+	before := ast.Print(p)
+	if _, err := Transform(p, Options{MaxTS: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TransformRace(p, ast.RaceTarget{Global: "g"}, Options{MaxTS: 1}); err != nil {
+		t.Fatal(err)
+	}
+	after := ast.Print(p)
+	if before != after {
+		t.Error("transformation mutated its input program")
+	}
+}
+
+func TestTranslatedNameRoundTrip(t *testing.T) {
+	for _, name := range []string{"main", "f", "BCSP_PnpStop"} {
+		orig, ok := OriginalName(TranslatedName(name))
+		if !ok || orig != name {
+			t.Errorf("round trip failed for %q: got %q, %v", name, orig, ok)
+		}
+	}
+	for _, generated := range []string{ScheduleFn, CheckRFn, CheckWFn, "main", "plain"} {
+		if _, ok := OriginalName(generated); ok {
+			t.Errorf("OriginalName(%q) should not resolve", generated)
+		}
+	}
+}
+
+// TestTransformedOutputReparses: the printed transformed program parses
+// back and checks under Transformed mode — the printer and the intrinsic
+// syntax round trip.
+func TestTransformedOutputReparses(t *testing.T) {
+	p := parseLowered(t, smallSrc)
+	out, err := TransformRace(p, ast.RaceTarget{Global: "g"}, Options{MaxTS: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := ast.Print(out)
+	back, err := parser.Parse(printed)
+	if err != nil {
+		t.Fatalf("transformed output does not reparse: %v\n%s", err, printed)
+	}
+	back.MaxTS = out.MaxTS
+	back.RaceTarget = out.RaceTarget
+	if err := sema.Check(back, sema.Transformed); err != nil {
+		t.Fatalf("reparsed output ill-formed: %v", err)
+	}
+}

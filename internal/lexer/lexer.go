@@ -1,0 +1,327 @@
+// Package lexer tokenizes the concrete syntax of the parallel language.
+// It is a conventional hand-written scanner with single-token lookahead
+// friendliness (the parser pulls tokens one at a time), line/column
+// tracking, and support for // line and /* block */ comments.
+package lexer
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/ast"
+)
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INT
+	// keywords
+	KwRecord
+	KwVar
+	KwFunc
+	KwAssert
+	KwAssume
+	KwAtomic
+	KwBenign
+	KwAsync
+	KwReturn
+	KwIf
+	KwElse
+	KwWhile
+	KwChoice
+	KwIter
+	KwSkip
+	KwNew
+	KwTrue
+	KwFalse
+	KwNull
+	// punctuation and operators
+	LBrace   // {
+	RBrace   // }
+	LParen   // (
+	RParen   // )
+	Semi     // ;
+	Comma    // ,
+	Assign   // =
+	EqEq     // ==
+	NotEq    // !=
+	Lt       // <
+	Le       // <=
+	Gt       // >
+	Ge       // >=
+	Plus     // +
+	Minus    // -
+	Star     // *
+	Bang     // !
+	AndAnd   // &&
+	OrOr     // ||
+	Amp      // &
+	Arrow    // ->
+	ChoiceOr // []
+	At       // @
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of file", IDENT: "identifier", INT: "integer",
+	KwRecord: "'record'", KwVar: "'var'", KwFunc: "'func'", KwAssert: "'assert'",
+	KwAssume: "'assume'", KwAtomic: "'atomic'", KwBenign: "'benign'", KwAsync: "'async'",
+	KwReturn: "'return'", KwIf: "'if'", KwElse: "'else'", KwWhile: "'while'",
+	KwChoice: "'choice'", KwIter: "'iter'", KwSkip: "'skip'", KwNew: "'new'",
+	KwTrue: "'true'", KwFalse: "'false'", KwNull: "'null'",
+	LBrace: "'{'", RBrace: "'}'", LParen: "'('", RParen: "')'", Semi: "';'",
+	Comma: "','", Assign: "'='", EqEq: "'=='", NotEq: "'!='", Lt: "'<'",
+	Le: "'<='", Gt: "'>'", Ge: "'>='", Plus: "'+'", Minus: "'-'", Star: "'*'",
+	Bang: "'!'", AndAnd: "'&&'", OrOr: "'||'", Amp: "'&'", Arrow: "'->'",
+	ChoiceOr: "'[]'", At: "'@'",
+}
+
+// String returns a human-readable name for the kind, for error messages.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"record": KwRecord, "var": KwVar, "func": KwFunc, "assert": KwAssert,
+	"assume": KwAssume, "atomic": KwAtomic, "benign": KwBenign, "async": KwAsync,
+	"return": KwReturn, "if": KwIf, "else": KwElse, "while": KwWhile,
+	"choice": KwChoice, "iter": KwIter, "skip": KwSkip, "new": KwNew,
+	"true": KwTrue, "false": KwFalse, "null": KwNull,
+}
+
+// Token is a single lexical token.
+type Token struct {
+	Kind Kind
+	Text string // raw text for IDENT; decoded digits for INT
+	Int  int64  // value for INT
+	Pos  ast.Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT:
+		return fmt.Sprintf("identifier %q", t.Text)
+	case INT:
+		return fmt.Sprintf("integer %d", t.Int)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Error is a lexical error with position information.
+type Error struct {
+	Pos ast.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans an input string into tokens.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Tokenize scans the entire input, returning all tokens up to and including
+// the EOF token, or the first lexical error.
+func Tokenize(src string) ([]Token, error) {
+	lx := New(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) pos() ast.Pos { return ast.Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *Lexer) peekByte() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peekByte2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) errorf(pos ast.Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	c := lx.peekByte()
+	switch {
+	case isIdentStart(c):
+		return lx.ident(pos), nil
+	case c >= '0' && c <= '9':
+		return lx.number(pos)
+	}
+	lx.advance()
+	two := func(second byte, withKind, withoutKind Kind) Token {
+		if lx.peekByte() == second {
+			lx.advance()
+			return Token{Kind: withKind, Pos: pos}
+		}
+		return Token{Kind: withoutKind, Pos: pos}
+	}
+	switch c {
+	case '{':
+		return Token{Kind: LBrace, Pos: pos}, nil
+	case '}':
+		return Token{Kind: RBrace, Pos: pos}, nil
+	case '(':
+		return Token{Kind: LParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: RParen, Pos: pos}, nil
+	case ';':
+		return Token{Kind: Semi, Pos: pos}, nil
+	case ',':
+		return Token{Kind: Comma, Pos: pos}, nil
+	case '=':
+		return two('=', EqEq, Assign), nil
+	case '!':
+		return two('=', NotEq, Bang), nil
+	case '<':
+		return two('=', Le, Lt), nil
+	case '>':
+		return two('=', Ge, Gt), nil
+	case '+':
+		return Token{Kind: Plus, Pos: pos}, nil
+	case '-':
+		if lx.peekByte() == '>' {
+			lx.advance()
+			return Token{Kind: Arrow, Pos: pos}, nil
+		}
+		return Token{Kind: Minus, Pos: pos}, nil
+	case '*':
+		return Token{Kind: Star, Pos: pos}, nil
+	case '&':
+		return two('&', AndAnd, Amp), nil
+	case '|':
+		if lx.peekByte() == '|' {
+			lx.advance()
+			return Token{Kind: OrOr, Pos: pos}, nil
+		}
+		return Token{}, lx.errorf(pos, "unexpected character '|'")
+	case '[':
+		if lx.peekByte() == ']' {
+			lx.advance()
+			return Token{Kind: ChoiceOr, Pos: pos}, nil
+		}
+		return Token{}, lx.errorf(pos, "unexpected character '[' (expected '[]')")
+	case '@':
+		return Token{Kind: At, Pos: pos}, nil
+	}
+	return Token{}, lx.errorf(pos, "unexpected character %q", string(rune(c)))
+}
+
+func (lx *Lexer) skipSpaceAndComments() error {
+	for lx.off < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peekByte2() == '/':
+			for lx.off < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peekByte2() == '*':
+			pos := lx.pos()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peekByte() == '*' && lx.peekByte2() == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return lx.errorf(pos, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func (lx *Lexer) ident(pos ast.Pos) Token {
+	start := lx.off
+	for lx.off < len(lx.src) && isIdentCont(lx.peekByte()) {
+		lx.advance()
+	}
+	text := lx.src[start:lx.off]
+	if k, ok := keywords[text]; ok {
+		return Token{Kind: k, Text: text, Pos: pos}
+	}
+	return Token{Kind: IDENT, Text: text, Pos: pos}
+}
+
+func (lx *Lexer) number(pos ast.Pos) (Token, error) {
+	start := lx.off
+	for lx.off < len(lx.src) && lx.peekByte() >= '0' && lx.peekByte() <= '9' {
+		lx.advance()
+	}
+	text := lx.src[start:lx.off]
+	v, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return Token{}, lx.errorf(pos, "integer literal %s out of range", text)
+	}
+	return Token{Kind: INT, Text: text, Int: v, Pos: pos}, nil
+}

@@ -1,0 +1,169 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func kinds(t *testing.T, src string) []Kind {
+	t.Helper()
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatalf("Tokenize(%q): %v", src, err)
+	}
+	out := make([]Kind, len(toks))
+	for i, tok := range toks {
+		out[i] = tok.Kind
+	}
+	return out
+}
+
+func TestKeywordsAndIdentifiers(t *testing.T) {
+	got := kinds(t, "record var func assert assume atomic async return if else while choice iter skip new true false null foo _bar x9")
+	want := []Kind{KwRecord, KwVar, KwFunc, KwAssert, KwAssume, KwAtomic,
+		KwAsync, KwReturn, KwIf, KwElse, KwWhile, KwChoice, KwIter, KwSkip,
+		KwNew, KwTrue, KwFalse, KwNull, IDENT, IDENT, IDENT, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	got := kinds(t, "{ } ( ) ; , = == != < <= > >= + - * ! && || & -> [] @")
+	want := []Kind{LBrace, RBrace, LParen, RParen, Semi, Comma, Assign,
+		EqEq, NotEq, Lt, Le, Gt, Ge, Plus, Minus, Star, Bang, AndAnd, OrOr,
+		Amp, Arrow, ChoiceOr, At, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIntegerLiterals(t *testing.T) {
+	toks, err := Tokenize("0 42 123456789")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 42, 123456789}
+	for i, w := range want {
+		if toks[i].Kind != INT || toks[i].Int != w {
+			t.Errorf("token %d: got %v, want INT %d", i, toks[i], w)
+		}
+	}
+}
+
+func TestNegativeNumbersAreMinusThenInt(t *testing.T) {
+	got := kinds(t, "-1")
+	want := []Kind{Minus, INT, EOF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	got := kinds(t, "a // line comment\nb /* block\ncomment */ c")
+	want := []Kind{IDENT, IDENT, IDENT, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestUnterminatedBlockComment(t *testing.T) {
+	if _, err := Tokenize("a /* never closed"); err == nil {
+		t.Fatal("want error for unterminated block comment")
+	}
+}
+
+func TestArrowVsMinus(t *testing.T) {
+	got := kinds(t, "a->b a-b a - >")
+	want := []Kind{IDENT, Arrow, IDENT, IDENT, Minus, IDENT, IDENT, Minus, Gt, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := Tokenize("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestErrorsCarryPosition(t *testing.T) {
+	_, err := Tokenize("abc\n  $")
+	if err == nil {
+		t.Fatal("want error for '$'")
+	}
+	le, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T, want *Error", err)
+	}
+	if le.Pos.Line != 2 || le.Pos.Col != 3 {
+		t.Errorf("error at %v, want 2:3", le.Pos)
+	}
+}
+
+func TestUnexpectedCharacters(t *testing.T) {
+	for _, src := range []string{"$", "#", "%", "[x", "|x", "?"} {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q): want error", src)
+		}
+	}
+}
+
+// TestQuickIdentifiersRoundTrip: any generated identifier-shaped string
+// lexes to a single IDENT (or keyword) token with the same text.
+func TestQuickIdentifiersRoundTrip(t *testing.T) {
+	letters := "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+	digits := "0123456789"
+	f := func(seed uint32, length uint8) bool {
+		n := int(length%12) + 1
+		var b strings.Builder
+		x := seed
+		for i := 0; i < n; i++ {
+			x = x*1664525 + 1013904223
+			if i == 0 {
+				b.WriteByte(letters[int(x)%len(letters)])
+			} else {
+				all := letters + digits
+				b.WriteByte(all[int(x)%len(all)])
+			}
+		}
+		text := b.String()
+		toks, err := Tokenize(text)
+		if err != nil || len(toks) != 2 {
+			return false
+		}
+		if toks[0].Kind == IDENT {
+			return toks[0].Text == text
+		}
+		_, isKw := keywords[text]
+		return isKw
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,577 @@
+// Package lockset implements a static lockset-based race detector for the
+// parallel language — the style of analysis behind the tools the KISS
+// paper positions itself against (Section 7: Warlock, RacerX; Section 6.1:
+// "Most existing race-detection tools, both static and dynamic, are based
+// on the lockset algorithm which can handle only the simplest
+// synchronization mechanism of locks").
+//
+// It serves two purposes in this reproduction:
+//
+//  1. A baseline for the flexibility comparison of Section 6.1: the
+//     lockset discipline cannot model events, interlocked operations, or
+//     reference-counting protocols, so it flags fields KISS proves
+//     race-free — quantified in the corpus comparison experiment.
+//  2. A sound-for-lock-discipline prefilter: fields whose every access
+//     holds a common lock need no model checking (related to the paper's
+//     plan to use atomicity reasoning to prune warnings).
+//
+// The analysis is flow-sensitive within a function and syntactic about
+// lock identities: a lock is named by the address expression passed to an
+// acquire/release routine (&global or &base->field, with the base's
+// record types resolved by the alias analysis), or by the atomic
+// test-and-set idiom on such an address. Accesses inside atomic blocks
+// are treated as self-synchronized (they cannot race under the language
+// semantics, matching the KISS instrumentation which skips them).
+package lockset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// Config names the lock API. The defaults cover the winmodel routines and
+// the paper's lock_acquire/lock_release.
+type Config struct {
+	AcquireFns []string
+	ReleaseFns []string
+}
+
+// DefaultConfig covers winmodel and the paper's lock names.
+var DefaultConfig = Config{
+	AcquireFns: []string{"KeAcquireSpinLock", "lock_acquire"},
+	ReleaseFns: []string{"KeReleaseSpinLock", "lock_release"},
+}
+
+// Lock identifies a lock by its address shape.
+type Lock struct {
+	Global string // &g
+	Record string // &p->f : any record type p may point to
+	Field  string
+}
+
+func (l Lock) String() string {
+	if l.Global != "" {
+		return "&" + l.Global
+	}
+	return "&" + l.Record + "." + l.Field
+}
+
+// Access is one field or global access with the lockset held at it.
+type Access struct {
+	Fn     string
+	Pos    ast.Pos
+	Write  bool
+	Atomic bool // inside an atomic block (self-synchronized)
+	Held   []Lock
+}
+
+// Target identifies what is being accessed (same shapes as race targets).
+type Target struct {
+	Global string
+	Record string
+	Field  string
+}
+
+func (t Target) String() string {
+	if t.Global != "" {
+		return t.Global
+	}
+	return t.Record + "." + t.Field
+}
+
+// Verdict classifies one target.
+type Verdict int
+
+const (
+	// Unshared: at most one function accesses the target, or it is only
+	// read.
+	Unshared Verdict = iota
+	// Protected: every non-atomic access holds a common lock.
+	Protected
+	// Racy: conflicting accesses exist with disjoint locksets.
+	Racy
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Unshared:
+		return "unshared"
+	case Protected:
+		return "protected"
+	default:
+		return "racy"
+	}
+}
+
+// Report is the analysis result.
+type Report struct {
+	// Accesses maps each target to its accesses, in program order.
+	Accesses map[Target][]Access
+	// Verdicts maps each accessed target to its classification.
+	Verdicts map[Target]Verdict
+}
+
+// Racy returns the targets classified Racy, sorted by name.
+func (r *Report) Racy() []Target {
+	var out []Target
+	for t, v := range r.Verdicts {
+		if v == Racy {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// recordsOf resolves the record types a variable may point to, using a
+// tiny flow-insensitive local resolution: parameters and locals assigned
+// `new R` or flowing from calls are looked up via assignment scanning.
+// For the driver models a single pass suffices (extension pointers flow
+// directly from new/params); unresolvable bases map to every record that
+// has the field, which is conservative toward Racy.
+type resolver struct {
+	prog *ast.Program
+	// varRecs[fn][v] = set of record names v may point to
+	varRecs map[string]map[string]map[string]bool
+}
+
+func newResolver(p *ast.Program) *resolver {
+	r := &resolver{prog: p, varRecs: map[string]map[string]map[string]bool{}}
+	for _, f := range p.Funcs {
+		r.varRecs[f.Name] = map[string]map[string]bool{}
+	}
+	// Iterate to a fixpoint: new R, copies, parameter flow from direct
+	// calls and asyncs.
+	for changed := true; changed; {
+		changed = false
+		for _, f := range p.Funcs {
+			ast.WalkStmts(f.Body, func(s ast.Stmt) bool {
+				switch s := s.(type) {
+				case *ast.AssignStmt:
+					lhs, ok := s.Lhs.(*ast.VarExpr)
+					if !ok {
+						return true
+					}
+					switch rhs := s.Rhs.(type) {
+					case *ast.NewExpr:
+						changed = r.add(f.Name, lhs.Name, rhs.Record) || changed
+					case *ast.VarExpr:
+						for rec := range r.recs(f.Name, rhs.Name) {
+							changed = r.add(f.Name, lhs.Name, rec) || changed
+						}
+					}
+				case *ast.CallStmt:
+					changed = r.flowCall(f.Name, s.Fn, s.Args) || changed
+				case *ast.AsyncStmt:
+					changed = r.flowCall(f.Name, s.Fn, s.Args) || changed
+				}
+				return true
+			})
+		}
+	}
+	return r
+}
+
+func (r *resolver) add(fn, v, rec string) bool {
+	m := r.varRecs[fn]
+	if m[v] == nil {
+		m[v] = map[string]bool{}
+	}
+	if m[v][rec] {
+		return false
+	}
+	m[v][rec] = true
+	return true
+}
+
+func (r *resolver) recs(fn, v string) map[string]bool {
+	return r.varRecs[fn][v]
+}
+
+func (r *resolver) flowCall(caller string, fnExpr ast.Expr, args []ast.Expr) bool {
+	fl, ok := fnExpr.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	callee := r.prog.FindFunc(fl.Name)
+	if callee == nil {
+		return false
+	}
+	changed := false
+	for i, a := range args {
+		if i >= len(callee.Params) {
+			break
+		}
+		v, ok := a.(*ast.VarExpr)
+		if !ok {
+			continue
+		}
+		for rec := range r.recs(caller, v.Name) {
+			changed = r.add(fl.Name, callee.Params[i], rec) || changed
+		}
+	}
+	return changed
+}
+
+// lockOf maps an acquire/release argument to a lock identity.
+func (r *resolver) lockOf(fn string, arg ast.Expr) (Lock, bool) {
+	switch a := arg.(type) {
+	case *ast.AddrOfExpr:
+		return Lock{Global: a.Name}, true
+	case *ast.AddrFieldExpr:
+		base, ok := a.X.(*ast.VarExpr)
+		if !ok {
+			return Lock{}, false
+		}
+		recs := r.recs(fn, base.Name)
+		if len(recs) != 1 {
+			// ambiguous or unknown base: give up on naming this lock
+			return Lock{}, false
+		}
+		for rec := range recs {
+			return Lock{Record: rec, Field: a.Field}, true
+		}
+	case *ast.VarExpr:
+		// a variable holding a lock address: not resolved syntactically
+		return Lock{}, false
+	}
+	return Lock{}, false
+}
+
+// Analyze runs the lockset analysis.
+func Analyze(p *ast.Program, cfg Config) *Report {
+	if len(cfg.AcquireFns) == 0 {
+		cfg = DefaultConfig
+	}
+	acquire := map[string]bool{}
+	for _, f := range cfg.AcquireFns {
+		acquire[f] = true
+	}
+	release := map[string]bool{}
+	for _, f := range cfg.ReleaseFns {
+		release[f] = true
+	}
+
+	res := newResolver(p)
+	rep := &Report{
+		Accesses: map[Target][]Access{},
+		Verdicts: map[Target]Verdict{},
+	}
+
+	for _, f := range p.Funcs {
+		a := &analyzer{prog: p, res: res, rep: rep, fn: f.Name,
+			acquire: acquire, release: release, held: map[Lock]bool{}}
+		a.block(f.Body, false)
+	}
+
+	rep.classify()
+	return rep
+}
+
+type analyzer struct {
+	prog             *ast.Program
+	res              *resolver
+	rep              *Report
+	fn               string
+	acquire, release map[string]bool
+	held             map[Lock]bool
+}
+
+func (a *analyzer) heldSnapshot() []Lock {
+	out := make([]Lock, 0, len(a.held))
+	for l := range a.held {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+func (a *analyzer) record(t Target, write, atomic bool, pos ast.Pos) {
+	a.rep.Accesses[t] = append(a.rep.Accesses[t], Access{
+		Fn: a.fn, Pos: pos, Write: write, Atomic: atomic, Held: a.heldSnapshot(),
+	})
+}
+
+// targetsOf maps an access expression to targets.
+func (a *analyzer) targetsOf(e ast.Expr) []Target {
+	switch e := e.(type) {
+	case *ast.VarExpr:
+		if a.prog.FindGlobal(e.Name) != nil && !a.isLocal(e.Name) {
+			return []Target{{Global: e.Name}}
+		}
+	case *ast.FieldExpr:
+		base, ok := e.X.(*ast.VarExpr)
+		if !ok {
+			return nil
+		}
+		recs := a.res.recs(a.fn, base.Name)
+		if len(recs) == 0 {
+			// Unknown base: conservatively every record with the field.
+			var out []Target
+			for _, r := range a.prog.Records {
+				if r.FieldIndex(e.Field) >= 0 {
+					out = append(out, Target{Record: r.Name, Field: e.Field})
+				}
+			}
+			return out
+		}
+		var out []Target
+		for rec := range recs {
+			out = append(out, Target{Record: rec, Field: e.Field})
+		}
+		return out
+	}
+	return nil
+}
+
+func (a *analyzer) isLocal(name string) bool {
+	f := a.prog.FindFunc(a.fn)
+	if f == nil {
+		return false
+	}
+	for _, p := range f.Params {
+		if p == name {
+			return true
+		}
+	}
+	for _, l := range f.Locals {
+		if l.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// exprReads records read accesses in an expression tree.
+func (a *analyzer) exprReads(e ast.Expr, atomic bool) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.VarExpr:
+		for _, t := range a.targetsOf(e) {
+			a.record(t, false, atomic, e.Pos)
+		}
+	case *ast.FieldExpr:
+		a.exprReads(e.X, atomic)
+		for _, t := range a.targetsOf(e) {
+			a.record(t, false, atomic, e.Pos)
+		}
+	case *ast.DerefExpr:
+		a.exprReads(e.X, atomic)
+		// Reads through pointers are not tracked by the syntactic lockset
+		// analysis (one of its blind spots vs. KISS).
+	case *ast.AddrFieldExpr:
+		a.exprReads(e.X, atomic)
+	case *ast.UnaryExpr:
+		a.exprReads(e.X, atomic)
+	case *ast.BinaryExpr:
+		a.exprReads(e.X, atomic)
+		a.exprReads(e.Y, atomic)
+	case *ast.CallExpr:
+		for _, arg := range e.Args {
+			a.exprReads(arg, atomic)
+		}
+	case *ast.RaceCellExpr:
+		a.exprReads(e.X, atomic)
+	}
+}
+
+func (a *analyzer) block(b *ast.Block, atomic bool) {
+	for _, s := range b.Stmts {
+		a.stmt(s, atomic)
+	}
+}
+
+func (a *analyzer) stmt(s ast.Stmt, atomic bool) {
+	switch s := s.(type) {
+	case *ast.Block:
+		a.block(s, atomic)
+	case *ast.AssignStmt:
+		a.exprReads(s.Rhs, atomic)
+		switch l := s.Lhs.(type) {
+		case *ast.VarExpr, *ast.FieldExpr:
+			if fe, ok := l.(*ast.FieldExpr); ok {
+				a.exprReads(fe.X, atomic)
+			}
+			for _, t := range a.targetsOf(l.(ast.Expr)) {
+				a.record(t, true, atomic, s.Pos)
+			}
+		case *ast.DerefExpr:
+			a.exprReads(l.X, atomic)
+		}
+	case *ast.AssertStmt:
+		a.exprReads(s.Cond, atomic)
+	case *ast.AssumeStmt:
+		a.exprReads(s.Cond, atomic)
+	case *ast.AtomicStmt:
+		a.block(s.Body, true)
+	case *ast.BenignStmt:
+		// Benign-annotated accesses are exempt from race reporting, for
+		// parity with the KISS instrumentation.
+		a.skipBlock(s.Body, atomic)
+	case *ast.CallStmt:
+		a.call(s.Fn, s.Args, atomic, s.Pos)
+	case *ast.AsyncStmt:
+		for _, arg := range s.Args {
+			a.exprReads(arg, atomic)
+		}
+	case *ast.ReturnStmt:
+		a.exprReads(s.Value, atomic)
+	case *ast.IfStmt:
+		a.exprReads(s.Cond, atomic)
+		a.branchJoin([]*ast.Block{s.Then, s.Else}, atomic)
+	case *ast.WhileStmt:
+		a.exprReads(s.Cond, atomic)
+		a.branchJoin([]*ast.Block{s.Body}, atomic)
+	case *ast.ChoiceStmt:
+		a.branchJoin(s.Branches, atomic)
+	case *ast.IterStmt:
+		a.branchJoin([]*ast.Block{s.Body}, atomic)
+	}
+}
+
+// skipBlock records no accesses but still tracks lock operations inside a
+// benign region (the annotation exempts accesses, not synchronization).
+func (a *analyzer) skipBlock(b *ast.Block, atomic bool) {
+	ast.WalkStmts(b, func(s ast.Stmt) bool {
+		if c, ok := s.(*ast.CallStmt); ok {
+			a.lockOp(c.Fn, c.Args)
+		}
+		return true
+	})
+	_ = atomic
+}
+
+// branchJoin analyzes branches with copies of the current lockset and
+// joins by intersection (a lock counts as held after the statement only
+// if held on every path).
+func (a *analyzer) branchJoin(branches []*ast.Block, atomic bool) {
+	before := a.heldSnapshot()
+	var after []map[Lock]bool
+	for _, b := range branches {
+		a.held = map[Lock]bool{}
+		for _, l := range before {
+			a.held[l] = true
+		}
+		if b != nil {
+			a.block(b, atomic)
+		}
+		after = append(after, a.held)
+	}
+	joined := map[Lock]bool{}
+	if len(after) > 0 {
+		for l := range after[0] {
+			inAll := true
+			for _, m := range after[1:] {
+				if !m[l] {
+					inAll = false
+					break
+				}
+			}
+			if inAll {
+				joined[l] = true
+			}
+		}
+	}
+	a.held = joined
+}
+
+func (a *analyzer) call(fnExpr ast.Expr, args []ast.Expr, atomic bool, pos ast.Pos) {
+	if a.lockOp(fnExpr, args) {
+		return
+	}
+	for _, arg := range args {
+		a.exprReads(arg, atomic)
+	}
+	_ = pos
+}
+
+// lockOp updates the lockset if the call is an acquire or release;
+// reports whether it was one.
+func (a *analyzer) lockOp(fnExpr ast.Expr, args []ast.Expr) bool {
+	fl, ok := fnExpr.(*ast.FuncLit)
+	if !ok || len(args) != 1 {
+		return false
+	}
+	if a.acquire[fl.Name] {
+		if l, ok := a.res.lockOf(a.fn, args[0]); ok {
+			a.held[l] = true
+		}
+		return true
+	}
+	if a.release[fl.Name] {
+		if l, ok := a.res.lockOf(a.fn, args[0]); ok {
+			delete(a.held, l)
+		}
+		return true
+	}
+	return false
+}
+
+// classify computes verdicts from the collected accesses, Eraser-style:
+// for each target, intersect the locksets of all non-atomic accesses; if
+// there is a conflicting pair (>= 1 write, different functions or the
+// same function reachable twice) and the intersection is empty, the
+// target is Racy.
+func (r *Report) classify() {
+	for t, accs := range r.Accesses {
+		writes, reads := 0, 0
+		fns := map[string]bool{}
+		var candidate []Access
+		for _, a := range accs {
+			if a.Atomic {
+				continue // self-synchronized
+			}
+			candidate = append(candidate, a)
+			fns[a.Fn] = true
+			if a.Write {
+				writes++
+			} else {
+				reads++
+			}
+		}
+		switch {
+		case len(candidate) == 0 || writes == 0:
+			r.Verdicts[t] = Unshared
+			continue
+		case len(candidate) == 1:
+			r.Verdicts[t] = Unshared
+			continue
+		}
+		// Intersect locksets.
+		common := map[Lock]bool{}
+		for _, l := range candidate[0].Held {
+			common[l] = true
+		}
+		for _, a := range candidate[1:] {
+			next := map[Lock]bool{}
+			for _, l := range a.Held {
+				if common[l] {
+					next[l] = true
+				}
+			}
+			common = next
+		}
+		if len(common) > 0 {
+			r.Verdicts[t] = Protected
+		} else {
+			r.Verdicts[t] = Racy
+		}
+	}
+}
+
+// Format renders the report.
+func (r *Report) Format() string {
+	var b strings.Builder
+	var targets []Target
+	for t := range r.Verdicts {
+		targets = append(targets, t)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].String() < targets[j].String() })
+	for _, t := range targets {
+		fmt.Fprintf(&b, "%-32s %s (%d accesses)\n", t, r.Verdicts[t], len(r.Accesses[t]))
+	}
+	return b.String()
+}

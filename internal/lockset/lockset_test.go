@@ -1,0 +1,238 @@
+package lockset
+
+import (
+	"testing"
+
+	"repro/internal/parser"
+)
+
+func analyze(t *testing.T, src string) *Report {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Analyze(p, DefaultConfig)
+}
+
+const lockLib = `
+func KeAcquireSpinLock(l) { atomic { assume(*l == 0); *l = 1; } }
+func KeReleaseSpinLock(l) { atomic { *l = 0; } }
+`
+
+func verdictOf(t *testing.T, r *Report, target Target) Verdict {
+	t.Helper()
+	v, ok := r.Verdicts[target]
+	if !ok {
+		t.Fatalf("target %s not in report: %s", target, r.Format())
+	}
+	return v
+}
+
+func TestProtectedField(t *testing.T) {
+	r := analyze(t, lockLib+`
+record EXT { lock; count; }
+func a(e) {
+  KeAcquireSpinLock(&e->lock);
+  e->count = 1;
+  KeReleaseSpinLock(&e->lock);
+}
+func b(e) {
+  var v;
+  KeAcquireSpinLock(&e->lock);
+  v = e->count;
+  KeReleaseSpinLock(&e->lock);
+}
+func main() {
+  var e;
+  e = new EXT;
+  async a(e);
+  b(e);
+}
+`)
+	if v := verdictOf(t, r, Target{Record: "EXT", Field: "count"}); v != Protected {
+		t.Errorf("count: %v, want protected\n%s", v, r.Format())
+	}
+}
+
+func TestRacyField(t *testing.T) {
+	r := analyze(t, lockLib+`
+record EXT { lock; count; }
+func a(e) {
+  e->count = 1;     // unprotected write
+}
+func b(e) {
+  var v;
+  KeAcquireSpinLock(&e->lock);
+  v = e->count;
+  KeReleaseSpinLock(&e->lock);
+}
+func main() {
+  var e;
+  e = new EXT;
+  async a(e);
+  b(e);
+}
+`)
+	if v := verdictOf(t, r, Target{Record: "EXT", Field: "count"}); v != Racy {
+		t.Errorf("count: %v, want racy\n%s", v, r.Format())
+	}
+}
+
+func TestReadOnlyIsUnshared(t *testing.T) {
+	r := analyze(t, `
+record EXT { cfg; }
+func a(e) { var v; v = e->cfg; }
+func b(e) { var v; v = e->cfg; }
+func main() {
+  var e;
+  e = new EXT;
+  async a(e);
+  b(e);
+}
+`)
+	if v := verdictOf(t, r, Target{Record: "EXT", Field: "cfg"}); v != Unshared {
+		t.Errorf("cfg: %v, want unshared (read-only)", v)
+	}
+}
+
+func TestAtomicAccessesSelfSynchronized(t *testing.T) {
+	r := analyze(t, `
+var count;
+func a() { atomic { count = count + 1; } }
+func b() { atomic { count = count - 1; } }
+func main() { async a(); b(); }
+`)
+	if v := verdictOf(t, r, Target{Global: "count"}); v == Racy {
+		t.Errorf("atomic-only accesses reported racy\n%s", r.Format())
+	}
+}
+
+func TestGlobalLockProtectsGlobal(t *testing.T) {
+	r := analyze(t, lockLib+`
+var lock;
+var shared;
+func a() {
+  KeAcquireSpinLock(&lock);
+  shared = 1;
+  KeReleaseSpinLock(&lock);
+}
+func b() {
+  var v;
+  KeAcquireSpinLock(&lock);
+  v = shared;
+  KeReleaseSpinLock(&lock);
+}
+func main() { async a(); b(); }
+`)
+	if v := verdictOf(t, r, Target{Global: "shared"}); v != Protected {
+		t.Errorf("shared: %v, want protected\n%s", v, r.Format())
+	}
+}
+
+func TestDifferentLocksDoNotProtect(t *testing.T) {
+	r := analyze(t, lockLib+`
+var lock1;
+var lock2;
+var shared;
+func a() {
+  KeAcquireSpinLock(&lock1);
+  shared = 1;
+  KeReleaseSpinLock(&lock1);
+}
+func b() {
+  var v;
+  KeAcquireSpinLock(&lock2);
+  v = shared;
+  KeReleaseSpinLock(&lock2);
+}
+func main() { async a(); b(); }
+`)
+	if v := verdictOf(t, r, Target{Global: "shared"}); v != Racy {
+		t.Errorf("shared: %v, want racy (disjoint locksets)", v)
+	}
+}
+
+func TestBranchJoinIntersectsLocks(t *testing.T) {
+	// The lock is only acquired on one branch: after the join it must not
+	// count as held.
+	r := analyze(t, lockLib+`
+var lock;
+var cond;
+var shared;
+func a() {
+  if (cond == 1) {
+    KeAcquireSpinLock(&lock);
+  } else {
+    skip;
+  }
+  shared = 1;
+}
+func b() {
+  var v;
+  KeAcquireSpinLock(&lock);
+  v = shared;
+  KeReleaseSpinLock(&lock);
+}
+func main() { async a(); b(); }
+`)
+	if v := verdictOf(t, r, Target{Global: "shared"}); v != Racy {
+		t.Errorf("shared: %v, want racy (conditional acquire)", v)
+	}
+}
+
+func TestBenignAnnotationRespected(t *testing.T) {
+	r := analyze(t, lockLib+`
+record EXT { lock; OpenCount; }
+func a(e) {
+  KeAcquireSpinLock(&e->lock);
+  e->OpenCount = e->OpenCount + 1;
+  KeReleaseSpinLock(&e->lock);
+}
+func b(e) {
+  var v;
+  benign {
+    v = e->OpenCount;
+  }
+}
+func main() {
+  var e;
+  e = new EXT;
+  async a(e);
+  b(e);
+}
+`)
+	if v := verdictOf(t, r, Target{Record: "EXT", Field: "OpenCount"}); v == Racy {
+		t.Errorf("benign-annotated read still reported racy\n%s", r.Format())
+	}
+}
+
+// TestLocksetBlindSpotEvents documents the imprecision the paper
+// criticizes: an event-synchronized field is flagged racy by the lockset
+// discipline even though KISS proves it safe (the winmodel tests check
+// the latter).
+func TestLocksetBlindSpotEvents(t *testing.T) {
+	r := analyze(t, `
+func KeSetEvent(e) { atomic { *e = 1; } }
+func KeWaitForSingleObject(e) { assume(*e == 1); }
+record EXT { ev; data; }
+func producer(e) {
+  e->data = 42;
+  KeSetEvent(&e->ev);
+}
+func consumer(e) {
+  var v;
+  KeWaitForSingleObject(&e->ev);
+  v = e->data;
+}
+func main() {
+  var e;
+  e = new EXT;
+  async producer(e);
+  consumer(e);
+}
+`)
+	if v := verdictOf(t, r, Target{Record: "EXT", Field: "data"}); v != Racy {
+		t.Errorf("expected the lockset baseline to (spuriously) flag the event-synchronized field, got %v", v)
+	}
+}

@@ -1,0 +1,212 @@
+package lower
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+func lowered(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	Program(p)
+	if ok, why := IsCore(p); !ok {
+		t.Fatalf("lowered program not core: %s\n%s", why, ast.Print(p))
+	}
+	return p
+}
+
+func TestIfDesugarsToChoice(t *testing.T) {
+	p := lowered(t, `var x; func main() { if (x == 1) { x = 2; } else { x = 3; } }`)
+	main := p.FindFunc("main")
+	var choice *ast.ChoiceStmt
+	ast.WalkStmts(main.Body, func(s ast.Stmt) bool {
+		if c, ok := s.(*ast.ChoiceStmt); ok && choice == nil {
+			choice = c
+		}
+		if _, ok := s.(*ast.IfStmt); ok {
+			t.Error("IfStmt survived lowering")
+		}
+		return true
+	})
+	if choice == nil {
+		t.Fatal("no choice statement produced")
+	}
+	if len(choice.Branches) != 2 {
+		t.Fatalf("choice has %d branches, want 2", len(choice.Branches))
+	}
+	// Section 3: each branch begins with an assume.
+	for i, br := range choice.Branches {
+		if len(br.Stmts) == 0 {
+			t.Fatalf("branch %d empty", i)
+		}
+		if _, ok := br.Stmts[0].(*ast.AssumeStmt); !ok {
+			t.Errorf("branch %d starts with %T, want AssumeStmt", i, br.Stmts[0])
+		}
+	}
+}
+
+func TestWhileDesugarsToIter(t *testing.T) {
+	p := lowered(t, `var x; func main() { while (x < 5) { x = x + 1; } }`)
+	main := p.FindFunc("main")
+	var iter *ast.IterStmt
+	ast.WalkStmts(main.Body, func(s ast.Stmt) bool {
+		if it, ok := s.(*ast.IterStmt); ok {
+			iter = it
+		}
+		if _, ok := s.(*ast.WhileStmt); ok {
+			t.Error("WhileStmt survived lowering")
+		}
+		return true
+	})
+	if iter == nil {
+		t.Fatal("no iter produced")
+	}
+	// iter body starts with assume(cond); after the loop an assume(!cond).
+	if _, ok := iter.Body.Stmts[0].(*ast.AssumeStmt); !ok {
+		t.Errorf("iter body starts with %T, want AssumeStmt", iter.Body.Stmts[0])
+	}
+	last := main.Body.Stmts[len(main.Body.Stmts)-1]
+	as, ok := last.(*ast.AssumeStmt)
+	if !ok {
+		t.Fatalf("statement after iter is %T, want AssumeStmt", last)
+	}
+	if u, ok := as.Cond.(*ast.UnaryExpr); !ok || u.Op != "!" {
+		t.Errorf("post-loop assume is not negated: %s", ast.PrintExpr(as.Cond))
+	}
+}
+
+func TestNestedExpressionsFlattened(t *testing.T) {
+	p := lowered(t, `var a; var b; func main() { var x; x = (a + b) * (a - b) + 1; }`)
+	main := p.FindFunc("main")
+	// After lowering, each assignment RHS is at most one operator deep.
+	ast.WalkStmts(main.Body, func(s ast.Stmt) bool {
+		if as, ok := s.(*ast.AssignStmt); ok {
+			if bin, ok := as.Rhs.(*ast.BinaryExpr); ok {
+				if _, nested := bin.X.(*ast.BinaryExpr); nested {
+					t.Errorf("nested binary survived: %s", ast.PrintStmt(s))
+				}
+				if _, nested := bin.Y.(*ast.BinaryExpr); nested {
+					t.Errorf("nested binary survived: %s", ast.PrintStmt(s))
+				}
+			}
+		}
+		return true
+	})
+	if len(main.Locals) < 3 {
+		t.Errorf("expected fresh temporaries, locals = %v", main.Locals)
+	}
+}
+
+func TestCallInExpressionHoisted(t *testing.T) {
+	p := lowered(t, `
+func f(x) { return x; }
+func main() { var y; y = f(1) + f(2); }
+`)
+	main := p.FindFunc("main")
+	calls := 0
+	ast.WalkStmts(main.Body, func(s ast.Stmt) bool {
+		if _, ok := s.(*ast.CallStmt); ok {
+			calls++
+		}
+		return true
+	})
+	if calls != 2 {
+		t.Errorf("got %d hoisted call statements, want 2", calls)
+	}
+}
+
+func TestDeepLValueBasesFlattened(t *testing.T) {
+	p := lowered(t, `
+record R { f; next; }
+func main() {
+  var e;
+  e = new R;
+  e->next = new R;
+  (e->next)->f = 7;
+}
+`)
+	_ = p // IsCore in lowered() is the assertion
+}
+
+func TestAssumeKeepsShape(t *testing.T) {
+	// assume(*l == 0) must keep its dereference so blocking re-evaluates
+	// the lock word (the paper's lock_acquire idiom).
+	p := lowered(t, `
+var l;
+func main() {
+  var p;
+  p = &l;
+  atomic { assume(*p == 0); *p = 1; }
+}
+`)
+	main := p.FindFunc("main")
+	found := false
+	ast.WalkStmts(main.Body, func(s ast.Stmt) bool {
+		if as, ok := s.(*ast.AssumeStmt); ok {
+			if bin, ok := as.Cond.(*ast.BinaryExpr); ok {
+				if _, ok := bin.X.(*ast.DerefExpr); ok {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	if !found {
+		t.Errorf("assume condition lost its dereference:\n%s", ast.Print(p))
+	}
+}
+
+func TestAsyncArgumentsFlattened(t *testing.T) {
+	p := lowered(t, `
+func f(x) { return x; }
+func main() { var a; async f(a + 1); }
+`)
+	main := p.FindFunc("main")
+	ast.WalkStmts(main.Body, func(s ast.Stmt) bool {
+		if as, ok := s.(*ast.AsyncStmt); ok {
+			for _, arg := range as.Args {
+				switch arg.(type) {
+				case *ast.VarExpr, *ast.IntLit, *ast.BoolLit, *ast.FuncLit, *ast.NullLit:
+				default:
+					t.Errorf("async arg not an operand: %T", arg)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func TestIdempotent(t *testing.T) {
+	src := `
+record R { f; }
+var g;
+func f(x) { if (x > 0) { g = x; } return x; }
+func main() { var e; e = new R; e->f = f(g * 2 + 1); while (g < 3) { g = g + 1; } }
+`
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Program(p)
+	once := ast.Print(p)
+	Program(p)
+	twice := ast.Print(p)
+	if once != twice {
+		t.Errorf("lowering is not idempotent:\n--- once ---\n%s\n--- twice ---\n%s", once, twice)
+	}
+}
+
+func TestIsCoreRejectsSurface(t *testing.T) {
+	p, err := parser.Parse(`var x; func main() { if (x == 1) { skip; } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := IsCore(p); ok {
+		t.Error("IsCore accepted a program with if sugar")
+	}
+}

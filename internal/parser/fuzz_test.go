@@ -1,0 +1,64 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/lower"
+	"repro/internal/sema"
+)
+
+// FuzzParse drives the full front end with arbitrary inputs: the parser
+// must never panic, and any program it accepts must survive the whole
+// front-end pipeline (print/parse fixpoint, well-formedness stability,
+// lowering to core form).
+//
+// Run long with: go test -fuzz FuzzParse ./internal/parser
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"func main() { skip; }",
+		"record R { f; } var g; func main() { var e; e = new R; e->f = g; }",
+		"func main() { if (1 < 2) { skip; } else { skip; } }",
+		"func f(a, b) { return a + b; } func main() { var x; x = f(1, 2); }",
+		"func w() { return; } func main() { async w(); atomic { skip; } }",
+		"func main() { choice { { skip; } [] { skip; } } iter { skip; } }",
+		"func main() { benign { skip; } }",
+		"var l; func main() { atomic { assume(*(&l) == 0); } }",
+		"func main() { __ts_dispatch(); }",
+		"record DEVICE_EXTENSION { pendingIo; } func main() { var e; e = new DEVICE_EXTENSION; e->pendingIo = 1; }",
+		"func main() { while (true) { skip; } }",
+		"func main() { var x; x = -5 * (3 + 2) == 25 && !false || true; }",
+		"@#$%^&*",
+		"func main() { x = ; }",
+		"record R {",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		printed := ast.Print(p)
+		p2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted program does not reparse: %v\ninput: %q\nprinted:\n%s", err, src, printed)
+		}
+		printed2 := ast.Print(p2)
+		if printed != printed2 {
+			t.Fatalf("print/parse not a fixpoint\nfirst:\n%s\nsecond:\n%s", printed, printed2)
+		}
+		// Lowering must never panic on parsed programs, and its output
+		// must be core (lowering runs regardless of semantic validity, as
+		// in the production pipeline semantic checking runs first; here we
+		// only lower semantically valid programs).
+		if sema.Check(p2, sema.Source) == nil {
+			lower.Program(p2)
+			if ok, why := lower.IsCore(p2); !ok {
+				t.Fatalf("lowered program not core: %s", why)
+			}
+		}
+	})
+}

@@ -1,0 +1,769 @@
+// Package parser implements a recursive-descent parser for the concrete
+// syntax of the parallel language. The grammar follows Figure 3 of the KISS
+// paper, plus record/field/new extensions, if/while sugar, rich expressions
+// (hoisted to three-address form by package lower), and the __ts_*/
+// __race_cell spellings of the KISS intrinsics so that transformed programs
+// printed by ast.Print can be parsed back.
+package parser
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/lexer"
+)
+
+// Error is a syntax error with position information.
+type Error struct {
+	Pos ast.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Parse parses a complete program from source text. After parsing, bare
+// identifiers that name a declared function and are not shadowed by a
+// variable are resolved to function-name constants, so direct calls and
+// async targets may be written without the explicit '@' sigil.
+func Parse(src string) (*ast.Program, error) {
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.program()
+	if err != nil {
+		return nil, err
+	}
+	resolveFuncNames(prog)
+	return prog, nil
+}
+
+type parser struct {
+	toks []lexer.Token
+	pos  int
+	// locals of the function currently being parsed; `var` statements
+	// anywhere in the body are hoisted here.
+	curLocals *[]*ast.VarDecl
+	curSeen   map[string]bool
+}
+
+func (p *parser) cur() lexer.Token  { return p.toks[p.pos] }
+func (p *parser) peek() lexer.Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func (p *parser) next() lexer.Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(k lexer.Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) accept(k lexer.Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k lexer.Kind) (lexer.Token, error) {
+	if p.at(k) {
+		return p.next(), nil
+	}
+	return lexer.Token{}, p.errorf("expected %s, found %s", k, p.cur())
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &Error{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) program() (*ast.Program, error) {
+	prog := &ast.Program{}
+	for !p.at(lexer.EOF) {
+		switch p.cur().Kind {
+		case lexer.KwRecord:
+			r, err := p.record()
+			if err != nil {
+				return nil, err
+			}
+			prog.Records = append(prog.Records, r)
+		case lexer.KwVar:
+			g, err := p.varDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, g)
+		case lexer.KwFunc:
+			f, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, f)
+		default:
+			return nil, p.errorf("expected 'record', 'var' or 'func' at top level, found %s", p.cur())
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) record() (*ast.Record, error) {
+	kw := p.next() // 'record'
+	name, err := p.expect(lexer.IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.LBrace); err != nil {
+		return nil, err
+	}
+	r := &ast.Record{Name: name.Text, Pos: kw.Pos}
+	for !p.at(lexer.RBrace) {
+		f, err := p.expect(lexer.IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.Semi); err != nil {
+			return nil, err
+		}
+		r.Fields = append(r.Fields, f.Text)
+	}
+	p.next() // '}'
+	return r, nil
+}
+
+func (p *parser) varDecl() (*ast.VarDecl, error) {
+	kw := p.next() // 'var'
+	name, err := p.expect(lexer.IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.Semi); err != nil {
+		return nil, err
+	}
+	return &ast.VarDecl{Name: name.Text, Pos: kw.Pos}, nil
+}
+
+func (p *parser) funcDecl() (*ast.Func, error) {
+	kw := p.next() // 'func'
+	name, err := p.expect(lexer.IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.LParen); err != nil {
+		return nil, err
+	}
+	f := &ast.Func{Name: name.Text, Pos: kw.Pos}
+	for !p.at(lexer.RParen) {
+		if len(f.Params) > 0 {
+			if _, err := p.expect(lexer.Comma); err != nil {
+				return nil, err
+			}
+		}
+		param, err := p.expect(lexer.IDENT)
+		if err != nil {
+			return nil, err
+		}
+		f.Params = append(f.Params, param.Text)
+	}
+	p.next() // ')'
+
+	p.curLocals = &f.Locals
+	p.curSeen = map[string]bool{}
+	defer func() { p.curLocals = nil; p.curSeen = nil }()
+
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+func (p *parser) block() (*ast.Block, error) {
+	lb, err := p.expect(lexer.LBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &ast.Block{Pos: lb.Pos}
+	for !p.at(lexer.RBrace) {
+		if p.at(lexer.EOF) {
+			return nil, p.errorf("unexpected end of file in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil { // var decls hoist and produce no statement
+			b.Stmts = append(b.Stmts, s)
+		}
+	}
+	p.next() // '}'
+	return b, nil
+}
+
+func (p *parser) stmt() (ast.Stmt, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case lexer.KwVar:
+		d, err := p.varDecl()
+		if err != nil {
+			return nil, err
+		}
+		if p.curLocals == nil {
+			return nil, &Error{Pos: d.Pos, Msg: "variable declaration outside function"}
+		}
+		if !p.curSeen[d.Name] {
+			p.curSeen[d.Name] = true
+			*p.curLocals = append(*p.curLocals, d)
+		}
+		return nil, nil
+	case lexer.KwAssert, lexer.KwAssume:
+		p.next()
+		if _, err := p.expect(lexer.LParen); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.RParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.Semi); err != nil {
+			return nil, err
+		}
+		if tok.Kind == lexer.KwAssert {
+			return &ast.AssertStmt{Cond: e, Pos: tok.Pos}, nil
+		}
+		return &ast.AssumeStmt{Cond: e, Pos: tok.Pos}, nil
+	case lexer.KwAtomic:
+		p.next()
+		b, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.AtomicStmt{Body: b, Pos: tok.Pos}, nil
+	case lexer.KwBenign:
+		p.next()
+		b, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.BenignStmt{Body: b, Pos: tok.Pos}, nil
+	case lexer.KwAsync:
+		p.next()
+		fn, err := p.postfixExpr()
+		if err != nil {
+			return nil, err
+		}
+		call, ok := fn.(*ast.CallExpr)
+		if !ok {
+			return nil, &Error{Pos: tok.Pos, Msg: "async target must be a call f(args)"}
+		}
+		if _, err := p.expect(lexer.Semi); err != nil {
+			return nil, err
+		}
+		return &ast.AsyncStmt{Fn: call.Fn, Args: call.Args, Pos: tok.Pos}, nil
+	case lexer.KwReturn:
+		p.next()
+		if p.accept(lexer.Semi) {
+			return &ast.ReturnStmt{Pos: tok.Pos}, nil
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.Semi); err != nil {
+			return nil, err
+		}
+		return &ast.ReturnStmt{Value: e, Pos: tok.Pos}, nil
+	case lexer.KwIf:
+		return p.ifStmt()
+	case lexer.KwWhile:
+		p.next()
+		if _, err := p.expect(lexer.LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.RParen); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.WhileStmt{Cond: cond, Body: body, Pos: tok.Pos}, nil
+	case lexer.KwChoice:
+		p.next()
+		if _, err := p.expect(lexer.LBrace); err != nil {
+			return nil, err
+		}
+		c := &ast.ChoiceStmt{Pos: tok.Pos}
+		for {
+			b, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			c.Branches = append(c.Branches, b)
+			if !p.accept(lexer.ChoiceOr) {
+				break
+			}
+		}
+		if _, err := p.expect(lexer.RBrace); err != nil {
+			return nil, err
+		}
+		return c, nil
+	case lexer.KwIter:
+		p.next()
+		b, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.IterStmt{Body: b, Pos: tok.Pos}, nil
+	case lexer.KwSkip:
+		p.next()
+		if _, err := p.expect(lexer.Semi); err != nil {
+			return nil, err
+		}
+		return &ast.SkipStmt{Pos: tok.Pos}, nil
+	case lexer.LBrace:
+		return p.block()
+	}
+	return p.simpleStmt()
+}
+
+func (p *parser) ifStmt() (ast.Stmt, error) {
+	tok := p.next() // 'if'
+	if _, err := p.expect(lexer.LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.RParen); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	st := &ast.IfStmt{Cond: cond, Then: then, Pos: tok.Pos}
+	if p.accept(lexer.KwElse) {
+		if p.at(lexer.KwIf) {
+			elif, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = &ast.Block{Stmts: []ast.Stmt{elif}, Pos: elif.StmtPos()}
+		} else {
+			els, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+	}
+	return st, nil
+}
+
+// simpleStmt parses assignments, call statements, and the KISS intrinsic
+// statements, all of which begin with an expression.
+func (p *parser) simpleStmt() (ast.Stmt, error) {
+	tok := p.cur()
+	// Intrinsic statements are spelled as calls to reserved names.
+	if tok.Kind == lexer.IDENT && p.peek().Kind == lexer.LParen {
+		switch tok.Text {
+		case "__ts_dispatch":
+			p.next()
+			p.next()
+			if _, err := p.expect(lexer.RParen); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(lexer.Semi); err != nil {
+				return nil, err
+			}
+			return &ast.TsDispatchStmt{Pos: tok.Pos}, nil
+		case "__ts_put":
+			p.next()
+			p.next()
+			var args []ast.Expr
+			for !p.at(lexer.RParen) {
+				if len(args) > 0 {
+					if _, err := p.expect(lexer.Comma); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+			}
+			p.next() // ')'
+			if _, err := p.expect(lexer.Semi); err != nil {
+				return nil, err
+			}
+			if len(args) == 0 {
+				return nil, &Error{Pos: tok.Pos, Msg: "__ts_put requires a function argument"}
+			}
+			return &ast.TsPutStmt{Fn: args[0], Args: args[1:], Pos: tok.Pos}, nil
+		}
+	}
+
+	lhs, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(lexer.Assign) {
+		if !isLValue(lhs) {
+			return nil, &Error{Pos: lhs.ExprPos(), Msg: "left-hand side of assignment must be a variable, *p, or p->f"}
+		}
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.Semi); err != nil {
+			return nil, err
+		}
+		// `v = f(args);` at statement level becomes a call statement when
+		// the target is a plain variable; other lvalues go through lower.
+		if call, ok := rhs.(*ast.CallExpr); ok {
+			if v, ok := lhs.(*ast.VarExpr); ok {
+				return &ast.CallStmt{Result: v.Name, Fn: call.Fn, Args: call.Args, Pos: tok.Pos}, nil
+			}
+		}
+		return &ast.AssignStmt{Lhs: lhs, Rhs: rhs, Pos: tok.Pos}, nil
+	}
+	if _, err := p.expect(lexer.Semi); err != nil {
+		return nil, err
+	}
+	if call, ok := lhs.(*ast.CallExpr); ok {
+		return &ast.CallStmt{Fn: call.Fn, Args: call.Args, Pos: tok.Pos}, nil
+	}
+	return nil, &Error{Pos: tok.Pos, Msg: "expression statement must be a call"}
+}
+
+func isLValue(e ast.Expr) bool {
+	switch e.(type) {
+	case *ast.VarExpr, *ast.DerefExpr, *ast.FieldExpr:
+		return true
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (precedence climbing)
+// ---------------------------------------------------------------------------
+
+func (p *parser) expr() (ast.Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (ast.Expr, error) {
+	return p.binaryLevel([]lexer.Kind{lexer.OrOr}, map[lexer.Kind]string{lexer.OrOr: "||"}, p.andExpr)
+}
+
+func (p *parser) andExpr() (ast.Expr, error) {
+	return p.binaryLevel([]lexer.Kind{lexer.AndAnd}, map[lexer.Kind]string{lexer.AndAnd: "&&"}, p.eqExpr)
+}
+
+func (p *parser) eqExpr() (ast.Expr, error) {
+	return p.binaryLevel([]lexer.Kind{lexer.EqEq, lexer.NotEq},
+		map[lexer.Kind]string{lexer.EqEq: "==", lexer.NotEq: "!="}, p.relExpr)
+}
+
+func (p *parser) relExpr() (ast.Expr, error) {
+	return p.binaryLevel([]lexer.Kind{lexer.Lt, lexer.Le, lexer.Gt, lexer.Ge},
+		map[lexer.Kind]string{lexer.Lt: "<", lexer.Le: "<=", lexer.Gt: ">", lexer.Ge: ">="}, p.addExpr)
+}
+
+func (p *parser) addExpr() (ast.Expr, error) {
+	return p.binaryLevel([]lexer.Kind{lexer.Plus, lexer.Minus},
+		map[lexer.Kind]string{lexer.Plus: "+", lexer.Minus: "-"}, p.mulExpr)
+}
+
+func (p *parser) mulExpr() (ast.Expr, error) {
+	return p.binaryLevel([]lexer.Kind{lexer.Star},
+		map[lexer.Kind]string{lexer.Star: "*"}, p.unaryExpr)
+}
+
+func (p *parser) binaryLevel(kinds []lexer.Kind, ops map[lexer.Kind]string, sub func() (ast.Expr, error)) (ast.Expr, error) {
+	x, err := sub()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, k := range kinds {
+			if p.at(k) {
+				tok := p.next()
+				y, err := sub()
+				if err != nil {
+					return nil, err
+				}
+				x = &ast.BinaryExpr{Op: ops[k], X: x, Y: y, Pos: tok.Pos}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) unaryExpr() (ast.Expr, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case lexer.Bang:
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{Op: "!", X: x, Pos: tok.Pos}, nil
+	case lexer.Minus:
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := x.(*ast.IntLit); ok {
+			return &ast.IntLit{Value: -lit.Value, Pos: tok.Pos}, nil
+		}
+		return &ast.UnaryExpr{Op: "-", X: x, Pos: tok.Pos}, nil
+	case lexer.Star:
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.DerefExpr{X: x, Pos: tok.Pos}, nil
+	case lexer.Amp:
+		p.next()
+		x, err := p.postfixExpr()
+		if err != nil {
+			return nil, err
+		}
+		switch x := x.(type) {
+		case *ast.VarExpr:
+			return &ast.AddrOfExpr{Name: x.Name, Pos: tok.Pos}, nil
+		case *ast.FieldExpr:
+			return &ast.AddrFieldExpr{X: x.X, Field: x.Field, Pos: tok.Pos}, nil
+		}
+		return nil, &Error{Pos: tok.Pos, Msg: "'&' must be applied to a variable or p->f"}
+	}
+	return p.postfixExpr()
+}
+
+func (p *parser) postfixExpr() (ast.Expr, error) {
+	x, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(lexer.Arrow):
+			tok := p.next()
+			f, err := p.expect(lexer.IDENT)
+			if err != nil {
+				return nil, err
+			}
+			x = &ast.FieldExpr{X: x, Field: f.Text, Pos: tok.Pos}
+		case p.at(lexer.LParen):
+			tok := p.next()
+			var args []ast.Expr
+			for !p.at(lexer.RParen) {
+				if len(args) > 0 {
+					if _, err := p.expect(lexer.Comma); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+			}
+			p.next() // ')'
+			// Intrinsic expressions spelled as calls to reserved names.
+			if v, ok := x.(*ast.VarExpr); ok {
+				switch v.Name {
+				case "__ts_size":
+					x = &ast.TsSizeExpr{Pos: v.Pos}
+					continue
+				case "__race_cell":
+					if len(args) != 1 {
+						return nil, &Error{Pos: tok.Pos, Msg: "__race_cell takes exactly one argument"}
+					}
+					x = &ast.RaceCellExpr{X: args[0], Pos: v.Pos}
+					continue
+				}
+			}
+			x = &ast.CallExpr{Fn: x, Args: args, Pos: tok.Pos}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) primaryExpr() (ast.Expr, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case lexer.INT:
+		p.next()
+		return &ast.IntLit{Value: tok.Int, Pos: tok.Pos}, nil
+	case lexer.KwTrue:
+		p.next()
+		return &ast.BoolLit{Value: true, Pos: tok.Pos}, nil
+	case lexer.KwFalse:
+		p.next()
+		return &ast.BoolLit{Value: false, Pos: tok.Pos}, nil
+	case lexer.KwNull:
+		p.next()
+		return &ast.NullLit{Pos: tok.Pos}, nil
+	case lexer.KwNew:
+		p.next()
+		name, err := p.expect(lexer.IDENT)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.NewExpr{Record: name.Text, Pos: tok.Pos}, nil
+	case lexer.At:
+		p.next()
+		name, err := p.expect(lexer.IDENT)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.FuncLit{Name: name.Text, Pos: tok.Pos}, nil
+	case lexer.IDENT:
+		p.next()
+		return &ast.VarExpr{Name: tok.Text, Pos: tok.Pos}, nil
+	case lexer.LParen:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.RParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errorf("expected expression, found %s", tok)
+}
+
+// ---------------------------------------------------------------------------
+// Function-name resolution
+// ---------------------------------------------------------------------------
+
+// resolveFuncNames rewrites VarExpr nodes that reference a declared function
+// (and are not shadowed by a global, parameter, or local of the enclosing
+// function) into FuncLit constants. This lets source programs write direct
+// calls `f()` and `async f()` without the '@' sigil.
+func resolveFuncNames(p *ast.Program) {
+	funcs := map[string]bool{}
+	for _, f := range p.Funcs {
+		funcs[f.Name] = true
+	}
+	globals := map[string]bool{}
+	for _, g := range p.Globals {
+		globals[g.Name] = true
+	}
+	for _, f := range p.Funcs {
+		vars := map[string]bool{}
+		for _, param := range f.Params {
+			vars[param] = true
+		}
+		for _, l := range f.Locals {
+			vars[l.Name] = true
+		}
+		isFunc := func(name string) bool {
+			return funcs[name] && !vars[name] && !globals[name]
+		}
+		ast.WalkStmts(f.Body, func(s ast.Stmt) bool {
+			ast.WalkExprs(s, func(e ast.Expr) {})
+			rewriteStmtExprs(s, func(e ast.Expr) ast.Expr {
+				if v, ok := e.(*ast.VarExpr); ok && isFunc(v.Name) {
+					return &ast.FuncLit{Name: v.Name, Pos: v.Pos}
+				}
+				return e
+			})
+			return true
+		})
+	}
+}
+
+// rewriteStmtExprs applies fn bottom-up to every expression directly held
+// by s (not descending into nested statements, which WalkStmts visits).
+func rewriteStmtExprs(s ast.Stmt, fn func(ast.Expr) ast.Expr) {
+	rw := func(e ast.Expr) ast.Expr { return rewriteExpr(e, fn) }
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		// An assignment target that is a bare variable must stay a
+		// variable reference even when it collides with a function name —
+		// rewriting it to a function constant would make the statement
+		// unprintable/unparsable. (Semantic checking rejects the
+		// undeclared name.) Bases of *p and p->f targets are value reads
+		// and are rewritten normally.
+		if _, isVar := s.Lhs.(*ast.VarExpr); !isVar {
+			s.Lhs = rw(s.Lhs)
+		}
+		s.Rhs = rw(s.Rhs)
+	case *ast.AssertStmt:
+		s.Cond = rw(s.Cond)
+	case *ast.AssumeStmt:
+		s.Cond = rw(s.Cond)
+	case *ast.CallStmt:
+		s.Fn = rw(s.Fn)
+		for i := range s.Args {
+			s.Args[i] = rw(s.Args[i])
+		}
+	case *ast.AsyncStmt:
+		s.Fn = rw(s.Fn)
+		for i := range s.Args {
+			s.Args[i] = rw(s.Args[i])
+		}
+	case *ast.ReturnStmt:
+		if s.Value != nil {
+			s.Value = rw(s.Value)
+		}
+	case *ast.IfStmt:
+		s.Cond = rw(s.Cond)
+	case *ast.WhileStmt:
+		s.Cond = rw(s.Cond)
+	case *ast.TsPutStmt:
+		s.Fn = rw(s.Fn)
+		for i := range s.Args {
+			s.Args[i] = rw(s.Args[i])
+		}
+	}
+}
+
+func rewriteExpr(e ast.Expr, fn func(ast.Expr) ast.Expr) ast.Expr {
+	switch e := e.(type) {
+	case *ast.DerefExpr:
+		e.X = rewriteExpr(e.X, fn)
+	case *ast.FieldExpr:
+		e.X = rewriteExpr(e.X, fn)
+	case *ast.AddrFieldExpr:
+		e.X = rewriteExpr(e.X, fn)
+	case *ast.UnaryExpr:
+		e.X = rewriteExpr(e.X, fn)
+	case *ast.BinaryExpr:
+		e.X = rewriteExpr(e.X, fn)
+		e.Y = rewriteExpr(e.Y, fn)
+	case *ast.CallExpr:
+		e.Fn = rewriteExpr(e.Fn, fn)
+		for i := range e.Args {
+			e.Args[i] = rewriteExpr(e.Args[i], fn)
+		}
+	case *ast.RaceCellExpr:
+		e.X = rewriteExpr(e.X, fn)
+	}
+	return fn(e)
+}

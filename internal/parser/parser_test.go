@@ -1,0 +1,319 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+)
+
+func parse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v\nsource:\n%s", err, src)
+	}
+	return p
+}
+
+func TestParseDeclarations(t *testing.T) {
+	p := parse(t, `
+record R { a; b; }
+var g;
+var h;
+func main() { skip; }
+func f(x, y) { return x; }
+`)
+	if len(p.Records) != 1 || p.Records[0].Name != "R" || len(p.Records[0].Fields) != 2 {
+		t.Errorf("records parsed wrong: %+v", p.Records)
+	}
+	if len(p.Globals) != 2 {
+		t.Errorf("got %d globals, want 2", len(p.Globals))
+	}
+	if f := p.FindFunc("f"); f == nil || len(f.Params) != 2 {
+		t.Errorf("function f parsed wrong")
+	}
+}
+
+func TestLocalsHoisted(t *testing.T) {
+	p := parse(t, `func main() { var a; a = 1; if (a == 1) { var b; b = 2; } }`)
+	main := p.FindFunc("main")
+	if len(main.Locals) != 2 {
+		t.Fatalf("got locals %v, want a and b hoisted", main.Locals)
+	}
+}
+
+func TestStatementForms(t *testing.T) {
+	p := parse(t, `
+var g;
+func aux() { return; }
+func main() {
+  var x;
+  var p;
+  x = 1;
+  x = x + 2 * 3;
+  p = &g;
+  *p = 4;
+  g = *p;
+  assert(x == 7);
+  assume(g > 0);
+  atomic { g = 5; }
+  x = aux();
+  aux();
+  async aux();
+  if (x == 1) { skip; } else { skip; }
+  while (x < 3) { x = x + 1; }
+  choice { { x = 1; } [] { x = 2; } [] { skip; } }
+  iter { x = x + 1; }
+}
+`)
+	main := p.FindFunc("main")
+	var counts = map[string]int{}
+	ast.WalkStmts(main.Body, func(s ast.Stmt) bool {
+		switch s.(type) {
+		case *ast.AssignStmt:
+			counts["assign"]++
+		case *ast.AssertStmt:
+			counts["assert"]++
+		case *ast.AssumeStmt:
+			counts["assume"]++
+		case *ast.AtomicStmt:
+			counts["atomic"]++
+		case *ast.CallStmt:
+			counts["call"]++
+		case *ast.AsyncStmt:
+			counts["async"]++
+		case *ast.IfStmt:
+			counts["if"]++
+		case *ast.WhileStmt:
+			counts["while"]++
+		case *ast.ChoiceStmt:
+			counts["choice"]++
+		case *ast.IterStmt:
+			counts["iter"]++
+		}
+		return true
+	})
+	want := map[string]int{"assign": 10, "assert": 1, "assume": 1,
+		"atomic": 1, "call": 2, "async": 1, "if": 1, "while": 1, "choice": 1, "iter": 1}
+	for k, w := range want {
+		if counts[k] != w {
+			t.Errorf("%s statements: got %d, want %d", k, counts[k], w)
+		}
+	}
+	if c := p.FindFunc("main"); c == nil {
+		t.Fatal("no main")
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	p := parse(t, `var a; var b; var c; func main() { var x; x = a + b * c == a && true || false; }`)
+	main := p.FindFunc("main")
+	assign := main.Body.Stmts[0].(*ast.AssignStmt)
+	// ((a + (b*c)) == a && true) || false
+	or, ok := assign.Rhs.(*ast.BinaryExpr)
+	if !ok || or.Op != "||" {
+		t.Fatalf("top operator: %v, want ||", assign.Rhs)
+	}
+	and, ok := or.X.(*ast.BinaryExpr)
+	if !ok || and.Op != "&&" {
+		t.Fatalf("second operator: %v, want &&", or.X)
+	}
+	eq, ok := and.X.(*ast.BinaryExpr)
+	if !ok || eq.Op != "==" {
+		t.Fatalf("third operator: %v, want ==", and.X)
+	}
+	add, ok := eq.X.(*ast.BinaryExpr)
+	if !ok || add.Op != "+" {
+		t.Fatalf("fourth operator: %v, want +", eq.X)
+	}
+	if mul, ok := add.Y.(*ast.BinaryExpr); !ok || mul.Op != "*" {
+		t.Fatalf("fifth operator: %v, want *", add.Y)
+	}
+}
+
+func TestPointerAndFieldSyntax(t *testing.T) {
+	p := parse(t, `
+record R { f; }
+var g;
+func main() {
+  var e;
+  var q;
+  e = new R;
+  e->f = 1;
+  q = &e->f;
+  q = &g;
+  g = e->f;
+  g = *q;
+}
+`)
+	main := p.FindFunc("main")
+	s3 := main.Body.Stmts[2].(*ast.AssignStmt)
+	if _, ok := s3.Rhs.(*ast.AddrFieldExpr); !ok {
+		t.Errorf("&e->f parsed as %T, want AddrFieldExpr", s3.Rhs)
+	}
+	s4 := main.Body.Stmts[3].(*ast.AssignStmt)
+	if _, ok := s4.Rhs.(*ast.AddrOfExpr); !ok {
+		t.Errorf("&g parsed as %T, want AddrOfExpr", s4.Rhs)
+	}
+}
+
+func TestFuncNameResolution(t *testing.T) {
+	p := parse(t, `
+func helper() { return; }
+func main() {
+  var f;
+  f = helper;      // bare function name -> constant
+  f();             // indirect call
+  helper();        // direct call
+  async helper();
+}
+`)
+	main := p.FindFunc("main")
+	assign := main.Body.Stmts[0].(*ast.AssignStmt)
+	if fl, ok := assign.Rhs.(*ast.FuncLit); !ok || fl.Name != "helper" {
+		t.Errorf("bare function name resolved to %T, want FuncLit helper", assign.Rhs)
+	}
+	indirect := main.Body.Stmts[1].(*ast.CallStmt)
+	if _, ok := indirect.Fn.(*ast.VarExpr); !ok {
+		t.Errorf("f() target %T, want VarExpr (f is a local)", indirect.Fn)
+	}
+	direct := main.Body.Stmts[2].(*ast.CallStmt)
+	if fl, ok := direct.Fn.(*ast.FuncLit); !ok || fl.Name != "helper" {
+		t.Errorf("helper() target %T, want FuncLit", direct.Fn)
+	}
+}
+
+func TestShadowingBlocksResolution(t *testing.T) {
+	p := parse(t, `
+func helper() { return; }
+func main() {
+  var helper;
+  helper = 3;
+}
+`)
+	main := p.FindFunc("main")
+	assign := main.Body.Stmts[0].(*ast.AssignStmt)
+	if _, ok := assign.Lhs.(*ast.VarExpr); !ok {
+		t.Errorf("shadowed name resolved to %T, want VarExpr", assign.Lhs)
+	}
+}
+
+func TestAtSigilForcesFuncLit(t *testing.T) {
+	p := parse(t, `
+func f() { return; }
+func main() {
+  var v;
+  v = @f;
+}
+`)
+	main := p.FindFunc("main")
+	assign := main.Body.Stmts[0].(*ast.AssignStmt)
+	if fl, ok := assign.Rhs.(*ast.FuncLit); !ok || fl.Name != "f" {
+		t.Errorf("@f parsed as %T", assign.Rhs)
+	}
+}
+
+func TestIntrinsics(t *testing.T) {
+	p := parse(t, `
+func f() { return; }
+func main() {
+  var n;
+  var b;
+  __ts_put(@f);
+  __ts_dispatch();
+  n = __ts_size();
+  b = __race_cell(&n);
+}
+`)
+	main := p.FindFunc("main")
+	if _, ok := main.Body.Stmts[0].(*ast.TsPutStmt); !ok {
+		t.Errorf("stmt 0: %T, want TsPutStmt", main.Body.Stmts[0])
+	}
+	if _, ok := main.Body.Stmts[1].(*ast.TsDispatchStmt); !ok {
+		t.Errorf("stmt 1: %T, want TsDispatchStmt", main.Body.Stmts[1])
+	}
+	a2 := main.Body.Stmts[2].(*ast.AssignStmt)
+	if _, ok := a2.Rhs.(*ast.TsSizeExpr); !ok {
+		t.Errorf("stmt 2 rhs: %T, want TsSizeExpr", a2.Rhs)
+	}
+	a3 := main.Body.Stmts[3].(*ast.AssignStmt)
+	if _, ok := a3.Rhs.(*ast.RaceCellExpr); !ok {
+		t.Errorf("stmt 3 rhs: %T, want RaceCellExpr", a3.Rhs)
+	}
+}
+
+func TestElseIfChains(t *testing.T) {
+	p := parse(t, `
+var x;
+func main() {
+  if (x == 1) { x = 2; } else if (x == 2) { x = 3; } else { x = 4; }
+}
+`)
+	main := p.FindFunc("main")
+	ifst := main.Body.Stmts[0].(*ast.IfStmt)
+	if ifst.Else == nil || len(ifst.Else.Stmts) != 1 {
+		t.Fatal("else-if not parsed")
+	}
+	if _, ok := ifst.Else.Stmts[0].(*ast.IfStmt); !ok {
+		t.Fatalf("else branch holds %T, want nested IfStmt", ifst.Else.Stmts[0])
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []string{
+		`func main() { x = ; }`,
+		`func main() { if x { } }`,
+		`func main() { choice { } }`,
+		`func main() { async 3; }`,
+		`func main() { 1 + 2; }`,          // expression statement must be a call
+		`func main() { &x = 1; }`,         // invalid lvalue
+		`func main() { x = new; }`,        // new needs a record name
+		`func main() `,                    // missing body
+		`record R { f }`,                  // missing semicolon
+		`func main() { atomic skip; }`,    // atomic needs a block
+		`var x`,                           // missing semicolon
+		`func main() { skip; } garbage()`, // trailing junk
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): want syntax error", src)
+		}
+	}
+}
+
+// TestPrintParseRoundTrip: pretty-printing a parsed program and reparsing
+// yields the same printed form (printer/parser fixpoint).
+func TestPrintParseRoundTrip(t *testing.T) {
+	src := `
+record R { f; g; }
+var gl;
+func helper(a) {
+  var t;
+  t = a->f + 1;
+  if (t == 2) { gl = t; } else { gl = 0; }
+  while (t > 0) { t = t - 1; }
+  return t;
+}
+func main() {
+  var e;
+  var r;
+  e = new R;
+  atomic { gl = 1; }
+  choice { { r = helper(e); } [] { async helper(e); } }
+  iter { skip; }
+  assert(gl >= 0);
+  assume(true);
+}
+`
+	p1 := parse(t, src)
+	printed1 := ast.Print(p1)
+	p2 := parse(t, printed1)
+	printed2 := ast.Print(p2)
+	if printed1 != printed2 {
+		t.Errorf("print/parse not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", printed1, printed2)
+	}
+	if !strings.Contains(printed1, "async @helper(e)") && !strings.Contains(printed1, "async helper(e)") {
+		t.Errorf("printed program lost the async call:\n%s", printed1)
+	}
+}

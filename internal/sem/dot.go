@@ -1,0 +1,92 @@
+package sem
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DotCFG renders the control-flow graph of one compiled function in
+// Graphviz DOT format — developer tooling for inspecting what the KISS
+// instrumentation did to a function (`kiss cfg -fn <name> prog.pl`).
+//
+// Nodes are instruction indices labeled with the instruction text; edges
+// follow fallthrough, jump, and nondeterministic-jump structure. Atomic
+// blocks render as single nodes (their internal sub-program executes as
+// one step). A synthetic exit node collects returns and the implicit
+// end-of-code return.
+func DotCFG(c *Compiled, fn string) (string, error) {
+	cf, ok := c.Funcs[fn]
+	if !ok {
+		return "", fmt.Errorf("sem: no function %q", fn)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", fn)
+	b.WriteString("  node [shape=box, fontname=\"monospace\", fontsize=10];\n")
+	fmt.Fprintf(&b, "  entry [shape=oval, label=\"%s(%s)\"];\n",
+		fn, strings.Join(cf.Fn.Params, ", "))
+	b.WriteString("  exit [shape=oval, label=\"return\"];\n")
+
+	if len(cf.Code) == 0 {
+		b.WriteString("  entry -> exit;\n")
+		b.WriteString("}\n")
+		return b.String(), nil
+	}
+	fmt.Fprintf(&b, "  entry -> n0;\n")
+
+	for i := range cf.Code {
+		in := &cf.Code[i]
+		label := escapeDot(in.Text())
+		attrs := ""
+		switch in.Op {
+		case OpNondetJump:
+			label = "choice"
+			attrs = ", shape=diamond"
+		case OpJump:
+			label = "goto"
+			attrs = ", shape=point"
+		case OpAtomic:
+			label = fmt.Sprintf("atomic (%d ops)", len(in.Atomic))
+			attrs = ", style=bold"
+		case OpAssert:
+			attrs = ", color=red"
+		case OpAssume:
+			attrs = ", color=blue"
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%d: %s\"%s];\n", i, i, label, attrs)
+
+		switch in.Op {
+		case OpJump:
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", i, in.Targets[0])
+		case OpNondetJump:
+			for _, tgt := range in.Targets {
+				fmt.Fprintf(&b, "  n%d -> n%d [style=dashed];\n", i, tgt)
+			}
+		case OpReturn:
+			fmt.Fprintf(&b, "  n%d -> exit;\n", i)
+		default:
+			if i+1 < len(cf.Code) {
+				fmt.Fprintf(&b, "  n%d -> n%d;\n", i, i+1)
+			} else {
+				fmt.Fprintf(&b, "  n%d -> exit;\n", i)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String(), nil
+}
+
+// FunctionNames lists the compiled functions, sorted by declaration order
+// of the source program (generated helpers last, as emitted).
+func FunctionNames(c *Compiled) []string {
+	out := make([]string, 0, len(c.Prog.Funcs))
+	for _, f := range c.Prog.Funcs {
+		out = append(out, f.Name)
+	}
+	return out
+}
+
+func escapeDot(s string) string {
+	s = strings.ReplaceAll(s, "\\", "\\\\")
+	s = strings.ReplaceAll(s, "\"", "\\\"")
+	return s
+}

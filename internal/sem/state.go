@@ -1,0 +1,279 @@
+package sem
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Object is a heap-allocated record instance.
+type Object struct {
+	Rec    string // record type name
+	Fields []Value
+}
+
+// Pending is a forked-but-unscheduled thread in the ts multiset of the
+// sequential semantics (Section 4): a starting function plus the argument
+// values captured at fork time.
+type Pending struct {
+	Fn   string
+	Args []Value
+}
+
+func (p Pending) String() string {
+	parts := make([]string, len(p.Args))
+	for i, a := range p.Args {
+		parts[i] = a.String()
+	}
+	return p.Fn + "(" + strings.Join(parts, ",") + ")"
+}
+
+// Frame is one activation record.
+type Frame struct {
+	ID     int // unique within a state lineage; used for &local identity
+	CF     *CompiledFunc
+	PC     int
+	Locals []Value
+	// Result names the variable in the caller's scope that receives this
+	// frame's return value ("" if the call discards it).
+	Result string
+}
+
+// Thread is one thread of control: a stack of frames, top last. A thread
+// with no frames has terminated.
+type Thread struct {
+	ID     int
+	Frames []*Frame
+}
+
+// Top returns the active frame, or nil for a terminated thread.
+func (t *Thread) Top() *Frame {
+	if len(t.Frames) == 0 {
+		return nil
+	}
+	return t.Frames[len(t.Frames)-1]
+}
+
+// Done reports whether the thread has terminated.
+func (t *Thread) Done() bool { return len(t.Frames) == 0 }
+
+// State is a complete program configuration: global store, heap, all
+// threads, and (in the sequential semantics) the ts multiset.
+type State struct {
+	C       *Compiled // shared, immutable
+	Globals []Value
+	Heap    []*Object
+	Threads []*Thread
+	Ts      []Pending
+
+	nextFrameID  int
+	nextThreadID int
+}
+
+// NewState returns the initial state: globals zero-initialized, an empty
+// heap, and a single thread about to execute main.
+func NewState(c *Compiled) *State {
+	s := &State{C: c}
+	s.Globals = make([]Value, len(c.Globals))
+	for i := range s.Globals {
+		s.Globals[i] = IntV(0)
+	}
+	main := c.Funcs["main"]
+	s.Threads = []*Thread{{ID: 0, Frames: []*Frame{s.newFrame(main, nil, "")}}}
+	s.nextThreadID = 1
+	return s
+}
+
+func (s *State) newFrame(cf *CompiledFunc, args []Value, result string) *Frame {
+	f := &Frame{ID: s.nextFrameID, CF: cf, Locals: make([]Value, len(cf.Vars)), Result: result}
+	s.nextFrameID++
+	for i := range f.Locals {
+		if i < len(args) {
+			f.Locals[i] = args[i]
+		} else {
+			f.Locals[i] = IntV(0)
+		}
+	}
+	return f
+}
+
+// Clone returns a deep copy of s sharing only the immutable Compiled
+// program and instruction slices.
+func (s *State) Clone() *State {
+	n := &State{
+		C:            s.C,
+		Globals:      append([]Value(nil), s.Globals...),
+		nextFrameID:  s.nextFrameID,
+		nextThreadID: s.nextThreadID,
+	}
+	n.Heap = make([]*Object, len(s.Heap))
+	for i, o := range s.Heap {
+		n.Heap[i] = &Object{Rec: o.Rec, Fields: append([]Value(nil), o.Fields...)}
+	}
+	n.Threads = make([]*Thread, len(s.Threads))
+	for i, t := range s.Threads {
+		nt := &Thread{ID: t.ID, Frames: make([]*Frame, len(t.Frames))}
+		for j, fr := range t.Frames {
+			nt.Frames[j] = &Frame{
+				ID: fr.ID, CF: fr.CF, PC: fr.PC,
+				Locals: append([]Value(nil), fr.Locals...),
+				Result: fr.Result,
+			}
+		}
+		n.Threads[i] = nt
+	}
+	if len(s.Ts) > 0 {
+		n.Ts = make([]Pending, len(s.Ts))
+		for i, p := range s.Ts {
+			n.Ts[i] = Pending{Fn: p.Fn, Args: append([]Value(nil), p.Args...)}
+		}
+	}
+	return n
+}
+
+// findFrame locates a live frame by id across all threads (for CLocal
+// pointer access). Returns nil if the frame has been popped.
+func (s *State) findFrame(id int) *Frame {
+	for _, t := range s.Threads {
+		for _, fr := range t.Frames {
+			if fr.ID == id {
+				return fr
+			}
+		}
+	}
+	return nil
+}
+
+// AllDone reports whether every thread has terminated and (in the
+// sequential semantics) ts has been drained.
+func (s *State) AllDone() bool {
+	for _, t := range s.Threads {
+		if !t.Done() {
+			return false
+		}
+	}
+	return len(s.Ts) == 0
+}
+
+// fpEncoder canonicalizes a state into a string key. Heap objects are
+// renumbered in the order they are first reached from globals, thread
+// stacks, and ts, so states differing only in allocation history collide
+// as intended, and unreachable (garbage) objects are excluded. Frame ids
+// are canonicalized to (thread position, depth).
+type fpEncoder struct {
+	s          *State
+	objOrder   map[int]int // heap index -> canonical number
+	objList    []int       // heap indices in canonical order (worklist)
+	frameCanon map[int]int // frame id -> canonical number
+}
+
+func (e *fpEncoder) touchObj(idx int) int {
+	if n, ok := e.objOrder[idx]; ok {
+		return n
+	}
+	n := len(e.objOrder)
+	e.objOrder[idx] = n
+	e.objList = append(e.objList, idx)
+	return n
+}
+
+func (e *fpEncoder) val(b *strings.Builder, v Value) {
+	switch v.Kind {
+	case KInt:
+		fmt.Fprintf(b, "i%d,", v.I)
+	case KBool:
+		fmt.Fprintf(b, "b%d,", v.I)
+	case KFunc:
+		fmt.Fprintf(b, "f%s,", v.Fn)
+	case KNull:
+		b.WriteString("n,")
+	case KUnit:
+		b.WriteString("u,")
+	case KPtr:
+		c := v.Ptr
+		switch c.Kind {
+		case CGlobal:
+			fmt.Fprintf(b, "pg%d,", c.Idx)
+		case CHeapField:
+			fmt.Fprintf(b, "ph%d.%d,", e.touchObj(c.Idx), c.Field)
+		case CObject:
+			fmt.Fprintf(b, "po%d,", e.touchObj(c.Idx))
+		case CLocal:
+			if n, ok := e.frameCanon[c.FrameID]; ok {
+				fmt.Fprintf(b, "pl%d.%d,", n, c.Field)
+			} else {
+				fmt.Fprintf(b, "pl!.%d,", c.Field) // dangling
+			}
+		}
+	}
+}
+
+// Fingerprint returns a canonical encoding of the state, suitable as a
+// visited-set key.
+func (s *State) Fingerprint() string {
+	e := &fpEncoder{s: s, objOrder: map[int]int{}, frameCanon: map[int]int{}}
+	for ti, t := range s.Threads {
+		for d, fr := range t.Frames {
+			e.frameCanon[fr.ID] = ti<<16 | d
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString("G:")
+	for _, v := range s.Globals {
+		e.val(&b, v)
+	}
+	b.WriteString("T:")
+	for _, t := range s.Threads {
+		b.WriteString("[")
+		for _, fr := range t.Frames {
+			fmt.Fprintf(&b, "(%s@%d:", fr.CF.Fn.Name, fr.PC)
+			for _, v := range fr.Locals {
+				e.val(&b, v)
+			}
+			fmt.Fprintf(&b, "r%s)", fr.Result)
+		}
+		b.WriteString("]")
+	}
+
+	// ts is a multiset: canonicalize by sorting encoded entries. Note that
+	// encoding may touch (and thus canonically number) heap objects; the
+	// numbering depends only on first-reach order, and the per-entry
+	// encodings are sorted afterwards, so two states with the same
+	// multiset and same reachable heap produce equal keys as long as their
+	// entries reach objects in the same first-touch order. To make the
+	// ordering independent of ts slice order entirely, entries are first
+	// sorted by a structure-only key before encoding.
+	if len(s.Ts) > 0 {
+		order := make([]int, len(s.Ts))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, c int) bool {
+			return s.Ts[order[a]].String() < s.Ts[order[c]].String()
+		})
+		b.WriteString("S:")
+		for _, i := range order {
+			p := s.Ts[i]
+			fmt.Fprintf(&b, "%s(", p.Fn)
+			for _, a := range p.Args {
+				e.val(&b, a)
+			}
+			b.WriteString(")")
+		}
+	}
+
+	// Heap contents of reached objects in canonical order; serialization
+	// may discover further objects, so iterate as a worklist.
+	b.WriteString("H:")
+	for i := 0; i < len(e.objList); i++ {
+		idx := e.objList[i]
+		o := s.Heap[idx]
+		fmt.Fprintf(&b, "o%d=%s{", i, o.Rec)
+		for _, v := range o.Fields {
+			e.val(&b, v)
+		}
+		b.WriteString("}")
+	}
+	return b.String()
+}

@@ -1,0 +1,380 @@
+// Package sema checks well-formedness of parallel-language programs.
+//
+// Beyond ordinary scope and arity checking, it enforces the restriction of
+// Section 3 of the KISS paper: the body of an atomic statement must be free
+// of function calls (both synchronous and asynchronous), return statements,
+// and nested atomic statements. This restriction is what makes the
+// translation rule [[atomic{s}]] = schedule(); choice{skip [] RAISE}; s
+// correct — the body needs no internal instrumentation because no context
+// switch may occur inside it.
+package sema
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// Mode configures which checks apply.
+type Mode int
+
+const (
+	// Source checks a user-written concurrent program: KISS intrinsics
+	// (__ts_put, __ts_dispatch, __ts_size, __race_cell) are rejected.
+	Source Mode = iota
+	// Transformed checks a program produced by the KISS transformation:
+	// intrinsics are allowed, async and atomic are rejected (the output
+	// must be in the sequential fragment).
+	Transformed
+)
+
+// Error is a single well-formedness violation.
+type Error struct {
+	Pos ast.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList is a non-empty list of violations.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	msgs := make([]string, len(l))
+	for i, e := range l {
+		msgs[i] = e.Error()
+	}
+	return strings.Join(msgs, "\n")
+}
+
+// Check validates p under the given mode. It returns nil or an ErrorList.
+func Check(p *ast.Program, mode Mode) error {
+	c := &checker{prog: p, mode: mode}
+	c.program()
+	if len(c.errs) == 0 {
+		return nil
+	}
+	return c.errs
+}
+
+type checker struct {
+	prog *ast.Program
+	mode Mode
+	errs ErrorList
+
+	funcs   map[string]*ast.Func
+	globals map[string]bool
+	records map[string]*ast.Record
+	fields  map[string]bool // union of all record field names
+
+	// per-function state
+	vars     map[string]bool
+	inAtomic bool
+}
+
+func (c *checker) errorf(pos ast.Pos, format string, args ...any) {
+	c.errs = append(c.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (c *checker) program() {
+	p := c.prog
+	c.funcs = map[string]*ast.Func{}
+	c.globals = map[string]bool{}
+	c.records = map[string]*ast.Record{}
+	c.fields = map[string]bool{}
+
+	for _, r := range p.Records {
+		if _, dup := c.records[r.Name]; dup {
+			c.errorf(r.Pos, "duplicate record %q", r.Name)
+		}
+		c.records[r.Name] = r
+		seen := map[string]bool{}
+		for _, f := range r.Fields {
+			if seen[f] {
+				c.errorf(r.Pos, "duplicate field %q in record %q", f, r.Name)
+			}
+			seen[f] = true
+			c.fields[f] = true
+		}
+	}
+	for _, g := range p.Globals {
+		if c.globals[g.Name] {
+			c.errorf(g.Pos, "duplicate global %q", g.Name)
+		}
+		c.globals[g.Name] = true
+	}
+	for _, f := range p.Funcs {
+		if _, dup := c.funcs[f.Name]; dup {
+			c.errorf(f.Pos, "duplicate function %q", f.Name)
+		}
+		c.funcs[f.Name] = f
+		if c.globals[f.Name] {
+			c.errorf(f.Pos, "function %q collides with a global variable", f.Name)
+		}
+	}
+	if main, ok := c.funcs["main"]; !ok {
+		c.errorf(ast.Pos{}, "program has no main function")
+	} else if len(main.Params) != 0 {
+		c.errorf(main.Pos, "main must take no parameters")
+	}
+	if p.RaceTarget != nil {
+		t := p.RaceTarget
+		if t.Global != "" {
+			if !c.globals[t.Global] {
+				c.errorf(ast.Pos{}, "race target global %q is not declared", t.Global)
+			}
+		} else if r, ok := c.records[t.Record]; !ok {
+			c.errorf(ast.Pos{}, "race target record %q is not declared", t.Record)
+		} else if r.FieldIndex(t.Field) < 0 {
+			c.errorf(ast.Pos{}, "race target field %q not in record %q", t.Field, t.Record)
+		}
+	}
+
+	for _, f := range p.Funcs {
+		c.function(f)
+	}
+}
+
+func (c *checker) function(f *ast.Func) {
+	c.vars = map[string]bool{}
+	seen := map[string]bool{}
+	for _, param := range f.Params {
+		if seen[param] {
+			c.errorf(f.Pos, "function %q: duplicate parameter %q", f.Name, param)
+		}
+		seen[param] = true
+		c.vars[param] = true
+	}
+	for _, l := range f.Locals {
+		if seen[l.Name] {
+			c.errorf(l.Pos, "function %q: duplicate local %q", f.Name, l.Name)
+		}
+		seen[l.Name] = true
+		c.vars[l.Name] = true
+	}
+	c.inAtomic = false
+	c.block(f.Body)
+}
+
+func (c *checker) block(b *ast.Block) {
+	for _, s := range b.Stmts {
+		c.stmt(s)
+	}
+}
+
+func (c *checker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.Block:
+		c.block(s)
+
+	case *ast.AssignStmt:
+		switch l := s.Lhs.(type) {
+		case *ast.VarExpr:
+			c.varRef(l.Name, l.Pos)
+		case *ast.DerefExpr:
+			c.expr(l.X)
+		case *ast.FieldExpr:
+			c.expr(l.X)
+			c.fieldRef(l.Field, l.Pos)
+		default:
+			c.errorf(s.Pos, "invalid assignment target")
+		}
+		c.expr(s.Rhs)
+
+	case *ast.AssertStmt:
+		c.condExpr(s.Cond, "assert")
+
+	case *ast.AssumeStmt:
+		c.condExpr(s.Cond, "assume")
+
+	case *ast.AtomicStmt:
+		if c.mode == Transformed {
+			c.errorf(s.Pos, "atomic statement in transformed (sequential) program")
+		}
+		if c.inAtomic {
+			c.errorf(s.Pos, "nested atomic statement (Section 3 restriction)")
+		}
+		c.inAtomic = true
+		c.block(s.Body)
+		c.inAtomic = false
+
+	case *ast.BenignStmt:
+		if c.mode == Transformed {
+			c.errorf(s.Pos, "benign annotation in transformed program")
+		}
+		c.block(s.Body)
+
+	case *ast.CallStmt:
+		if c.inAtomic {
+			c.errorf(s.Pos, "function call inside atomic statement (Section 3 restriction)")
+		}
+		if s.Result != "" {
+			c.varRef(s.Result, s.Pos)
+		}
+		c.callTarget(s.Fn, s.Args, s.Pos, "call")
+
+	case *ast.AsyncStmt:
+		if c.mode == Transformed {
+			c.errorf(s.Pos, "async call in transformed (sequential) program")
+		}
+		if c.inAtomic {
+			c.errorf(s.Pos, "async call inside atomic statement (Section 3 restriction)")
+		}
+		c.callTarget(s.Fn, s.Args, s.Pos, "async call")
+
+	case *ast.ReturnStmt:
+		if c.inAtomic {
+			c.errorf(s.Pos, "return inside atomic statement (Section 3 restriction)")
+		}
+		if s.Value != nil {
+			c.expr(s.Value)
+		}
+
+	case *ast.IfStmt:
+		c.condExpr(s.Cond, "if")
+		c.block(s.Then)
+		if s.Else != nil {
+			c.block(s.Else)
+		}
+
+	case *ast.WhileStmt:
+		c.condExpr(s.Cond, "while")
+		c.block(s.Body)
+
+	case *ast.ChoiceStmt:
+		if len(s.Branches) == 0 {
+			c.errorf(s.Pos, "choice statement with no branches")
+		}
+		for _, b := range s.Branches {
+			c.block(b)
+		}
+
+	case *ast.IterStmt:
+		c.block(s.Body)
+
+	case *ast.SkipStmt:
+
+	case *ast.TsPutStmt:
+		if c.mode == Source {
+			c.errorf(s.Pos, "__ts_put intrinsic in source program")
+		}
+		c.callTarget(s.Fn, s.Args, s.Pos, "__ts_put")
+
+	case *ast.TsDispatchStmt:
+		if c.mode == Source {
+			c.errorf(s.Pos, "__ts_dispatch intrinsic in source program")
+		}
+
+	default:
+		c.errorf(s.StmtPos(), "unknown statement type %T", s)
+	}
+}
+
+func (c *checker) callTarget(fn ast.Expr, args []ast.Expr, pos ast.Pos, what string) {
+	switch fn := fn.(type) {
+	case *ast.FuncLit:
+		callee, ok := c.funcs[fn.Name]
+		if !ok {
+			c.errorf(fn.Pos, "%s of undefined function %q", what, fn.Name)
+		} else if len(args) != len(callee.Params) {
+			c.errorf(pos, "%s of %q with %d arguments, want %d", what, fn.Name, len(args), len(callee.Params))
+		}
+	case *ast.VarExpr:
+		c.varRef(fn.Name, fn.Pos)
+	default:
+		c.errorf(pos, "%s target must be a function name or variable", what)
+	}
+	for _, a := range args {
+		c.expr(a)
+	}
+}
+
+// condExpr checks a condition and rejects calls inside assume conditions
+// (they could not be re-evaluated while blocked).
+func (c *checker) condExpr(e ast.Expr, ctx string) {
+	if ctx == "assume" {
+		hasCall := false
+		stub := &ast.AssertStmt{Cond: e}
+		ast.WalkExprs(stub, func(x ast.Expr) {
+			if _, ok := x.(*ast.CallExpr); ok {
+				hasCall = true
+			}
+		})
+		if hasCall {
+			c.errorf(e.ExprPos(), "call inside assume condition (cannot be re-evaluated while blocked)")
+		}
+	}
+	c.expr(e)
+}
+
+func (c *checker) expr(e ast.Expr) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.IntLit, *ast.BoolLit, *ast.NullLit:
+	case *ast.FuncLit:
+		if _, ok := c.funcs[e.Name]; !ok {
+			c.errorf(e.Pos, "reference to undefined function %q", e.Name)
+		}
+	case *ast.VarExpr:
+		c.varRef(e.Name, e.Pos)
+	case *ast.AddrOfExpr:
+		c.varRef(e.Name, e.Pos)
+	case *ast.DerefExpr:
+		c.expr(e.X)
+	case *ast.FieldExpr:
+		c.expr(e.X)
+		c.fieldRef(e.Field, e.Pos)
+	case *ast.AddrFieldExpr:
+		c.expr(e.X)
+		c.fieldRef(e.Field, e.Pos)
+	case *ast.UnaryExpr:
+		if e.Op != "!" && e.Op != "-" {
+			c.errorf(e.Pos, "unknown unary operator %q", e.Op)
+		}
+		c.expr(e.X)
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case "+", "-", "*", "==", "!=", "<", "<=", ">", ">=", "&&", "||":
+		default:
+			c.errorf(e.Pos, "unknown binary operator %q", e.Op)
+		}
+		c.expr(e.X)
+		c.expr(e.Y)
+	case *ast.NewExpr:
+		if _, ok := c.records[e.Record]; !ok {
+			c.errorf(e.Pos, "new of undefined record %q", e.Record)
+		}
+	case *ast.CallExpr:
+		if c.inAtomic {
+			c.errorf(e.Pos, "function call inside atomic statement (Section 3 restriction)")
+		}
+		c.callTarget(e.Fn, e.Args, e.Pos, "call")
+	case *ast.TsSizeExpr:
+		if c.mode == Source {
+			c.errorf(e.Pos, "__ts_size intrinsic in source program")
+		}
+	case *ast.RaceCellExpr:
+		if c.mode == Source {
+			c.errorf(e.Pos, "__race_cell intrinsic in source program")
+		}
+		if c.prog.RaceTarget == nil {
+			c.errorf(e.Pos, "__race_cell used but program has no race target")
+		}
+		c.expr(e.X)
+	default:
+		c.errorf(e.ExprPos(), "unknown expression type %T", e)
+	}
+}
+
+func (c *checker) varRef(name string, pos ast.Pos) {
+	if !c.vars[name] && !c.globals[name] {
+		c.errorf(pos, "reference to undeclared variable %q", name)
+	}
+}
+
+func (c *checker) fieldRef(name string, pos ast.Pos) {
+	if !c.fields[name] {
+		c.errorf(pos, "reference to unknown field %q", name)
+	}
+}

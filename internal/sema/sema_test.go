@@ -1,0 +1,158 @@
+package sema
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+)
+
+func checkSrc(t *testing.T, src string, mode Mode) error {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Check(p, mode)
+}
+
+func TestValidProgram(t *testing.T) {
+	err := checkSrc(t, `
+record R { f; }
+var g;
+func helper(a) {
+  var t;
+  t = a->f;
+  atomic { g = t; assume(g == t); }
+  return t;
+}
+func main() {
+  var e;
+  e = new R;
+  async helper(e);
+  g = helper(e);
+}
+`, Source)
+	if err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+}
+
+func wantError(t *testing.T, src, fragment string) {
+	t.Helper()
+	err := checkSrc(t, src, Source)
+	if err == nil {
+		t.Errorf("accepted invalid program; want error containing %q\n%s", fragment, src)
+		return
+	}
+	if !strings.Contains(err.Error(), fragment) {
+		t.Errorf("error %q does not mention %q", err.Error(), fragment)
+	}
+}
+
+func TestMissingMain(t *testing.T) {
+	wantError(t, `func f() { return; }`, "no main")
+}
+
+func TestMainWithParams(t *testing.T) {
+	wantError(t, `func main(x) { return; }`, "no parameters")
+}
+
+func TestDuplicates(t *testing.T) {
+	wantError(t, `var g; var g; func main() { skip; }`, "duplicate global")
+	wantError(t, `func f() { return; } func f() { return; } func main() { skip; }`, "duplicate function")
+	wantError(t, `record R { f; f; } func main() { skip; }`, "duplicate field")
+	wantError(t, `func main() { skip; } func f(a, a) { return; }`, "duplicate parameter")
+	wantError(t, `record R { x; } record R { y; } func main() { skip; }`, "duplicate record")
+}
+
+func TestUndeclared(t *testing.T) {
+	wantError(t, `func main() { x = 1; }`, "undeclared variable")
+	wantError(t, `func main() { var x; x = y; }`, "undeclared variable")
+	wantError(t, `func main() { var x; x = new R; }`, "undefined record")
+	wantError(t, `var e; func main() { e = e->nosuch; }`, "unknown field")
+	wantError(t, `func main() { var f; f = @nosuch; }`, "undefined function")
+}
+
+// Section 3: "we also require that the statement s in atomic{s} is free of
+// function calls (both synchronous and asynchronous), return statements,
+// and nested atomic statements."
+func TestAtomicRestrictions(t *testing.T) {
+	wantError(t, `func f() { return; } func main() { atomic { f(); } }`, "call inside atomic")
+	wantError(t, `func f() { return; } func main() { atomic { async f(); } }`, "async call inside atomic")
+	wantError(t, `func main() { atomic { return; } }`, "return inside atomic")
+	wantError(t, `func main() { atomic { atomic { skip; } } }`, "nested atomic")
+}
+
+func TestAtomicAllowsAssumeAndChoice(t *testing.T) {
+	err := checkSrc(t, `
+var l;
+func main() {
+  atomic { assume(l == 0); l = 1; }
+  atomic { choice { { l = 0; } [] { l = 2; } } }
+}
+`, Source)
+	if err != nil {
+		t.Errorf("legal atomic bodies rejected: %v", err)
+	}
+}
+
+func TestArityChecking(t *testing.T) {
+	wantError(t, `func f(a, b) { return; } func main() { f(1); }`, "want 2")
+	wantError(t, `func f() { return; } func main() { async f(1); }`, "want 0")
+}
+
+func TestCallInAssumeRejected(t *testing.T) {
+	wantError(t, `func f() { return 1; } func main() { assume(f() == 1); }`, "assume")
+}
+
+func TestIntrinsicsRejectedInSource(t *testing.T) {
+	wantError(t, `func f() { return; } func main() { __ts_put(@f); }`, "__ts_put")
+	wantError(t, `func main() { __ts_dispatch(); }`, "__ts_dispatch")
+	wantError(t, `func main() { var n; n = __ts_size(); }`, "__ts_size")
+	wantError(t, `var g; func main() { var b; b = __race_cell(&g); }`, "__race_cell")
+}
+
+func TestTransformedModeRejectsConcurrency(t *testing.T) {
+	src := `func f() { return; } func main() { async f(); }`
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(p, Transformed); err == nil {
+		t.Error("Transformed mode accepted an async call")
+	}
+	src2 := `var g; func main() { atomic { g = 1; } }`
+	p2, err := parser.Parse(src2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(p2, Transformed); err == nil {
+		t.Error("Transformed mode accepted an atomic statement")
+	}
+}
+
+func TestEmptyChoiceRejected(t *testing.T) {
+	// The parser cannot produce an empty choice, so construct it level.
+	p, err := parser.Parse(`func main() { skip; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(p, Source); err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+}
+
+func TestErrorListAggregates(t *testing.T) {
+	err := checkSrc(t, `func main() { x = 1; y = 2; }`, Source)
+	if err == nil {
+		t.Fatal("want errors")
+	}
+	list, ok := err.(ErrorList)
+	if !ok {
+		t.Fatalf("error type %T, want ErrorList", err)
+	}
+	if len(list) < 2 {
+		t.Errorf("got %d errors, want at least 2 (both x and y)", len(list))
+	}
+}

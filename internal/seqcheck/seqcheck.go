@@ -1,0 +1,168 @@
+// Package seqcheck is an explicit-state model checker for the *sequential*
+// fragment of the parallel language — the role SLAM plays in the KISS
+// architecture (Figure 1). It understands only sequential semantics: one
+// thread, nondeterminism from choice/iter, and the ts intrinsics introduced
+// by the KISS transformation. It never interleaves threads.
+//
+// The checker performs depth-first reachability over canonical state
+// fingerprints with configurable state/step budgets (the paper runs SLAM
+// under "a resource bound of 20 minutes of CPU time and 800MB of memory";
+// our budgets play the same role in the Table 1 experiments). On error it
+// returns the full counterexample trace, which package trace maps back to
+// an interleaved execution of the original concurrent program.
+package seqcheck
+
+import (
+	"fmt"
+
+	"repro/internal/sem"
+)
+
+// Verdict is the outcome of a check.
+type Verdict int
+
+const (
+	// Safe: the reachable state space was exhausted without any failure.
+	Safe Verdict = iota
+	// Error: an assertion failure or runtime error is reachable.
+	Error
+	// ResourceBound: the state or step budget was exhausted first — the
+	// analogue of the paper's per-field timeouts in Table 1.
+	ResourceBound
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Safe:
+		return "safe"
+	case Error:
+		return "error"
+	default:
+		return "resource-bound"
+	}
+}
+
+// Options configure the search budgets. Zero values mean "unlimited".
+type Options struct {
+	MaxStates int // distinct states explored
+	MaxSteps  int // total transitions executed
+	MaxDepth  int // maximum trace length considered
+	// BFS switches the search to breadth-first order, which makes the
+	// returned counterexample a *shortest* error trace. DFS (the default)
+	// is faster to a first error and uses less frontier memory.
+	BFS bool
+}
+
+// Result reports the verdict along with the witness trace and search
+// statistics.
+type Result struct {
+	Verdict Verdict
+	Failure *sem.Failure
+	// Trace is the event sequence from the initial state to the failing
+	// statement (Error verdicts only).
+	Trace  []sem.Event
+	States int
+	Steps  int
+}
+
+func (r *Result) String() string {
+	switch r.Verdict {
+	case Error:
+		return fmt.Sprintf("error: %s (states=%d steps=%d)", r.Failure, r.States, r.Steps)
+	case Safe:
+		return fmt.Sprintf("safe (states=%d steps=%d)", r.States, r.Steps)
+	default:
+		return fmt.Sprintf("resource bound exhausted (states=%d steps=%d)", r.States, r.Steps)
+	}
+}
+
+type node struct {
+	parent *node
+	event  sem.Event
+	depth  int
+}
+
+func (n *node) trace() []sem.Event {
+	var rev []sem.Event
+	for cur := n; cur != nil && cur.parent != nil; cur = cur.parent {
+		rev = append(rev, cur.event)
+	}
+	out := make([]sem.Event, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// Check explores the sequential program compiled in c. The program must be
+// in the sequential fragment (no async, no atomic); transformed programs
+// produced by the KISS translation always are.
+func Check(c *sem.Compiled, opts Options) *Result {
+	res := &Result{}
+	init := sem.NewState(c)
+	visited := map[string]bool{init.Fingerprint(): true}
+
+	type frame struct {
+		st *sem.State
+		nd *node
+	}
+	stack := []frame{{st: init, nd: &node{}}}
+	res.States = 1
+
+	for len(stack) > 0 {
+		var cur frame
+		if opts.BFS {
+			cur = stack[0]
+			stack = stack[1:]
+		} else {
+			cur = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		}
+
+		if cur.st.Threads[0].Done() {
+			continue
+		}
+		if opts.MaxDepth > 0 && cur.nd.depth >= opts.MaxDepth {
+			continue
+		}
+		if opts.MaxSteps > 0 && res.Steps >= opts.MaxSteps {
+			res.Verdict = ResourceBound
+			return res
+		}
+
+		sr := sem.Step(cur.st, 0)
+		res.Steps++
+		if sr.Failure != nil {
+			res.Verdict = Error
+			res.Failure = sr.Failure
+			failEv := sem.Event{
+				Kind:     sem.EvStmt,
+				ThreadID: sr.Failure.ThreadID,
+				Fn:       sr.Failure.Fn,
+				Pos:      sr.Failure.Pos,
+				Text:     sr.Failure.Msg,
+			}
+			res.Trace = append(cur.nd.trace(), failEv)
+			return res
+		}
+		// Blocked (false assume) prunes the path in sequential semantics.
+		for _, out := range sr.Outcomes {
+			fp := out.State.Fingerprint()
+			if visited[fp] {
+				continue
+			}
+			visited[fp] = true
+			res.States++
+			if opts.MaxStates > 0 && res.States > opts.MaxStates {
+				res.Verdict = ResourceBound
+				return res
+			}
+			stack = append(stack, frame{
+				st: out.State,
+				nd: &node{parent: cur.nd, event: out.Event, depth: cur.nd.depth + 1},
+			})
+		}
+	}
+	res.Verdict = Safe
+	return res
+}

@@ -1,0 +1,262 @@
+package seqcheck
+
+import (
+	"testing"
+
+	"repro/internal/lower"
+	"repro/internal/parser"
+	"repro/internal/sem"
+)
+
+func compile(t *testing.T, src string, maxTS int) *sem.Compiled {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p.MaxTS = maxTS
+	lower.Program(p)
+	c, err := sem.Compile(p)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return c
+}
+
+func TestSafeProgram(t *testing.T) {
+	c := compile(t, `
+var x;
+func main() {
+  x = 1;
+  choice { { x = x + 1; } [] { x = x + 2; } }
+  assert(x > 1);
+}
+`, 0)
+	r := Check(c, Options{})
+	if r.Verdict != Safe {
+		t.Fatalf("want safe, got %v", r)
+	}
+	if r.States < 4 {
+		t.Errorf("implausibly few states: %d", r.States)
+	}
+}
+
+func TestAssertionViolationWithTrace(t *testing.T) {
+	c := compile(t, `
+var x;
+func main() {
+  x = 0;
+  choice { { x = 1; } [] { x = 2; } }
+  assert(x != 2);
+}
+`, 0)
+	r := Check(c, Options{})
+	if r.Verdict != Error {
+		t.Fatalf("want error, got %v", r)
+	}
+	if r.Failure == nil || r.Failure.Kind != sem.AssertFail {
+		t.Fatalf("failure: %v", r.Failure)
+	}
+	if len(r.Trace) == 0 {
+		t.Fatal("no counterexample trace")
+	}
+	// The trace must end at the failing assert.
+	last := r.Trace[len(r.Trace)-1]
+	if last.Pos != r.Failure.Pos {
+		t.Errorf("trace ends at %v, failure at %v", last.Pos, r.Failure.Pos)
+	}
+}
+
+func TestBlockedAssumePrunesPath(t *testing.T) {
+	c := compile(t, `
+func main() {
+  assume(false);
+  assert(false);
+}
+`, 0)
+	r := Check(c, Options{})
+	if r.Verdict != Safe {
+		t.Fatalf("assume(false) must prune the failing path, got %v", r)
+	}
+}
+
+func TestStateDeduplication(t *testing.T) {
+	// Without fingerprint dedup this loop would explore forever; with it,
+	// the state space is 3 values of x times a few PCs.
+	c := compile(t, `
+var x;
+func main() {
+  x = 0;
+  iter {
+    choice { { x = 0; } [] { x = 1; } [] { x = 2; } }
+  }
+}
+`, 0)
+	r := Check(c, Options{MaxSteps: 100000})
+	if r.Verdict != Safe {
+		t.Fatalf("want safe, got %v", r)
+	}
+	if r.States > 100 {
+		t.Errorf("dedup ineffective: %d states", r.States)
+	}
+}
+
+func TestMaxStatesBudget(t *testing.T) {
+	c := compile(t, `
+var x;
+func main() {
+  x = 0;
+  iter { assume(x < 100000); x = x + 1; }
+}
+`, 0)
+	r := Check(c, Options{MaxStates: 500})
+	if r.Verdict != ResourceBound {
+		t.Fatalf("want resource-bound, got %v", r)
+	}
+	if r.States < 500 {
+		t.Errorf("stopped at %d states, budget 500", r.States)
+	}
+}
+
+func TestMaxStepsBudget(t *testing.T) {
+	c := compile(t, `
+var x;
+func main() {
+  x = 0;
+  iter { assume(x < 100000); x = x + 1; }
+}
+`, 0)
+	r := Check(c, Options{MaxSteps: 200})
+	if r.Verdict != ResourceBound {
+		t.Fatalf("want resource-bound, got %v", r)
+	}
+}
+
+func TestMaxDepthPrunes(t *testing.T) {
+	// The bug sits 50 steps deep; a shallow depth bound misses it (and
+	// reports Safe, since depth pruning is a coverage cut, not a budget).
+	c := compile(t, `
+var x;
+func main() {
+  x = 0;
+  iter { assume(x < 50); x = x + 1; }
+  assert(x < 50);
+}
+`, 0)
+	deep := Check(c, Options{})
+	if deep.Verdict != Error {
+		t.Fatalf("unbounded: want error, got %v", deep)
+	}
+	shallow := Check(c, Options{MaxDepth: 10})
+	if shallow.Verdict != Safe {
+		t.Fatalf("depth-bounded: want safe (bug beyond horizon), got %v", shallow)
+	}
+}
+
+func TestRuntimeErrorReported(t *testing.T) {
+	c := compile(t, `
+var p;
+func main() {
+  var x;
+  p = null;
+  x = *p;
+}
+`, 0)
+	r := Check(c, Options{})
+	if r.Verdict != Error || r.Failure.Kind != sem.RuntimeFail {
+		t.Fatalf("want runtime error, got %v", r)
+	}
+}
+
+func TestTsDrainSemantics(t *testing.T) {
+	// Dispatching from ts is part of the sequential semantics: the bug is
+	// reachable only by running the pending function.
+	c := compile(t, `
+var x;
+func f() { x = 1; }
+func main() {
+  x = 0;
+  __ts_put(@f);
+  __ts_dispatch();
+  assert(x == 0);
+}
+`, 1)
+	r := Check(c, Options{})
+	if r.Verdict != Error {
+		t.Fatalf("want error via dispatched pending call, got %v", r)
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	c := compile(t, `
+var x;
+func main() {
+  x = 0;
+  choice { { x = 1; } [] { x = 2; } [] { x = 3; } }
+  iter { assume(x < 6); x = x + 1; }
+}
+`, 0)
+	r1 := Check(c, Options{})
+	r2 := Check(c, Options{})
+	if r1.Verdict != r2.Verdict || r1.States != r2.States || r1.Steps != r2.Steps {
+		t.Errorf("nondeterministic checker: %v vs %v", r1, r2)
+	}
+}
+
+func TestBFSFindsShortestCounterexample(t *testing.T) {
+	// Two paths to failure: a long loop-unwinding one and a direct one.
+	// BFS must return the direct (shortest) trace.
+	c := compile(t, `
+var x;
+func main() {
+  x = 0;
+  choice {
+    {
+      iter { assume(x < 20); x = x + 1; }
+      assume(x == 20);
+      assert(false);
+    }
+  []
+    {
+      assert(false);
+    }
+  }
+}
+`, 0)
+	bfs := Check(c, Options{BFS: true})
+	if bfs.Verdict != Error {
+		t.Fatalf("BFS: want error, got %v", bfs)
+	}
+	dfs := Check(c, Options{})
+	if dfs.Verdict != Error {
+		t.Fatalf("DFS: want error, got %v", dfs)
+	}
+	if len(bfs.Trace) > len(dfs.Trace) {
+		t.Errorf("BFS trace (%d events) longer than DFS trace (%d events)", len(bfs.Trace), len(dfs.Trace))
+	}
+	// The shortest failing path takes the second branch immediately:
+	// x=0, nondet, assert — at most a handful of events.
+	if len(bfs.Trace) > 6 {
+		t.Errorf("BFS trace has %d events, expected a short direct path:\n%v", len(bfs.Trace), bfs.Trace)
+	}
+}
+
+func TestBFSAndDFSAgreeOnVerdicts(t *testing.T) {
+	srcs := []string{
+		`var x; func main() { x = 1; assert(x == 1); }`,
+		`var x; func main() { choice { { x = 1; } [] { x = 2; } } assert(x == 1); }`,
+		`var x; func main() { x = 0; iter { assume(x < 5); x = x + 1; } assert(x <= 5); }`,
+	}
+	for i, src := range srcs {
+		c := compile(t, src, 0)
+		d := Check(c, Options{})
+		b := Check(c, Options{BFS: true})
+		if d.Verdict != b.Verdict {
+			t.Errorf("program %d: DFS %v, BFS %v", i, d.Verdict, b.Verdict)
+		}
+		if d.States != b.States && d.Verdict == Safe {
+			t.Errorf("program %d: safe verdicts must explore equal state counts (DFS %d, BFS %d)",
+				i, d.States, b.States)
+		}
+	}
+}

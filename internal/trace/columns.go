@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FormatColumns renders the trace as an interleaving diagram, one column
+// per thread — the layout concurrency papers use for error traces, which
+// makes the context-switch structure visible at a glance:
+//
+//	T0 main                  | T1 BCSP_PnpStop
+//	------------------------ + ------------------------
+//	18:3  call BCSP_PnpAdd   |
+//	                         | 32:3  e->stoppingFlag = 1
+//	23:3  status = ...       |
+func (t *Trace) FormatColumns() string {
+	if len(t.Steps) == 0 {
+		return "(empty trace)\n"
+	}
+
+	// Stable column order: thread ids ascending.
+	idSet := map[int]bool{}
+	for _, s := range t.Steps {
+		idSet[s.ThreadID] = true
+	}
+	ids := make([]int, 0, len(idSet))
+	for id := range idSet {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	col := map[int]int{}
+	for i, id := range ids {
+		col[id] = i
+	}
+
+	// Column headers: thread id plus the first function seen on it.
+	firstFn := map[int]string{}
+	for _, s := range t.Steps {
+		if _, ok := firstFn[s.ThreadID]; !ok && s.Func != "" {
+			firstFn[s.ThreadID] = s.Func
+		}
+	}
+
+	const width = 34
+	clip := func(s string) string {
+		if len(s) > width-2 {
+			return s[:width-5] + "..."
+		}
+		return s
+	}
+	pad := func(s string) string {
+		if len(s) < width {
+			return s + strings.Repeat(" ", width-len(s))
+		}
+		return s
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "interleaving diagram (%d threads, %d context switches):\n",
+		t.Threads, t.ContextSwitches)
+	headers := make([]string, len(ids))
+	for i, id := range ids {
+		headers[i] = pad(clip(fmt.Sprintf("T%d %s", id, firstFn[id])))
+	}
+	b.WriteString(strings.Join(headers, "| "))
+	b.WriteString("\n")
+	rule := make([]string, len(ids))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", width)
+	}
+	b.WriteString(strings.Join(rule, "+-"))
+	b.WriteString("\n")
+
+	for _, s := range t.Steps {
+		cells := make([]string, len(ids))
+		for i := range cells {
+			cells[i] = pad("")
+		}
+		text := s.Text
+		if s.Pos.IsValid() {
+			text = fmt.Sprintf("%-7s %s", s.Pos.String(), s.Text)
+		}
+		cells[col[s.ThreadID]] = pad(clip(text))
+		b.WriteString(strings.Join(cells, "| "))
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/lower"
+	"repro/internal/parser"
+	"repro/internal/sem"
+)
+
+func compileOriginal(t *testing.T, src string) *sem.Compiled {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	lower.Program(p)
+	c, err := sem.Compile(p)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return c
+}
+
+func TestScheduleCollapsesRuns(t *testing.T) {
+	tr := &Trace{Steps: []Step{
+		{ThreadID: 0}, {ThreadID: 0}, {ThreadID: 1}, {ThreadID: 1}, {ThreadID: 0},
+	}}
+	got := tr.Schedule()
+	want := []int{0, 1, 0}
+	if len(got) != len(want) {
+		t.Fatalf("schedule %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("schedule %v, want %v", got, want)
+		}
+	}
+}
+
+// TestReplayCertifiesReconstructedTrace: end to end — KISS finds a bug,
+// the trace is reconstructed, and the original concurrent program
+// replayed along the reconstructed schedule reaches the failure.
+func TestReplayCertifiesReconstructedTrace(t *testing.T) {
+	events := checkSeq(t, forkSrc, 2)
+	tr := Reconstruct(events)
+	sched := tr.Schedule()
+	if len(sched) < 2 {
+		t.Fatalf("suspicious schedule %v for an interleaved bug", sched)
+	}
+	c := compileOriginal(t, forkSrc)
+	rr := Replay(c, sched, 200000)
+	if !rr.Certified {
+		t.Fatalf("reconstructed schedule %v does not replay to a failure (%d states explored)",
+			sched, rr.States)
+	}
+	if rr.Failure == nil || rr.Failure.Kind != sem.AssertFail {
+		t.Errorf("replay failure: %v", rr.Failure)
+	}
+}
+
+// TestReplayRejectsWrongSchedule: a schedule that never runs the forked
+// threads cannot reach the failure.
+func TestReplayRejectsWrongSchedule(t *testing.T) {
+	c := compileOriginal(t, forkSrc)
+	rr := Replay(c, []int{0}, 200000)
+	if rr.Certified {
+		t.Fatal("main-only schedule certified an interleaved bug")
+	}
+}
+
+// TestReplaySafeProgramNeverCertifies.
+func TestReplaySafeProgramNeverCertifies(t *testing.T) {
+	src := `
+var x;
+func f() { x = 1; }
+func main() { x = 0; async f(); }
+`
+	c := compileOriginal(t, src)
+	for _, sched := range [][]int{{0}, {0, 1}, {0, 1, 0}} {
+		rr := Replay(c, sched, 100000)
+		if rr.Certified {
+			t.Errorf("safe program certified under schedule %v", sched)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package winmodel provides parallel-language models of the Windows NT
+// synchronization routines the device drivers of the KISS evaluation use.
+// The paper (Section 6): "SLAM already provided stubs for these calls; we
+// augmented them to model the synchronization operations accurately. Some
+// of the synchronization routines we modeled were KeAcquireSpinLock,
+// KeWaitForSingleObject, InterlockedCompareExchange, InterlockedIncrement,
+// etc."
+//
+// Each routine is modeled with the atomic/assume idiom of Section 3; for
+// example the paper's own lock model:
+//
+//	lock_acquire(l) = atomic{assume(*l == 0); *l = 1}
+//	lock_release(l) = atomic{*l = 0}
+//
+// The models operate on pointers to integer cells (lock words, event
+// states, reference counts) so a driver passes &ext->lockField.
+package winmodel
+
+// Source is the library text prepended to every driver model. Drivers
+// call these routines by name.
+const Source = `
+// --- Windows synchronization models (winmodel) ---
+
+// KeAcquireSpinLock: spin until the lock word is 0, then take it, in one
+// atomic action.
+func KeAcquireSpinLock(l) {
+  atomic {
+    assume(*l == 0);
+    *l = 1;
+  }
+}
+
+// KeReleaseSpinLock: clear the lock word.
+func KeReleaseSpinLock(l) {
+  atomic {
+    *l = 0;
+  }
+}
+
+// KeInitializeEvent: reset the event cell (0 = not signaled, 1 =
+// signaled; cells allocated by new are already 0).
+func KeInitializeEvent(e) {
+  atomic {
+    *e = 0;
+  }
+}
+
+// KeSetEvent: signal the event. The write is atomic: the kernel's event
+// object update is not an ordinary data access, so the race
+// instrumentation rightly does not treat it as one.
+func KeSetEvent(e) {
+  atomic {
+    *e = 1;
+  }
+}
+
+// KeWaitForSingleObject: block until the event is signaled. Modeled on a
+// notification (manual-reset) event, the kind drivers use for stop/remove
+// synchronization.
+func KeWaitForSingleObject(e) {
+  assume(*e == 1);
+}
+
+// InterlockedIncrement: atomically increment the integer cell and return
+// the new value.
+func InterlockedIncrement(p) {
+  var v;
+  atomic {
+    v = *p + 1;
+    *p = v;
+  }
+  return v;
+}
+
+// InterlockedDecrement: atomically decrement the integer cell and return
+// the new value.
+func InterlockedDecrement(p) {
+  var v;
+  atomic {
+    v = *p - 1;
+    *p = v;
+  }
+  return v;
+}
+
+// InterlockedExchange: atomically store a new value and return the old.
+func InterlockedExchange(p, newv) {
+  var old;
+  atomic {
+    old = *p;
+    *p = newv;
+  }
+  return old;
+}
+
+// InterlockedCompareExchange: atomically compare the cell with comparand
+// and, if equal, store newv; returns the original value either way.
+func InterlockedCompareExchange(p, newv, comparand) {
+  var old;
+  atomic {
+    old = *p;
+    if (old == comparand) {
+      *p = newv;
+    }
+  }
+  return old;
+}
+
+// IoAcquireRemoveLock: take a reference preventing device removal. Returns
+// 0 (STATUS_SUCCESS) while the device is not being removed, -1 otherwise.
+// The remove-lock state is a pair of cells: a reference count and a
+// removing flag.
+func IoAcquireRemoveLock(count, removing) {
+  var r;
+  atomic {
+    r = *removing;
+    if (r == 0) {
+      *count = *count + 1;
+    }
+  }
+  if (r == 0) {
+    return 0;
+  }
+  return -1;
+}
+
+// IoReleaseRemoveLock: drop a reference taken by IoAcquireRemoveLock.
+func IoReleaseRemoveLock(count, removing) {
+  atomic {
+    *count = *count - 1;
+  }
+}
+
+// IoReleaseRemoveLockAndWait: mark the device removing and wait for all
+// outstanding references to drain.
+func IoReleaseRemoveLockAndWait(count, removing) {
+  atomic {
+    *removing = 1;
+  }
+  atomic {
+    *count = *count - 1;
+  }
+  assume(*count == 0);
+}
+`

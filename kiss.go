@@ -1,0 +1,366 @@
+// Package kiss (module repro) is a reproduction of "KISS: Keep It Simple
+// and Sequential" (Shaz Qadeer and Dinghao Wu, PLDI 2004): an assertion
+// and race-condition checker for concurrent programs that works by
+// transforming the concurrent program into a sequential program simulating
+// a large subset of its behaviors, and analyzing the result with a checker
+// that only understands sequential semantics.
+//
+// The pipeline (the paper's Figure 1) is:
+//
+//	concurrent program --Transform--> sequential program --seqcheck--> error trace
+//	                                                          |
+//	                                       reconstructed concurrent trace
+//
+// This package is the public facade over the internal packages:
+//
+//	internal/lexer,parser,sema,lower  — the parallel-language front end
+//	internal/kiss                     — the Figure 4/5 transformations
+//	internal/seqcheck                 — sequential model checker (SLAM's role)
+//	internal/concheck                 — interleaving explorer (baseline)
+//	internal/trace                    — sequential-to-concurrent trace mapping
+//	internal/alias                    — unification-based alias analysis
+//
+// Quick start:
+//
+//	prog, err := kiss.Parse(src)
+//	res, err := kiss.CheckRace(prog, kiss.RaceTarget{Record: "DEVICE_EXTENSION",
+//	        Field: "stoppingFlag"}, kiss.Options{MaxTS: 0}, kiss.Budget{})
+//	if res.Verdict == kiss.Error { fmt.Print(res.Trace.Format()) }
+package kiss
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/ast"
+	"repro/internal/boolcheck"
+	"repro/internal/concheck"
+	ikiss "repro/internal/kiss"
+	"repro/internal/lower"
+	"repro/internal/parser"
+	"repro/internal/sem"
+	"repro/internal/sema"
+	"repro/internal/seqcheck"
+	"repro/internal/trace"
+)
+
+// Program is a parsed, checked, core-form program in the parallel language.
+type Program struct {
+	ast *ast.Program
+	// sequential marks programs produced by Transform/TransformRace.
+	sequential bool
+}
+
+// Parse parses, checks, and lowers a concurrent program from source text.
+func Parse(src string) (*Program, error) {
+	p, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := sema.Check(p, sema.Source); err != nil {
+		return nil, err
+	}
+	lower.Program(p)
+	return &Program{ast: p}, nil
+}
+
+// ParseFile is Parse on the contents of a file.
+func ParseFile(path string) (*Program, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := Parse(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}
+
+// FromAST wraps an already-built core-form program. It is the bridge for
+// programmatically generated models (the synthetic driver corpus). The
+// program is checked and lowered.
+func FromAST(p *ast.Program) (*Program, error) {
+	if err := sema.Check(p, sema.Source); err != nil {
+		return nil, err
+	}
+	lower.Program(p)
+	return &Program{ast: p}, nil
+}
+
+// AST exposes the underlying program for in-module tooling.
+func (p *Program) AST() *ast.Program { return p.ast }
+
+// Source renders the program back to concrete syntax.
+func (p *Program) Source() string { return ast.Print(p.ast) }
+
+// Sequential reports whether this program is a KISS transformation output
+// (in the sequential fragment of the language).
+func (p *Program) Sequential() bool { return p.sequential }
+
+// DotCFG renders the control-flow graph of one function of the program in
+// Graphviz DOT format (developer tooling: `kiss cfg`). For transformed
+// programs, pass the translated name (e.g. "__kiss_main") or a generated
+// helper, or "main" for the Check(s) wrapper.
+func (p *Program) DotCFG(fn string) (string, error) {
+	c, err := sem.Compile(p.ast)
+	if err != nil {
+		return "", err
+	}
+	return sem.DotCFG(c, fn)
+}
+
+// Options parameterize the KISS transformation.
+type Options struct {
+	// MaxTS is the bound MAX on the multiset ts of forked-but-unscheduled
+	// threads (Section 4) — the knob trading coverage for analysis cost.
+	MaxTS int
+	// DisableAliasElision keeps all race checks regardless of the alias
+	// analysis (ablation only; see BenchmarkAliasElision).
+	DisableAliasElision bool
+	// Scheduler selects the scheduling policy of the generated schedule
+	// function (Section 4's pluggable-scheduler remark). The zero value
+	// is the paper's fully nondeterministic scheduler; see the Scheduler
+	// constants for the cheaper, lower-coverage variants.
+	Scheduler Scheduler
+}
+
+// Scheduler re-exports the transformation's scheduling policies.
+type Scheduler = ikiss.Scheduler
+
+// Scheduling policies (see internal/kiss for semantics).
+const (
+	SchedulerNondet      = ikiss.SchedulerNondet
+	SchedulerDrainAll    = ikiss.SchedulerDrainAll
+	SchedulerAtCallsOnly = ikiss.SchedulerAtCallsOnly
+)
+
+// RaceTarget names the distinguished variable r checked for races
+// (Section 5): either a global variable, or a field of a record type (the
+// form used for device-extension fields).
+type RaceTarget struct {
+	Global string
+	Record string
+	Field  string
+}
+
+func (t RaceTarget) internal() ast.RaceTarget {
+	return ast.RaceTarget{Global: t.Global, Record: t.Record, Field: t.Field}
+}
+
+// String renders the target like "DEVICE_EXTENSION.stoppingFlag".
+func (t RaceTarget) String() string {
+	it := t.internal()
+	return (&it).String()
+}
+
+// Transform applies the assertion-checking translation (Figure 4),
+// producing a sequential program.
+func Transform(p *Program, opts Options) (*Program, error) {
+	out, err := ikiss.Transform(p.ast, ikiss.Options{MaxTS: opts.MaxTS, DisableAliasElision: opts.DisableAliasElision, Scheduler: opts.Scheduler})
+	if err != nil {
+		return nil, err
+	}
+	return &Program{ast: out, sequential: true}, nil
+}
+
+// TransformRace applies the race-checking translation (Figure 5) for the
+// given distinguished variable, producing a sequential program.
+func TransformRace(p *Program, t RaceTarget, opts Options) (*Program, error) {
+	out, err := ikiss.TransformRace(p.ast, t.internal(), ikiss.Options{MaxTS: opts.MaxTS, DisableAliasElision: opts.DisableAliasElision, Scheduler: opts.Scheduler})
+	if err != nil {
+		return nil, err
+	}
+	return &Program{ast: out, sequential: true}, nil
+}
+
+// Budget bounds and configures a model-checking run; zero fields mean
+// unlimited. It plays the role of the paper's per-run resource bound ("20
+// minutes of CPU time and 800MB of memory").
+type Budget struct {
+	MaxStates int
+	MaxSteps  int
+	MaxDepth  int
+	// BFS selects breadth-first search in the sequential checker, which
+	// makes the returned counterexample a shortest error trace.
+	BFS bool
+}
+
+// Verdict is the outcome of a check.
+type Verdict int
+
+const (
+	// Safe means the explored state space contains no failure.
+	Safe Verdict = iota
+	// Error means a failure is reachable; Result carries the trace.
+	Error
+	// ResourceBound means the budget ran out first (a Table 1 "timeout").
+	ResourceBound
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Safe:
+		return "safe"
+	case Error:
+		return "error"
+	default:
+		return "resource-bound"
+	}
+}
+
+// Result reports a check's verdict, statistics, and (for Error) both the
+// raw sequential trace and the reconstructed concurrent trace.
+type Result struct {
+	Verdict Verdict
+	// Message describes the failure (Error verdicts).
+	Message string
+	// Pos is the failing statement's source position (Error verdicts).
+	Pos ast.Pos
+	// Trace is the reconstructed concurrent error trace (Error verdicts
+	// from the KISS pipeline).
+	Trace *trace.Trace
+	// SeqEvents is the raw sequential counterexample (Error verdicts).
+	SeqEvents []sem.Event
+	// States and Steps are explored-state and executed-transition counts.
+	States int
+	Steps  int
+}
+
+// CheckAssertions runs the full KISS pipeline for assertion checking:
+// transform, sequential model checking, and trace reconstruction.
+func CheckAssertions(p *Program, opts Options, budget Budget) (*Result, error) {
+	seq, err := Transform(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	return CheckSequential(seq, budget)
+}
+
+// CheckRace runs the full KISS pipeline for race checking on one
+// distinguished variable.
+func CheckRace(p *Program, t RaceTarget, opts Options, budget Budget) (*Result, error) {
+	seq, err := TransformRace(p, t, opts)
+	if err != nil {
+		return nil, err
+	}
+	return CheckSequential(seq, budget)
+}
+
+// CheckSequential analyzes an already-transformed sequential program with
+// the sequential model checker and reconstructs the concurrent trace on
+// error. It is exposed separately so callers can reuse one transformation
+// across budgets.
+func CheckSequential(seq *Program, budget Budget) (*Result, error) {
+	if !seq.sequential {
+		return nil, fmt.Errorf("kiss: CheckSequential requires a transformed program")
+	}
+	c, err := sem.Compile(seq.ast)
+	if err != nil {
+		return nil, err
+	}
+	r := seqcheck.Check(c, seqcheck.Options{
+		MaxStates: budget.MaxStates,
+		MaxSteps:  budget.MaxSteps,
+		MaxDepth:  budget.MaxDepth,
+		BFS:       budget.BFS,
+	})
+	out := &Result{Verdict: Verdict(r.Verdict), States: r.States, Steps: r.Steps}
+	if r.Verdict == seqcheck.Error {
+		out.Message = r.Failure.Msg
+		out.Pos = r.Failure.Pos
+		// A failing assert inside the generated check_r/check_w bodies is
+		// the race monitor firing (Section 5): report it as a race on the
+		// distinguished variable rather than as a raw assertion.
+		if t := seq.ast.RaceTarget; t != nil &&
+			(r.Failure.Fn == ikiss.CheckRFn || r.Failure.Fn == ikiss.CheckWFn) {
+			kind := "read/write"
+			if r.Failure.Fn == ikiss.CheckWFn {
+				kind = "write/write or read/write"
+			}
+			out.Message = fmt.Sprintf("race condition on %s (%s conflict)", t, kind)
+		}
+		out.SeqEvents = r.Trace
+		out.Trace = trace.Reconstruct(r.Trace)
+	}
+	return out, nil
+}
+
+// CheckAssertionsSummaries runs the KISS pipeline with the summary-based
+// interprocedural checker (internal/boolcheck, the Bebop/RHS architecture
+// of the paper's complexity claim) in place of the explicit-state
+// explorer. It supports only the pointer-free fragment but terminates on
+// recursive programs with finite data; no counterexample trace is
+// produced (summaries conflate call stacks). Returns an error when the
+// program falls outside the fragment.
+func CheckAssertionsSummaries(p *Program, opts Options, budget Budget) (*Result, error) {
+	seq, err := Transform(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	c, err := sem.Compile(seq.ast)
+	if err != nil {
+		return nil, err
+	}
+	r, err := boolcheck.Check(c, boolcheck.Options{MaxPathEdges: budget.MaxStates})
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Verdict: Verdict(r.Verdict), States: r.PathEdges}
+	if r.Verdict == boolcheck.Error {
+		out.Message = r.Failure.Msg
+		out.Pos = r.Failure.Pos
+	}
+	return out, nil
+}
+
+// TransformStats re-exports the instrumentation blowup statistics
+// (Section 4's "small constant blowup" quantities).
+type TransformStats = ikiss.Stats
+
+// MeasureTransform computes the blowup statistics between a source
+// program and its transformation output.
+func MeasureTransform(src, out *Program) TransformStats {
+	return ikiss.Measure(src.ast, out.ast)
+}
+
+// CertifyTrace replays the original concurrent program p along the
+// reconstructed schedule of an Error result, confirming that the exact
+// interleaving the trace describes really reaches a failure — the
+// machine-checked form of the paper's "the error trace leading to the
+// assertion failure in P is easily constructed from the error trace in
+// P'". It returns (true, nil) when the failure replays.
+func CertifyTrace(p *Program, res *Result, budget Budget) (bool, error) {
+	if res == nil || res.Verdict != Error || res.Trace == nil {
+		return false, fmt.Errorf("kiss: CertifyTrace requires an Error result with a reconstructed trace")
+	}
+	c, err := sem.Compile(p.ast)
+	if err != nil {
+		return false, err
+	}
+	rr := trace.Replay(c, res.Trace.Schedule(), budget.MaxStates)
+	return rr.Certified, nil
+}
+
+// ExploreConcurrent runs the baseline interleaving-exploring model checker
+// directly on the concurrent program — the approach whose exponential
+// blowup KISS avoids. contextBound < 0 means unbounded.
+func ExploreConcurrent(p *Program, budget Budget, contextBound int) (*Result, error) {
+	c, err := sem.Compile(p.ast)
+	if err != nil {
+		return nil, err
+	}
+	r := concheck.Check(c, concheck.Options{
+		MaxStates:    budget.MaxStates,
+		MaxSteps:     budget.MaxSteps,
+		MaxDepth:     budget.MaxDepth,
+		ContextBound: contextBound,
+	})
+	out := &Result{Verdict: Verdict(r.Verdict), States: r.States, Steps: r.Steps}
+	if r.Verdict == concheck.Error {
+		out.Message = r.Failure.Msg
+		out.Pos = r.Failure.Pos
+		out.SeqEvents = r.Trace
+	}
+	return out, nil
+}

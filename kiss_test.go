@@ -1,0 +1,189 @@
+package kiss
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/drivers"
+)
+
+// TestBluetoothRaceTS0 reproduces Section 2.2: the race condition on the
+// stoppingFlag field of the Bluetooth device extension is exposed with the
+// ts bound set to 0.
+func TestBluetoothRaceTS0(t *testing.T) {
+	prog, err := Parse(drivers.BluetoothSource)
+	if err != nil {
+		t.Fatalf("parse bluetooth: %v", err)
+	}
+	res, err := CheckRace(prog, RaceTarget{Record: "DEVICE_EXTENSION", Field: "stoppingFlag"},
+		Options{MaxTS: 0}, Budget{})
+	if err != nil {
+		t.Fatalf("CheckRace: %v", err)
+	}
+	if res.Verdict != Error {
+		t.Fatalf("want race detected on stoppingFlag with ts=0, got %v (states=%d)", res.Verdict, res.States)
+	}
+	if res.Trace == nil || len(res.Trace.Steps) == 0 {
+		t.Fatalf("want reconstructed concurrent trace, got none")
+	}
+	t.Logf("race trace:\n%s", res.Trace.Format())
+}
+
+// TestBluetoothAssertionNeedsTS1 reproduces Section 2.3: the reference-
+// counting assertion violation cannot be simulated with ts bound 0 but is
+// found with ts bound 1.
+func TestBluetoothAssertionNeedsTS1(t *testing.T) {
+	prog, err := Parse(drivers.BluetoothSource)
+	if err != nil {
+		t.Fatalf("parse bluetooth: %v", err)
+	}
+
+	res0, err := CheckAssertions(prog, Options{MaxTS: 0}, Budget{})
+	if err != nil {
+		t.Fatalf("CheckAssertions ts=0: %v", err)
+	}
+	if res0.Verdict != Safe {
+		t.Fatalf("ts=0: want safe (violation not simulable), got %v: %s", res0.Verdict, res0.Message)
+	}
+
+	res1, err := CheckAssertions(prog, Options{MaxTS: 1}, Budget{})
+	if err != nil {
+		t.Fatalf("CheckAssertions ts=1: %v", err)
+	}
+	if res1.Verdict != Error {
+		t.Fatalf("ts=1: want assertion violation, got %v (states=%d)", res1.Verdict, res1.States)
+	}
+	if !strings.Contains(res1.Message, "stopped") {
+		t.Errorf("want violation of assert(!stopped), got %q", res1.Message)
+	}
+	t.Logf("assertion trace (ts=1):\n%s", res1.Trace.Format())
+}
+
+// TestBluetoothFixedIsSafe reproduces the end of Section 6: after the fix
+// suggested by the driver quality team, KISS reports no errors.
+func TestBluetoothFixedIsSafe(t *testing.T) {
+	prog, err := Parse(drivers.BluetoothFixedSource)
+	if err != nil {
+		t.Fatalf("parse fixed bluetooth: %v", err)
+	}
+	for _, maxTS := range []int{0, 1, 2} {
+		res, err := CheckAssertions(prog, Options{MaxTS: maxTS}, Budget{})
+		if err != nil {
+			t.Fatalf("CheckAssertions ts=%d: %v", maxTS, err)
+		}
+		if res.Verdict != Safe {
+			t.Errorf("fixed driver, ts=%d: want safe, got %v: %s", maxTS, res.Verdict, res.Message)
+		}
+	}
+}
+
+// TestBluetoothConcurrentGroundTruth certifies KISS's verdicts against the
+// interleaving-exploring checker on the original concurrent program: the
+// buggy driver's assertion violation is real, and the fixed driver is safe
+// under full interleaving exploration — so the KISS reports above are not
+// false errors.
+func TestBluetoothConcurrentGroundTruth(t *testing.T) {
+	buggy, err := Parse(drivers.BluetoothSource)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := ExploreConcurrent(buggy, Budget{}, -1)
+	if err != nil {
+		t.Fatalf("ExploreConcurrent: %v", err)
+	}
+	if res.Verdict != Error {
+		t.Fatalf("concurrent exploration of buggy driver: want error, got %v", res.Verdict)
+	}
+
+	fixed, err := Parse(drivers.BluetoothFixedSource)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err = ExploreConcurrent(fixed, Budget{}, -1)
+	if err != nil {
+		t.Fatalf("ExploreConcurrent: %v", err)
+	}
+	if res.Verdict != Safe {
+		t.Fatalf("concurrent exploration of fixed driver: want safe, got %v: %s", res.Verdict, res.Message)
+	}
+}
+
+// TestSummaryEngineAgreesOnBluetoothShapedPrograms: the summary-based
+// sequential engine (Bebop/RHS architecture) reaches the same verdicts as
+// the explicit-state engine on pointer-free programs, and terminates on a
+// recursive program the explicit-state engine cannot finish.
+func TestSummaryEngine(t *testing.T) {
+	racy := `
+var x;
+var y;
+func child() {
+  assume(y == 1);
+  x = x + 1;
+  assert(x < 2);
+}
+func main() {
+  x = 0;
+  y = 0;
+  async child();
+  async child();
+  y = 1;
+}
+`
+	prog, err := Parse(racy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := CheckAssertions(prog, Options{MaxTS: 2}, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	summary, err := CheckAssertionsSummaries(prog, Options{MaxTS: 2}, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if explicit.Verdict != Error || summary.Verdict != Error {
+		t.Fatalf("engines disagree: explicit=%v summary=%v", explicit.Verdict, summary.Verdict)
+	}
+
+	recursive := `
+var g;
+func walk() {
+  choice { { skip; } [] { walk(); } }
+}
+func main() {
+  g = 0;
+  walk();
+  assert(g == 0);
+}
+`
+	rprog, err := Parse(recursive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := CheckAssertionsSummaries(rprog, Options{MaxTS: 0}, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Verdict != Safe {
+		t.Fatalf("summary engine on recursion: want safe, got %v", sres.Verdict)
+	}
+	eres, err := CheckAssertions(rprog, Options{MaxTS: 0}, Budget{MaxStates: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eres.Verdict != ResourceBound {
+		t.Fatalf("explicit engine on recursion: want resource-bound, got %v", eres.Verdict)
+	}
+}
+
+// TestSummaryEngineRejectsPointerPrograms: the bluetooth model uses the
+// heap, which is outside the summary engine's fragment.
+func TestSummaryEngineRejectsPointerPrograms(t *testing.T) {
+	prog, err := Parse(drivers.BluetoothSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CheckAssertionsSummaries(prog, Options{MaxTS: 1}, Budget{}); err == nil {
+		t.Fatal("heap-using program accepted by the summary engine")
+	}
+}

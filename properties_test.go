@@ -1,0 +1,232 @@
+package kiss
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lower"
+	"repro/internal/randprog"
+)
+
+// These property tests validate the paper's two central meta-claims on
+// randomly generated concurrent programs, using the interleaving explorer
+// as ground truth.
+
+// mustParse parses a generated program, which is correct by construction.
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("generated program does not parse: %v\n%s", err, src)
+	}
+	return p
+}
+
+// TestNoFalseErrors is the paper's soundness-of-reports direction
+// (Section 4: "if an assertion is violated in the translated sequential
+// program, it is violated in some execution of the multithreaded program
+// as well"): whenever the KISS pipeline reports an error, the full
+// interleaving exploration of the original program must also report one.
+func TestNoFalseErrors(t *testing.T) {
+	budget := Budget{MaxStates: 300000}
+	errors := 0
+	for seed := int64(0); seed < 120; seed++ {
+		src := randprog.Generate(seed, randprog.Default)
+		for _, maxTS := range []int{0, 1, 2} {
+			prog := mustParse(t, src)
+			res, err := CheckAssertions(prog, Options{MaxTS: maxTS}, budget)
+			if err != nil {
+				t.Fatalf("seed %d ts %d: %v", seed, maxTS, err)
+			}
+			if res.Verdict != Error {
+				continue
+			}
+			errors++
+			ground, err := ExploreConcurrent(mustParse(t, src), budget, -1)
+			if err != nil {
+				t.Fatalf("seed %d: ground truth: %v", seed, err)
+			}
+			if ground.Verdict == Safe {
+				t.Errorf("FALSE ERROR at seed %d, ts %d: KISS reports %q but the concurrent program is safe\n%s",
+					seed, maxTS, res.Message, src)
+			}
+		}
+	}
+	if errors == 0 {
+		t.Error("no generated program produced an error; the property was tested vacuously")
+	}
+	t.Logf("validated %d error reports against ground truth", errors)
+}
+
+// TestTwoThreadContextSwitchCoverage is the paper's coverage
+// characterization (Section 2: "given a 2-threaded concurrent program, the
+// sequential program simulates all executions with at most two context
+// switches"): every error the bounded concurrent explorer finds within 2
+// context switches must also be found by KISS with ts bound 1.
+func TestTwoThreadContextSwitchCoverage(t *testing.T) {
+	budget := Budget{MaxStates: 300000}
+	covered := 0
+	for seed := int64(0); seed < 150; seed++ {
+		src := randprog.GenerateTwoThreaded(seed, randprog.Default)
+		bounded, err := ExploreConcurrent(mustParse(t, src), budget, 2)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if bounded.Verdict != Error {
+			continue
+		}
+		covered++
+		res, err := CheckAssertions(mustParse(t, src), Options{MaxTS: 1}, budget)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Verdict != Error {
+			t.Errorf("COVERAGE GAP at seed %d: a 2-context-switch error exists but KISS(ts=1) reports %v\n%s",
+				seed, res.Verdict, src)
+		}
+	}
+	if covered == 0 {
+		t.Error("no 2-switch-reachable errors generated; the property was tested vacuously")
+	}
+	t.Logf("validated KISS coverage on %d bounded-error programs", covered)
+}
+
+// TestKissSubsetOfConcurrent: KISS never finds more than the unbounded
+// explorer at ANY ts bound — its behaviors are a subset. (Strictly implied
+// by TestNoFalseErrors but phrased over the verdict lattice: Error implies
+// ground Error; Safe may under-approximate.)
+func TestKissVerdictLattice(t *testing.T) {
+	budget := Budget{MaxStates: 300000}
+	for seed := int64(200); seed < 260; seed++ {
+		src := randprog.Generate(seed, randprog.Default)
+		ground, err := ExploreConcurrent(mustParse(t, src), budget, -1)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if ground.Verdict == ResourceBound {
+			continue
+		}
+		for _, maxTS := range []int{0, 3} {
+			res, err := CheckAssertions(mustParse(t, src), Options{MaxTS: maxTS}, budget)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if res.Verdict == Error && ground.Verdict == Safe {
+				t.Errorf("seed %d ts %d: KISS error on safe program\n%s", seed, maxTS, src)
+			}
+		}
+	}
+}
+
+// TestTransformInvariants (testing/quick): for any seed, the transformed
+// program is well-formed, core, sequential, and the transformation is
+// deterministic.
+func TestTransformInvariants(t *testing.T) {
+	f := func(seed int64, tsRaw uint8) bool {
+		maxTS := int(tsRaw % 4)
+		src := randprog.Generate(seed, randprog.Default)
+		p1, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		out1, err := Transform(p1, Options{MaxTS: maxTS})
+		if err != nil {
+			return false
+		}
+		if ok, _ := lower.IsCore(out1.AST()); !ok {
+			return false
+		}
+		if !out1.Sequential() {
+			return false
+		}
+		p2, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		out2, err := Transform(p2, Options{MaxTS: maxTS})
+		if err != nil {
+			return false
+		}
+		return out1.Source() == out2.Source()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTraceWellFormedness (testing/quick): every reconstructed trace from
+// a failing random program starts on thread 0, marks switches exactly at
+// thread changes, and never leaks instrumentation names.
+func TestTraceWellFormedness(t *testing.T) {
+	budget := Budget{MaxStates: 300000}
+	checked := 0
+	f := func(seed int64) bool {
+		src := randprog.Generate(seed, randprog.Default)
+		prog, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		res, err := CheckAssertions(prog, Options{MaxTS: 2}, budget)
+		if err != nil {
+			return false
+		}
+		if res.Verdict != Error || res.Trace == nil || len(res.Trace.Steps) == 0 {
+			return true // nothing to validate for safe programs
+		}
+		checked++
+		if res.Trace.Steps[0].ThreadID != 0 {
+			return false
+		}
+		last := -1
+		for _, s := range res.Trace.Steps {
+			if s.Func != "" && (len(s.Func) >= 2 && s.Func[:2] == "__") {
+				return false
+			}
+			if last >= 0 && (s.ThreadID != last) != s.Switch {
+				return false
+			}
+			last = s.ThreadID
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+	if checked == 0 {
+		t.Log("note: no failing traces among quick-generated seeds")
+	}
+}
+
+// TestTraceReplayCertification: for failing random programs, the
+// reconstructed trace's schedule replays to a real failure on the
+// original concurrent program — not merely "some failure exists", but the
+// specific interleaving the trace describes.
+func TestTraceReplayCertification(t *testing.T) {
+	budget := Budget{MaxStates: 300000}
+	certified := 0
+	for seed := int64(0); seed < 80; seed++ {
+		src := randprog.Generate(seed, randprog.Default)
+		prog := mustParse(t, src)
+		res, err := CheckAssertions(prog, Options{MaxTS: 2}, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict != Error {
+			continue
+		}
+		ok, err := CertifyTrace(mustParse(t, src), res, budget)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !ok {
+			t.Errorf("seed %d: reconstructed schedule %v does not replay\n%s",
+				seed, res.Trace.Schedule(), src)
+			continue
+		}
+		certified++
+	}
+	if certified == 0 {
+		t.Error("no failing programs; replay certification tested vacuously")
+	}
+	t.Logf("certified %d reconstructed traces by guided replay", certified)
+}

@@ -1,0 +1,186 @@
+package kiss
+
+import (
+	"testing"
+
+	"repro/internal/randprog"
+)
+
+// Scheduler-variant tests, for Section 4's remark that "a more
+// sophisticated scheduler can be provided by writing a different
+// implementation of schedule". The variants trade coverage for cost but
+// must stay sound (no false errors).
+
+// stagedBugSrc needs a *partial* drain: f1 must run while x == 1 with f2
+// still deferred, and f2 only later when x == 2. The drain-all scheduler
+// runs both together, so the f2 instance blocks and the whole drain path
+// dies — it misses this bug; the paper's nondeterministic scheduler finds
+// it.
+const stagedBugSrc = `
+var x;
+var y;
+func f1() { assume(x == 1); y = 1; }
+func f2() { assume(x == 2); assume(y == 1); y = 2; }
+func main() {
+  x = 0; y = 0;
+  async f1();
+  async f2();
+  x = 1;
+  x = 2;
+  assert(!(y == 2));
+}
+`
+
+// straightLineBugSrc needs a context switch between two straight-line
+// statements of main (no call in between), which the at-calls-only
+// placement cannot provide.
+const straightLineBugSrc = `
+var x;
+var y;
+var z;
+func f() { assume(x == 1); y = 1; }
+func main() {
+  x = 0; y = 0;
+  async f();
+  x = 1;
+  x = 2;
+  z = y;
+  assert(z == 0);
+}
+`
+
+func checkWith(t *testing.T, src string, sched Scheduler, maxTS int) Verdict {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := CheckAssertions(prog, Options{MaxTS: maxTS, Scheduler: sched}, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Verdict
+}
+
+func TestDrainAllMissesStagedBug(t *testing.T) {
+	if v := checkWith(t, stagedBugSrc, SchedulerNondet, 2); v != Error {
+		t.Fatalf("nondet scheduler must find the staged bug, got %v", v)
+	}
+	if v := checkWith(t, stagedBugSrc, SchedulerDrainAll, 2); v != Safe {
+		t.Fatalf("drain-all scheduler should miss the staged bug (coverage cut), got %v", v)
+	}
+}
+
+func TestAtCallsOnlyMissesStraightLineBug(t *testing.T) {
+	if v := checkWith(t, straightLineBugSrc, SchedulerNondet, 1); v != Error {
+		t.Fatalf("nondet scheduler must find the straight-line bug, got %v", v)
+	}
+	if v := checkWith(t, straightLineBugSrc, SchedulerAtCallsOnly, 1); v != Safe {
+		t.Fatalf("at-calls-only scheduler should miss the straight-line bug, got %v", v)
+	}
+}
+
+// TestSchedulerVariantsCheaper: the restricted schedulers explore fewer
+// states on the same (safe) program.
+func TestSchedulerVariantsCheaper(t *testing.T) {
+	src := `
+var x;
+func f() { x = x + 1; }
+func main() {
+  x = 0;
+  async f();
+  async f();
+  x = x + 1;
+  x = x + 1;
+}
+`
+	states := map[Scheduler]int{}
+	for _, sched := range []Scheduler{SchedulerNondet, SchedulerDrainAll, SchedulerAtCallsOnly} {
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := CheckAssertions(prog, Options{MaxTS: 2, Scheduler: sched}, Budget{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict != Safe {
+			t.Fatalf("%v: want safe, got %v", sched, res.Verdict)
+		}
+		states[sched] = res.States
+	}
+	t.Logf("states: nondet=%d drain-all=%d at-calls-only=%d",
+		states[SchedulerNondet], states[SchedulerDrainAll], states[SchedulerAtCallsOnly])
+	if states[SchedulerDrainAll] >= states[SchedulerNondet] {
+		t.Errorf("drain-all (%d states) not cheaper than nondet (%d)",
+			states[SchedulerDrainAll], states[SchedulerNondet])
+	}
+	if states[SchedulerAtCallsOnly] >= states[SchedulerNondet] {
+		t.Errorf("at-calls-only (%d states) not cheaper than nondet (%d)",
+			states[SchedulerAtCallsOnly], states[SchedulerNondet])
+	}
+}
+
+// TestSchedulerVariantsSound: no scheduler variant reports a false error —
+// the under-approximation only shrinks, never grows.
+func TestSchedulerVariantsSound(t *testing.T) {
+	budget := Budget{MaxStates: 300000}
+	validated := 0
+	for seed := int64(0); seed < 60; seed++ {
+		src := randprog.Generate(seed, randprog.Default)
+		for _, sched := range []Scheduler{SchedulerDrainAll, SchedulerAtCallsOnly} {
+			prog := mustParse(t, src)
+			res, err := CheckAssertions(prog, Options{MaxTS: 2, Scheduler: sched}, budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Verdict != Error {
+				continue
+			}
+			validated++
+			ground, err := ExploreConcurrent(mustParse(t, src), budget, -1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ground.Verdict == Safe {
+				t.Errorf("FALSE ERROR: scheduler %v reports an error on a safe program (seed %d)\n%s",
+					sched, seed, src)
+			}
+		}
+	}
+	if validated == 0 {
+		t.Error("no errors found by restricted schedulers; soundness tested vacuously")
+	}
+	t.Logf("validated %d restricted-scheduler error reports", validated)
+}
+
+// TestSchedulerCoverageOrdering: on the random population, the
+// nondeterministic scheduler finds at least as many bugs as each
+// restricted variant.
+func TestSchedulerCoverageOrdering(t *testing.T) {
+	budget := Budget{MaxStates: 300000}
+	found := map[Scheduler]int{}
+	for seed := int64(100); seed < 160; seed++ {
+		src := randprog.Generate(seed, randprog.Default)
+		for _, sched := range []Scheduler{SchedulerNondet, SchedulerDrainAll, SchedulerAtCallsOnly} {
+			prog := mustParse(t, src)
+			res, err := CheckAssertions(prog, Options{MaxTS: 2, Scheduler: sched}, budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Verdict == Error {
+				found[sched]++
+			}
+		}
+	}
+	t.Logf("bugs found: nondet=%d drain-all=%d at-calls-only=%d",
+		found[SchedulerNondet], found[SchedulerDrainAll], found[SchedulerAtCallsOnly])
+	if found[SchedulerDrainAll] > found[SchedulerNondet] {
+		t.Errorf("drain-all found more bugs (%d) than nondet (%d)?",
+			found[SchedulerDrainAll], found[SchedulerNondet])
+	}
+	if found[SchedulerAtCallsOnly] > found[SchedulerNondet] {
+		t.Errorf("at-calls-only found more bugs (%d) than nondet (%d)?",
+			found[SchedulerAtCallsOnly], found[SchedulerNondet])
+	}
+}
