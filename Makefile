@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the race detector over the packages that own concurrency:
+# the eval worker pool (and, transitively, the shared parsed-harness and
+# model caches it hands to concurrent field checks). -short skips the
+# full-corpus reproductions, which the plain `test` target already runs.
+race:
+	$(GO) test -race -short ./internal/eval/...
+
+# verify is the tier-1 gate: build, vet, full tests, and the race check.
+verify: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -6,6 +6,8 @@ package kiss_test
 // domain metrics (states explored, races found) alongside ns/op.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	kiss "repro"
@@ -14,25 +16,41 @@ import (
 )
 
 // BenchmarkTable1 regenerates Table 1: per-field race checking of all 18
-// drivers (481 fields) under the permissive harness at ts bound 0.
+// drivers (481 fields) under the permissive harness at ts bound 0, with
+// one sub-benchmark per worker-pool setting (workers=1 is the sequential
+// baseline; workers=gomaxprocs is the default RunCorpus configuration).
 func BenchmarkTable1(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		results, err := eval.RunCorpus(eval.Options{})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if ms := eval.CompareTable1(results); len(ms) != 0 {
-			b.Fatalf("table 1 mismatch: %v", ms)
-		}
-		races, states := 0, 0
-		for _, dr := range results {
-			races += dr.Races
-			for _, fr := range dr.Fields {
-				states += fr.States
+	configs := []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1", 1},
+		{fmt.Sprintf("workers=%d", runtime.GOMAXPROCS(0)), 0},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			races, states := 0, 0
+			for i := 0; i < b.N; i++ {
+				results, err := eval.RunCorpus(eval.Options{Workers: cfg.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if ms := eval.CompareTable1(results); len(ms) != 0 {
+					b.Fatalf("table 1 mismatch: %v", ms)
+				}
+				races = 0
+				for _, dr := range results {
+					races += dr.Races
+					for _, fr := range dr.Fields {
+						states += fr.States
+					}
+				}
 			}
-		}
-		b.ReportMetric(float64(races), "races")
-		b.ReportMetric(float64(states)/float64(b.N), "states/op")
+			b.ReportMetric(float64(races), "races")
+			b.ReportMetric(float64(states)/float64(b.N), "states/op")
+			b.ReportMetric(float64(states)/b.Elapsed().Seconds(), "states/sec")
+		})
 	}
 }
 
@@ -44,7 +62,9 @@ func BenchmarkTable2(b *testing.B) {
 		b.Fatal(err)
 	}
 	raced := eval.RacedFields(t1)
+	b.ReportAllocs()
 	b.ResetTimer()
+	races, states := 0, 0
 	for i := 0; i < b.N; i++ {
 		t2, err := eval.RunCorpus(eval.Options{Refined: true, Only: raced})
 		if err != nil {
@@ -53,28 +73,42 @@ func BenchmarkTable2(b *testing.B) {
 		if ms := eval.CompareTable2(t2); len(ms) != 0 {
 			b.Fatalf("table 2 mismatch: %v", ms)
 		}
-		races := 0
+		races = 0
 		for _, dr := range t2 {
 			races += dr.Races
+			for _, fr := range dr.Fields {
+				states += fr.States
+			}
 		}
-		b.ReportMetric(float64(races), "races")
 	}
+	b.ReportMetric(float64(races), "races")
+	b.ReportMetric(float64(states)/b.Elapsed().Seconds(), "states/sec")
 }
 
 // BenchmarkTable1SingleDriver is the per-driver unit of the Table 1 run
 // (the paper's per-driver rows), on the Figure 6 driver.
 func BenchmarkTable1SingleDriver(b *testing.B) {
 	sel := map[string]bool{"toaster/toastmon": true}
+	b.ReportAllocs()
+	states := 0
 	for i := 0; i < b.N; i++ {
-		if _, err := eval.RunCorpus(eval.Options{Drivers: sel}); err != nil {
+		results, err := eval.RunCorpus(eval.Options{Drivers: sel})
+		if err != nil {
 			b.Fatal(err)
 		}
+		for _, dr := range results {
+			for _, fr := range dr.Fields {
+				states += fr.States
+			}
+		}
 	}
+	b.ReportMetric(float64(states)/b.Elapsed().Seconds(), "states/sec")
 }
 
 // BenchmarkRefcount regenerates the Section 6 reference-counting
 // experiment (Bluetooth buggy/fixed, fakemodem; assertion mode, ts 0/1).
 func BenchmarkRefcount(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := eval.RunRefcount()
 		if err != nil {
@@ -92,6 +126,7 @@ func BenchmarkRefcount(b *testing.B) {
 // motivation): interleaving exploration vs the KISS pipeline as thread
 // count grows.
 func BenchmarkBlowup(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := eval.RunBlowup(6)
 		if err != nil {
@@ -122,6 +157,7 @@ func BenchmarkCoverage(b *testing.B) {
 // BenchmarkLocksetComparison regenerates the Section 6.1 flexibility
 // comparison (lockset baseline vs KISS over the corpus).
 func BenchmarkLocksetComparison(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := eval.RunLocksetComparison()
 		if err != nil {
@@ -139,6 +175,7 @@ func BenchmarkLocksetComparison(b *testing.B) {
 
 // BenchmarkContextBound regenerates the context-bound coverage study.
 func BenchmarkContextBound(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s, err := eval.RunContextBound(40, 3)
 		if err != nil {

@@ -12,7 +12,9 @@
 //	kissbench -all        everything
 //
 // Optional: -drivers a,b,c restricts the corpus tables to named drivers;
-// -budget N overrides the per-field state budget.
+// -budget N overrides the per-field state budget; -workers N bounds the
+// corpus worker pool (0 = one worker per CPU, 1 = sequential). Results are
+// identical at every -workers setting; only wall-clock changes.
 package main
 
 import (
@@ -37,6 +39,7 @@ func main() {
 	all := flag.Bool("all", false, "run everything")
 	driversFlag := flag.String("drivers", "", "comma-separated driver subset for the tables")
 	budget := flag.Int("budget", 0, "per-field state budget override (0 = default)")
+	workers := flag.Int("workers", 0, "concurrent field checks (0 = one per CPU, 1 = sequential)")
 	blowupN := flag.Int("blowup-threads", 6, "max thread count for the blowup study")
 	flag.Parse()
 
@@ -48,7 +51,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := eval.Options{}
+	opts := eval.Options{Workers: *workers}
 	if *budget > 0 {
 		opts.Budget = kiss.Budget{MaxStates: *budget}
 	}

@@ -1,0 +1,36 @@
+package concheck
+
+import (
+	"testing"
+
+	"repro/internal/randprog"
+)
+
+// TestAuditFingerprints: the hash-keyed visited set must behave exactly
+// like the string-keyed one on small concurrent programs — zero 64-bit
+// collisions and an unchanged search — in both unbounded and
+// context-bounded modes (where the search context is mixed into the key).
+func TestAuditFingerprints(t *testing.T) {
+	srcs := []string{
+		`var x; func main() { async f(); x = x + 1; } func f() { x = x + 1; }`,
+		`var x; func main() { async f(); async f(); x = 1; assert(x >= 0); } func f() { x = x + 1; }`,
+	}
+	for i := int64(0); i < 12; i++ {
+		srcs = append(srcs, randprog.GenerateTwoThreaded(i, randprog.Default))
+	}
+	for i, src := range srcs {
+		c := compile(t, src)
+		for _, bound := range []int{-1, 2} {
+			plain := Check(c, Options{ContextBound: bound, MaxStates: 20000})
+			audit := Check(c, Options{ContextBound: bound, MaxStates: 20000, AuditFingerprints: true})
+			if audit.HashCollisions != 0 {
+				t.Errorf("program %d (bound=%d): %d hash collisions", i, bound, audit.HashCollisions)
+			}
+			if plain.Verdict != audit.Verdict || plain.States != audit.States || plain.Steps != audit.Steps {
+				t.Errorf("program %d (bound=%d): audit changed the search: %v/%d/%d vs %v/%d/%d",
+					i, bound, plain.Verdict, plain.States, plain.Steps,
+					audit.Verdict, audit.States, audit.Steps)
+			}
+		}
+	}
+}

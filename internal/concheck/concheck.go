@@ -69,6 +69,10 @@ type Options struct {
 	// the Deadlocks diagnostic and ContextBound accounting are not
 	// meaningful under POR and should not be combined with it.
 	POR bool
+	// AuditFingerprints cross-checks the 64-bit visited-set hashes against
+	// the canonical string encodings (see seqcheck.Options); collisions are
+	// counted in Result.HashCollisions.
+	AuditFingerprints bool
 }
 
 // Result reports the verdict, witness trace, and statistics.
@@ -83,6 +87,9 @@ type Result struct {
 	// error in the paper's semantics (a false assume simply blocks), but
 	// the count is reported for diagnostics.
 	Deadlocks int
+	// HashCollisions counts states whose 64-bit fingerprint collided with
+	// a structurally different visited state (AuditFingerprints only).
+	HashCollisions int
 }
 
 func (r *Result) String() string {
@@ -127,15 +134,44 @@ func Check(c *sem.Compiled, opts Options) *Result {
 	init := sem.NewState(c)
 	bounded := opts.ContextBound >= 0
 
-	visited := map[string]bool{}
-	key := func(s *sem.State, lastTh, switches int) string {
-		fp := s.Fingerprint()
-		if bounded {
-			return fmt.Sprintf("%s#%d#%d", fp, lastTh, switches)
-		}
-		return fp
+	hasher := sem.NewFPHasher()
+	visited := map[uint64]struct{}{}
+	var audit map[uint64]string // hash key -> canonical string key
+	if opts.AuditFingerprints {
+		audit = map[uint64]string{}
 	}
-	visited[key(init, -1, 0)] = true
+	// seen records (state, search context) as visited, reporting whether it
+	// already was. In bounded mode the last-scheduled thread and consumed
+	// switch count are part of the key, mixed into the state hash.
+	seen := func(s *sem.State, lastTh, switches int) bool {
+		fp := hasher.Hash(s)
+		if bounded {
+			fp = sem.Mix64(fp, uint64(lastTh+1))
+			fp = sem.Mix64(fp, uint64(switches))
+		}
+		if _, ok := visited[fp]; ok {
+			if audit != nil {
+				sk := s.FingerprintString()
+				if bounded {
+					sk = fmt.Sprintf("%s#%d#%d", sk, lastTh, switches)
+				}
+				if audit[fp] != sk {
+					res.HashCollisions++
+				}
+			}
+			return true
+		}
+		visited[fp] = struct{}{}
+		if audit != nil {
+			sk := s.FingerprintString()
+			if bounded {
+				sk = fmt.Sprintf("%s#%d#%d", sk, lastTh, switches)
+			}
+			audit[fp] = sk
+		}
+		return false
+	}
+	seen(init, -1, 0)
 	res.States = 1
 
 	stack := []searchState{{st: init, nd: &node{}, lastTh: -1}}
@@ -207,11 +243,9 @@ func Check(c *sem.Compiled, opts Options) *Result {
 			}
 			anyProgress = anyProgress || len(sr.Outcomes) > 0
 			for _, out := range sr.Outcomes {
-				k := key(out.State, ti, switches)
-				if visited[k] {
+				if seen(out.State, ti, switches) {
 					continue
 				}
-				visited[k] = true
 				res.States++
 				if opts.MaxStates > 0 && res.States > opts.MaxStates {
 					res.Verdict = ResourceBound

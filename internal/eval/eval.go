@@ -7,7 +7,10 @@ package eval
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	kiss "repro"
 	"repro/internal/drivers"
@@ -70,6 +73,13 @@ type Options struct {
 	Only map[string]map[string]bool
 	// Drivers restricts to a subset of driver names (nil = all).
 	Drivers map[string]bool
+	// Workers bounds the number of concurrently running field checks. Each
+	// field is an independent transform-then-check problem (the reduction's
+	// whole point), so the fan-out is embarrassingly parallel. 0 means
+	// runtime.GOMAXPROCS(0); results are deterministic — identical to the
+	// Workers: 1 run — at any setting, because every field has a fixed slot
+	// in the output and aggregation happens after the pool drains.
+	Workers int
 }
 
 // DefaultBudget is calibrated so that FieldHard runs (whose hard-worker
@@ -77,19 +87,76 @@ type Options struct {
 // other pattern completes well inside it.
 var DefaultBudget = kiss.Budget{MaxStates: 40000}
 
+// modelCache memoizes drivers.Generate per spec name: generation is
+// deterministic, so the model (text, routine maps, LOC) is computed once
+// per process instead of once per RunCorpus call.
+var modelCache sync.Map // spec name -> *drivers.Model
+
+func modelFor(spec *drivers.DriverSpec) *drivers.Model {
+	if m, ok := modelCache.Load(spec.Name); ok {
+		return m.(*drivers.Model)
+	}
+	m, _ := modelCache.LoadOrStore(spec.Name, drivers.Generate(spec))
+	return m.(*drivers.Model)
+}
+
+// harnessCache memoizes kiss.Parse keyed by harness source. Fields sharing
+// an accessor-pair set produce byte-identical harness programs (only the
+// race target — which is not part of the source — differs), so the model
+// source is parsed once per distinct harness instead of once per field.
+// Parsed programs are immutable (the KISS transformation clones its input),
+// so a cached program may be transformed concurrently by many workers. The
+// cache is bounded by the number of distinct harnesses in the corpus.
+var harnessCache sync.Map // source -> *harnessEntry
+
+type harnessEntry struct {
+	once sync.Once
+	prog *kiss.Program
+	err  error
+}
+
+func parseHarness(src string) (*kiss.Program, error) {
+	e, _ := harnessCache.LoadOrStore(src, &harnessEntry{})
+	entry := e.(*harnessEntry)
+	entry.once.Do(func() {
+		entry.prog, entry.err = kiss.Parse(src)
+	})
+	return entry.prog, entry.err
+}
+
+// checkFieldHook, when non-nil, runs before each field check; a non-nil
+// error aborts the corpus run. Test instrumentation for pool cancellation.
+var checkFieldHook func(driver, field string) error
+
+// fieldJob is one unit of corpus work: a field check writing into a fixed
+// slot of its driver's result row.
+type fieldJob struct {
+	dr    *DriverResult
+	slot  int
+	model *drivers.Model
+	field drivers.FieldSpec
+}
+
 // RunCorpus checks every selected field of every selected driver and
-// returns per-driver results in corpus order.
+// returns per-driver results in corpus order. Field checks are dispatched
+// to a pool of opts.Workers goroutines; the output is independent of the
+// worker count.
 func RunCorpus(opts Options) ([]*DriverResult, error) {
 	budget := opts.Budget
 	if budget == (kiss.Budget{}) {
 		budget = DefaultBudget
 	}
+
+	// Lay out the result skeleton and the flat job list up front: every
+	// selected field owns a fixed slot, so workers never contend on a
+	// shared append and ordering is deterministic by construction.
 	var out []*DriverResult
+	var jobs []fieldJob
 	for _, spec := range drivers.Specs() {
 		if opts.Drivers != nil && !opts.Drivers[spec.Name] {
 			continue
 		}
-		model := drivers.Generate(spec)
+		model := modelFor(spec)
 		dr := &DriverResult{Spec: spec, ModelLOC: model.LOC}
 		for _, f := range spec.Fields {
 			if opts.Only != nil {
@@ -98,12 +165,79 @@ func RunCorpus(opts Options) ([]*DriverResult, error) {
 					continue
 				}
 			}
-			fr, err := checkField(model, f, opts.Refined, budget)
-			if err != nil {
-				return nil, fmt.Errorf("%s.%s: %w", spec.Name, f.Name, err)
+			dr.Fields = append(dr.Fields, FieldResult{})
+			jobs = append(jobs, fieldJob{dr: dr, slot: len(dr.Fields) - 1, model: model, field: f})
+		}
+		out = append(out, dr)
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	run := func(j fieldJob) error {
+		fr, err := checkField(j.model, j.field, opts.Refined, budget)
+		if err != nil {
+			return fmt.Errorf("%s.%s: %w", j.dr.Spec.Name, j.field.Name, err)
+		}
+		j.dr.Fields[j.slot] = fr
+		return nil
+	}
+
+	if workers <= 1 {
+		for _, j := range jobs {
+			if err := run(j); err != nil {
+				return nil, err
 			}
-			dr.Fields = append(dr.Fields, fr)
-			switch fr.Verdict {
+		}
+	} else {
+		var (
+			next     atomic.Int64
+			stop     = make(chan struct{})
+			failOnce sync.Once
+			firstErr error
+			wg       sync.WaitGroup
+		)
+		fail := func(err error) {
+			failOnce.Do(func() {
+				firstErr = err
+				close(stop) // cancel: idle workers exit before their next job
+			})
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					i := int(next.Add(1)) - 1
+					if i >= len(jobs) {
+						return
+					}
+					if err := run(jobs[i]); err != nil {
+						fail(err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	}
+
+	for _, dr := range out {
+		for i := range dr.Fields {
+			switch dr.Fields[i].Verdict {
 			case Race:
 				dr.Races++
 			case NoRace:
@@ -112,15 +246,18 @@ func RunCorpus(opts Options) ([]*DriverResult, error) {
 				dr.Timeouts++
 			}
 		}
-		out = append(out, dr)
 	}
 	return out, nil
 }
 
 func checkField(model *drivers.Model, f drivers.FieldSpec, refined bool, budget kiss.Budget) (FieldResult, error) {
 	fr := FieldResult{Driver: model.Spec.Name, Field: f.Name, Pattern: f.Pattern}
-	src := model.HarnessProgram(f.Name, refined)
-	prog, err := kiss.Parse(src)
+	if checkFieldHook != nil {
+		if err := checkFieldHook(model.Spec.Name, f.Name); err != nil {
+			return fr, err
+		}
+	}
+	prog, err := parseHarness(model.HarnessProgram(f.Name, refined))
 	if err != nil {
 		return fr, fmt.Errorf("generated model does not parse: %w", err)
 	}

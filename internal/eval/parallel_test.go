@@ -1,0 +1,89 @@
+package eval
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunCorpusParallelDeterminism: the worker pool must be invisible in
+// the output — Workers: 1 and Workers: 8 produce identical result slices
+// (driver order, field slots, verdicts, state and step counts).
+func TestRunCorpusParallelDeterminism(t *testing.T) {
+	sel := map[string]bool{"tracedrv": true, "moufiltr": true, "toaster/toastmon": true}
+	seq, err := RunCorpus(Options{Drivers: sel, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunCorpus(Options{Drivers: sel, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("driver count differs: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if !reflect.DeepEqual(seq[i], par[i]) {
+			t.Errorf("driver %s: sequential and parallel results differ:\nseq: %+v\npar: %+v",
+				seq[i].Spec.Name, seq[i], par[i])
+		}
+	}
+	if FormatTable1(seq) != FormatTable1(par) {
+		t.Error("rendered Table 1 differs between worker counts")
+	}
+}
+
+// TestRunCorpusParallelRefined covers the refined/Only path under the pool.
+func TestRunCorpusParallelRefined(t *testing.T) {
+	sel := map[string]bool{"moufiltr": true}
+	t1, err := RunCorpus(Options{Drivers: sel, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raced := RacedFields(t1)
+	seq, err := RunCorpus(Options{Drivers: sel, Refined: true, Only: raced, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunCorpus(Options{Drivers: sel, Refined: true, Only: raced, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("refined rerun differs between worker counts:\nseq: %+v\npar: %+v", seq[0], par[0])
+	}
+}
+
+// TestRunCorpusCancellation: when a field check fails, the pool must
+// surface the error and stop handing out jobs promptly — at most the
+// checks already in flight may still start, not the rest of the corpus.
+func TestRunCorpusCancellation(t *testing.T) {
+	const workers = 4
+	boom := errors.New("injected field failure")
+	var started atomic.Int64
+	checkFieldHook = func(driver, field string) error {
+		if started.Add(1) == 1 {
+			return boom
+		}
+		return nil
+	}
+	defer func() { checkFieldHook = nil }()
+
+	res, err := RunCorpus(Options{Workers: workers})
+	if err == nil {
+		t.Fatal("RunCorpus returned nil error after injected failure")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v does not wrap the injected failure", err)
+	}
+	if res != nil {
+		t.Error("RunCorpus returned partial results alongside an error")
+	}
+	// 481 jobs exist; after the first job fails, each of the other workers
+	// may finish the job it was already running (plus a small scheduling
+	// margin), but the rest of the corpus must never be handed out.
+	if n := started.Load(); n > 2*workers {
+		t.Errorf("%d field checks started after cancellation (want <= %d)", n, 2*workers)
+	}
+}

@@ -1,0 +1,198 @@
+package sem
+
+// 64-bit state fingerprints for the visited sets of the explicit-state
+// searches. The encoder mirrors FingerprintString's canonicalization
+// exactly — same object renumbering by first-reach order, same frame-id
+// canonicalization, same ts multiset ordering (via appendTsOrder) — but
+// feeds the canonical byte sequence into an incremental FNV-1a hash
+// instead of materializing a string, so the hot loop performs no
+// per-state allocation beyond the two small scratch maps, which an
+// FPHasher reuses across states.
+//
+// Soundness note: a 64-bit collision makes a search treat a genuinely new
+// state as visited, so a collision can only cause a *missed* state (and
+// hence a missed error), never a false alarm — the same direction of
+// unsoundness as the KISS reduction itself. The string encoder remains
+// available as FingerprintString, and the checkers' audit modes
+// cross-check the two on demand.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Mix64 folds v into the running FNV-1a hash h. Exported so searches that
+// key their visited sets on (state, extra context) — e.g. concheck's
+// context-bounded mode — can extend a state hash without re-encoding.
+func Mix64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// FPHasher computes 64-bit state fingerprints, reusing its canonicalization
+// scratch (object-numbering and frame maps, ts order slice) across calls.
+// An FPHasher is not safe for concurrent use; each search owns one.
+type FPHasher struct {
+	objOrder   map[int]int // heap index -> canonical number
+	objList    []int       // heap indices in canonical order (worklist)
+	frameCanon map[int]int // frame id -> canonical number
+	tsOrder    []int
+	h          uint64
+}
+
+// NewFPHasher returns a hasher with empty scratch.
+func NewFPHasher() *FPHasher {
+	return &FPHasher{objOrder: map[int]int{}, frameCanon: map[int]int{}}
+}
+
+// FingerprintHash returns the 64-bit canonical fingerprint of the state
+// using a throwaway hasher. Searches should allocate one FPHasher and call
+// its Hash method instead.
+func (s *State) FingerprintHash() uint64 {
+	return NewFPHasher().Hash(s)
+}
+
+func (e *FPHasher) byte(b byte) {
+	e.h ^= uint64(b)
+	e.h *= fnvPrime64
+}
+
+func (e *FPHasher) int64(v int64) {
+	u := uint64(v)
+	for i := 0; i < 8; i++ {
+		e.byte(byte(u))
+		u >>= 8
+	}
+}
+
+// str hashes the bytes of s followed by a 0 terminator, so adjacent names
+// cannot be re-segmented into each other.
+func (e *FPHasher) str(s string) {
+	for i := 0; i < len(s); i++ {
+		e.byte(s[i])
+	}
+	e.byte(0)
+}
+
+func (e *FPHasher) touchObj(idx int) int {
+	if n, ok := e.objOrder[idx]; ok {
+		return n
+	}
+	n := len(e.objOrder)
+	e.objOrder[idx] = n
+	e.objList = append(e.objList, idx)
+	return n
+}
+
+// val mirrors fpEncoder.val byte-for-case: each case writes a distinct tag
+// so values of different kinds cannot hash-alias structurally.
+func (e *FPHasher) val(v Value) {
+	switch v.Kind {
+	case KInt:
+		e.byte('i')
+		e.int64(v.I)
+	case KBool:
+		e.byte('b')
+		e.int64(v.I)
+	case KFunc:
+		e.byte('f')
+		e.str(v.Fn)
+	case KNull:
+		e.byte('n')
+	case KUnit:
+		e.byte('u')
+	case KPtr:
+		c := v.Ptr
+		switch c.Kind {
+		case CGlobal:
+			e.byte('g')
+			e.int64(int64(c.Idx))
+		case CHeapField:
+			e.byte('h')
+			e.int64(int64(e.touchObj(c.Idx)))
+			e.int64(int64(c.Field))
+		case CObject:
+			e.byte('o')
+			e.int64(int64(e.touchObj(c.Idx)))
+		case CLocal:
+			if n, ok := e.frameCanon[c.FrameID]; ok {
+				e.byte('l')
+				e.int64(int64(n))
+			} else {
+				e.byte('L') // dangling
+			}
+			e.int64(int64(c.Field))
+		}
+	}
+}
+
+// Hash returns the canonical 64-bit fingerprint of s. Two states with equal
+// FingerprintString always hash equal; the converse holds up to 64-bit
+// collisions.
+func (e *FPHasher) Hash(s *State) uint64 {
+	clear(e.objOrder)
+	clear(e.frameCanon)
+	e.objList = e.objList[:0]
+	e.h = fnvOffset64
+
+	for ti, t := range s.Threads {
+		for d, fr := range t.Frames {
+			e.frameCanon[fr.ID] = ti<<16 | d
+		}
+	}
+
+	e.byte('G')
+	for _, v := range s.Globals {
+		e.val(v)
+	}
+	e.byte('T')
+	for _, t := range s.Threads {
+		e.byte('[')
+		for _, fr := range t.Frames {
+			e.byte('(')
+			e.str(fr.CF.Fn.Name)
+			e.int64(int64(fr.PC))
+			for _, v := range fr.Locals {
+				e.val(v)
+			}
+			e.byte('r')
+			e.str(fr.Result)
+			e.byte(')')
+		}
+		e.byte(']')
+	}
+
+	if len(s.Ts) > 0 {
+		e.tsOrder = s.appendTsOrder(e.tsOrder[:0])
+		e.byte('S')
+		for _, i := range e.tsOrder {
+			p := s.Ts[i]
+			e.str(p.Fn)
+			e.byte('(')
+			for _, a := range p.Args {
+				e.val(a)
+			}
+			e.byte(')')
+		}
+	}
+
+	// Heap contents of reached objects in canonical order; hashing may
+	// discover further objects, so iterate as a worklist.
+	e.byte('H')
+	for i := 0; i < len(e.objList); i++ {
+		o := s.Heap[e.objList[i]]
+		e.byte('O')
+		e.int64(int64(i))
+		e.str(o.Rec)
+		e.byte('{')
+		for _, v := range o.Fields {
+			e.val(v)
+		}
+		e.byte('}')
+	}
+	return e.h
+}

@@ -1,0 +1,125 @@
+package sem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property tests for the 64-bit fingerprint encoder: FingerprintHash must
+// agree with FingerprintString on equality — equal strings always hash
+// equal (the encoders share one canonicalization), and unequal strings
+// must not collide on the small random states explored here (a 64-bit
+// collision among a few thousand states would indicate a structural bug
+// in the encoder, not bad luck).
+
+// randomWalk returns a state reached by a pseudo-random path of up to
+// steps transitions from the initial state of c.
+func randomWalk(c *Compiled, seed int64, steps int) *State {
+	s := NewState(c)
+	x := uint64(seed)
+	for i := 0; i < steps; i++ {
+		if s.Threads[0].Done() {
+			break
+		}
+		sr := Step(s, 0)
+		if sr.Failure != nil || sr.Blocked || len(sr.Outcomes) == 0 {
+			break
+		}
+		x = x*6364136223846793005 + 1442695040888963407
+		s = sr.Outcomes[int(x>>33)%len(sr.Outcomes)].State
+	}
+	return s
+}
+
+// TestQuickHashMatchesString: across pairs of reachable states of random
+// programs, hash equality must coincide with string equality.
+func TestQuickHashMatchesString(t *testing.T) {
+	f := func(seed int64, walkA, walkB uint16) bool {
+		c, ok := compileSeed(t, seed)
+		if !ok {
+			return true
+		}
+		sA := randomWalk(c, seed, int(walkA%64))
+		sB := randomWalk(c, seed+int64(walkB%2), int(walkB%64))
+		strEq := sA.FingerprintString() == sB.FingerprintString()
+		hashEq := sA.FingerprintHash() == sB.FingerprintHash()
+		return strEq == hashEq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickHashCloneIdentity: cloning never changes the hash, and a reused
+// hasher agrees with a fresh one (the scratch maps leak no state between
+// calls).
+func TestQuickHashCloneIdentity(t *testing.T) {
+	h := NewFPHasher()
+	f := func(seed int64, walk uint16) bool {
+		c, ok := compileSeed(t, seed)
+		if !ok {
+			return true
+		}
+		s := randomWalk(c, seed, int(walk%64))
+		fresh := s.FingerprintHash()
+		return h.Hash(s) == fresh && s.Clone().FingerprintHash() == fresh && h.Hash(s.Clone()) == fresh
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHashCanonicalization mirrors TestFingerprintCanonicalization for the
+// hash encoder: ts multiset order and unreachable heap garbage must not
+// affect the hash, while genuine state differences must.
+func TestHashCanonicalization(t *testing.T) {
+	c := compile(t, `
+record R { f; }
+var keep;
+func main() {
+  var a; var b;
+  a = new R;
+  b = new R;
+  keep = 0;
+}
+`)
+	s1 := NewState(c)
+	s1.Ts = []Pending{{Fn: "main"}, {Fn: "other"}}
+	s2 := s1.Clone()
+	s2.Ts = []Pending{{Fn: "other"}, {Fn: "main"}}
+	if s1.FingerprintHash() != s2.FingerprintHash() {
+		t.Error("ts multiset order affects hash")
+	}
+
+	s3 := s1.Clone()
+	s3.Heap = append(s3.Heap, &Object{Rec: "R", Fields: []Value{IntV(99)}})
+	if s1.FingerprintHash() != s3.FingerprintHash() {
+		t.Error("unreachable heap garbage affects hash")
+	}
+
+	s4 := s1.Clone()
+	s4.Globals[0] = IntV(7)
+	if s1.FingerprintHash() == s4.FingerprintHash() {
+		t.Error("different global values collide")
+	}
+	s5 := s1.Clone()
+	s5.Threads[0].Top().PC = 1
+	if s1.FingerprintHash() == s5.FingerprintHash() {
+		t.Error("different PCs collide")
+	}
+}
+
+// TestMix64 sanity: mixing extra context changes the key and is
+// order/value sensitive.
+func TestMix64(t *testing.T) {
+	base := uint64(0x12345678)
+	if Mix64(base, 1) == base {
+		t.Error("Mix64 is a no-op")
+	}
+	if Mix64(base, 1) == Mix64(base, 2) {
+		t.Error("Mix64 ignores its argument")
+	}
+	if Mix64(Mix64(base, 1), 2) == Mix64(Mix64(base, 2), 1) {
+		t.Error("Mix64 is order-insensitive")
+	}
+}

@@ -33,7 +33,7 @@ func TestQuickCloneFingerprintIdentity(t *testing.T) {
 			x = x*6364136223846793005 + 1442695040888963407
 			s = sr.Outcomes[int(x>>33)%len(sr.Outcomes)].State
 		}
-		return s.Clone().Fingerprint() == s.Fingerprint()
+		return s.Clone().FingerprintString() == s.FingerprintString()
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
@@ -53,9 +53,9 @@ func TestQuickStepDoesNotMutateInput(t *testing.T) {
 			if s.Threads[0].Done() {
 				break
 			}
-			before := s.Fingerprint()
+			before := s.FingerprintString()
 			sr := Step(s, 0)
-			if s.Fingerprint() != before {
+			if s.FingerprintString() != before {
 				return false
 			}
 			if sr.Failure != nil || sr.Blocked || len(sr.Outcomes) == 0 {
@@ -82,7 +82,7 @@ func TestQuickFingerprintSeparatesGlobals(t *testing.T) {
 		s2 := NewState(c)
 		s1.Globals[0] = IntV(int64(a))
 		s2.Globals[0] = IntV(int64(b))
-		same := s1.Fingerprint() == s2.Fingerprint()
+		same := s1.FingerprintString() == s2.FingerprintString()
 		return same == (a == b)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {

@@ -57,7 +57,7 @@ func run(t *testing.T, c *Compiled) (*Failure, map[string]bool) {
 				return sr.Failure, finals
 			}
 			for _, o := range sr.Outcomes {
-				fp := o.State.Fingerprint()
+				fp := o.State.FingerprintString()
 				if !seen[fp] {
 					seen[fp] = true
 					stack = append(stack, o.State)
@@ -425,14 +425,14 @@ func main() {
 	s1.Ts = []Pending{{Fn: "main"}, {Fn: "other"}}
 	s2 := s1.Clone()
 	s2.Ts = []Pending{{Fn: "other"}, {Fn: "main"}}
-	if s1.Fingerprint() != s2.Fingerprint() {
+	if s1.FingerprintString() != s2.FingerprintString() {
 		t.Error("ts multiset order affects fingerprint")
 	}
 
 	// Garbage objects are excluded: allocate an unreachable object.
 	s3 := s1.Clone()
 	s3.Heap = append(s3.Heap, &Object{Rec: "R", Fields: []Value{IntV(99)}})
-	if s1.Fingerprint() != s3.Fingerprint() {
+	if s1.FingerprintString() != s3.FingerprintString() {
 		t.Error("unreachable heap garbage affects fingerprint")
 	}
 }
@@ -442,12 +442,12 @@ func TestFingerprintDistinguishesStates(t *testing.T) {
 	s1 := NewState(c)
 	s2 := s1.Clone()
 	s2.Globals[0] = IntV(7)
-	if s1.Fingerprint() == s2.Fingerprint() {
+	if s1.FingerprintString() == s2.FingerprintString() {
 		t.Error("different global values collide")
 	}
 	s3 := s1.Clone()
 	s3.Threads[0].Top().PC = 1
-	if s1.Fingerprint() == s3.Fingerprint() {
+	if s1.FingerprintString() == s3.FingerprintString() {
 		t.Error("different PCs collide")
 	}
 }

@@ -208,9 +208,24 @@ func (e *fpEncoder) val(b *strings.Builder, v Value) {
 	}
 }
 
-// Fingerprint returns a canonical encoding of the state, suitable as a
-// visited-set key.
-func (s *State) Fingerprint() string {
+// appendTsOrder appends the indices of s.Ts to order in canonical multiset
+// order (sorted by a structure-only key, stably). Both fingerprint encoders
+// use it so the string and hash canonicalizations can never diverge.
+func (s *State) appendTsOrder(order []int) []int {
+	for i := range s.Ts {
+		order = append(order, i)
+	}
+	sort.SliceStable(order, func(a, c int) bool {
+		return s.Ts[order[a]].String() < s.Ts[order[c]].String()
+	})
+	return order
+}
+
+// FingerprintString returns the canonical string encoding of the state.
+// The explicit-state searches key their visited sets on the 64-bit
+// FingerprintHash instead; the string form remains the debug/verification
+// API (audit modes cross-check the two, see seqcheck.Options).
+func (s *State) FingerprintString() string {
 	e := &fpEncoder{s: s, objOrder: map[int]int{}, frameCanon: map[int]int{}}
 	for ti, t := range s.Threads {
 		for d, fr := range t.Frames {
@@ -245,13 +260,7 @@ func (s *State) Fingerprint() string {
 	// ordering independent of ts slice order entirely, entries are first
 	// sorted by a structure-only key before encoding.
 	if len(s.Ts) > 0 {
-		order := make([]int, len(s.Ts))
-		for i := range order {
-			order[i] = i
-		}
-		sort.SliceStable(order, func(a, c int) bool {
-			return s.Ts[order[a]].String() < s.Ts[order[c]].String()
-		})
+		order := s.appendTsOrder(make([]int, 0, len(s.Ts)))
 		b.WriteString("S:")
 		for _, i := range order {
 			p := s.Ts[i]

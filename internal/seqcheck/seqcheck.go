@@ -51,6 +51,14 @@ type Options struct {
 	// returned counterexample a *shortest* error trace. DFS (the default)
 	// is faster to a first error and uses less frontier memory.
 	BFS bool
+	// AuditFingerprints cross-checks the 64-bit visited-set hashes against
+	// the canonical string encodings, counting states whose hash collided
+	// with a structurally different state in Result.HashCollisions. A
+	// collision makes the search treat a new state as visited — a missed
+	// state, never a false alarm (the same unsoundness direction as the
+	// KISS reduction). Audit mode restores the string encoder's cost and
+	// is meant for tests on small programs.
+	AuditFingerprints bool
 }
 
 // Result reports the verdict along with the witness trace and search
@@ -63,6 +71,9 @@ type Result struct {
 	Trace  []sem.Event
 	States int
 	Steps  int
+	// HashCollisions counts states whose 64-bit fingerprint collided with
+	// a structurally different visited state (AuditFingerprints only).
+	HashCollisions int
 }
 
 func (r *Result) String() string {
@@ -100,22 +111,56 @@ func (n *node) trace() []sem.Event {
 func Check(c *sem.Compiled, opts Options) *Result {
 	res := &Result{}
 	init := sem.NewState(c)
-	visited := map[string]bool{init.Fingerprint(): true}
+
+	hasher := sem.NewFPHasher()
+	visited := map[uint64]struct{}{}
+	var audit map[uint64]string // hash -> canonical string of first state
+	if opts.AuditFingerprints {
+		audit = map[uint64]string{}
+	}
+	// seen records the state as visited, reporting whether it already was.
+	seen := func(st *sem.State) bool {
+		fp := hasher.Hash(st)
+		if _, ok := visited[fp]; ok {
+			if audit != nil && audit[fp] != st.FingerprintString() {
+				res.HashCollisions++
+			}
+			return true
+		}
+		visited[fp] = struct{}{}
+		if audit != nil {
+			audit[fp] = st.FingerprintString()
+		}
+		return false
+	}
+	seen(init)
 
 	type frame struct {
 		st *sem.State
 		nd *node
 	}
 	stack := []frame{{st: init, nd: &node{}}}
+	head := 0 // BFS dequeue position; the tail is the DFS top
 	res.States = 1
 
-	for len(stack) > 0 {
+	for head < len(stack) {
 		var cur frame
 		if opts.BFS {
-			cur = stack[0]
-			stack = stack[1:]
+			// Dequeue by head index rather than stack = stack[1:]: reslicing
+			// pins the whole backing array (every popped state) for the life
+			// of the search. Zeroing the slot frees the frame now, and the
+			// occasional compaction lets the array itself shrink.
+			cur = stack[head]
+			stack[head] = frame{}
+			head++
+			if head >= 1024 && head*2 >= len(stack) {
+				n := copy(stack, stack[head:])
+				stack = stack[:n]
+				head = 0
+			}
 		} else {
 			cur = stack[len(stack)-1]
+			stack[len(stack)-1] = frame{}
 			stack = stack[:len(stack)-1]
 		}
 
@@ -147,11 +192,9 @@ func Check(c *sem.Compiled, opts Options) *Result {
 		}
 		// Blocked (false assume) prunes the path in sequential semantics.
 		for _, out := range sr.Outcomes {
-			fp := out.State.Fingerprint()
-			if visited[fp] {
+			if seen(out.State) {
 				continue
 			}
-			visited[fp] = true
 			res.States++
 			if opts.MaxStates > 0 && res.States > opts.MaxStates {
 				res.Verdict = ResourceBound

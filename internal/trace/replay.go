@@ -86,7 +86,7 @@ func Replay(c *sem.Compiled, schedule []int, maxStates int) *ReplayResult {
 				return res
 			}
 			for _, out := range sr.Outcomes {
-				key := out.State.Fingerprint()
+				key := out.State.FingerprintString()
 				// The same state may recur at different schedule
 				// positions; key on both.
 				key = key + "#" + itoa(blk)

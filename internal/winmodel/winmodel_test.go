@@ -49,7 +49,7 @@ func explore(t *testing.T, c *sem.Compiled) *sem.Failure {
 				return sr.Failure
 			}
 			for _, o := range sr.Outcomes {
-				fp := o.State.Fingerprint()
+				fp := o.State.FingerprintString()
 				if !seen[fp] {
 					seen[fp] = true
 					stack = append(stack, o.State)
