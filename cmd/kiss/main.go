@@ -6,22 +6,29 @@
 //
 // Usage:
 //
-//	kiss check [-ts N] [-bfs] [-certify] [-summaries] prog.pl   assertion checking
-//	kiss race  [-ts N] -target T [-max-states N] prog.pl        race checking
-//	kiss transform [-ts N] [-target T] prog.pl        print the sequential program
-//	kiss explore [-context N] prog.pl                 baseline interleaving exploration
-//	kiss print prog.pl                                parse, lower, and pretty-print
-//	kiss cfg [-fn NAME] [-ts N] prog.pl               Graphviz DOT of the instrumented CFG
+//	kiss check [-max-ts N] [-bfs] [-certify] [-summaries] prog.pl  assertion checking
+//	kiss race  [-max-ts N] -target T [-max-states N] prog.pl       race checking
+//	kiss transform [-max-ts N] [-target T] prog.pl      print the sequential program
+//	kiss explore [-context-bound N] prog.pl             baseline interleaving exploration
+//	kiss print prog.pl                                  parse, lower, and pretty-print
+//	kiss cfg [-fn NAME] [-max-ts N] prog.pl             Graphviz DOT of the instrumented CFG
+//
+// Flag names mirror the kiss.Config fields (and kissbench flags): -max-ts,
+// -max-states, -max-steps, -max-depth, -bfs, -context-bound, -timeout,
+// -progress. -progress streams search metrics to stderr while the checker
+// runs; -timeout bounds wall time and reports the partial result.
 //
 // The race target T is either a global variable name ("stopped") or
 // record.field ("DEVICE_EXTENSION.stoppingFlag").
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	kiss "repro"
 )
@@ -64,12 +71,12 @@ func usage() {
 	fmt.Fprint(os.Stderr, `kiss - sequentializing checker for concurrent programs (Qadeer & Wu, PLDI 2004)
 
 commands:
-  check     [-ts N] [-max-states N] [-max-steps N] prog.pl
-  race      [-ts N] -target T [-max-states N] [-max-steps N] prog.pl
-  transform [-ts N] [-target T] prog.pl
-  explore   [-context N] [-max-states N] prog.pl
+  check     [-max-ts N] [-max-states N] [-max-steps N] [-max-depth N] [-bfs] [-timeout D] [-progress] prog.pl
+  race      [-max-ts N] -target T [-max-states N] [-max-steps N] [-max-depth N] [-timeout D] [-progress] prog.pl
+  transform [-max-ts N] [-target T] prog.pl
+  explore   [-context-bound N] [-max-states N] [-timeout D] [-progress] prog.pl
   print     prog.pl
-  cfg       [-fn NAME] [-ts N] [-target T] prog.pl   (DOT of the transformed CFG)
+  cfg       [-fn NAME] [-max-ts N] [-target T] prog.pl   (DOT of the transformed CFG)
 
 The race target T is a global name or Record.Field.
 `)
@@ -92,12 +99,63 @@ func loadProgram(fs *flag.FlagSet) (*kiss.Program, error) {
 	return kiss.ParseFile(fs.Arg(0))
 }
 
+// budgetFlags registers the search-budget flags shared by the checking
+// commands, spelled exactly like the kiss.Config fields they set.
+type budgetFlags struct {
+	maxStates, maxSteps, maxDepth *int
+	timeout                       *time.Duration
+	progress                      *bool
+}
+
+func addBudgetFlags(fs *flag.FlagSet) *budgetFlags {
+	return &budgetFlags{
+		maxStates: fs.Int("max-states", 0, "state budget (0 = unlimited)"),
+		maxSteps:  fs.Int("max-steps", 0, "step budget (0 = unlimited)"),
+		maxDepth:  fs.Int("max-depth", 0, "search depth bound (0 = unlimited)"),
+		timeout:   fs.Duration("timeout", 0, "wall-time bound, e.g. 30s (0 = unlimited)"),
+		progress:  fs.Bool("progress", false, "stream search metrics to stderr while running"),
+	}
+}
+
+// options converts the parsed flags into functional options. The returned
+// cancel func must be called when checking finishes (it releases the
+// timeout context's timer).
+func (bf *budgetFlags) options() ([]kiss.Option, context.CancelFunc) {
+	opts := []kiss.Option{
+		kiss.WithMaxStates(*bf.maxStates),
+		kiss.WithMaxSteps(*bf.maxSteps),
+		kiss.WithMaxDepth(*bf.maxDepth),
+	}
+	cancel := context.CancelFunc(func() {})
+	if *bf.timeout > 0 {
+		var ctx context.Context
+		ctx, cancel = context.WithTimeout(context.Background(), *bf.timeout)
+		opts = append(opts, kiss.WithContext(ctx))
+	}
+	if *bf.progress {
+		opts = append(opts, kiss.WithProgress(printProgress))
+	}
+	return opts, cancel
+}
+
+func printProgress(e kiss.Event) {
+	if e.Final {
+		fmt.Fprintf(os.Stderr, "progress: done phase=%s states=%d steps=%d visited=%d elapsed=%s\n",
+			e.Phase, e.States, e.Steps, e.Visited, e.Elapsed.Round(time.Millisecond))
+		return
+	}
+	fmt.Fprintf(os.Stderr, "progress: phase=%s states=%d steps=%d frontier=%d depth=%d visited=%d rate=%.0f/s elapsed=%s\n",
+		e.Phase, e.States, e.Steps, e.Frontier, e.Depth, e.Visited, e.StatesPerSec, e.Elapsed.Round(time.Millisecond))
+}
+
 func report(res *kiss.Result) {
 	switch res.Verdict {
 	case kiss.Safe:
 		fmt.Printf("result: no bug found (states=%d steps=%d)\n", res.States, res.Steps)
 	case kiss.ResourceBound:
-		fmt.Printf("result: resource bound exhausted (states=%d steps=%d)\n", res.States, res.Steps)
+		// Name the specific bound that tripped — a deadline and a state
+		// budget call for different operator reactions.
+		fmt.Printf("result: %s\n", res)
 	case kiss.Error:
 		fmt.Printf("result: ERROR at %s: %s (states=%d steps=%d)\n", res.Pos, res.Message, res.States, res.Steps)
 		if res.Trace != nil {
@@ -109,9 +167,8 @@ func report(res *kiss.Result) {
 
 func runCheck(args []string) error {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
-	ts := fs.Int("ts", 0, "bound MAX on the pending-thread multiset ts")
-	maxStates := fs.Int("max-states", 0, "state budget (0 = unlimited)")
-	maxSteps := fs.Int("max-steps", 0, "step budget (0 = unlimited)")
+	maxTS := fs.Int("max-ts", 0, "bound MAX on the pending-thread multiset ts")
+	bf := addBudgetFlags(fs)
 	bfs := fs.Bool("bfs", false, "breadth-first search (shortest counterexample)")
 	certify := fs.Bool("certify", false, "on error, replay the reconstructed schedule on the concurrent program")
 	summaries := fs.Bool("summaries", false, "use the summary-based engine (pointer-free fragment; handles recursion; no trace)")
@@ -120,20 +177,23 @@ func runCheck(args []string) error {
 	if err != nil {
 		return err
 	}
-	budget := kiss.Budget{MaxStates: *maxStates, MaxSteps: *maxSteps, BFS: *bfs}
-	opts := kiss.Options{MaxTS: *ts}
-	var res *kiss.Result
-	if *summaries {
-		res, err = kiss.CheckAssertionsSummaries(prog, opts, budget)
-	} else {
-		res, err = kiss.CheckAssertions(prog, opts, budget)
+	opts, cancel := bf.options()
+	defer cancel()
+	opts = append(opts, kiss.WithMaxTS(*maxTS))
+	if *bfs {
+		opts = append(opts, kiss.WithBFS())
 	}
+	if *summaries {
+		opts = append(opts, kiss.WithSummaries())
+	}
+	cfg := kiss.NewConfig(opts...)
+	res, err := cfg.Check(prog)
 	if err != nil {
 		return err
 	}
 	report(res)
 	if *certify && res.Verdict == kiss.Error && res.Trace != nil {
-		ok, err := kiss.CertifyTrace(prog, res, budget)
+		ok, err := cfg.Certify(prog, res)
 		if err != nil {
 			return err
 		}
@@ -144,10 +204,9 @@ func runCheck(args []string) error {
 
 func runRace(args []string) error {
 	fs := flag.NewFlagSet("race", flag.ExitOnError)
-	ts := fs.Int("ts", 0, "bound MAX on the pending-thread multiset ts")
+	maxTS := fs.Int("max-ts", 0, "bound MAX on the pending-thread multiset ts")
 	target := fs.String("target", "", "race target: global name or Record.Field")
-	maxStates := fs.Int("max-states", 0, "state budget (0 = unlimited)")
-	maxSteps := fs.Int("max-steps", 0, "step budget (0 = unlimited)")
+	bf := addBudgetFlags(fs)
 	fs.Parse(args)
 	t, err := parseTarget(*target)
 	if err != nil {
@@ -157,8 +216,10 @@ func runRace(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := kiss.CheckRace(prog, t, kiss.Options{MaxTS: *ts},
-		kiss.Budget{MaxStates: *maxStates, MaxSteps: *maxSteps})
+	opts, cancel := bf.options()
+	defer cancel()
+	opts = append(opts, kiss.WithMaxTS(*maxTS), kiss.WithRaceTarget(t))
+	res, err := kiss.Check(prog, opts...)
 	if err != nil {
 		return err
 	}
@@ -169,7 +230,7 @@ func runRace(args []string) error {
 
 func runTransform(args []string) error {
 	fs := flag.NewFlagSet("transform", flag.ExitOnError)
-	ts := fs.Int("ts", 0, "bound MAX on the pending-thread multiset ts")
+	maxTS := fs.Int("max-ts", 0, "bound MAX on the pending-thread multiset ts")
 	target := fs.String("target", "", "optional race target: instrument for race checking")
 	stats := fs.Bool("stats", false, "print instrumentation blowup statistics instead of the program")
 	fs.Parse(args)
@@ -177,21 +238,9 @@ func runTransform(args []string) error {
 	if err != nil {
 		return err
 	}
-	var seq *kiss.Program
-	if *target != "" {
-		t, err := parseTarget(*target)
-		if err != nil {
-			return err
-		}
-		seq, err = kiss.TransformRace(prog, t, kiss.Options{MaxTS: *ts})
-		if err != nil {
-			return err
-		}
-	} else {
-		seq, err = kiss.Transform(prog, kiss.Options{MaxTS: *ts})
-		if err != nil {
-			return err
-		}
+	seq, err := transformed(prog, *maxTS, *target)
+	if err != nil {
+		return err
 	}
 	if *stats {
 		fmt.Println(kiss.MeasureTransform(prog, seq))
@@ -203,14 +252,17 @@ func runTransform(args []string) error {
 
 func runExplore(args []string) error {
 	fs := flag.NewFlagSet("explore", flag.ExitOnError)
-	contextBound := fs.Int("context", -1, "context-switch bound (-1 = unlimited)")
-	maxStates := fs.Int("max-states", 0, "state budget (0 = unlimited)")
+	contextBound := fs.Int("context-bound", -1, "context-switch bound (-1 = unlimited)")
+	bf := addBudgetFlags(fs)
 	fs.Parse(args)
 	prog, err := loadProgram(fs)
 	if err != nil {
 		return err
 	}
-	res, err := kiss.ExploreConcurrent(prog, kiss.Budget{MaxStates: *maxStates}, *contextBound)
+	opts, cancel := bf.options()
+	defer cancel()
+	opts = append(opts, kiss.WithContextBound(*contextBound))
+	res, err := kiss.Explore(prog, opts...)
 	if err != nil {
 		return err
 	}
@@ -218,31 +270,33 @@ func runExplore(args []string) error {
 	return nil
 }
 
+// transformed applies the KISS transformation, race-instrumented when a
+// target is given — the shared front half of transform and cfg.
+func transformed(prog *kiss.Program, maxTS int, target string) (*kiss.Program, error) {
+	cfg := kiss.NewConfig(kiss.WithMaxTS(maxTS))
+	if target == "" {
+		return cfg.Transform(prog)
+	}
+	t, err := parseTarget(target)
+	if err != nil {
+		return nil, err
+	}
+	return cfg.TransformRace(prog, t)
+}
+
 func runCFG(args []string) error {
 	fs := flag.NewFlagSet("cfg", flag.ExitOnError)
 	fn := fs.String("fn", "main", "function to render")
-	ts := fs.Int("ts", 0, "bound MAX on the pending-thread multiset ts")
+	maxTS := fs.Int("max-ts", 0, "bound MAX on the pending-thread multiset ts")
 	target := fs.String("target", "", "optional race target: render the race-instrumented program")
 	fs.Parse(args)
 	prog, err := loadProgram(fs)
 	if err != nil {
 		return err
 	}
-	var seq *kiss.Program
-	if *target != "" {
-		t, err := parseTarget(*target)
-		if err != nil {
-			return err
-		}
-		seq, err = kiss.TransformRace(prog, t, kiss.Options{MaxTS: *ts})
-		if err != nil {
-			return err
-		}
-	} else {
-		seq, err = kiss.Transform(prog, kiss.Options{MaxTS: *ts})
-		if err != nil {
-			return err
-		}
+	seq, err := transformed(prog, *maxTS, *target)
+	if err != nil {
+		return err
 	}
 	dot, err := seq.DotCFG(*fn)
 	if err != nil {

@@ -50,14 +50,14 @@ func TestParseTarget(t *testing.T) {
 
 func TestRunCheckCommand(t *testing.T) {
 	path := writeTemp(t, racySrc)
-	if err := runCheck([]string{"-ts", "0", path}); err != nil {
+	if err := runCheck([]string{"-max-ts", "0", path}); err != nil {
 		t.Fatalf("check: %v", err)
 	}
 }
 
 func TestRunRaceCommand(t *testing.T) {
 	path := writeTemp(t, racySrc)
-	if err := runRace([]string{"-ts", "0", "-target", "x", path}); err != nil {
+	if err := runRace([]string{"-max-ts", "0", "-target", "x", path}); err != nil {
 		t.Fatalf("race: %v", err)
 	}
 	if err := runRace([]string{path}); err == nil {
@@ -67,21 +67,36 @@ func TestRunRaceCommand(t *testing.T) {
 
 func TestRunTransformCommand(t *testing.T) {
 	path := writeTemp(t, racySrc)
-	if err := runTransform([]string{"-ts", "1", path}); err != nil {
+	if err := runTransform([]string{"-max-ts", "1", path}); err != nil {
 		t.Fatalf("transform: %v", err)
 	}
-	if err := runTransform([]string{"-ts", "1", "-target", "x", path}); err != nil {
+	if err := runTransform([]string{"-max-ts", "1", "-target", "x", path}); err != nil {
 		t.Fatalf("transform -target: %v", err)
 	}
 }
 
 func TestRunExploreAndPrint(t *testing.T) {
 	path := writeTemp(t, racySrc)
-	if err := runExplore([]string{"-context", "2", path}); err != nil {
+	if err := runExplore([]string{"-context-bound", "2", path}); err != nil {
 		t.Fatalf("explore: %v", err)
 	}
 	if err := runPrint([]string{path}); err != nil {
 		t.Fatalf("print: %v", err)
+	}
+}
+
+// TestObservabilityFlags: every checking command accepts the shared
+// budget/observability flag set (-max-depth, -timeout, -progress).
+func TestObservabilityFlags(t *testing.T) {
+	path := writeTemp(t, racySrc)
+	if err := runCheck([]string{"-max-ts", "1", "-max-depth", "50", "-timeout", "30s", "-progress", path}); err != nil {
+		t.Fatalf("check with observability flags: %v", err)
+	}
+	if err := runRace([]string{"-target", "x", "-timeout", "30s", path}); err != nil {
+		t.Fatalf("race -timeout: %v", err)
+	}
+	if err := runExplore([]string{"-context-bound", "2", "-progress", path}); err != nil {
+		t.Fatalf("explore -progress: %v", err)
 	}
 }
 
@@ -113,7 +128,7 @@ func TestTransformOutputIsValidInput(t *testing.T) {
 
 func TestRunCFGCommand(t *testing.T) {
 	path := writeTemp(t, racySrc)
-	if err := runCFG([]string{"-fn", "__kiss_main", "-ts", "1", path}); err != nil {
+	if err := runCFG([]string{"-fn", "__kiss_main", "-max-ts", "1", path}); err != nil {
 		t.Fatalf("cfg: %v", err)
 	}
 	if err := runCFG([]string{"-fn", "nosuch", path}); err == nil {
@@ -126,10 +141,10 @@ func TestRunCFGCommand(t *testing.T) {
 
 func TestRunCheckWithCertifyAndEngines(t *testing.T) {
 	path := writeTemp(t, racySrc)
-	if err := runCheck([]string{"-ts", "1", "-bfs", "-certify", path}); err != nil {
+	if err := runCheck([]string{"-max-ts", "1", "-bfs", "-certify", path}); err != nil {
 		t.Fatalf("check -bfs -certify: %v", err)
 	}
-	if err := runCheck([]string{"-ts", "1", "-summaries", path}); err != nil {
+	if err := runCheck([]string{"-max-ts", "1", "-summaries", path}); err != nil {
 		t.Fatalf("check -summaries: %v", err)
 	}
 	heapy := writeTemp(t, `record R { f; } func main() { var e; e = new R; e->f = 1; }`)

@@ -12,16 +12,28 @@
 //	kissbench -all        everything
 //
 // Optional: -drivers a,b,c restricts the corpus tables to named drivers;
-// -budget N overrides the per-field state budget; -workers N bounds the
+// -max-states N overrides the per-field state budget (spelled like the
+// kiss.Config field and the kiss binary's flag); -workers N bounds the
 // corpus worker pool (0 = one worker per CPU, 1 = sequential). Results are
 // identical at every -workers setting; only wall-clock changes.
+//
+// Observability: -json emits one JSON record per corpus entry (JSON
+// Lines) with the full metrics payload — per-phase wall time, states/sec,
+// peak frontier and depth, visited-set size, and the specific budget-trip
+// reason (see EXPERIMENTS.md, "Reading the metrics"). -progress streams
+// per-field search events to stderr. -timeout D bounds the whole corpus
+// run; on expiry the tables render the completed prefix and unchecked
+// fields are marked canceled.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"sync"
+	"time"
 
 	kiss "repro"
 	"repro/internal/eval"
@@ -38,9 +50,12 @@ func main() {
 	schedulers := flag.Bool("schedulers", false, "run the scheduler-policy study")
 	all := flag.Bool("all", false, "run everything")
 	driversFlag := flag.String("drivers", "", "comma-separated driver subset for the tables")
-	budget := flag.Int("budget", 0, "per-field state budget override (0 = default)")
+	maxStates := flag.Int("max-states", 0, "per-field state budget override (0 = default)")
 	workers := flag.Int("workers", 0, "concurrent field checks (0 = one per CPU, 1 = sequential)")
 	blowupN := flag.Int("blowup-threads", 6, "max thread count for the blowup study")
+	jsonOut := flag.Bool("json", false, "emit per-field JSON metrics records (JSON Lines) for the corpus tables")
+	progress := flag.Bool("progress", false, "stream per-field search progress to stderr")
+	timeout := flag.Duration("timeout", 0, "wall-time bound for the corpus runs, e.g. 10m (0 = unlimited)")
 	flag.Parse()
 
 	if *all {
@@ -52,13 +67,33 @@ func main() {
 	}
 
 	opts := eval.Options{Workers: *workers}
-	if *budget > 0 {
-		opts.Budget = kiss.Budget{MaxStates: *budget}
+	if *maxStates > 0 {
+		opts.Budget = kiss.Budget{MaxStates: *maxStates}
 	}
 	if *driversFlag != "" {
 		opts.Drivers = map[string]bool{}
 		for _, d := range strings.Split(*driversFlag, ",") {
 			opts.Drivers[strings.TrimSpace(d)] = true
+		}
+	}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		opts.Context = ctx
+	}
+	if *progress {
+		// The hook is called from concurrent workers; serialize the writes.
+		var mu sync.Mutex
+		opts.Progress = func(e eval.FieldEvent) {
+			mu.Lock()
+			defer mu.Unlock()
+			if e.Event.Final {
+				fmt.Fprintf(os.Stderr, "progress: %s.%s done states=%d elapsed=%s\n",
+					e.Driver, e.Field, e.Event.States, e.Event.Elapsed.Round(time.Millisecond))
+				return
+			}
+			fmt.Fprintf(os.Stderr, "progress: %s.%s states=%d frontier=%d visited=%d rate=%.0f/s\n",
+				e.Driver, e.Field, e.Event.States, e.Event.Frontier, e.Event.Visited, e.Event.StatesPerSec)
 		}
 	}
 
@@ -69,8 +104,12 @@ func main() {
 		fatal(err)
 	}
 	if *table1 {
-		fmt.Println(eval.FormatTable1(t1))
-		printMismatches("Table 1", eval.CompareTable1(t1))
+		if *jsonOut {
+			fatal(eval.WriteJSON(os.Stdout, t1))
+		} else {
+			fmt.Println(eval.FormatTable1(t1))
+			printMismatches("Table 1", eval.CompareTable1(t1))
+		}
 	}
 	if *table2 {
 		opts2 := opts
@@ -78,8 +117,12 @@ func main() {
 		opts2.Only = eval.RacedFields(t1)
 		t2, err := eval.RunCorpus(opts2)
 		fatal(err)
-		fmt.Println(eval.FormatTable2(t2))
-		printMismatches("Table 2", eval.CompareTable2(t2))
+		if *jsonOut {
+			fatal(eval.WriteJSON(os.Stdout, t2))
+		} else {
+			fmt.Println(eval.FormatTable2(t2))
+			printMismatches("Table 2", eval.CompareTable2(t2))
+		}
 	}
 	if *refcount {
 		rows, err := eval.RunRefcount()

@@ -46,7 +46,7 @@ func main() {
 
 	// Assertion checking (Figure 4 transformation). A ts bound of 1 lets
 	// the forked worker be deferred and interleaved with main.
-	res, err := kiss.CheckAssertions(prog, kiss.Options{MaxTS: 1}, kiss.Budget{})
+	res, err := kiss.Check(prog, kiss.WithMaxTS(1))
 	if err != nil {
 		log.Fatalf("check: %v", err)
 	}
@@ -55,10 +55,13 @@ func main() {
 		fmt.Printf("violation at %s: %s\n\n", res.Pos, res.Message)
 		fmt.Print(res.Trace.Format())
 	}
+	fmt.Printf("\nmetrics: %d states in %s (%.0f states/sec)\n",
+		res.Stats.States, res.Stats.Phases.Check, res.Stats.StatesPerSec)
 
 	// Race checking (Figure 5 transformation) on the shared global.
-	res, err = kiss.CheckRace(prog, kiss.RaceTarget{Global: "result"},
-		kiss.Options{MaxTS: 1}, kiss.Budget{})
+	res, err = kiss.Check(prog,
+		kiss.WithRaceTarget(kiss.RaceTarget{Global: "result"}),
+		kiss.WithMaxTS(1))
 	if err != nil {
 		log.Fatalf("race check: %v", err)
 	}
@@ -68,7 +71,7 @@ func main() {
 	}
 
 	// The baseline the paper improves on: explore interleavings directly.
-	res, err = kiss.ExploreConcurrent(prog, kiss.Budget{}, -1)
+	res, err = kiss.Explore(prog)
 	if err != nil {
 		log.Fatalf("explore: %v", err)
 	}

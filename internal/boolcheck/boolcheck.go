@@ -22,12 +22,15 @@
 package boolcheck
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 
 	"repro/internal/ast"
 	"repro/internal/sem"
+	"repro/internal/stats"
 )
 
 // Verdict mirrors seqcheck's verdicts.
@@ -55,7 +58,17 @@ type Options struct {
 	// MaxPathEdges bounds the number of distinct path edges tabulated
 	// (the |C| · 2^(g+l) quantity of the complexity claim).
 	MaxPathEdges int
+	// Context, when non-nil, is polled during the tabulation; cancellation
+	// or deadline expiry stops it with a ResourceBound verdict and the
+	// matching Reason (a partial result, not an error).
+	Context context.Context
+	// Collector, when non-nil, receives progress samples (path edges play
+	// the role of states; the worklist length is the frontier).
+	Collector *stats.Collector
 }
+
+// ctxPollStride amortizes ctx.Err's mutex over the worklist loop.
+const ctxPollStride = 512
 
 // Result reports the verdict and tabulation statistics. Summary-based
 // search does not retain linear counterexample traces (a path edge
@@ -66,6 +79,11 @@ type Result struct {
 	Failure   *sem.Failure
 	PathEdges int
 	Summaries int
+	// Reason names which bound ended the tabulation (ResourceBound
+	// verdicts): the path-edge budget reports ReasonStates (path edges
+	// are this engine's state analogue), context expiry reports
+	// ReasonDeadline/ReasonCanceled.
+	Reason stats.Reason
 }
 
 func (r *Result) String() string {
@@ -75,8 +93,16 @@ func (r *Result) String() string {
 	case Safe:
 		return fmt.Sprintf("safe (path edges=%d summaries=%d)", r.PathEdges, r.Summaries)
 	default:
-		return fmt.Sprintf("resource bound exhausted (path edges=%d)", r.PathEdges)
+		return fmt.Sprintf("resource bound exhausted (%s; path edges=%d)", boundName(r.Reason), r.PathEdges)
 	}
+}
+
+// boundName renders the tripped bound; zero falls back to the generic word.
+func boundName(r stats.Reason) string {
+	if r == stats.ReasonNone {
+		return "budget"
+	}
+	return r.String()
 }
 
 // env is a valuation of the shared state (globals + ts) and the current
@@ -224,9 +250,25 @@ func Check(c *sem.Compiled, opts Options) (*Result, error) {
 	entry := entryKey{fn: "main", shared: sharedKey(globals, nil), args: ""}
 	ck.enqueue(pathEdge{entry: entry, pc: 0, e: entryEnv})
 
+	ctxCountdown := 1 // poll the context on the first iteration
 	for len(ck.work) > 0 {
+		if opts.Context != nil {
+			if ctxCountdown--; ctxCountdown <= 0 {
+				ctxCountdown = ctxPollStride
+				if err := opts.Context.Err(); err != nil {
+					ck.res.Verdict = ResourceBound
+					if errors.Is(err, context.DeadlineExceeded) {
+						ck.res.Reason = stats.ReasonDeadline
+					} else {
+						ck.res.Reason = stats.ReasonCanceled
+					}
+					return ck.res, nil
+				}
+			}
+		}
 		pe := ck.work[len(ck.work)-1]
 		ck.work = ck.work[:len(ck.work)-1]
+		opts.Collector.Sample(ck.res.PathEdges, ck.res.PathEdges, len(ck.work), 0, ck.res.PathEdges)
 		if fail := ck.step(pe); fail != nil {
 			ck.res.Verdict = Error
 			ck.res.Failure = fail
@@ -234,6 +276,7 @@ func Check(c *sem.Compiled, opts Options) (*Result, error) {
 		}
 		if ck.opts.MaxPathEdges > 0 && ck.res.PathEdges > ck.opts.MaxPathEdges {
 			ck.res.Verdict = ResourceBound
+			ck.res.Reason = stats.ReasonStates
 			return ck.res, nil
 		}
 	}

@@ -19,10 +19,13 @@
 package concheck
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/ast"
 	"repro/internal/sem"
+	"repro/internal/stats"
 )
 
 // Verdict is the outcome of a check.
@@ -73,7 +76,17 @@ type Options struct {
 	// the canonical string encodings (see seqcheck.Options); collisions are
 	// counted in Result.HashCollisions.
 	AuditFingerprints bool
+	// Context, when non-nil, is polled during the search; cancellation or
+	// deadline expiry stops it with a ResourceBound verdict and Reason
+	// ReasonCanceled/ReasonDeadline (a partial result, not an error).
+	Context context.Context
+	// Collector, when non-nil, receives per-iteration progress samples.
+	Collector *stats.Collector
 }
+
+// ctxPollStride amortizes ctx.Err's mutex over the hot loop; the first
+// poll happens on the first iteration.
+const ctxPollStride = 512
 
 // Result reports the verdict, witness trace, and statistics.
 type Result struct {
@@ -82,6 +95,13 @@ type Result struct {
 	Trace   []sem.Event
 	States  int
 	Steps   int
+	// Reason names which bound ended the search (ResourceBound verdicts).
+	Reason stats.Reason
+	// Visited is the final visited-set size; PeakFrontier and PeakDepth
+	// are the frontier-length and trace-depth high-water marks.
+	Visited      int
+	PeakFrontier int
+	PeakDepth    int
 	// Deadlocks counts states in which some thread was still running but
 	// every live thread was blocked on an assume. A deadlock is not an
 	// error in the paper's semantics (a false assume simply blocks), but
@@ -99,8 +119,24 @@ func (r *Result) String() string {
 	case Safe:
 		return fmt.Sprintf("safe (states=%d steps=%d)", r.States, r.Steps)
 	default:
-		return fmt.Sprintf("resource bound exhausted (states=%d steps=%d)", r.States, r.Steps)
+		return fmt.Sprintf("resource bound exhausted (%s; states=%d steps=%d)", boundName(r.Reason), r.States, r.Steps)
 	}
+}
+
+// boundName renders the tripped bound; zero falls back to the generic word.
+func boundName(r stats.Reason) string {
+	if r == stats.ReasonNone {
+		return "budget"
+	}
+	return r.String()
+}
+
+// reasonFor maps a context error to the bound reason it represents.
+func reasonFor(err error) stats.Reason {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return stats.ReasonDeadline
+	}
+	return stats.ReasonCanceled
 }
 
 type node struct {
@@ -175,10 +211,27 @@ func Check(c *sem.Compiled, opts Options) *Result {
 	res.States = 1
 
 	stack := []searchState{{st: init, nd: &node{}, lastTh: -1}}
+	res.PeakFrontier = 1
+	defer func() { res.Visited = len(visited) }()
 
+	ctxCountdown := 1 // poll the context on the first iteration
 	for len(stack) > 0 {
+		if opts.Context != nil {
+			if ctxCountdown--; ctxCountdown <= 0 {
+				ctxCountdown = ctxPollStride
+				if err := opts.Context.Err(); err != nil {
+					res.Verdict = ResourceBound
+					res.Reason = reasonFor(err)
+					return res
+				}
+			}
+		}
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
+		if cur.nd.depth > res.PeakDepth {
+			res.PeakDepth = cur.nd.depth
+		}
+		opts.Collector.Sample(res.States, res.Steps, len(stack), cur.nd.depth, len(visited))
 
 		if opts.MaxDepth > 0 && cur.nd.depth >= opts.MaxDepth {
 			continue
@@ -222,6 +275,7 @@ func Check(c *sem.Compiled, opts Options) *Result {
 
 			if opts.MaxSteps > 0 && res.Steps >= opts.MaxSteps {
 				res.Verdict = ResourceBound
+				res.Reason = stats.ReasonSteps
 				return res
 			}
 			sr := sem.Step(cur.st, ti)
@@ -249,6 +303,7 @@ func Check(c *sem.Compiled, opts Options) *Result {
 				res.States++
 				if opts.MaxStates > 0 && res.States > opts.MaxStates {
 					res.Verdict = ResourceBound
+					res.Reason = stats.ReasonStates
 					return res
 				}
 				stack = append(stack, searchState{
@@ -257,6 +312,9 @@ func Check(c *sem.Compiled, opts Options) *Result {
 					lastTh:   ti,
 					switches: switches,
 				})
+				if len(stack) > res.PeakFrontier {
+					res.PeakFrontier = len(stack)
+				}
 			}
 		}
 		if anyLive && !anyProgress {

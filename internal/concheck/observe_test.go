@@ -1,0 +1,76 @@
+package concheck
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// bigSrc interleaves two counting workers: plenty of states for budgets
+// and cancellation to trip before exhaustion.
+const bigSrc = `
+var a;
+var b;
+func workerA() { iter { a = a + 1; assume(a < 60); } }
+func workerB() { iter { b = b + 1; assume(b < 60); } }
+func main() {
+  async workerA();
+  async workerB();
+  assert(a + b >= 0);
+}
+`
+
+// TestCanceledContextReturnsPartialResult: cancellation stops the
+// interleaving search promptly with ReasonCanceled, not an error.
+func TestCanceledContextReturnsPartialResult(t *testing.T) {
+	c := compile(t, bigSrc)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := Check(c, Options{ContextBound: -1, Context: ctx})
+	if r.Verdict != ResourceBound || r.Reason != stats.ReasonCanceled {
+		t.Fatalf("want resource-bound/canceled, got %v reason=%v", r.Verdict, r.Reason)
+	}
+	if !strings.Contains(r.String(), "canceled") {
+		t.Errorf("String() does not name the tripped bound: %q", r.String())
+	}
+}
+
+// TestBudgetReasonsAndMetrics: bound trips are named, and a completed
+// search reports consistent visited/peak metrics.
+func TestBudgetReasonsAndMetrics(t *testing.T) {
+	c := compile(t, bigSrc)
+	r := Check(c, Options{ContextBound: -1, MaxStates: 200})
+	if r.Verdict != ResourceBound || r.Reason != stats.ReasonStates {
+		t.Fatalf("MaxStates trip: verdict=%v reason=%v", r.Verdict, r.Reason)
+	}
+	if !strings.Contains(r.String(), "max-states") {
+		t.Errorf("String(): %q", r.String())
+	}
+
+	full := Check(c, Options{ContextBound: 2})
+	if full.Verdict != Safe {
+		t.Fatalf("bounded exploration not safe: %v", full)
+	}
+	if full.Visited == 0 || full.Visited != full.States {
+		t.Errorf("visited=%d states=%d (want equal, nonzero)", full.Visited, full.States)
+	}
+	if full.PeakFrontier <= 0 || full.PeakDepth <= 0 {
+		t.Errorf("peaks not tracked: frontier=%d depth=%d", full.PeakFrontier, full.PeakDepth)
+	}
+}
+
+// TestCollectorSamples: the interleaving explorer streams progress events.
+func TestCollectorSamples(t *testing.T) {
+	c := compile(t, bigSrc)
+	var events []stats.Event
+	col := stats.NewCollector(func(e stats.Event) { events = append(events, e) }, 300, time.Hour)
+	col.Start(stats.PhaseCheck)
+	Check(c, Options{ContextBound: -1, MaxStates: 3000, Collector: col})
+	col.End(stats.PhaseCheck)
+	if len(events) < 3 {
+		t.Fatalf("only %d progress events for a 3000-state exploration at cadence 300", len(events))
+	}
+}

@@ -6,6 +6,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -26,6 +27,11 @@ const (
 	Race
 	// Timeout: the per-field resource bound was exhausted first.
 	Timeout
+	// Canceled: the corpus run's context was canceled (or its deadline
+	// expired) before or during this field's check. Distinct from Timeout,
+	// which is the paper's per-field budget; a canceled corpus returns
+	// partial results without error.
+	Canceled
 )
 
 func (v FieldVerdict) String() string {
@@ -34,6 +40,8 @@ func (v FieldVerdict) String() string {
 		return "no-race"
 	case Race:
 		return "race"
+	case Canceled:
+		return "canceled"
 	default:
 		return "timeout"
 	}
@@ -48,6 +56,11 @@ type FieldResult struct {
 	States  int
 	Steps   int
 	Message string
+	// Stats is the full per-field metrics record (per-phase wall time,
+	// states/sec, peaks, visited set, budget-trip reason). Its timing
+	// fields are wall-clock-dependent; determinism comparisons strip them
+	// (Stats.StripTiming).
+	Stats kiss.Stats
 }
 
 // DriverResult aggregates one driver's row.
@@ -58,6 +71,7 @@ type DriverResult struct {
 	Races    int
 	NoRace   int
 	Timeouts int
+	Canceled int
 }
 
 // Options configure a corpus run.
@@ -80,6 +94,23 @@ type Options struct {
 	// Workers: 1 run — at any setting, because every field has a fixed slot
 	// in the output and aggregation happens after the pool drains.
 	Workers int
+	// Context, when non-nil, makes the corpus run cancelable: on
+	// cancellation (or deadline expiry) the in-flight checks stop at their
+	// next poll, the remaining fields are marked Canceled, and RunCorpus
+	// returns the partial results without error.
+	Context context.Context
+	// Progress, when non-nil, receives per-field progress events streamed
+	// from inside the checkers (plus one final event per field). With
+	// Workers > 1 the hook is called concurrently and must be safe for
+	// concurrent use.
+	Progress func(FieldEvent)
+}
+
+// FieldEvent tags a progress event with the corpus entry it came from.
+type FieldEvent struct {
+	Driver string
+	Field  string
+	Event  kiss.Event
 }
 
 // DefaultBudget is calibrated so that FieldHard runs (whose hard-worker
@@ -180,7 +211,16 @@ func RunCorpus(opts Options) ([]*DriverResult, error) {
 	}
 
 	run := func(j fieldJob) error {
-		fr, err := checkField(j.model, j.field, opts.Refined, budget)
+		// A canceled corpus context skips the remaining fields outright,
+		// marking them rather than leaving zero-valued (NoRace) slots.
+		if opts.Context != nil && opts.Context.Err() != nil {
+			j.dr.Fields[j.slot] = FieldResult{
+				Driver: j.dr.Spec.Name, Field: j.field.Name,
+				Pattern: j.field.Pattern, Verdict: Canceled,
+			}
+			return nil
+		}
+		fr, err := checkField(j.model, j.field, opts.Refined, budget, opts.Context, opts.Progress)
 		if err != nil {
 			return fmt.Errorf("%s.%s: %w", j.dr.Spec.Name, j.field.Name, err)
 		}
@@ -244,13 +284,15 @@ func RunCorpus(opts Options) ([]*DriverResult, error) {
 				dr.NoRace++
 			case Timeout:
 				dr.Timeouts++
+			case Canceled:
+				dr.Canceled++
 			}
 		}
 	}
 	return out, nil
 }
 
-func checkField(model *drivers.Model, f drivers.FieldSpec, refined bool, budget kiss.Budget) (FieldResult, error) {
+func checkField(model *drivers.Model, f drivers.FieldSpec, refined bool, budget kiss.Budget, ctx context.Context, progress func(FieldEvent)) (FieldResult, error) {
 	fr := FieldResult{Driver: model.Spec.Name, Field: f.Name, Pattern: f.Pattern}
 	if checkFieldHook != nil {
 		if err := checkFieldHook(model.Spec.Name, f.Name); err != nil {
@@ -263,13 +305,27 @@ func checkField(model *drivers.Model, f drivers.FieldSpec, refined bool, budget 
 	}
 	// Table 1/2 configuration (Section 6): "Guided by the intuition of the
 	// Bluetooth driver example in Section 2.2, we set the size of ts to 0."
-	res, err := kiss.CheckRace(prog,
-		kiss.RaceTarget{Record: "DEVICE_EXTENSION", Field: f.Name},
-		kiss.Options{MaxTS: 0}, budget)
+	cfg := &kiss.Config{
+		MaxTS:      0,
+		RaceTarget: &kiss.RaceTarget{Record: "DEVICE_EXTENSION", Field: f.Name},
+		MaxStates:  budget.MaxStates,
+		MaxSteps:   budget.MaxSteps,
+		MaxDepth:   budget.MaxDepth,
+		BFS:        budget.BFS,
+		Context:    ctx,
+	}
+	if progress != nil {
+		driver, field := model.Spec.Name, f.Name
+		cfg.Progress = func(e kiss.Event) {
+			progress(FieldEvent{Driver: driver, Field: field, Event: e})
+		}
+	}
+	res, err := cfg.Check(prog)
 	if err != nil {
 		return fr, err
 	}
 	fr.States, fr.Steps = res.States, res.Steps
+	fr.Stats = res.Stats
 	switch res.Verdict {
 	case kiss.Error:
 		fr.Verdict = Race
@@ -277,7 +333,13 @@ func checkField(model *drivers.Model, f drivers.FieldSpec, refined bool, budget 
 	case kiss.Safe:
 		fr.Verdict = NoRace
 	case kiss.ResourceBound:
-		fr.Verdict = Timeout
+		// The corpus context stopping the run is cancellation, not the
+		// paper's per-field resource bound.
+		if res.Stats.Reason == kiss.ReasonCanceled || res.Stats.Reason == kiss.ReasonDeadline {
+			fr.Verdict = Canceled
+		} else {
+			fr.Verdict = Timeout
+		}
 	}
 	return fr, nil
 }
@@ -306,7 +368,7 @@ func FormatTable1(results []*DriverResult) string {
 	fmt.Fprintf(&b, "%-18s %6s %8s %7s %6s %9s %9s\n",
 		"Driver", "KLOC", "ModelLOC", "Fields", "Races", "No Races", "Timeouts")
 	var tKloc float64
-	var tFields, tRaces, tNoRace, tTimeout int
+	var tFields, tRaces, tNoRace, tTimeout, tCanceled int
 	for _, dr := range results {
 		fields := len(dr.Fields)
 		fmt.Fprintf(&b, "%-18s %6.1f %8d %7d %6d %9d %9d\n",
@@ -316,9 +378,13 @@ func FormatTable1(results []*DriverResult) string {
 		tRaces += dr.Races
 		tNoRace += dr.NoRace
 		tTimeout += dr.Timeouts
+		tCanceled += dr.Canceled
 	}
 	fmt.Fprintf(&b, "%-18s %6.1f %8s %7d %6d %9d %9d\n",
 		"Total", tKloc, "", tFields, tRaces, tNoRace, tTimeout)
+	if tCanceled > 0 {
+		fmt.Fprintf(&b, "(%d field checks canceled before completion; counts above are partial)\n", tCanceled)
+	}
 	return b.String()
 }
 

@@ -1,0 +1,53 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	kiss "repro"
+)
+
+// Record is the machine-readable form of one field check: the flat
+// per-corpus-entry metrics record emitted by kissbench -json. Stats embeds
+// the full observability payload (per-phase wall time in seconds,
+// states/sec, peak frontier and depth, visited-set size, and the specific
+// budget-trip reason when the check was bounded).
+type Record struct {
+	Driver  string     `json:"driver"`
+	Field   string     `json:"field"`
+	Pattern string     `json:"pattern"`
+	Verdict string     `json:"verdict"`
+	Message string     `json:"message,omitempty"`
+	Stats   kiss.Stats `json:"stats"`
+}
+
+// Records flattens per-driver results into corpus-order records.
+func Records(results []*DriverResult) []Record {
+	var out []Record
+	for _, dr := range results {
+		for _, fr := range dr.Fields {
+			out = append(out, Record{
+				Driver:  fr.Driver,
+				Field:   fr.Field,
+				Pattern: fr.Pattern.String(),
+				Verdict: fr.Verdict.String(),
+				Message: fr.Message,
+				Stats:   fr.Stats,
+			})
+		}
+	}
+	return out
+}
+
+// WriteJSON emits one JSON object per corpus entry (JSON Lines), the
+// format behind kissbench -json.
+func WriteJSON(w io.Writer, results []*DriverResult) error {
+	enc := json.NewEncoder(w)
+	for _, rec := range Records(results) {
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("encoding %s.%s: %w", rec.Driver, rec.Field, err)
+		}
+	}
+	return nil
+}

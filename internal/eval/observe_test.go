@@ -1,0 +1,238 @@
+package eval
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	kiss "repro"
+)
+
+// corpusSel keeps observability tests fast: three drivers, ~25 fields.
+var corpusSel = map[string]bool{"tracedrv": true, "moufiltr": true, "toaster/toastmon": true}
+
+// TestRunCorpusContextCancellation: canceling the corpus context mid-run
+// returns partial results without error; the untouched fields are marked
+// Canceled (never silently reported as no-race), and the counts say so.
+func TestRunCorpusContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var events atomic.Int64
+	res, err := RunCorpus(Options{
+		Workers: 2,
+		Context: ctx,
+		Progress: func(e FieldEvent) {
+			// Cancel once the run is demonstrably underway.
+			if events.Add(1) == 3 {
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("canceled corpus run returned an error: %v", err)
+	}
+	if res == nil {
+		t.Fatal("canceled corpus run returned no results")
+	}
+	canceled := 0
+	for _, dr := range res {
+		canceled += dr.Canceled
+		if dr.Canceled+dr.Races+dr.NoRace+dr.Timeouts != len(dr.Fields) {
+			t.Errorf("%s: verdict counts do not cover all %d fields", dr.Spec.Name, len(dr.Fields))
+		}
+	}
+	if canceled == 0 {
+		t.Error("no fields marked canceled after mid-run cancellation")
+	}
+	if table := FormatTable1(res); !bytes.Contains([]byte(table), []byte("canceled")) {
+		t.Errorf("Table 1 does not flag the partial run:\n%s", table)
+	}
+}
+
+// TestRunCorpusCancellationNoGoroutineLeak: after a canceled run returns,
+// the worker pool is fully drained (no lingering checker goroutines).
+// goleak is unavailable, so count goroutines with a settle loop.
+func TestRunCorpusCancellationNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	_, err := RunCorpus(Options{
+		Drivers: corpusSel,
+		Workers: 4,
+		Context: ctx,
+		Progress: func(e FieldEvent) {
+			once.Do(cancel)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	// Give any straggler a moment to exit before declaring a leak.
+	for i := 0; i < 50; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// TestRunCorpusRerunAfterCancellationIsDeterministic: a canceled run must
+// not perturb a subsequent complete run — same verdicts and counts as a
+// run that was never preceded by cancellation.
+func TestRunCorpusRerunAfterCancellationIsDeterministic(t *testing.T) {
+	sel := map[string]bool{"tracedrv": true}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	partial, err := RunCorpus(Options{Drivers: sel, Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dr := range partial {
+		if dr.Canceled != len(dr.Fields) {
+			t.Errorf("%s: pre-canceled run checked %d of %d fields", dr.Spec.Name, len(dr.Fields)-dr.Canceled, len(dr.Fields))
+		}
+	}
+
+	full1, err := RunCorpus(Options{Drivers: sel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full2, err := RunCorpus(Options{Drivers: sel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripTiming(full1)
+	stripTiming(full2)
+	if !reflect.DeepEqual(full1, full2) {
+		t.Errorf("reruns after cancellation differ:\n1: %+v\n2: %+v", full1[0], full2[0])
+	}
+}
+
+// TestProgressEventsDuringCorpus: the per-field progress hook fires during
+// a corpus run and tags events with the driver and field they came from.
+func TestProgressEventsDuringCorpus(t *testing.T) {
+	var mu sync.Mutex
+	var events []FieldEvent
+	res, err := RunCorpus(Options{
+		Drivers: map[string]bool{"tracedrv": true},
+		Progress: func(e FieldEvent) {
+			mu.Lock()
+			events = append(events, e)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no progress events during corpus run")
+	}
+	finals := map[string]bool{}
+	for _, e := range events {
+		if e.Driver != "tracedrv" || e.Field == "" {
+			t.Errorf("event missing corpus tag: %+v", e)
+		}
+		if e.Event.Final {
+			finals[e.Field] = true
+		}
+	}
+	// Finalize guarantees at least one (final) event per checked field.
+	for _, dr := range res {
+		for _, fr := range dr.Fields {
+			if !finals[fr.Field] {
+				t.Errorf("field %s produced no final progress event", fr.Field)
+			}
+		}
+	}
+}
+
+// TestJSONRecords: WriteJSON emits one record per corpus entry carrying
+// the full metrics payload, parseable line by line.
+func TestJSONRecords(t *testing.T) {
+	res, err := RunCorpus(Options{Drivers: map[string]bool{"tracedrv": true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, dr := range res {
+		want += len(dr.Fields)
+	}
+	sc := bufio.NewScanner(&buf)
+	got := 0
+	for sc.Scan() {
+		got++
+		var rec struct {
+			Driver  string `json:"driver"`
+			Field   string `json:"field"`
+			Verdict string `json:"verdict"`
+			Stats   struct {
+				States       int     `json:"states"`
+				Visited      int     `json:"visited"`
+				PeakFrontier int     `json:"peak_frontier"`
+				StatesPerSec float64 `json:"states_per_sec"`
+				Phases       struct {
+					Check float64 `json:"check_s"`
+					Total float64 `json:"total_s"`
+				} `json:"phases"`
+			} `json:"stats"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("record %d does not parse: %v\n%s", got, err, sc.Text())
+		}
+		if rec.Driver == "" || rec.Field == "" || rec.Verdict == "" {
+			t.Errorf("record %d incomplete: %s", got, sc.Text())
+		}
+		if rec.Stats.States == 0 || rec.Stats.Visited == 0 {
+			t.Errorf("record %d missing search metrics: %s", got, sc.Text())
+		}
+		if rec.Stats.Phases.Total <= 0 {
+			t.Errorf("record %d missing phase times: %s", got, sc.Text())
+		}
+	}
+	if got != want {
+		t.Errorf("emitted %d records for %d corpus entries", got, want)
+	}
+}
+
+// TestJSONRecordsNameTrippedBound: a field that exhausts its budget emits
+// its specific trip reason ("max-states") in the JSON record.
+func TestJSONRecordsNameTrippedBound(t *testing.T) {
+	res, err := RunCorpus(Options{
+		Drivers: map[string]bool{"tracedrv": true},
+		Budget:  kiss.Budget{MaxStates: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawTrip bool
+	for _, r := range Records(res) {
+		if r.Verdict == "timeout" {
+			sawTrip = true
+			if r.Stats.Reason != kiss.ReasonStates {
+				t.Errorf("%s.%s: timeout record reason = %v, want max-states", r.Driver, r.Field, r.Stats.Reason)
+			}
+		}
+	}
+	if !sawTrip {
+		t.Fatal("no field tripped a 100-state budget")
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"reason":"max-states"`)) {
+		t.Error("JSON output does not name the tripped bound")
+	}
+}

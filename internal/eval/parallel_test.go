@@ -7,6 +7,16 @@ import (
 	"testing"
 )
 
+// stripTiming zeroes the wall-clock fields (phase durations, states/sec)
+// in-place so results can be compared for search determinism.
+func stripTiming(drs []*DriverResult) {
+	for _, dr := range drs {
+		for i := range dr.Fields {
+			dr.Fields[i].Stats.StripTiming()
+		}
+	}
+}
+
 // TestRunCorpusParallelDeterminism: the worker pool must be invisible in
 // the output — Workers: 1 and Workers: 8 produce identical result slices
 // (driver order, field slots, verdicts, state and step counts).
@@ -23,6 +33,8 @@ func TestRunCorpusParallelDeterminism(t *testing.T) {
 	if len(seq) != len(par) {
 		t.Fatalf("driver count differs: %d vs %d", len(seq), len(par))
 	}
+	stripTiming(seq)
+	stripTiming(par)
 	for i := range seq {
 		if !reflect.DeepEqual(seq[i], par[i]) {
 			t.Errorf("driver %s: sequential and parallel results differ:\nseq: %+v\npar: %+v",
@@ -50,6 +62,8 @@ func TestRunCorpusParallelRefined(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	stripTiming(seq)
+	stripTiming(par)
 	if !reflect.DeepEqual(seq, par) {
 		t.Errorf("refined rerun differs between worker counts:\nseq: %+v\npar: %+v", seq[0], par[0])
 	}

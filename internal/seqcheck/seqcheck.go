@@ -13,9 +13,12 @@
 package seqcheck
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/sem"
+	"repro/internal/stats"
 )
 
 // Verdict is the outcome of a check.
@@ -59,7 +62,24 @@ type Options struct {
 	// KISS reduction). Audit mode restores the string encoder's cost and
 	// is meant for tests on small programs.
 	AuditFingerprints bool
+	// Context, when non-nil, is polled during the search (every
+	// ctxPollStride transitions). Cancellation or deadline expiry stops
+	// the search with a ResourceBound verdict and Reason
+	// ReasonCanceled/ReasonDeadline — a consistent partial result, never
+	// an error.
+	Context context.Context
+	// Collector, when non-nil, receives per-iteration progress samples
+	// (states, steps, frontier length, depth, visited-set size). Phase
+	// timing and finalization are the caller's concern; a nil collector
+	// costs one branch per iteration.
+	Collector *stats.Collector
 }
+
+// ctxPollStride is how many loop iterations pass between Context polls:
+// ctx.Err takes a mutex, so the hot loop amortizes it. The first poll
+// happens on the first iteration, making an already-canceled context
+// return immediately even on tiny programs.
+const ctxPollStride = 512
 
 // Result reports the verdict along with the witness trace and search
 // statistics.
@@ -71,6 +91,15 @@ type Result struct {
 	Trace  []sem.Event
 	States int
 	Steps  int
+	// Reason names which bound ended the search (ResourceBound verdicts):
+	// the state budget, the step budget, the context deadline, or
+	// cancellation. ReasonNone for Safe/Error verdicts.
+	Reason stats.Reason
+	// Visited is the final visited-set size; PeakFrontier and PeakDepth
+	// are the frontier-length and trace-depth high-water marks.
+	Visited      int
+	PeakFrontier int
+	PeakDepth    int
 	// HashCollisions counts states whose 64-bit fingerprint collided with
 	// a structurally different visited state (AuditFingerprints only).
 	HashCollisions int
@@ -83,8 +112,26 @@ func (r *Result) String() string {
 	case Safe:
 		return fmt.Sprintf("safe (states=%d steps=%d)", r.States, r.Steps)
 	default:
-		return fmt.Sprintf("resource bound exhausted (states=%d steps=%d)", r.States, r.Steps)
+		return fmt.Sprintf("resource bound exhausted (%s; states=%d steps=%d)", boundName(r.Reason), r.States, r.Steps)
 	}
+}
+
+// boundName renders the tripped bound for human-readable results; a
+// zero Reason (results built before the bound tracking, or by hand)
+// falls back to the generic word.
+func boundName(r stats.Reason) string {
+	if r == stats.ReasonNone {
+		return "budget"
+	}
+	return r.String()
+}
+
+// reasonFor maps a context error to the bound reason it represents.
+func reasonFor(err error) stats.Reason {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return stats.ReasonDeadline
+	}
+	return stats.ReasonCanceled
 }
 
 type node struct {
@@ -142,8 +189,21 @@ func Check(c *sem.Compiled, opts Options) *Result {
 	stack := []frame{{st: init, nd: &node{}}}
 	head := 0 // BFS dequeue position; the tail is the DFS top
 	res.States = 1
+	res.PeakFrontier = 1
+	defer func() { res.Visited = len(visited) }()
 
+	ctxCountdown := 1 // poll the context on the first iteration
 	for head < len(stack) {
+		if opts.Context != nil {
+			if ctxCountdown--; ctxCountdown <= 0 {
+				ctxCountdown = ctxPollStride
+				if err := opts.Context.Err(); err != nil {
+					res.Verdict = ResourceBound
+					res.Reason = reasonFor(err)
+					return res
+				}
+			}
+		}
 		var cur frame
 		if opts.BFS {
 			// Dequeue by head index rather than stack = stack[1:]: reslicing
@@ -163,6 +223,10 @@ func Check(c *sem.Compiled, opts Options) *Result {
 			stack[len(stack)-1] = frame{}
 			stack = stack[:len(stack)-1]
 		}
+		if cur.nd.depth > res.PeakDepth {
+			res.PeakDepth = cur.nd.depth
+		}
+		opts.Collector.Sample(res.States, res.Steps, len(stack)-head, cur.nd.depth, len(visited))
 
 		if cur.st.Threads[0].Done() {
 			continue
@@ -172,6 +236,7 @@ func Check(c *sem.Compiled, opts Options) *Result {
 		}
 		if opts.MaxSteps > 0 && res.Steps >= opts.MaxSteps {
 			res.Verdict = ResourceBound
+			res.Reason = stats.ReasonSteps
 			return res
 		}
 
@@ -198,12 +263,16 @@ func Check(c *sem.Compiled, opts Options) *Result {
 			res.States++
 			if opts.MaxStates > 0 && res.States > opts.MaxStates {
 				res.Verdict = ResourceBound
+				res.Reason = stats.ReasonStates
 				return res
 			}
 			stack = append(stack, frame{
 				st: out.State,
 				nd: &node{parent: cur.nd, event: out.Event, depth: cur.nd.depth + 1},
 			})
+			if fl := len(stack) - head; fl > res.PeakFrontier {
+				res.PeakFrontier = fl
+			}
 		}
 	}
 	res.Verdict = Safe

@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilCollectorIsSafe: every method must be a no-op on a nil receiver,
+// since the checkers sample unconditionally.
+func TestNilCollectorIsSafe(t *testing.T) {
+	var c *Collector
+	c.Start(PhaseCheck)
+	c.Sample(1, 1, 1, 1, 1)
+	c.End(PhaseCheck)
+	c.AddPhase(PhaseParse, time.Second)
+	c.Finalize(&Stats{})
+}
+
+// TestStateCadence: with a state cadence of N, events fire roughly every N
+// states, plus the final event.
+func TestStateCadence(t *testing.T) {
+	var events []Event
+	c := NewCollector(func(e Event) { events = append(events, e) }, 10, time.Hour)
+	c.Start(PhaseCheck)
+	for states := 1; states <= 35; states++ {
+		c.Sample(states, states*2, 3, 4, states)
+	}
+	c.End(PhaseCheck)
+	if len(events) != 3 {
+		t.Fatalf("got %d cadence events (want 3 at states 10/20/30): %+v", len(events), events)
+	}
+	for i, want := range []int{10, 20, 30} {
+		if events[i].States != want {
+			t.Errorf("event %d at states=%d, want %d", i, events[i].States, want)
+		}
+		if events[i].Final {
+			t.Errorf("cadence event %d marked final", i)
+		}
+		if events[i].Phase != PhaseCheck {
+			t.Errorf("event %d phase = %v", i, events[i].Phase)
+		}
+	}
+	st := &Stats{States: 35, Steps: 70, Visited: 35}
+	c.Finalize(st)
+	if events[len(events)-1].Final != true {
+		t.Error("Finalize did not fire a final event")
+	}
+	if got := events[len(events)-1].States; got != 35 {
+		t.Errorf("final event states = %d, want 35", got)
+	}
+}
+
+// TestFinalEventAlwaysFires: even when no cadence threshold is reached,
+// the hook sees exactly one (final) event.
+func TestFinalEventAlwaysFires(t *testing.T) {
+	var events []Event
+	c := NewCollector(func(e Event) { events = append(events, e) }, 1000000, time.Hour)
+	c.Start(PhaseCheck)
+	c.Sample(5, 5, 1, 1, 5)
+	c.End(PhaseCheck)
+	c.Finalize(&Stats{States: 5, Steps: 5, Visited: 5})
+	if len(events) != 1 || !events[0].Final {
+		t.Fatalf("want exactly one final event, got %+v", events)
+	}
+}
+
+// TestPhaseTiming: Start/End accumulate into the right slots and Finalize
+// copies them and derives the rate.
+func TestPhaseTiming(t *testing.T) {
+	c := NewCollector(nil, 0, 0)
+	c.Start(PhaseTransform)
+	time.Sleep(2 * time.Millisecond)
+	c.End(PhaseTransform)
+	c.Start(PhaseCheck)
+	time.Sleep(2 * time.Millisecond)
+	c.End(PhaseCheck)
+	c.AddPhase(PhaseParse, 5*time.Millisecond)
+
+	st := &Stats{States: 1000}
+	c.Finalize(st)
+	if st.Phases.Transform <= 0 || st.Phases.Check <= 0 {
+		t.Errorf("phase times not recorded: %+v", st.Phases)
+	}
+	if st.Phases.Parse != 5*time.Millisecond {
+		t.Errorf("AddPhase parse time = %v", st.Phases.Parse)
+	}
+	if st.StatesPerSec <= 0 {
+		t.Errorf("states/sec not derived: %v", st.StatesPerSec)
+	}
+	if tot := st.Phases.Total(); tot < st.Phases.Parse+st.Phases.Check {
+		t.Errorf("total %v inconsistent", tot)
+	}
+}
+
+// TestStripTiming: only the wall-clock-dependent fields are zeroed.
+func TestStripTiming(t *testing.T) {
+	s := Stats{
+		States: 7, Steps: 9, Visited: 7, PeakFrontier: 3, PeakDepth: 4,
+		Reason: ReasonStates, StatesPerSec: 123,
+		Phases: PhaseTimes{Check: time.Second},
+	}
+	s.StripTiming()
+	if s.StatesPerSec != 0 || s.Phases != (PhaseTimes{}) {
+		t.Errorf("timing not stripped: %+v", s)
+	}
+	if s.States != 7 || s.Reason != ReasonStates || s.PeakFrontier != 3 {
+		t.Errorf("deterministic fields clobbered: %+v", s)
+	}
+}
+
+func TestReasonAndPhaseStrings(t *testing.T) {
+	cases := map[string]string{
+		ReasonNone.String():     "none",
+		ReasonStates.String():   "max-states",
+		ReasonSteps.String():    "max-steps",
+		ReasonDeadline.String(): "deadline",
+		ReasonCanceled.String(): "canceled",
+		PhaseParse.String():     "parse",
+		PhaseTransform.String(): "transform",
+		PhaseCheck.String():     "check",
+		PhaseReplay.String():    "replay",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+// TestStatsJSON: the serialized record carries the field names the
+// EXPERIMENTS.md metrics guide documents, durations in seconds, and the
+// reason by name.
+func TestStatsJSON(t *testing.T) {
+	s := Stats{
+		States: 40001, Steps: 50000, Visited: 40001,
+		PeakFrontier: 12, PeakDepth: 90, Reason: ReasonStates,
+		Phases:       PhaseTimes{Check: 1500 * time.Millisecond},
+		StatesPerSec: 26667.3,
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		`"states":40001`, `"peak_frontier":12`, `"peak_depth":90`,
+		`"visited":40001`, `"reason":"max-states"`, `"check_s":1.5`,
+		`"states_per_sec":`, `"total_s":1.5`,
+	} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("JSON record missing %s:\n%s", key, data)
+		}
+	}
+	// ReasonNone must be omitted entirely (omitempty on the zero value).
+	s2 := Stats{States: 1}
+	data2, _ := json.Marshal(s2)
+	if strings.Contains(string(data2), "reason") {
+		t.Errorf("ReasonNone serialized: %s", data2)
+	}
+}

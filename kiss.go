@@ -19,18 +19,30 @@
 //	internal/concheck                 — interleaving explorer (baseline)
 //	internal/trace                    — sequential-to-concurrent trace mapping
 //	internal/alias                    — unification-based alias analysis
+//	internal/stats                    — observability: metrics + progress
 //
-// Quick start:
+// Quick start — the unified, context-aware Check API. A single Check call
+// runs the whole pipeline under one Config built from functional options;
+// the returned Result carries the verdict, the reconstructed trace, and a
+// full metrics record (per-phase wall time, states/sec, peak frontier,
+// visited-set size, and which budget tripped, if any):
 //
 //	prog, err := kiss.Parse(src)
-//	res, err := kiss.CheckRace(prog, kiss.RaceTarget{Record: "DEVICE_EXTENSION",
-//	        Field: "stoppingFlag"}, kiss.Options{MaxTS: 0}, kiss.Budget{})
+//	res, err := kiss.Check(prog,
+//	        kiss.WithRaceTarget(kiss.RaceTarget{Record: "DEVICE_EXTENSION", Field: "stoppingFlag"}),
+//	        kiss.WithMaxTS(0),
+//	        kiss.WithMaxStates(40000),
+//	        kiss.WithContext(ctx),
+//	        kiss.WithProgress(func(e kiss.Event) { log.Printf("%d states", e.States) }))
 //	if res.Verdict == kiss.Error { fmt.Print(res.Trace.Format()) }
+//	fmt.Printf("%.0f states/sec\n", res.Stats.StatesPerSec)
 package kiss
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/ast"
 	"repro/internal/boolcheck"
@@ -41,6 +53,7 @@ import (
 	"repro/internal/sem"
 	"repro/internal/sema"
 	"repro/internal/seqcheck"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -49,10 +62,13 @@ type Program struct {
 	ast *ast.Program
 	// sequential marks programs produced by Transform/TransformRace.
 	sequential bool
+	// parseTime is the front-end wall time, carried into Result.Stats.
+	parseTime time.Duration
 }
 
 // Parse parses, checks, and lowers a concurrent program from source text.
 func Parse(src string) (*Program, error) {
+	start := time.Now()
 	p, err := parser.Parse(src)
 	if err != nil {
 		return nil, err
@@ -61,7 +77,7 @@ func Parse(src string) (*Program, error) {
 		return nil, err
 	}
 	lower.Program(p)
-	return &Program{ast: p}, nil
+	return &Program{ast: p, parseTime: time.Since(start)}, nil
 }
 
 // ParseFile is Parse on the contents of a file.
@@ -81,11 +97,12 @@ func ParseFile(path string) (*Program, error) {
 // programmatically generated models (the synthetic driver corpus). The
 // program is checked and lowered.
 func FromAST(p *ast.Program) (*Program, error) {
+	start := time.Now()
 	if err := sema.Check(p, sema.Source); err != nil {
 		return nil, err
 	}
 	lower.Program(p)
-	return &Program{ast: p}, nil
+	return &Program{ast: p, parseTime: time.Since(start)}, nil
 }
 
 // AST exposes the underlying program for in-module tooling.
@@ -110,21 +127,6 @@ func (p *Program) DotCFG(fn string) (string, error) {
 	return sem.DotCFG(c, fn)
 }
 
-// Options parameterize the KISS transformation.
-type Options struct {
-	// MaxTS is the bound MAX on the multiset ts of forked-but-unscheduled
-	// threads (Section 4) — the knob trading coverage for analysis cost.
-	MaxTS int
-	// DisableAliasElision keeps all race checks regardless of the alias
-	// analysis (ablation only; see BenchmarkAliasElision).
-	DisableAliasElision bool
-	// Scheduler selects the scheduling policy of the generated schedule
-	// function (Section 4's pluggable-scheduler remark). The zero value
-	// is the paper's fully nondeterministic scheduler; see the Scheduler
-	// constants for the cheaper, lower-coverage variants.
-	Scheduler Scheduler
-}
-
 // Scheduler re-exports the transformation's scheduling policies.
 type Scheduler = ikiss.Scheduler
 
@@ -133,6 +135,27 @@ const (
 	SchedulerNondet      = ikiss.SchedulerNondet
 	SchedulerDrainAll    = ikiss.SchedulerDrainAll
 	SchedulerAtCallsOnly = ikiss.SchedulerAtCallsOnly
+)
+
+// Observability re-exports: the metrics record carried on every Result,
+// the progress-event type delivered to WithProgress hooks, and the Reason
+// enum naming which resource bound ended a search early.
+type (
+	// Stats is the unified metrics record for one check run.
+	Stats = stats.Stats
+	// Event is one progress sample delivered to a WithProgress hook.
+	Event = stats.Event
+	// Reason names the bound that ended a search early.
+	Reason = stats.Reason
+)
+
+// Reasons for a ResourceBound verdict (Result.Stats.Reason).
+const (
+	ReasonNone     = stats.ReasonNone
+	ReasonStates   = stats.ReasonStates
+	ReasonSteps    = stats.ReasonSteps
+	ReasonDeadline = stats.ReasonDeadline
+	ReasonCanceled = stats.ReasonCanceled
 )
 
 // RaceTarget names the distinguished variable r checked for races
@@ -154,36 +177,160 @@ func (t RaceTarget) String() string {
 	return (&it).String()
 }
 
-// Transform applies the assertion-checking translation (Figure 4),
-// producing a sequential program.
-func Transform(p *Program, opts Options) (*Program, error) {
-	out, err := ikiss.Transform(p.ast, ikiss.Options{MaxTS: opts.MaxTS, DisableAliasElision: opts.DisableAliasElision, Scheduler: opts.Scheduler})
-	if err != nil {
-		return nil, err
-	}
-	return &Program{ast: out, sequential: true}, nil
-}
+// Config is the single configuration record for the whole pipeline: the
+// transformation knobs, the search budgets, and the execution context
+// (cancellation, deadline, progress streaming). It replaces the old
+// Options/Budget pair. Build one with NewConfig and functional options,
+// or fill the fields directly; the zero value checks assertions with the
+// paper's fully nondeterministic scheduler, ts bound 0, and no budget.
+type Config struct {
+	// MaxTS is the bound MAX on the multiset ts of forked-but-unscheduled
+	// threads (Section 4) — the knob trading coverage for analysis cost.
+	MaxTS int
+	// DisableAliasElision keeps all race checks regardless of the alias
+	// analysis (ablation only; see BenchmarkAliasElision).
+	DisableAliasElision bool
+	// Scheduler selects the scheduling policy of the generated schedule
+	// function (Section 4's pluggable-scheduler remark). The zero value
+	// is the paper's fully nondeterministic scheduler.
+	Scheduler Scheduler
 
-// TransformRace applies the race-checking translation (Figure 5) for the
-// given distinguished variable, producing a sequential program.
-func TransformRace(p *Program, t RaceTarget, opts Options) (*Program, error) {
-	out, err := ikiss.TransformRace(p.ast, t.internal(), ikiss.Options{MaxTS: opts.MaxTS, DisableAliasElision: opts.DisableAliasElision, Scheduler: opts.Scheduler})
-	if err != nil {
-		return nil, err
-	}
-	return &Program{ast: out, sequential: true}, nil
-}
+	// RaceTarget, when non-nil, selects the race-checking translation
+	// (Figure 5) on that distinguished variable; nil selects assertion
+	// checking (Figure 4).
+	RaceTarget *RaceTarget
+	// Summaries selects the summary-based sequential engine
+	// (internal/boolcheck) in place of the explicit-state explorer. It
+	// supports only the pointer-free fragment but terminates on recursive
+	// programs with finite data; no counterexample trace is produced.
+	Summaries bool
 
-// Budget bounds and configures a model-checking run; zero fields mean
-// unlimited. It plays the role of the paper's per-run resource bound ("20
-// minutes of CPU time and 800MB of memory").
-type Budget struct {
+	// MaxStates, MaxSteps, and MaxDepth bound the search; zero means
+	// unlimited. They play the role of the paper's per-run resource bound
+	// ("20 minutes of CPU time and 800MB of memory"). Under Summaries,
+	// MaxStates bounds path edges.
 	MaxStates int
 	MaxSteps  int
 	MaxDepth  int
 	// BFS selects breadth-first search in the sequential checker, which
 	// makes the returned counterexample a shortest error trace.
 	BFS bool
+	// ContextBound bounds context switches in Explore (the concurrent
+	// baseline): negative means unlimited, 0 means no switches. It is
+	// ignored by Check. NewConfig defaults it to -1.
+	ContextBound int
+
+	// Context, when non-nil, makes every checker loop cancelable:
+	// cancellation or deadline expiry returns a partial Result with
+	// verdict ResourceBound and Stats.Reason ReasonCanceled or
+	// ReasonDeadline — never an error.
+	Context context.Context
+	// Progress, when non-nil, receives progress events streamed from
+	// inside the search loop on the ProgressStates/ProgressEvery cadence,
+	// plus one final event when the check completes. Hooks must be safe
+	// for concurrent use when the same Config serves concurrent checks.
+	Progress func(Event)
+	// ProgressStates and ProgressEvery set the event cadence (an event
+	// when the state count grows by ProgressStates or ProgressEvery
+	// elapses, whichever is first). Zero values use the defaults
+	// (stats.DefaultEveryStates, stats.DefaultEvery).
+	ProgressStates int
+	ProgressEvery  time.Duration
+}
+
+// Option is a functional option mutating a Config.
+type Option func(*Config)
+
+// NewConfig builds a Config from functional options. The base config
+// checks assertions, nondeterministic scheduler, ts bound 0, no budgets,
+// unlimited context switches for Explore.
+func NewConfig(opts ...Option) *Config {
+	c := &Config{ContextBound: -1}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// WithMaxTS bounds the pending-thread multiset ts (Section 4's MAX).
+func WithMaxTS(n int) Option { return func(c *Config) { c.MaxTS = n } }
+
+// WithScheduler selects the generated schedule function's policy.
+func WithScheduler(s Scheduler) Option { return func(c *Config) { c.Scheduler = s } }
+
+// WithoutAliasElision disables the alias-analysis elision of race checks
+// (ablation only).
+func WithoutAliasElision() Option { return func(c *Config) { c.DisableAliasElision = true } }
+
+// WithRaceTarget selects race checking (Figure 5) on the distinguished
+// variable t.
+func WithRaceTarget(t RaceTarget) Option { return func(c *Config) { c.RaceTarget = &t } }
+
+// WithSummaries selects the summary-based sequential engine.
+func WithSummaries() Option { return func(c *Config) { c.Summaries = true } }
+
+// WithMaxStates bounds distinct explored states (path edges under
+// Summaries). Zero means unlimited.
+func WithMaxStates(n int) Option { return func(c *Config) { c.MaxStates = n } }
+
+// WithMaxSteps bounds executed transitions. Zero means unlimited.
+func WithMaxSteps(n int) Option { return func(c *Config) { c.MaxSteps = n } }
+
+// WithMaxDepth bounds the trace length considered. Zero means unlimited.
+func WithMaxDepth(n int) Option { return func(c *Config) { c.MaxDepth = n } }
+
+// WithBFS selects breadth-first search (shortest counterexamples).
+func WithBFS() Option { return func(c *Config) { c.BFS = true } }
+
+// WithContextBound bounds context switches in Explore (negative:
+// unlimited; 0: no switches).
+func WithContextBound(n int) Option { return func(c *Config) { c.ContextBound = n } }
+
+// WithContext makes the run cancelable: cancellation or deadline expiry
+// yields a partial ResourceBound result with the matching Reason.
+func WithContext(ctx context.Context) Option { return func(c *Config) { c.Context = ctx } }
+
+// WithProgress registers a progress-event hook.
+func WithProgress(fn func(Event)) Option { return func(c *Config) { c.Progress = fn } }
+
+// WithProgressCadence sets how often progress events fire: when the state
+// count grows by everyStates, or when every elapses, whichever is first.
+func WithProgressCadence(everyStates int, every time.Duration) Option {
+	return func(c *Config) {
+		c.ProgressStates = everyStates
+		c.ProgressEvery = every
+	}
+}
+
+// collector builds this run's stats collector (always non-nil; timing-only
+// when no progress hook is registered).
+func (c *Config) collector() *stats.Collector {
+	return stats.NewCollector(c.Progress, c.ProgressStates, c.ProgressEvery)
+}
+
+// ikissOptions lowers the transformation knobs.
+func (c *Config) ikissOptions() ikiss.Options {
+	return ikiss.Options{MaxTS: c.MaxTS, DisableAliasElision: c.DisableAliasElision, Scheduler: c.Scheduler}
+}
+
+// Transform applies the assertion-checking translation (Figure 4) under
+// this config, producing a sequential program.
+func (c *Config) Transform(p *Program) (*Program, error) {
+	out, err := ikiss.Transform(p.ast, c.ikissOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &Program{ast: out, sequential: true, parseTime: p.parseTime}, nil
+}
+
+// TransformRace applies the race-checking translation (Figure 5) for the
+// given distinguished variable under this config.
+func (c *Config) TransformRace(p *Program, t RaceTarget) (*Program, error) {
+	out, err := ikiss.TransformRace(p.ast, t.internal(), c.ikissOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &Program{ast: out, sequential: true, parseTime: p.parseTime}, nil
 }
 
 // Verdict is the outcome of a check.
@@ -194,7 +341,9 @@ const (
 	Safe Verdict = iota
 	// Error means a failure is reachable; Result carries the trace.
 	Error
-	// ResourceBound means the budget ran out first (a Table 1 "timeout").
+	// ResourceBound means the budget ran out first (a Table 1 "timeout");
+	// Result.Stats.Reason names which bound — including cancellation and
+	// deadline expiry of a WithContext context.
 	ResourceBound
 )
 
@@ -209,7 +358,7 @@ func (v Verdict) String() string {
 	}
 }
 
-// Result reports a check's verdict, statistics, and (for Error) both the
+// Result reports a check's verdict, metrics, and (for Error) both the
 // raw sequential trace and the reconstructed concurrent trace.
 type Result struct {
 	Verdict Verdict
@@ -222,49 +371,78 @@ type Result struct {
 	Trace *trace.Trace
 	// SeqEvents is the raw sequential counterexample (Error verdicts).
 	SeqEvents []sem.Event
-	// States and Steps are explored-state and executed-transition counts.
+	// States and Steps are explored-state and executed-transition counts
+	// (also in Stats; kept here for the original API shape).
 	States int
 	Steps  int
+	// Stats is the full metrics record: per-phase wall time, states/sec,
+	// peak frontier and depth, visited-set size, fingerprint-audit
+	// collisions, and — for ResourceBound verdicts — which bound tripped.
+	Stats Stats
 }
 
-// CheckAssertions runs the full KISS pipeline for assertion checking:
-// transform, sequential model checking, and trace reconstruction.
-func CheckAssertions(p *Program, opts Options, budget Budget) (*Result, error) {
-	seq, err := Transform(p, opts)
-	if err != nil {
-		return nil, err
+// String renders a one-line summary. ResourceBound names the specific
+// bound that tripped (max-states, max-steps, deadline, canceled) — "we
+// ran out of budget" and "the operator hit ^C" call for different
+// reactions.
+func (r *Result) String() string {
+	switch r.Verdict {
+	case Safe:
+		return fmt.Sprintf("no bug found (states=%d steps=%d)", r.States, r.Steps)
+	case Error:
+		return fmt.Sprintf("error: %s (states=%d steps=%d)", r.Message, r.States, r.Steps)
+	default:
+		bound := "budget"
+		if r.Stats.Reason != ReasonNone {
+			bound = r.Stats.Reason.String()
+		}
+		return fmt.Sprintf("resource bound exhausted (%s; states=%d steps=%d)", bound, r.States, r.Steps)
 	}
-	return CheckSequential(seq, budget)
 }
 
-// CheckRace runs the full KISS pipeline for race checking on one
-// distinguished variable.
-func CheckRace(p *Program, t RaceTarget, opts Options, budget Budget) (*Result, error) {
-	seq, err := TransformRace(p, t, opts)
-	if err != nil {
-		return nil, err
-	}
-	return CheckSequential(seq, budget)
-}
+// Check runs the full KISS pipeline on p under the config: the Figure 4
+// translation (or Figure 5 when RaceTarget is set), the sequential
+// checker (explicit-state, or summary-based when Summaries is set), and
+// counterexample-trace reconstruction. Programs already in the sequential
+// fragment (Transform output) skip the translation. Cancellation of
+// Context yields a partial ResourceBound result, never an error.
+func (c *Config) Check(p *Program) (*Result, error) {
+	col := c.collector()
+	col.AddPhase(stats.PhaseParse, p.parseTime)
 
-// CheckSequential analyzes an already-transformed sequential program with
-// the sequential model checker and reconstructs the concurrent trace on
-// error. It is exposed separately so callers can reuse one transformation
-// across budgets.
-func CheckSequential(seq *Program, budget Budget) (*Result, error) {
-	if !seq.sequential {
-		return nil, fmt.Errorf("kiss: CheckSequential requires a transformed program")
+	seq := p
+	if !p.sequential {
+		col.Start(stats.PhaseTransform)
+		var err error
+		if c.RaceTarget != nil {
+			seq, err = c.TransformRace(p, *c.RaceTarget)
+		} else {
+			seq, err = c.Transform(p)
+		}
+		col.End(stats.PhaseTransform)
+		if err != nil {
+			return nil, err
+		}
 	}
-	c, err := sem.Compile(seq.ast)
+	if c.Summaries {
+		return c.checkSummaries(seq, col)
+	}
+
+	col.Start(stats.PhaseCheck)
+	compiled, err := sem.Compile(seq.ast)
 	if err != nil {
+		col.End(stats.PhaseCheck)
 		return nil, err
 	}
-	r := seqcheck.Check(c, seqcheck.Options{
-		MaxStates: budget.MaxStates,
-		MaxSteps:  budget.MaxSteps,
-		MaxDepth:  budget.MaxDepth,
-		BFS:       budget.BFS,
+	r := seqcheck.Check(compiled, seqcheck.Options{
+		MaxStates: c.MaxStates,
+		MaxSteps:  c.MaxSteps,
+		MaxDepth:  c.MaxDepth,
+		BFS:       c.BFS,
+		Context:   c.Context,
+		Collector: col,
 	})
+
 	out := &Result{Verdict: Verdict(r.Verdict), States: r.States, Steps: r.Steps}
 	if r.Verdict == seqcheck.Error {
 		out.Message = r.Failure.Msg
@@ -283,26 +461,34 @@ func CheckSequential(seq *Program, budget Budget) (*Result, error) {
 		out.SeqEvents = r.Trace
 		out.Trace = trace.Reconstruct(r.Trace)
 	}
+	col.End(stats.PhaseCheck)
+	out.Stats = Stats{
+		States:         r.States,
+		Steps:          r.Steps,
+		Visited:        r.Visited,
+		PeakFrontier:   r.PeakFrontier,
+		PeakDepth:      r.PeakDepth,
+		HashCollisions: r.HashCollisions,
+		Reason:         r.Reason,
+	}
+	col.Finalize(&out.Stats)
 	return out, nil
 }
 
-// CheckAssertionsSummaries runs the KISS pipeline with the summary-based
-// interprocedural checker (internal/boolcheck, the Bebop/RHS architecture
-// of the paper's complexity claim) in place of the explicit-state
-// explorer. It supports only the pointer-free fragment but terminates on
-// recursive programs with finite data; no counterexample trace is
-// produced (summaries conflate call stacks). Returns an error when the
-// program falls outside the fragment.
-func CheckAssertionsSummaries(p *Program, opts Options, budget Budget) (*Result, error) {
-	seq, err := Transform(p, opts)
+// checkSummaries is the Summaries engine path of Check.
+func (c *Config) checkSummaries(seq *Program, col *stats.Collector) (*Result, error) {
+	col.Start(stats.PhaseCheck)
+	compiled, err := sem.Compile(seq.ast)
 	if err != nil {
+		col.End(stats.PhaseCheck)
 		return nil, err
 	}
-	c, err := sem.Compile(seq.ast)
-	if err != nil {
-		return nil, err
-	}
-	r, err := boolcheck.Check(c, boolcheck.Options{MaxPathEdges: budget.MaxStates})
+	r, err := boolcheck.Check(compiled, boolcheck.Options{
+		MaxPathEdges: c.MaxStates,
+		Context:      c.Context,
+		Collector:    col,
+	})
+	col.End(stats.PhaseCheck)
 	if err != nil {
 		return nil, err
 	}
@@ -311,7 +497,191 @@ func CheckAssertionsSummaries(p *Program, opts Options, budget Budget) (*Result,
 		out.Message = r.Failure.Msg
 		out.Pos = r.Failure.Pos
 	}
+	out.Stats = Stats{States: r.PathEdges, Visited: r.PathEdges, Reason: r.Reason}
+	col.Finalize(&out.Stats)
 	return out, nil
+}
+
+// Explore runs the baseline interleaving-exploring model checker directly
+// on the concurrent program — the approach whose exponential blowup KISS
+// avoids — under the config's budgets, ContextBound, context, and
+// progress hook.
+func (c *Config) Explore(p *Program) (*Result, error) {
+	col := c.collector()
+	col.AddPhase(stats.PhaseParse, p.parseTime)
+	col.Start(stats.PhaseCheck)
+	compiled, err := sem.Compile(p.ast)
+	if err != nil {
+		col.End(stats.PhaseCheck)
+		return nil, err
+	}
+	r := concheck.Check(compiled, concheck.Options{
+		MaxStates:    c.MaxStates,
+		MaxSteps:     c.MaxSteps,
+		MaxDepth:     c.MaxDepth,
+		ContextBound: c.ContextBound,
+		Context:      c.Context,
+		Collector:    col,
+	})
+	col.End(stats.PhaseCheck)
+	out := &Result{Verdict: Verdict(r.Verdict), States: r.States, Steps: r.Steps}
+	if r.Verdict == concheck.Error {
+		out.Message = r.Failure.Msg
+		out.Pos = r.Failure.Pos
+		out.SeqEvents = r.Trace
+	}
+	out.Stats = Stats{
+		States:         r.States,
+		Steps:          r.Steps,
+		Visited:        r.Visited,
+		PeakFrontier:   r.PeakFrontier,
+		PeakDepth:      r.PeakDepth,
+		HashCollisions: r.HashCollisions,
+		Reason:         r.Reason,
+	}
+	col.Finalize(&out.Stats)
+	return out, nil
+}
+
+// Certify replays the original concurrent program p along the
+// reconstructed schedule of an Error result, confirming that the exact
+// interleaving the trace describes really reaches a failure — the
+// machine-checked form of the paper's "the error trace leading to the
+// assertion failure in P is easily constructed from the error trace in
+// P'". It returns (true, nil) when the failure replays, and accumulates
+// the replay wall time into res.Stats.Phases.Replay.
+func (c *Config) Certify(p *Program, res *Result) (bool, error) {
+	if res == nil || res.Verdict != Error || res.Trace == nil {
+		return false, fmt.Errorf("kiss: Certify requires an Error result with a reconstructed trace")
+	}
+	start := time.Now()
+	compiled, err := sem.Compile(p.ast)
+	if err != nil {
+		return false, err
+	}
+	rr := trace.Replay(compiled, res.Trace.Schedule(), c.MaxStates)
+	res.Stats.Phases.Replay += time.Since(start)
+	return rr.Certified, nil
+}
+
+// Check runs the full pipeline on p under a config built from opts — the
+// unified entry point. See Config.Check.
+func Check(p *Program, opts ...Option) (*Result, error) {
+	return NewConfig(opts...).Check(p)
+}
+
+// Explore runs the baseline interleaving explorer on p under a config
+// built from opts. See Config.Explore.
+func Explore(p *Program, opts ...Option) (*Result, error) {
+	return NewConfig(opts...).Explore(p)
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated API: the Options/Budget pair, collapsed into Config. The
+// wrappers below keep the original Check* signatures compiling unchanged.
+
+// Options parameterize the KISS transformation.
+//
+// Deprecated: use Config with WithMaxTS, WithScheduler, and
+// WithoutAliasElision.
+type Options struct {
+	MaxTS               int
+	DisableAliasElision bool
+	Scheduler           Scheduler
+}
+
+// Budget bounds a model-checking run; zero fields mean unlimited.
+//
+// Deprecated: use Config with WithMaxStates, WithMaxSteps, WithMaxDepth,
+// and WithBFS.
+type Budget struct {
+	MaxStates int
+	MaxSteps  int
+	MaxDepth  int
+	BFS       bool
+}
+
+// configOf merges the legacy pair into a Config.
+func configOf(opts Options, budget Budget) *Config {
+	return &Config{
+		MaxTS:               opts.MaxTS,
+		DisableAliasElision: opts.DisableAliasElision,
+		Scheduler:           opts.Scheduler,
+		MaxStates:           budget.MaxStates,
+		MaxSteps:            budget.MaxSteps,
+		MaxDepth:            budget.MaxDepth,
+		BFS:                 budget.BFS,
+		ContextBound:        -1,
+	}
+}
+
+// Transform applies the assertion-checking translation (Figure 4).
+//
+// Deprecated: use Config.Transform.
+func Transform(p *Program, opts Options) (*Program, error) {
+	return configOf(opts, Budget{}).Transform(p)
+}
+
+// TransformRace applies the race-checking translation (Figure 5).
+//
+// Deprecated: use Config.TransformRace.
+func TransformRace(p *Program, t RaceTarget, opts Options) (*Program, error) {
+	return configOf(opts, Budget{}).TransformRace(p, t)
+}
+
+// CheckAssertions runs the full KISS pipeline for assertion checking.
+//
+// Deprecated: use Check with functional options.
+func CheckAssertions(p *Program, opts Options, budget Budget) (*Result, error) {
+	return configOf(opts, budget).Check(p)
+}
+
+// CheckRace runs the full KISS pipeline for race checking on one
+// distinguished variable.
+//
+// Deprecated: use Check with WithRaceTarget.
+func CheckRace(p *Program, t RaceTarget, opts Options, budget Budget) (*Result, error) {
+	c := configOf(opts, budget)
+	c.RaceTarget = &t
+	return c.Check(p)
+}
+
+// CheckSequential analyzes an already-transformed sequential program.
+//
+// Deprecated: Check skips the translation for transformed programs; use
+// it directly.
+func CheckSequential(seq *Program, budget Budget) (*Result, error) {
+	if !seq.sequential {
+		return nil, fmt.Errorf("kiss: CheckSequential requires a transformed program")
+	}
+	return configOf(Options{}, budget).Check(seq)
+}
+
+// CheckAssertionsSummaries runs the KISS pipeline with the summary-based
+// interprocedural checker.
+//
+// Deprecated: use Check with WithSummaries.
+func CheckAssertionsSummaries(p *Program, opts Options, budget Budget) (*Result, error) {
+	c := configOf(opts, budget)
+	c.Summaries = true
+	return c.Check(p)
+}
+
+// CertifyTrace replays a reconstructed error schedule on the original
+// concurrent program.
+//
+// Deprecated: use Config.Certify.
+func CertifyTrace(p *Program, res *Result, budget Budget) (bool, error) {
+	return configOf(Options{}, budget).Certify(p, res)
+}
+
+// ExploreConcurrent runs the baseline interleaving explorer.
+//
+// Deprecated: use Explore with WithContextBound.
+func ExploreConcurrent(p *Program, budget Budget, contextBound int) (*Result, error) {
+	c := configOf(Options{}, budget)
+	c.ContextBound = contextBound
+	return c.Explore(p)
 }
 
 // TransformStats re-exports the instrumentation blowup statistics
@@ -322,45 +692,4 @@ type TransformStats = ikiss.Stats
 // program and its transformation output.
 func MeasureTransform(src, out *Program) TransformStats {
 	return ikiss.Measure(src.ast, out.ast)
-}
-
-// CertifyTrace replays the original concurrent program p along the
-// reconstructed schedule of an Error result, confirming that the exact
-// interleaving the trace describes really reaches a failure — the
-// machine-checked form of the paper's "the error trace leading to the
-// assertion failure in P is easily constructed from the error trace in
-// P'". It returns (true, nil) when the failure replays.
-func CertifyTrace(p *Program, res *Result, budget Budget) (bool, error) {
-	if res == nil || res.Verdict != Error || res.Trace == nil {
-		return false, fmt.Errorf("kiss: CertifyTrace requires an Error result with a reconstructed trace")
-	}
-	c, err := sem.Compile(p.ast)
-	if err != nil {
-		return false, err
-	}
-	rr := trace.Replay(c, res.Trace.Schedule(), budget.MaxStates)
-	return rr.Certified, nil
-}
-
-// ExploreConcurrent runs the baseline interleaving-exploring model checker
-// directly on the concurrent program — the approach whose exponential
-// blowup KISS avoids. contextBound < 0 means unbounded.
-func ExploreConcurrent(p *Program, budget Budget, contextBound int) (*Result, error) {
-	c, err := sem.Compile(p.ast)
-	if err != nil {
-		return nil, err
-	}
-	r := concheck.Check(c, concheck.Options{
-		MaxStates:    budget.MaxStates,
-		MaxSteps:     budget.MaxSteps,
-		MaxDepth:     budget.MaxDepth,
-		ContextBound: contextBound,
-	})
-	out := &Result{Verdict: Verdict(r.Verdict), States: r.States, Steps: r.Steps}
-	if r.Verdict == concheck.Error {
-		out.Message = r.Failure.Msg
-		out.Pos = r.Failure.Pos
-		out.SeqEvents = r.Trace
-	}
-	return out, nil
 }
