@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench
+.PHONY: build test vet race verify bench benchall
 
 build:
 	$(GO) build ./...
@@ -13,13 +13,25 @@ vet:
 
 # race runs the race detector over the packages that own concurrency:
 # the eval worker pool (and, transitively, the shared parsed-harness and
-# model caches it hands to concurrent field checks). -short skips the
-# full-corpus reproductions, which the plain `test` target already runs.
+# model caches it hands to concurrent field checks), the parallel
+# state-space searches in seqcheck/concheck with their sharded visited
+# set, and the copy-on-write state representation their workers share.
+# -short skips the full-corpus reproductions, which the plain `test`
+# target already runs.
 race:
-	$(GO) test -race -short ./internal/eval/...
+	$(GO) test -race -short ./internal/eval/... ./internal/seqcheck/... ./internal/concheck/... ./internal/sem/... ./internal/visited/...
 
 # verify is the tier-1 gate: build, vet, full tests, and the race check.
 verify: build vet test race
 
+# bench runs the PR 3 performance suite: the clone/successor
+# microbenchmarks (the copy-on-write win) and a kissbench corpus pass
+# with per-field JSON metrics written to BENCH_PR3.json.
 bench:
+	$(GO) test -bench 'BenchmarkClone|BenchmarkDeepClone|BenchmarkSuccessors' -benchmem -run '^$$' ./internal/sem/
+	$(GO) run ./cmd/kissbench -table1 -json > BENCH_PR3.json
+	@echo "wrote BENCH_PR3.json"
+
+# benchall runs every benchmark in the repository.
+benchall:
 	$(GO) test -bench=. -benchmem ./...

@@ -15,8 +15,10 @@
 //
 // Flag names mirror the kiss.Config fields (and kissbench flags): -max-ts,
 // -max-states, -max-steps, -max-depth, -bfs, -context-bound, -timeout,
-// -progress. -progress streams search metrics to stderr while the checker
-// runs; -timeout bounds wall time and reports the partial result.
+// -search-workers, -progress. -progress streams search metrics to stderr
+// while the checker runs; -timeout bounds wall time and reports the
+// partial result; -search-workers N runs the state-space search with N
+// workers (verdicts and counters are identical at every worker count).
 //
 // The race target T is either a global variable name ("stopped") or
 // record.field ("DEVICE_EXTENSION.stoppingFlag").
@@ -103,17 +105,19 @@ func loadProgram(fs *flag.FlagSet) (*kiss.Program, error) {
 // commands, spelled exactly like the kiss.Config fields they set.
 type budgetFlags struct {
 	maxStates, maxSteps, maxDepth *int
+	searchWorkers                 *int
 	timeout                       *time.Duration
 	progress                      *bool
 }
 
 func addBudgetFlags(fs *flag.FlagSet) *budgetFlags {
 	return &budgetFlags{
-		maxStates: fs.Int("max-states", 0, "state budget (0 = unlimited)"),
-		maxSteps:  fs.Int("max-steps", 0, "step budget (0 = unlimited)"),
-		maxDepth:  fs.Int("max-depth", 0, "search depth bound (0 = unlimited)"),
-		timeout:   fs.Duration("timeout", 0, "wall-time bound, e.g. 30s (0 = unlimited)"),
-		progress:  fs.Bool("progress", false, "stream search metrics to stderr while running"),
+		maxStates:     fs.Int("max-states", 0, "state budget (0 = unlimited)"),
+		maxSteps:      fs.Int("max-steps", 0, "step budget (0 = unlimited)"),
+		maxDepth:      fs.Int("max-depth", 0, "search depth bound (0 = unlimited)"),
+		searchWorkers: fs.Int("search-workers", 0, "parallel search workers (0 = sequential; results identical at every count)"),
+		timeout:       fs.Duration("timeout", 0, "wall-time bound, e.g. 30s (0 = unlimited)"),
+		progress:      fs.Bool("progress", false, "stream search metrics to stderr while running"),
 	}
 }
 
@@ -125,6 +129,7 @@ func (bf *budgetFlags) options() ([]kiss.Option, context.CancelFunc) {
 		kiss.WithMaxStates(*bf.maxStates),
 		kiss.WithMaxSteps(*bf.maxSteps),
 		kiss.WithMaxDepth(*bf.maxDepth),
+		kiss.WithSearchWorkers(*bf.searchWorkers),
 	}
 	cancel := context.CancelFunc(func() {})
 	if *bf.timeout > 0 {

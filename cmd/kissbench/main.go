@@ -14,8 +14,11 @@
 // Optional: -drivers a,b,c restricts the corpus tables to named drivers;
 // -max-states N overrides the per-field state budget (spelled like the
 // kiss.Config field and the kiss binary's flag); -workers N bounds the
-// corpus worker pool (0 = one worker per CPU, 1 = sequential). Results are
-// identical at every -workers setting; only wall-clock changes.
+// corpus worker pool (0 = one worker per CPU, 1 = sequential);
+// -search-workers N parallelizes each individual state-space search (the
+// auto-sized field pool shrinks to keep the total core budget). Results
+// are identical at every -workers and -search-workers setting; only
+// wall-clock changes.
 //
 // Observability: -json emits one JSON record per corpus entry (JSON
 // Lines) with the full metrics payload — per-phase wall time, states/sec,
@@ -52,6 +55,7 @@ func main() {
 	driversFlag := flag.String("drivers", "", "comma-separated driver subset for the tables")
 	maxStates := flag.Int("max-states", 0, "per-field state budget override (0 = default)")
 	workers := flag.Int("workers", 0, "concurrent field checks (0 = one per CPU, 1 = sequential)")
+	searchWorkers := flag.Int("search-workers", 0, "workers per state-space search (0 = sequential search; >0 shrinks the auto-sized field pool to share the cores)")
 	blowupN := flag.Int("blowup-threads", 6, "max thread count for the blowup study")
 	jsonOut := flag.Bool("json", false, "emit per-field JSON metrics records (JSON Lines) for the corpus tables")
 	progress := flag.Bool("progress", false, "stream per-field search progress to stderr")
@@ -66,7 +70,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := eval.Options{Workers: *workers}
+	opts := eval.Options{Workers: *workers, SearchWorkers: *searchWorkers}
 	if *maxStates > 0 {
 		opts.Budget = kiss.Budget{MaxStates: *maxStates}
 	}

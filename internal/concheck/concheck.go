@@ -72,6 +72,17 @@ type Options struct {
 	// the Deadlocks diagnostic and ContextBound accounting are not
 	// meaningful under POR and should not be combined with it.
 	POR bool
+	// SearchWorkers >= 1 explores interleavings with a worker pool over a
+	// level-synchronized breadth-first frontier and a sharded visited set
+	// (see seqcheck.Options.SearchWorkers — the design is shared). The
+	// verdict, counterexample trace, and deterministic search metrics are
+	// bit-identical at every worker count; 1 runs the same search on the
+	// calling goroutine; 0 (the default) keeps the classic depth-first
+	// sequential search. AuditFingerprints forces the sequential search.
+	SearchWorkers int
+	// NumShards is the visited-set shard count for the parallel search
+	// (rounded up to a power of two; 0 selects visited.DefaultShards).
+	NumShards int
 	// AuditFingerprints cross-checks the 64-bit visited-set hashes against
 	// the canonical string encodings (see seqcheck.Options); collisions are
 	// counted in Result.HashCollisions.
@@ -110,25 +121,23 @@ type Result struct {
 	// HashCollisions counts states whose 64-bit fingerprint collided with
 	// a structurally different visited state (AuditFingerprints only).
 	HashCollisions int
+	// Parallel carries the worker-pool diagnostics of a parallel search
+	// (SearchWorkers >= 1); nil for sequential runs.
+	Parallel *stats.Parallel
 }
 
 func (r *Result) String() string {
 	switch r.Verdict {
 	case Error:
-		return fmt.Sprintf("error: %s (states=%d steps=%d)", r.Failure, r.States, r.Steps)
+		return fmt.Sprintf("error: %s (states=%d steps=%d visited=%d peak-frontier=%d)",
+			r.Failure, r.States, r.Steps, r.Visited, r.PeakFrontier)
 	case Safe:
-		return fmt.Sprintf("safe (states=%d steps=%d)", r.States, r.Steps)
+		return fmt.Sprintf("safe (states=%d steps=%d visited=%d peak-frontier=%d)",
+			r.States, r.Steps, r.Visited, r.PeakFrontier)
 	default:
-		return fmt.Sprintf("resource bound exhausted (%s; states=%d steps=%d)", boundName(r.Reason), r.States, r.Steps)
+		return fmt.Sprintf("resource bound exhausted (%s; states=%d steps=%d visited=%d peak-frontier=%d)",
+			stats.BoundName(r.Reason), r.States, r.Steps, r.Visited, r.PeakFrontier)
 	}
-}
-
-// boundName renders the tripped bound; zero falls back to the generic word.
-func boundName(r stats.Reason) string {
-	if r == stats.ReasonNone {
-		return "budget"
-	}
-	return r.String()
 }
 
 // reasonFor maps a context error to the bound reason it represents.
@@ -166,6 +175,9 @@ type searchState struct {
 
 // Check explores the concurrent program compiled in c.
 func Check(c *sem.Compiled, opts Options) *Result {
+	if opts.SearchWorkers >= 1 && !opts.AuditFingerprints {
+		return checkParallel(c, opts)
+	}
 	res := &Result{}
 	init := sem.NewState(c)
 	bounded := opts.ContextBound >= 0

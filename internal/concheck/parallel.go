@@ -1,0 +1,280 @@
+package concheck
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sem"
+	"repro/internal/stats"
+	"repro/internal/visited"
+)
+
+// The parallel interleaving search mirrors seqcheck's (see the design
+// note in internal/seqcheck/parallel.go): a level-synchronized BFS where
+// the worker pool expands items — here, expanding an item means stepping
+// *every* schedulable thread, honoring POR and the context bound — and a
+// single-threaded commit loop replays each level in (item, thread) order
+// through the sequential search's budget checks, so the verdict, trace,
+// and deterministic metrics are bit-identical at every worker count.
+//
+// The sequential concheck search is depth-first; the parallel frontier is
+// breadth-first. On a full exploration the two report the same verdict
+// (failure reachability does not depend on search order); runs that trip
+// a budget cover different prefixes of the state space, exactly as the
+// BFS/DFS choice already does in seqcheck.
+
+// minParallelLevel is the level size below which the coordinator expands
+// inline rather than paying worker fan-out.
+const minParallelLevel = 4
+
+// workerPollStride is how many items a worker claims between context
+// polls.
+const workerPollStride = 64
+
+// cexpansion is one prefiltered successor: the outcome plus its visited
+// key (the state hash, mixed with the scheduling context in bounded mode).
+type cexpansion struct {
+	out sem.Outcome
+	fp  uint64
+}
+
+// cthread records the expansion of one schedulable thread of an item, in
+// scheduling order. The commit loop replays these through the budget
+// checks exactly as the sequential per-thread loop would.
+type cthread struct {
+	ti        int
+	switches  int
+	overBound bool // skipped by the context bound (counts as live, no step)
+	blocked   bool
+	// progressed mirrors the sequential anyProgress accounting: the step
+	// had outcomes, whether or not any survived the visited prefilter.
+	progressed bool
+	fail       *sem.Failure
+	exps       []cexpansion
+}
+
+// citemSlot is the private output slot for one level item.
+type citemSlot struct {
+	threads []cthread
+	worker  int
+}
+
+func checkParallel(c *sem.Compiled, opts Options) *Result {
+	workers := opts.SearchWorkers
+	res := &Result{}
+	init := sem.NewState(c)
+	bounded := opts.ContextBound >= 0
+
+	vis := visited.New(opts.NumShards)
+	initFP := sem.NewFPHasher().Hash(init)
+	if bounded {
+		initFP = sem.Mix64(initFP, uint64(0)) // lastTh -1 encodes as 0
+		initFP = sem.Mix64(initFP, uint64(0))
+	}
+	vis.Seen(initFP)
+	res.States = 1
+	res.PeakFrontier = 1
+	perWorker := make([]int, workers)
+	defer func() {
+		res.Visited = vis.Len()
+		res.Parallel = &stats.Parallel{
+			Workers:         workers,
+			Shards:          vis.Shards(),
+			PerWorkerStates: perWorker,
+			ShardContention: vis.Contention(),
+		}
+	}()
+
+	hashers := make([]*sem.FPHasher, workers)
+	for i := range hashers {
+		hashers[i] = sem.NewFPHasher()
+	}
+
+	level := []searchState{{st: init, nd: &node{}, lastTh: -1}}
+	for depth := 0; len(level) > 0; depth++ {
+		res.PeakDepth = depth
+		if opts.Context != nil {
+			if err := opts.Context.Err(); err != nil {
+				res.Verdict = ResourceBound
+				res.Reason = reasonFor(err)
+				return res
+			}
+		}
+		if opts.MaxDepth > 0 && depth >= opts.MaxDepth {
+			break
+		}
+
+		// Expansion round: step every schedulable thread of every item.
+		slots := make([]citemSlot, len(level))
+		expandItem := func(i, w int) {
+			it := level[i]
+			expand := -1
+			if opts.POR {
+				for ti := range it.st.Threads {
+					if it.st.Threads[ti].Done() {
+						continue
+					}
+					if invisibleNext(it.st, ti) {
+						expand = ti
+						break
+					}
+				}
+			}
+			var ths []cthread
+			for ti := range it.st.Threads {
+				if it.st.Threads[ti].Done() {
+					continue
+				}
+				if expand >= 0 && ti != expand {
+					continue
+				}
+				switches := it.switches
+				if it.lastTh >= 0 && it.lastTh != ti {
+					switches++
+					if bounded && switches > opts.ContextBound {
+						ths = append(ths, cthread{ti: ti, switches: switches, overBound: true})
+						continue
+					}
+				}
+				sr := sem.Step(it.st, ti)
+				if sr.Failure != nil {
+					// The sequential search returns on the first failing
+					// thread; later threads of this item never step.
+					ths = append(ths, cthread{ti: ti, switches: switches, fail: sr.Failure})
+					break
+				}
+				if sr.Blocked {
+					ths = append(ths, cthread{ti: ti, switches: switches, blocked: true})
+					continue
+				}
+				var exps []cexpansion
+				for _, out := range sr.Outcomes {
+					fp := hashers[w].Hash(out.State)
+					if bounded {
+						fp = sem.Mix64(fp, uint64(ti+1))
+						fp = sem.Mix64(fp, uint64(switches))
+					}
+					if vis.Contains(fp) {
+						continue
+					}
+					exps = append(exps, cexpansion{out: out, fp: fp})
+				}
+				ths = append(ths, cthread{
+					ti: ti, switches: switches,
+					progressed: len(sr.Outcomes) > 0,
+					exps:       exps,
+				})
+			}
+			slots[i] = citemSlot{threads: ths, worker: w}
+		}
+		if workers == 1 || len(level) < minParallelLevel {
+			for i := range level {
+				expandItem(i, 0)
+				if opts.Context != nil && i%workerPollStride == workerPollStride-1 {
+					if err := opts.Context.Err(); err != nil {
+						res.Verdict = ResourceBound
+						res.Reason = reasonFor(err)
+						return res
+					}
+				}
+			}
+		} else {
+			var claim atomic.Int64
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					polled := 0
+					for {
+						i := int(claim.Add(1)) - 1
+						if i >= len(level) || stop.Load() {
+							return
+						}
+						expandItem(i, w)
+						if polled++; polled >= workerPollStride {
+							polled = 0
+							if opts.Context != nil && opts.Context.Err() != nil {
+								stop.Store(true)
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if stop.Load() {
+				res.Verdict = ResourceBound
+				res.Reason = reasonFor(opts.Context.Err())
+				return res
+			}
+		}
+
+		// Commit: replay in (item, thread) order through the sequential
+		// search's budget checks.
+		var next []searchState
+		for i := range level {
+			it := level[i]
+			sl := &slots[i]
+			anyLive, anyProgress := false, false
+			for t := range sl.threads {
+				th := &sl.threads[t]
+				anyLive = true
+				if th.overBound {
+					continue
+				}
+				if opts.MaxSteps > 0 && res.Steps >= opts.MaxSteps {
+					res.Verdict = ResourceBound
+					res.Reason = stats.ReasonSteps
+					return res
+				}
+				res.Steps++
+				if th.fail != nil {
+					res.Verdict = Error
+					res.Failure = th.fail
+					failEv := sem.Event{
+						Kind:     sem.EvStmt,
+						ThreadID: th.fail.ThreadID,
+						Pos:      th.fail.Pos,
+						Text:     th.fail.Msg,
+					}
+					res.Trace = append(it.nd.trace(), failEv)
+					return res
+				}
+				if th.blocked {
+					continue
+				}
+				anyProgress = anyProgress || th.progressed
+				for _, ex := range th.exps {
+					if vis.Seen(ex.fp) {
+						continue // claimed by an earlier (item, thread) this level
+					}
+					perWorker[sl.worker]++
+					res.States++
+					if opts.MaxStates > 0 && res.States > opts.MaxStates {
+						res.Verdict = ResourceBound
+						res.Reason = stats.ReasonStates
+						return res
+					}
+					next = append(next, searchState{
+						st:       ex.out.State,
+						nd:       &node{parent: it.nd, event: ex.out.Event, depth: depth + 1},
+						lastTh:   th.ti,
+						switches: th.switches,
+					})
+					if fl := (len(level) - 1 - i) + len(next); fl > res.PeakFrontier {
+						res.PeakFrontier = fl
+					}
+				}
+			}
+			if anyLive && !anyProgress {
+				res.Deadlocks++
+			}
+		}
+		opts.Collector.Sample(res.States, res.Steps, len(next), depth, vis.Len())
+		level = next
+	}
+	res.Verdict = Safe
+	return res
+}

@@ -94,6 +94,14 @@ type Options struct {
 	// Workers: 1 run — at any setting, because every field has a fixed slot
 	// in the output and aggregation happens after the pool drains.
 	Workers int
+	// SearchWorkers is the per-field search parallelism: each field check
+	// runs its state-space search with this many workers (kiss.Config.
+	// SearchWorkers). The two axes compose under one core budget: when
+	// Workers is left 0 (auto) and SearchWorkers > 1, the field-level pool
+	// shrinks to GOMAXPROCS/SearchWorkers so the run does not oversubscribe
+	// total cores. Verdicts are independent of both settings. 0 keeps the
+	// sequential per-field search.
+	SearchWorkers int
 	// Context, when non-nil, makes the corpus run cancelable: on
 	// cancellation (or deadline expiry) the in-flight checks stop at their
 	// next poll, the remaining fields are marked Canceled, and RunCorpus
@@ -205,6 +213,11 @@ func RunCorpus(opts Options) ([]*DriverResult, error) {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+		// Field-level x search-level parallelism share one core budget:
+		// auto-sized pools divide the cores by the per-check worker count.
+		if opts.SearchWorkers > 1 {
+			workers = max(1, workers/opts.SearchWorkers)
+		}
 	}
 	if workers > len(jobs) {
 		workers = len(jobs)
@@ -220,7 +233,7 @@ func RunCorpus(opts Options) ([]*DriverResult, error) {
 			}
 			return nil
 		}
-		fr, err := checkField(j.model, j.field, opts.Refined, budget, opts.Context, opts.Progress)
+		fr, err := checkField(j.model, j.field, opts.Refined, budget, opts.SearchWorkers, opts.Context, opts.Progress)
 		if err != nil {
 			return fmt.Errorf("%s.%s: %w", j.dr.Spec.Name, j.field.Name, err)
 		}
@@ -292,7 +305,7 @@ func RunCorpus(opts Options) ([]*DriverResult, error) {
 	return out, nil
 }
 
-func checkField(model *drivers.Model, f drivers.FieldSpec, refined bool, budget kiss.Budget, ctx context.Context, progress func(FieldEvent)) (FieldResult, error) {
+func checkField(model *drivers.Model, f drivers.FieldSpec, refined bool, budget kiss.Budget, searchWorkers int, ctx context.Context, progress func(FieldEvent)) (FieldResult, error) {
 	fr := FieldResult{Driver: model.Spec.Name, Field: f.Name, Pattern: f.Pattern}
 	if checkFieldHook != nil {
 		if err := checkFieldHook(model.Spec.Name, f.Name); err != nil {
@@ -306,13 +319,14 @@ func checkField(model *drivers.Model, f drivers.FieldSpec, refined bool, budget 
 	// Table 1/2 configuration (Section 6): "Guided by the intuition of the
 	// Bluetooth driver example in Section 2.2, we set the size of ts to 0."
 	cfg := &kiss.Config{
-		MaxTS:      0,
-		RaceTarget: &kiss.RaceTarget{Record: "DEVICE_EXTENSION", Field: f.Name},
-		MaxStates:  budget.MaxStates,
-		MaxSteps:   budget.MaxSteps,
-		MaxDepth:   budget.MaxDepth,
-		BFS:        budget.BFS,
-		Context:    ctx,
+		MaxTS:         0,
+		RaceTarget:    &kiss.RaceTarget{Record: "DEVICE_EXTENSION", Field: f.Name},
+		MaxStates:     budget.MaxStates,
+		MaxSteps:      budget.MaxSteps,
+		MaxDepth:      budget.MaxDepth,
+		BFS:           budget.BFS,
+		SearchWorkers: searchWorkers,
+		Context:       ctx,
 	}
 	if progress != nil {
 		driver, field := model.Spec.Name, f.Name

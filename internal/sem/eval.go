@@ -50,21 +50,22 @@ func (s *State) Load(c Cell, pos ast.Pos) (Value, *RuntimeError) {
 	return Value{}, rterrf(pos, "bad cell")
 }
 
-// Store writes a value into a cell.
+// Store writes a value into a cell, path-copying any component still
+// shared with other states of the lineage (see State.Clone).
 func (s *State) Store(c Cell, v Value, pos ast.Pos) *RuntimeError {
 	switch c.Kind {
 	case CGlobal:
-		s.Globals[c.Idx] = v
+		s.mutableGlobals()[c.Idx] = v
 		return nil
 	case CHeapField:
-		s.Heap[c.Idx].Fields[c.Field] = v
+		s.mutableObject(c.Idx).Fields[c.Field] = v
 		return nil
 	case CLocal:
-		fr := s.findFrame(c.FrameID)
-		if fr == nil {
+		ti, fi := s.findFrameIndex(c.FrameID)
+		if ti < 0 {
 			return rterrf(pos, "dangling pointer to local of a popped frame")
 		}
-		fr.Locals[c.Field] = v
+		s.mutableFrame(ti, fi).Locals[c.Field] = v
 		return nil
 	case CObject:
 		return rterrf(pos, "cannot store to a whole object; use p->field")
@@ -183,8 +184,8 @@ func (s *State) Eval(fr *Frame, e ast.Expr) (Value, *RuntimeError) {
 		for i := range o.Fields {
 			o.Fields[i] = IntV(0)
 		}
-		s.Heap = append(s.Heap, o)
-		return PtrV(Cell{Kind: CObject, Idx: len(s.Heap) - 1}), nil
+		idx := s.appendObject(o)
+		return PtrV(Cell{Kind: CObject, Idx: idx}), nil
 	case *ast.TsSizeExpr:
 		return IntV(int64(len(s.Ts))), nil
 	case *ast.RaceCellExpr:

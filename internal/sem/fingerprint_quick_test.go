@@ -98,12 +98,12 @@ func main() {
 	}
 
 	s4 := s1.Clone()
-	s4.Globals[0] = IntV(7)
+	s4.mutableGlobals()[0] = IntV(7)
 	if s1.FingerprintHash() == s4.FingerprintHash() {
 		t.Error("different global values collide")
 	}
 	s5 := s1.Clone()
-	s5.Threads[0].Top().PC = 1
+	s5.MutableTopFrame(0).PC = 1
 	if s1.FingerprintHash() == s5.FingerprintHash() {
 		t.Error("different PCs collide")
 	}

@@ -441,12 +441,12 @@ func TestFingerprintDistinguishesStates(t *testing.T) {
 	c := compile(t, `var g; func main() { g = 1; }`)
 	s1 := NewState(c)
 	s2 := s1.Clone()
-	s2.Globals[0] = IntV(7)
+	s2.mutableGlobals()[0] = IntV(7)
 	if s1.FingerprintString() == s2.FingerprintString() {
 		t.Error("different global values collide")
 	}
 	s3 := s1.Clone()
-	s3.Threads[0].Top().PC = 1
+	s3.MutableTopFrame(0).PC = 1
 	if s1.FingerprintString() == s3.FingerprintString() {
 		t.Error("different PCs collide")
 	}
@@ -492,11 +492,13 @@ func main() { var p; p = new R; p->f = 1; g = 2; }
 		s = sr.Outcomes[0].State
 	}
 	clone := s.Clone()
-	s.Globals[0] = IntV(99)
+	// Mutations go through the COW accessors (as Step's do); the clone
+	// must observe none of them.
+	s.mutableGlobals()[0] = IntV(99)
 	if len(s.Heap) > 0 {
-		s.Heap[0].Fields[0] = IntV(42)
+		s.mutableObject(0).Fields[0] = IntV(42)
 	}
-	s.Threads[0].Top().PC = 999
+	s.MutableTopFrame(0).PC = 999
 	if clone.Globals[0].Equal(IntV(99)) {
 		t.Error("clone shares globals")
 	}

@@ -10,6 +10,11 @@ import (
 type Object struct {
 	Rec    string // record type name
 	Fields []Value
+
+	// gen is the copy-on-write stamp: the State.gen of the state that
+	// allocated or last copied this object. See the COW invariant on
+	// State.Clone.
+	gen uint64
 }
 
 // Pending is a forked-but-unscheduled thread in the ts multiset of the
@@ -37,6 +42,9 @@ type Frame struct {
 	// Result names the variable in the caller's scope that receives this
 	// frame's return value ("" if the call discards it).
 	Result string
+
+	// gen is the copy-on-write stamp (see State.Clone).
+	gen uint64
 }
 
 // Thread is one thread of control: a stack of frames, top last. A thread
@@ -44,6 +52,10 @@ type Frame struct {
 type Thread struct {
 	ID     int
 	Frames []*Frame
+
+	// gen is the copy-on-write stamp guarding the Frames spine (see
+	// State.Clone).
+	gen uint64
 }
 
 // Top returns the active frame, or nil for a terminated thread.
@@ -59,6 +71,14 @@ func (t *Thread) Done() bool { return len(t.Frames) == 0 }
 
 // State is a complete program configuration: global store, heap, all
 // threads, and (in the sequential semantics) the ts multiset.
+//
+// States clone copy-on-write: Clone shares every component with its
+// source, and the mutable* accessors path-copy a component the first time
+// the new state writes it. Read access through the exported fields is
+// always safe; writers inside this package must go through the accessors
+// (external callers mutate states only via Step, which does). The public
+// fields continue to describe the complete configuration — sharing is
+// invisible except through the allocation profile.
 type State struct {
 	C       *Compiled // shared, immutable
 	Globals []Value
@@ -68,6 +88,25 @@ type State struct {
 
 	nextFrameID  int
 	nextThreadID int
+
+	// gen is this state's copy-on-write generation. A component (globals
+	// slice, heap spine, object, threads spine, thread, frame, ts slice)
+	// carries the gen of the state that created its current version; the
+	// component may be mutated in place iff its stamp equals the state's
+	// gen. Clone hands the child gen+1 and bumps the parent to gen+2, so
+	// after a clone *both* sides copy before writing anything shared.
+	//
+	// Soundness of the stamp comparison: a structure stamped g by state s
+	// is shared only with states cloned (transitively) from s after the
+	// stamping; every such clone receives a gen strictly greater than g,
+	// and gens never decrease, so stamp==gen identifies the stamping state
+	// uniquely. Stamps are written only before a structure is shared, so
+	// concurrent readers in a parallel search never race on them.
+	gen        uint64
+	globalsGen uint64 // ownership stamp of the Globals slice
+	heapGen    uint64 // ownership stamp of the Heap spine
+	threadsGen uint64 // ownership stamp of the Threads spine
+	tsGen      uint64 // ownership stamp of the Ts slice
 }
 
 // NewState returns the initial state: globals zero-initialized, an empty
@@ -85,7 +124,7 @@ func NewState(c *Compiled) *State {
 }
 
 func (s *State) newFrame(cf *CompiledFunc, args []Value, result string) *Frame {
-	f := &Frame{ID: s.nextFrameID, CF: cf, Locals: make([]Value, len(cf.Vars)), Result: result}
+	f := &Frame{ID: s.nextFrameID, CF: cf, Locals: make([]Value, len(cf.Vars)), Result: result, gen: s.gen}
 	s.nextFrameID++
 	for i := range f.Locals {
 		if i < len(args) {
@@ -97,9 +136,42 @@ func (s *State) newFrame(cf *CompiledFunc, args []Value, result string) *Frame {
 	return f
 }
 
-// Clone returns a deep copy of s sharing only the immutable Compiled
-// program and instruction slices.
+// Clone returns a copy-on-write copy of s: every component is shared
+// with s, and either side copies a component before its next write to it
+// (the gen bump below revokes both sides' in-place write rights). For
+// the ~90% of transitions that touch one frame and at most one heap
+// object this replaces the old O(|heap|+|stack|) deep copy with a few
+// small copies proportional to what actually changes.
+//
+// Clone writes s.gen, so concurrent Clones of the same state are not
+// safe; a state handed to another goroutine (e.g. through a search
+// frontier) must be owned by one worker at a time, which frontier
+// queues provide by construction.
 func (s *State) Clone() *State {
+	n := &State{
+		C:            s.C,
+		Globals:      s.Globals,
+		Heap:         s.Heap,
+		Threads:      s.Threads,
+		Ts:           s.Ts,
+		nextFrameID:  s.nextFrameID,
+		nextThreadID: s.nextThreadID,
+		gen:          s.gen + 1,
+		globalsGen:   s.globalsGen,
+		heapGen:      s.heapGen,
+		threadsGen:   s.threadsGen,
+		tsGen:        s.tsGen,
+	}
+	s.gen += 2
+	return n
+}
+
+// DeepClone returns an eager deep copy of s sharing only the immutable
+// Compiled program and instruction slices — the pre-COW Clone. It remains
+// the reference implementation: property tests assert that a Step over a
+// COW clone and over a deep clone produce fingerprint-identical
+// successors, and the clone microbenchmarks compare the two.
+func (s *State) DeepClone() *State {
 	n := &State{
 		C:            s.C,
 		Globals:      append([]Value(nil), s.Globals...),
@@ -128,7 +200,154 @@ func (s *State) Clone() *State {
 			n.Ts[i] = Pending{Fn: p.Fn, Args: append([]Value(nil), p.Args...)}
 		}
 	}
+	// The deep copy owns every component it built (gen 0 == stamp 0).
 	return n
+}
+
+// mutableGlobals returns the Globals slice with write access, copying it
+// first if it is shared with other states of the lineage.
+func (s *State) mutableGlobals() []Value {
+	if s.globalsGen != s.gen {
+		s.Globals = append([]Value(nil), s.Globals...)
+		s.globalsGen = s.gen
+	}
+	return s.Globals
+}
+
+// mutableHeap returns the heap spine with write access (replacing object
+// pointers, appending), copying the spine first if shared.
+func (s *State) mutableHeap() []*Object {
+	if s.heapGen != s.gen {
+		s.Heap = append([]*Object(nil), s.Heap...)
+		s.heapGen = s.gen
+	}
+	return s.Heap
+}
+
+// mutableObject returns heap object idx with write access, path-copying
+// the spine and the object if either is shared.
+func (s *State) mutableObject(idx int) *Object {
+	o := s.Heap[idx]
+	// stamp==gen implies s created this object version after its last
+	// Clone, so both the object and the spine slot are exclusively s's.
+	if o.gen == s.gen {
+		return o
+	}
+	no := &Object{Rec: o.Rec, Fields: append([]Value(nil), o.Fields...), gen: s.gen}
+	s.mutableHeap()[idx] = no
+	return no
+}
+
+// appendObject allocates o at the end of the heap and returns its index.
+func (s *State) appendObject(o *Object) int {
+	o.gen = s.gen
+	s.Heap = append(s.mutableHeap(), o)
+	return len(s.Heap) - 1
+}
+
+// mutableThreadsSpine returns the Threads slice with write access.
+func (s *State) mutableThreadsSpine() []*Thread {
+	if s.threadsGen != s.gen {
+		s.Threads = append([]*Thread(nil), s.Threads...)
+		s.threadsGen = s.gen
+	}
+	return s.Threads
+}
+
+// mutableThread returns thread ti with write access to its Frames spine
+// (push/pop/replace frame pointers), path-copying as needed.
+func (s *State) mutableThread(ti int) *Thread {
+	t := s.Threads[ti]
+	if t.gen == s.gen {
+		return t
+	}
+	nt := &Thread{ID: t.ID, Frames: append([]*Frame(nil), t.Frames...), gen: s.gen}
+	s.mutableThreadsSpine()[ti] = nt
+	return nt
+}
+
+// mutableFrame returns frame fi of thread ti with write access.
+func (s *State) mutableFrame(ti, fi int) *Frame {
+	t := s.mutableThread(ti)
+	fr := t.Frames[fi]
+	if fr.gen == s.gen {
+		return fr
+	}
+	nf := &Frame{
+		ID: fr.ID, CF: fr.CF, PC: fr.PC,
+		Locals: append([]Value(nil), fr.Locals...),
+		Result: fr.Result,
+		gen:    s.gen,
+	}
+	t.Frames[fi] = nf
+	return nf
+}
+
+// MutableTopFrame returns the active frame of thread ti with write
+// access. Step acquires it once per successor; a frame pointer obtained
+// here is invalidated by a subsequent Clone of the state (the clone
+// revokes in-place write rights), after which it must be re-acquired.
+func (s *State) MutableTopFrame(ti int) *Frame {
+	return s.mutableFrame(ti, len(s.Threads[ti].Frames)-1)
+}
+
+// appendThread adds a freshly created thread.
+func (s *State) appendThread(t *Thread) {
+	t.gen = s.gen
+	s.Threads = append(s.mutableThreadsSpine(), t)
+}
+
+// pushFrame pushes a freshly created frame onto thread ti.
+func (s *State) pushFrame(ti int, fr *Frame) {
+	t := s.mutableThread(ti)
+	fr.gen = s.gen
+	t.Frames = append(t.Frames, fr)
+}
+
+// popFrame removes and returns the top frame of thread ti.
+func (s *State) popFrame(ti int) *Frame {
+	t := s.mutableThread(ti)
+	fr := t.Frames[len(t.Frames)-1]
+	t.Frames = t.Frames[:len(t.Frames)-1]
+	return fr
+}
+
+// appendTs adds a pending entry to the ts multiset.
+func (s *State) appendTs(p Pending) {
+	if s.tsGen != s.gen {
+		ns := make([]Pending, len(s.Ts), len(s.Ts)+1)
+		copy(ns, s.Ts)
+		s.Ts = ns
+		s.tsGen = s.gen
+	}
+	s.Ts = append(s.Ts, p)
+}
+
+// removeTs removes and returns entry i of the ts multiset. The backing
+// array may be shared, so the entry is removed by rebuilding the slice;
+// Pending entries themselves are immutable and stay shared.
+func (s *State) removeTs(i int) Pending {
+	p := s.Ts[i]
+	ns := make([]Pending, 0, len(s.Ts)-1)
+	ns = append(ns, s.Ts[:i]...)
+	ns = append(ns, s.Ts[i+1:]...)
+	s.Ts = ns
+	s.tsGen = s.gen
+	return p
+}
+
+// findFrameIndex locates a live frame by id across all threads, returning
+// its (thread, frame) position for the mutable accessors. Returns (-1, -1)
+// if the frame has been popped.
+func (s *State) findFrameIndex(id int) (int, int) {
+	for ti, t := range s.Threads {
+		for fi, fr := range t.Frames {
+			if fr.ID == id {
+				return ti, fi
+			}
+		}
+	}
+	return -1, -1
 }
 
 // findFrame locates a live frame by id across all threads (for CLocal

@@ -115,9 +115,13 @@ func Step(s *State, ti int) StepResult {
 	in := &fr.CF.Code[fr.PC]
 	ev := Event{Kind: EvStmt, ThreadID: tid, Fn: fr.CF.Fn.Name, Pos: in.Pos, Text: in.Text()}
 
+	// clone returns a COW successor together with its top frame already
+	// owned, so the per-opcode bodies below may mutate the frame in place.
+	// A frame pointer is invalidated by any further Clone of ns (the clone
+	// revokes in-place write rights); none of the bodies clone ns again.
 	clone := func() (*State, *Frame) {
 		ns := s.Clone()
-		return ns, ns.Threads[ti].Top()
+		return ns, ns.MutableTopFrame(ti)
 	}
 	fail := func(kind FailKind, pos ast.Pos, msg string) StepResult {
 		return StepResult{Failure: &Failure{Kind: kind, Pos: pos, Msg: msg, ThreadID: tid, Fn: fr.CF.Fn.Name}}
@@ -218,8 +222,7 @@ func Step(s *State, ti int) StepResult {
 		}
 		nfr.PC++ // resume after the call on return
 		resolveJumps(nfr)
-		nt := ns.Threads[ti]
-		nt.Frames = append(nt.Frames, ns.newFrame(callee, args, in.Result))
+		ns.pushFrame(ti, ns.newFrame(callee, args, in.Result))
 		cev := ev
 		cev.Kind = EvCall
 		cev.Callee = fv.Fn
@@ -254,7 +257,7 @@ func Step(s *State, ti int) StepResult {
 		resolveJumps(nfr)
 		newT := &Thread{ID: ns.nextThreadID, Frames: []*Frame{ns.newFrame(callee, args, "")}}
 		ns.nextThreadID++
-		ns.Threads = append(ns.Threads, newT)
+		ns.appendThread(newT)
 		aev := ev
 		aev.Kind = EvAsync
 		aev.Callee = fv.Fn
@@ -294,7 +297,7 @@ func Step(s *State, ti int) StepResult {
 		if len(ns.Ts) >= ns.C.Prog.MaxTS {
 			return fail(RuntimeFail, in.Pos, "__ts_put on full ts (transformation invariant violated)")
 		}
-		ns.Ts = append(ns.Ts, Pending{Fn: fv.Fn, Args: args})
+		ns.appendTs(Pending{Fn: fv.Fn, Args: args})
 		nfr.PC++
 		resolveJumps(nfr)
 		pev := ev
@@ -316,16 +319,14 @@ func Step(s *State, ti int) StepResult {
 			}
 			seen[key] = true
 			ns, nfr := clone()
-			p := ns.Ts[i]
-			ns.Ts = append(ns.Ts[:i:i], ns.Ts[i+1:]...)
+			p := ns.removeTs(i)
 			callee, ok := ns.C.Funcs[p.Fn]
 			if !ok {
 				return fail(RuntimeFail, in.Pos, fmt.Sprintf("__ts_dispatch of undefined function %q", p.Fn))
 			}
 			nfr.PC++
 			resolveJumps(nfr)
-			nt := ns.Threads[ti]
-			nt.Frames = append(nt.Frames, ns.newFrame(callee, p.Args, ""))
+			ns.pushFrame(ti, ns.newFrame(callee, p.Args, ""))
 			dev := ev
 			dev.Kind = EvDispatch
 			dev.Callee = p.Fn
@@ -341,11 +342,9 @@ func Step(s *State, ti int) StepResult {
 func doReturn(s *State, ti int, rv Value, pos ast.Pos, fnName string) StepResult {
 	tid := s.Threads[ti].ID
 	ns := s.Clone()
-	nt := ns.Threads[ti]
-	top := nt.Top()
+	top := ns.popFrame(ti)
 	result := top.Result
-	nt.Frames = nt.Frames[:len(nt.Frames)-1]
-	if caller := nt.Top(); caller != nil && result != "" {
+	if caller := ns.Threads[ti].Top(); caller != nil && result != "" {
 		cell, err := ns.lookupVar(caller, result, pos)
 		if err != nil {
 			return StepResult{Failure: &Failure{Kind: RuntimeFail, Pos: pos, Msg: err.Msg, ThreadID: tid, Fn: fnName}}
@@ -381,7 +380,10 @@ func stepAtomic(s *State, ti int, in *Instr, ev Event) StepResult {
 		item := work[len(work)-1]
 		work = work[:len(work)-1]
 		st, pc := item.st, item.pc
-		fr := st.Threads[ti].Top()
+		// Own the top frame for the whole path so Stores through CLocal
+		// cells and the commit below hit it in place. Re-acquired after
+		// any mid-path Clone, which revokes the ownership.
+		fr := st.MutableTopFrame(ti)
 		for {
 			steps++
 			if steps > MaxAtomicSteps {
@@ -407,6 +409,7 @@ func stepAtomic(s *State, ti int, in *Instr, ev Event) StepResult {
 				for _, tgt := range sub.Targets[1:] {
 					work = append(work, workItem{st: st.Clone(), pc: tgt})
 				}
+				fr = st.MutableTopFrame(ti)
 				pc = sub.Targets[0]
 				continue
 			case OpAssign:

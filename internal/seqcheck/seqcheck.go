@@ -62,6 +62,22 @@ type Options struct {
 	// KISS reduction). Audit mode restores the string encoder's cost and
 	// is meant for tests on small programs.
 	AuditFingerprints bool
+	// SearchWorkers >= 1 explores the state space with a worker pool over
+	// a level-synchronized breadth-first frontier and a sharded visited
+	// set. The verdict, counterexample trace, and every deterministic
+	// search metric (states, steps, visited, peaks) are bit-identical at
+	// every worker count — workers only expand and hash; a single-threaded
+	// commit loop replays each level in item order through the budget
+	// checks — so counterexamples are shortest traces and first-error-wins
+	// resolves to the lowest (depth, item index). 1 runs the same search
+	// on the calling goroutine (the deterministic baseline). 0 (the
+	// default) keeps the classic sequential search honoring BFS/DFS;
+	// AuditFingerprints also forces the sequential search (the audit maps
+	// are unsharded).
+	SearchWorkers int
+	// NumShards is the visited-set shard count for the parallel search
+	// (rounded up to a power of two; 0 selects visited.DefaultShards).
+	NumShards int
 	// Context, when non-nil, is polled during the search (every
 	// ctxPollStride transitions). Cancellation or deadline expiry stops
 	// the search with a ResourceBound verdict and Reason
@@ -103,27 +119,23 @@ type Result struct {
 	// HashCollisions counts states whose 64-bit fingerprint collided with
 	// a structurally different visited state (AuditFingerprints only).
 	HashCollisions int
+	// Parallel carries the worker-pool diagnostics of a parallel search
+	// (SearchWorkers > 1); nil for sequential runs.
+	Parallel *stats.Parallel
 }
 
 func (r *Result) String() string {
 	switch r.Verdict {
 	case Error:
-		return fmt.Sprintf("error: %s (states=%d steps=%d)", r.Failure, r.States, r.Steps)
+		return fmt.Sprintf("error: %s (states=%d steps=%d visited=%d peak-frontier=%d)",
+			r.Failure, r.States, r.Steps, r.Visited, r.PeakFrontier)
 	case Safe:
-		return fmt.Sprintf("safe (states=%d steps=%d)", r.States, r.Steps)
+		return fmt.Sprintf("safe (states=%d steps=%d visited=%d peak-frontier=%d)",
+			r.States, r.Steps, r.Visited, r.PeakFrontier)
 	default:
-		return fmt.Sprintf("resource bound exhausted (%s; states=%d steps=%d)", boundName(r.Reason), r.States, r.Steps)
+		return fmt.Sprintf("resource bound exhausted (%s; states=%d steps=%d visited=%d peak-frontier=%d)",
+			stats.BoundName(r.Reason), r.States, r.Steps, r.Visited, r.PeakFrontier)
 	}
-}
-
-// boundName renders the tripped bound for human-readable results; a
-// zero Reason (results built before the bound tracking, or by hand)
-// falls back to the generic word.
-func boundName(r stats.Reason) string {
-	if r == stats.ReasonNone {
-		return "budget"
-	}
-	return r.String()
 }
 
 // reasonFor maps a context error to the bound reason it represents.
@@ -156,6 +168,9 @@ func (n *node) trace() []sem.Event {
 // in the sequential fragment (no async, no atomic); transformed programs
 // produced by the KISS translation always are.
 func Check(c *sem.Compiled, opts Options) *Result {
+	if opts.SearchWorkers >= 1 && !opts.AuditFingerprints {
+		return checkParallel(c, opts)
+	}
 	res := &Result{}
 	init := sem.NewState(c)
 

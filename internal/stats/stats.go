@@ -169,6 +169,28 @@ type Stats struct {
 	// check-phase wall time.
 	Phases       PhaseTimes `json:"phases"`
 	StatesPerSec float64    `json:"states_per_sec"`
+	// Parallel carries the parallel-search diagnostics (nil for
+	// sequential searches).
+	Parallel *Parallel `json:"parallel,omitempty"`
+}
+
+// Parallel reports the diagnostics of a multi-worker frontier search:
+// how the work spread over the workers and how hard they fought over the
+// sharded visited set. The verdict and the search metrics above are
+// deterministic across worker counts; the per-worker attribution and the
+// contention counter are scheduling-dependent, so StripTiming drops the
+// whole record.
+type Parallel struct {
+	// Workers is the worker-pool size the search ran with.
+	Workers int `json:"workers"`
+	// Shards is the visited-set shard count.
+	Shards int `json:"shards"`
+	// PerWorkerStates counts the fresh states each worker discovered —
+	// a load-balance diagnostic (scheduling-dependent).
+	PerWorkerStates []int `json:"per_worker_states"`
+	// ShardContention counts visited-set probes that found their shard
+	// lock held by another worker.
+	ShardContention int64 `json:"shard_contention"`
 }
 
 // StripTiming zeroes the wall-clock-dependent fields, leaving only the
@@ -177,6 +199,17 @@ type Stats struct {
 func (s *Stats) StripTiming() {
 	s.Phases = PhaseTimes{}
 	s.StatesPerSec = 0
+	s.Parallel = nil
+}
+
+// BoundName renders the tripped bound for human-readable results; a zero
+// Reason (results built before the bound tracking, or by hand) falls back
+// to the generic word. Both checkers and the facade share this spelling.
+func BoundName(r Reason) string {
+	if r == ReasonNone {
+		return "budget"
+	}
+	return r.String()
 }
 
 // Event is one progress sample delivered to a registered hook. Events

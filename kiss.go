@@ -215,6 +215,19 @@ type Config struct {
 	// BFS selects breadth-first search in the sequential checker, which
 	// makes the returned counterexample a shortest error trace.
 	BFS bool
+	// SearchWorkers >= 1 runs the state-space search of a *single* check
+	// with that many concurrent workers over a level-synchronized
+	// breadth-first frontier and a sharded visited set (both Check and
+	// Explore). Results are bit-identical at every worker count — only
+	// wall-clock and the Stats.Parallel diagnostics vary; 1 selects the
+	// same deterministic search single-threaded. 0 (the default) keeps the
+	// classic sequential search. Ignored under Summaries. When combining
+	// with corpus-level parallelism, split the core budget (see
+	// eval.Options.SearchWorkers).
+	SearchWorkers int
+	// NumShards is the visited-set shard count for parallel searches
+	// (rounded up to a power of two; 0 picks the default).
+	NumShards int
 	// ContextBound bounds context switches in Explore (the concurrent
 	// baseline): negative means unlimited, 0 means no switches. It is
 	// ignored by Check. NewConfig defaults it to -1.
@@ -281,6 +294,11 @@ func WithMaxDepth(n int) Option { return func(c *Config) { c.MaxDepth = n } }
 
 // WithBFS selects breadth-first search (shortest counterexamples).
 func WithBFS() Option { return func(c *Config) { c.BFS = true } }
+
+// WithSearchWorkers runs the state-space search with n concurrent workers
+// (n >= 1; results are bit-identical at every n). 0 restores the classic
+// sequential search.
+func WithSearchWorkers(n int) Option { return func(c *Config) { c.SearchWorkers = n } }
 
 // WithContextBound bounds context switches in Explore (negative:
 // unlimited; 0: no switches).
@@ -392,11 +410,8 @@ func (r *Result) String() string {
 	case Error:
 		return fmt.Sprintf("error: %s (states=%d steps=%d)", r.Message, r.States, r.Steps)
 	default:
-		bound := "budget"
-		if r.Stats.Reason != ReasonNone {
-			bound = r.Stats.Reason.String()
-		}
-		return fmt.Sprintf("resource bound exhausted (%s; states=%d steps=%d)", bound, r.States, r.Steps)
+		return fmt.Sprintf("resource bound exhausted (%s; states=%d steps=%d)",
+			stats.BoundName(r.Stats.Reason), r.States, r.Steps)
 	}
 }
 
@@ -435,12 +450,14 @@ func (c *Config) Check(p *Program) (*Result, error) {
 		return nil, err
 	}
 	r := seqcheck.Check(compiled, seqcheck.Options{
-		MaxStates: c.MaxStates,
-		MaxSteps:  c.MaxSteps,
-		MaxDepth:  c.MaxDepth,
-		BFS:       c.BFS,
-		Context:   c.Context,
-		Collector: col,
+		MaxStates:     c.MaxStates,
+		MaxSteps:      c.MaxSteps,
+		MaxDepth:      c.MaxDepth,
+		BFS:           c.BFS,
+		SearchWorkers: c.SearchWorkers,
+		NumShards:     c.NumShards,
+		Context:       c.Context,
+		Collector:     col,
 	})
 
 	out := &Result{Verdict: Verdict(r.Verdict), States: r.States, Steps: r.Steps}
@@ -470,6 +487,7 @@ func (c *Config) Check(p *Program) (*Result, error) {
 		PeakDepth:      r.PeakDepth,
 		HashCollisions: r.HashCollisions,
 		Reason:         r.Reason,
+		Parallel:       r.Parallel,
 	}
 	col.Finalize(&out.Stats)
 	return out, nil
@@ -516,12 +534,14 @@ func (c *Config) Explore(p *Program) (*Result, error) {
 		return nil, err
 	}
 	r := concheck.Check(compiled, concheck.Options{
-		MaxStates:    c.MaxStates,
-		MaxSteps:     c.MaxSteps,
-		MaxDepth:     c.MaxDepth,
-		ContextBound: c.ContextBound,
-		Context:      c.Context,
-		Collector:    col,
+		MaxStates:     c.MaxStates,
+		MaxSteps:      c.MaxSteps,
+		MaxDepth:      c.MaxDepth,
+		ContextBound:  c.ContextBound,
+		SearchWorkers: c.SearchWorkers,
+		NumShards:     c.NumShards,
+		Context:       c.Context,
+		Collector:     col,
 	})
 	col.End(stats.PhaseCheck)
 	out := &Result{Verdict: Verdict(r.Verdict), States: r.States, Steps: r.Steps}
@@ -538,6 +558,7 @@ func (c *Config) Explore(p *Program) (*Result, error) {
 		PeakDepth:      r.PeakDepth,
 		HashCollisions: r.HashCollisions,
 		Reason:         r.Reason,
+		Parallel:       r.Parallel,
 	}
 	col.Finalize(&out.Stats)
 	return out, nil

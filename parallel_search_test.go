@@ -1,0 +1,73 @@
+package kiss_test
+
+import (
+	"testing"
+
+	kiss "repro"
+	"repro/internal/drivers"
+)
+
+// TestParallelSearchCertifiesTrace: the full pipeline under a parallel
+// search — transform, check with workers, reconstruct the concurrent
+// trace, and certify it by guided replay on the original program. The
+// reconstructed schedule must stay valid whatever the worker count.
+func TestParallelSearchCertifiesTrace(t *testing.T) {
+	const src = `
+var x;
+func worker() { x = 1; }
+func main() {
+  x = 0;
+  async worker();
+  assert(x == 0);
+}
+`
+	prog, err := kiss.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 4} {
+		cfg := kiss.NewConfig(kiss.WithMaxTS(1), kiss.WithSearchWorkers(w))
+		res, err := cfg.Check(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict != kiss.Error {
+			t.Fatalf("workers=%d: want error, got %v", w, res.Verdict)
+		}
+		if res.Stats.Parallel == nil || res.Stats.Parallel.Workers != w {
+			t.Fatalf("workers=%d: parallel diagnostics missing or wrong: %+v", w, res.Stats.Parallel)
+		}
+		ok, err := cfg.Certify(prog, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("workers=%d: reconstructed trace failed to certify", w)
+		}
+	}
+}
+
+// TestParallelSearchMatchesSequentialOnDriver: the Bluetooth driver race
+// of Section 2.2 reports the same verdict and state count under the
+// sequential search and under parallel searches of different widths.
+func TestParallelSearchMatchesSequentialOnDriver(t *testing.T) {
+	prog, err := kiss.Parse(drivers.BluetoothSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := kiss.RaceTarget{Record: "DEVICE_EXTENSION", Field: "stoppingFlag"}
+	seq, err := kiss.CheckRace(prog, target, kiss.Options{MaxTS: 0}, kiss.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 8} {
+		cfg := kiss.NewConfig(kiss.WithMaxTS(0), kiss.WithRaceTarget(target), kiss.WithSearchWorkers(w))
+		par, err := cfg.Check(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Verdict != seq.Verdict {
+			t.Errorf("workers=%d: verdict %v, sequential %v", w, par.Verdict, seq.Verdict)
+		}
+	}
+}
