@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench benchall
+.PHONY: build test vet race verify bench bench-smoke benchall
 
 build:
 	$(GO) build ./...
@@ -15,9 +15,11 @@ vet:
 # the eval worker pool (and, transitively, the shared parsed-harness and
 # model caches it hands to concurrent field checks), the parallel
 # state-space searches in seqcheck/concheck with their sharded visited
-# set, and the copy-on-write state representation their workers share.
-# -short skips the full-corpus reproductions, which the plain `test`
-# target already runs.
+# set — including the macro-step engines and their sync.Pool buffer
+# reuse, exercised by the TestMacro* differential tests in those
+# packages — and the copy-on-write state representation their workers
+# share. -short skips the full-corpus reproductions, which the plain
+# `test` target already runs.
 race:
 	$(GO) test -race -short ./internal/eval/... ./internal/seqcheck/... ./internal/concheck/... ./internal/sem/... ./internal/visited/...
 
@@ -26,11 +28,25 @@ verify: build vet test race
 
 # bench runs the PR 3 performance suite: the clone/successor
 # microbenchmarks (the copy-on-write win) and a kissbench corpus pass
-# with per-field JSON metrics written to BENCH_PR3.json.
+# with per-field JSON metrics written to BENCH_PR3.json. The PR 4 suite
+# follows: the macro-step compression ablation over the full corpus —
+# compression on vs off, verdict/position identity verified at
+# search-workers 0/1/8, stored/stepped states, throughput, and
+# allocations per arm — written to BENCH_PR4.json (the run exits
+# non-zero if the arms disagree or stored states fail to compress).
 bench:
 	$(GO) test -bench 'BenchmarkClone|BenchmarkDeepClone|BenchmarkSuccessors' -benchmem -run '^$$' ./internal/sem/
 	$(GO) run ./cmd/kissbench -table1 -json > BENCH_PR3.json
 	@echo "wrote BENCH_PR3.json"
+	$(GO) run ./cmd/kissbench -macrobench -min-ratio 3.0 -json > BENCH_PR4.json
+	@echo "wrote BENCH_PR4.json"
+
+# bench-smoke is the CI-sized slice of the PR 4 suite: the macro-step
+# ablation on two small drivers (kbfiltr + moufiltr), both arms, with
+# the same identity verification, asserting the stored-state compression
+# ratio exceeds 1. Runs in a couple of seconds.
+bench-smoke:
+	$(GO) run ./cmd/kissbench -macrobench -drivers kbfiltr,moufiltr -min-ratio 1.0
 
 # benchall runs every benchmark in the repository.
 benchall:

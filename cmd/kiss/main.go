@@ -15,7 +15,9 @@
 //
 // Flag names mirror the kiss.Config fields (and kissbench flags): -max-ts,
 // -max-states, -max-steps, -max-depth, -bfs, -context-bound, -timeout,
-// -search-workers, -progress. -progress streams search metrics to stderr
+// -search-workers, -macro-steps, -progress. -macro-steps=false disables
+// macro-step compression and reproduces the per-statement search.
+// -progress streams search metrics to stderr
 // while the checker runs; -timeout bounds wall time and reports the
 // partial result; -search-workers N runs the state-space search with N
 // workers (verdicts and counters are identical at every worker count).
@@ -106,6 +108,7 @@ func loadProgram(fs *flag.FlagSet) (*kiss.Program, error) {
 type budgetFlags struct {
 	maxStates, maxSteps, maxDepth *int
 	searchWorkers                 *int
+	macroSteps                    *bool
 	timeout                       *time.Duration
 	progress                      *bool
 }
@@ -116,6 +119,7 @@ func addBudgetFlags(fs *flag.FlagSet) *budgetFlags {
 		maxSteps:      fs.Int("max-steps", 0, "step budget (0 = unlimited)"),
 		maxDepth:      fs.Int("max-depth", 0, "search depth bound (0 = unlimited)"),
 		searchWorkers: fs.Int("search-workers", 0, "parallel search workers (0 = sequential; results identical at every count)"),
+		macroSteps:    fs.Bool("macro-steps", true, "collapse deterministic runs into single transitions (-macro-steps=false reproduces the per-statement search)"),
 		timeout:       fs.Duration("timeout", 0, "wall-time bound, e.g. 30s (0 = unlimited)"),
 		progress:      fs.Bool("progress", false, "stream search metrics to stderr while running"),
 	}
@@ -130,6 +134,7 @@ func (bf *budgetFlags) options() ([]kiss.Option, context.CancelFunc) {
 		kiss.WithMaxSteps(*bf.maxSteps),
 		kiss.WithMaxDepth(*bf.maxDepth),
 		kiss.WithSearchWorkers(*bf.searchWorkers),
+		kiss.WithMacroSteps(*bf.macroSteps),
 	}
 	cancel := context.CancelFunc(func() {})
 	if *bf.timeout > 0 {

@@ -9,7 +9,17 @@
 //	kissbench -lockset    lockset-baseline flexibility comparison (Section 6.1)
 //	kissbench -contextbound  context-bound coverage study (Section 2 claim)
 //	kissbench -schedulers    scheduler-policy study (Section 4 remark)
+//	kissbench -macrobench    macro-step compression ablation (JSON with -json)
 //	kissbench -all        everything
+//
+// -macrobench runs the corpus with macro-step compression on and off,
+// verifies that verdicts and failure positions are identical at
+// search-workers 0, 1, and 8, and reports stored/stepped state counts,
+// throughput, and allocations per arm. It exits non-zero if the arms
+// disagree, or if -min-ratio R is given and the stored-state compression
+// ratio — measured over the fields that completed in both arms, the ones
+// whose runs covered the same state space — falls below R. -macro-steps=false turns compression
+// off for the regular table runs (the ablation's uncompressed arm).
 //
 // Optional: -drivers a,b,c restricts the corpus tables to named drivers;
 // -max-states N overrides the per-field state budget (spelled like the
@@ -51,6 +61,9 @@ func main() {
 	locksetCmp := flag.Bool("lockset", false, "run the lockset-baseline flexibility comparison")
 	contextBound := flag.Bool("contextbound", false, "run the context-bound coverage study")
 	schedulers := flag.Bool("schedulers", false, "run the scheduler-policy study")
+	macrobench := flag.Bool("macrobench", false, "run the macro-step compression ablation")
+	minRatio := flag.Float64("min-ratio", 0, "with -macrobench: fail unless the stored-state compression ratio reaches this value (0 = no check)")
+	macroSteps := flag.Bool("macro-steps", true, "collapse deterministic runs into single transitions (-macro-steps=false reproduces the per-statement search)")
 	all := flag.Bool("all", false, "run everything")
 	driversFlag := flag.String("drivers", "", "comma-separated driver subset for the tables")
 	maxStates := flag.Int("max-states", 0, "per-field state budget override (0 = default)")
@@ -65,12 +78,12 @@ func main() {
 	if *all {
 		*table1, *table2, *refcount, *blowup, *coverage, *locksetCmp, *contextBound, *schedulers = true, true, true, true, true, true, true, true
 	}
-	if !*table1 && !*table2 && !*refcount && !*blowup && !*coverage && !*locksetCmp && !*contextBound && !*schedulers {
+	if !*table1 && !*table2 && !*refcount && !*blowup && !*coverage && !*locksetCmp && !*contextBound && !*schedulers && !*macrobench {
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	opts := eval.Options{Workers: *workers, SearchWorkers: *searchWorkers}
+	opts := eval.Options{Workers: *workers, SearchWorkers: *searchWorkers, DisableMacroSteps: !*macroSteps}
 	if *maxStates > 0 {
 		opts.Budget = kiss.Budget{MaxStates: *maxStates}
 	}
@@ -157,6 +170,27 @@ func main() {
 		s, err := eval.RunSchedulerStudy(60)
 		fatal(err)
 		fmt.Println(eval.FormatSchedulerStudy(s))
+	}
+	if *macrobench {
+		rep, err := eval.RunMacroAblation(eval.AblationOptions{
+			Budget:  opts.Budget,
+			Drivers: opts.Drivers,
+			Workers: *workers,
+		})
+		fatal(err)
+		if *jsonOut {
+			fatal(eval.WriteMacroAblation(os.Stdout, rep))
+		} else {
+			fmt.Print(eval.FormatMacroAblation(rep))
+		}
+		if !rep.Identical {
+			fmt.Fprintf(os.Stderr, "kissbench: macrobench: %d verdict/position mismatches between arms\n", len(rep.Mismatches))
+			os.Exit(1)
+		}
+		if *minRatio > 0 && rep.CompressionRatio < *minRatio {
+			fmt.Fprintf(os.Stderr, "kissbench: macrobench: compression ratio %.2fx below required %.2fx\n", rep.CompressionRatio, *minRatio)
+			os.Exit(1)
+		}
 	}
 }
 

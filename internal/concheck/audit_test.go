@@ -21,7 +21,10 @@ func TestAuditFingerprints(t *testing.T) {
 	for i, src := range srcs {
 		c := compile(t, src)
 		for _, bound := range []int{-1, 2} {
-			plain := Check(c, Options{ContextBound: bound, MaxStates: 20000})
+			// Audit mode forces macro-step compression off (its maps shadow
+			// per-statement visited inserts), so compare against the
+			// per-statement search.
+			plain := Check(c, Options{ContextBound: bound, MaxStates: 20000, DisableMacroSteps: true})
 			audit := Check(c, Options{ContextBound: bound, MaxStates: 20000, AuditFingerprints: true})
 			if audit.HashCollisions != 0 {
 				t.Errorf("program %d (bound=%d): %d hash collisions", i, bound, audit.HashCollisions)

@@ -83,6 +83,18 @@ type Options struct {
 	// NumShards is the visited-set shard count for the parallel search
 	// (rounded up to a power of two; 0 selects visited.DefaultShards).
 	NumShards int
+	// DisableMacroSteps turns off macro-step compression (sem.MacroStep),
+	// restoring the per-statement search. Compression is on by default:
+	// whenever a thread is the sole live thread of a state, its maximal
+	// deterministic run folds into one transition and only decision-point
+	// states are stored (multi-threaded states are scheduling points and
+	// never fold, so interleaving coverage is untouched). The verdict,
+	// failure position, and counterexample trace are identical either way;
+	// States counts only stored states (compare with StatesStepped), and
+	// the Deadlocks diagnostic no longer counts the infeasible
+	// false-assume branch endpoints that compression prunes without
+	// storing. AuditFingerprints forces compression off.
+	DisableMacroSteps bool
 	// AuditFingerprints cross-checks the 64-bit visited-set hashes against
 	// the canonical string encodings (see seqcheck.Options); collisions are
 	// counted in Result.HashCollisions.
@@ -106,6 +118,11 @@ type Result struct {
 	Trace   []sem.Event
 	States  int
 	Steps   int
+	// StatesStepped counts the states the search traversed, including the
+	// intermediate states of folded deterministic runs that macro-step
+	// compression never stored (see seqcheck.Result.StatesStepped; the
+	// per-statement engines leave it at zero, meaning "equal to States").
+	StatesStepped int
 	// Reason names which bound ended the search (ResourceBound verdicts).
 	Reason stats.Reason
 	// Visited is the final visited-set size; PeakFrontier and PeakDepth
@@ -127,16 +144,19 @@ type Result struct {
 }
 
 func (r *Result) String() string {
+	counters := fmt.Sprintf("states=%d steps=%d visited=%d peak-frontier=%d",
+		r.States, r.Steps, r.Visited, r.PeakFrontier)
+	if r.StatesStepped > 0 {
+		counters += fmt.Sprintf(" stepped=%d", r.StatesStepped)
+	}
 	switch r.Verdict {
 	case Error:
-		return fmt.Sprintf("error: %s (states=%d steps=%d visited=%d peak-frontier=%d)",
-			r.Failure, r.States, r.Steps, r.Visited, r.PeakFrontier)
+		return fmt.Sprintf("error: %s (%s)", r.Failure, counters)
 	case Safe:
-		return fmt.Sprintf("safe (states=%d steps=%d visited=%d peak-frontier=%d)",
-			r.States, r.Steps, r.Visited, r.PeakFrontier)
+		return fmt.Sprintf("safe (%s)", counters)
 	default:
-		return fmt.Sprintf("resource bound exhausted (%s; states=%d steps=%d visited=%d peak-frontier=%d)",
-			stats.BoundName(r.Reason), r.States, r.Steps, r.Visited, r.PeakFrontier)
+		return fmt.Sprintf("resource bound exhausted (%s; %s)",
+			stats.BoundName(r.Reason), counters)
 	}
 }
 
@@ -148,20 +168,38 @@ func reasonFor(err error) stats.Reason {
 	return stats.ReasonCanceled
 }
 
+// node is one stored state's position in the trace tree. Under macro-step
+// compression an edge covers a whole deterministic run of thread ti:
+// prefix holds the folded events preceding event, prefixIdx the raw
+// successor index taken at each folded position, and idx the raw index of
+// the final edge — together with ti they spell this state's padded
+// (thread, successor)-path, the per-statement BFS's within-level ordering
+// key (see pathKey). depth is the micro depth: parent.depth +
+// len(prefix) + 1.
 type node struct {
-	parent *node
-	event  sem.Event
-	depth  int
+	parent    *node
+	prefix    []sem.Event
+	prefixIdx []int32
+	event     sem.Event
+	idx       int32
+	ti        int32
+	depth     int
 }
 
 func (n *node) trace() []sem.Event {
-	var rev []sem.Event
+	total := 0
 	for cur := n; cur != nil && cur.parent != nil; cur = cur.parent {
-		rev = append(rev, cur.event)
+		total += len(cur.prefix) + 1
 	}
-	out := make([]sem.Event, len(rev))
-	for i := range rev {
-		out[i] = rev[len(rev)-1-i]
+	out := make([]sem.Event, total)
+	i := total
+	for cur := n; cur != nil && cur.parent != nil; cur = cur.parent {
+		i--
+		out[i] = cur.event
+		for j := len(cur.prefix) - 1; j >= 0; j-- {
+			i--
+			out[i] = cur.prefix[j]
+		}
 	}
 	return out
 }
@@ -175,8 +213,19 @@ type searchState struct {
 
 // Check explores the concurrent program compiled in c.
 func Check(c *sem.Compiled, opts Options) *Result {
+	if opts.AuditFingerprints {
+		// The audit maps shadow the per-statement search's visited inserts
+		// one-for-one; compression stores a different (smaller) state set.
+		opts.DisableMacroSteps = true
+	}
 	if opts.SearchWorkers >= 1 && !opts.AuditFingerprints {
+		if !opts.DisableMacroSteps {
+			return checkMacroLevel(c, opts)
+		}
 		return checkParallel(c, opts)
+	}
+	if !opts.DisableMacroSteps {
+		return checkMacroSeq(c, opts)
 	}
 	res := &Result{}
 	init := sem.NewState(c)

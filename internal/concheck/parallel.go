@@ -32,10 +32,59 @@ const minParallelLevel = 4
 const workerPollStride = 64
 
 // cexpansion is one prefiltered successor: the outcome plus its visited
-// key (the state hash, mixed with the scheduling context in bounded mode).
+// key (the state hash, mixed with the scheduling context in bounded mode)
+// and its raw index in the unpruned outcome list (the macro engine's
+// ordering key; the per-statement engine records the loop index).
 type cexpansion struct {
 	out sem.Outcome
 	fp  uint64
+	idx int32
+}
+
+// Buffer pools shared by the expansion rounds of the per-statement and
+// macro level engines (see the note in internal/seqcheck/parallel.go:
+// buffers are cleared before Put so pooled memory never pins dead states;
+// early returns may skip a Put, which is only a pool miss).
+var (
+	cexpPool    = sync.Pool{New: func() any { return new([]cexpansion) }}
+	cslotPool   = sync.Pool{New: func() any { return new([]citemSlot) }}
+	cframesPool = sync.Pool{New: func() any { return new([]searchState) }}
+)
+
+func cexpGet() []cexpansion {
+	return (*cexpPool.Get().(*[]cexpansion))[:0]
+}
+
+func cexpPut(exps []cexpansion) {
+	clear(exps)
+	exps = exps[:0]
+	cexpPool.Put(&exps)
+}
+
+func cslotsGet(n int) []citemSlot {
+	slots := (*cslotPool.Get().(*[]citemSlot))[:0]
+	if cap(slots) < n {
+		return make([]citemSlot, n)
+	}
+	slots = slots[:n]
+	clear(slots)
+	return slots
+}
+
+func cslotsPut(slots []citemSlot) {
+	clear(slots)
+	slots = slots[:0]
+	cslotPool.Put(&slots)
+}
+
+func cframesGet() []searchState {
+	return (*cframesPool.Get().(*[]searchState))[:0]
+}
+
+func cframesPut(frames []searchState) {
+	clear(frames)
+	frames = frames[:0]
+	cframesPool.Put(&frames)
 }
 
 // cthread records the expansion of one schedulable thread of an item, in
@@ -105,7 +154,7 @@ func checkParallel(c *sem.Compiled, opts Options) *Result {
 		}
 
 		// Expansion round: step every schedulable thread of every item.
-		slots := make([]citemSlot, len(level))
+		slots := cslotsGet(len(level))
 		expandItem := func(i, w int) {
 			it := level[i]
 			expand := -1
@@ -147,8 +196,8 @@ func checkParallel(c *sem.Compiled, opts Options) *Result {
 					ths = append(ths, cthread{ti: ti, switches: switches, blocked: true})
 					continue
 				}
-				var exps []cexpansion
-				for _, out := range sr.Outcomes {
+				exps := cexpGet()
+				for k, out := range sr.Outcomes {
 					fp := hashers[w].Hash(out.State)
 					if bounded {
 						fp = sem.Mix64(fp, uint64(ti+1))
@@ -157,7 +206,7 @@ func checkParallel(c *sem.Compiled, opts Options) *Result {
 					if vis.Contains(fp) {
 						continue
 					}
-					exps = append(exps, cexpansion{out: out, fp: fp})
+					exps = append(exps, cexpansion{out: out, fp: fp, idx: int32(k)})
 				}
 				ths = append(ths, cthread{
 					ti: ti, switches: switches,
@@ -213,7 +262,7 @@ func checkParallel(c *sem.Compiled, opts Options) *Result {
 
 		// Commit: replay in (item, thread) order through the sequential
 		// search's budget checks.
-		var next []searchState
+		next := cframesGet()
 		for i := range level {
 			it := level[i]
 			sl := &slots[i]
@@ -267,12 +316,18 @@ func checkParallel(c *sem.Compiled, opts Options) *Result {
 						res.PeakFrontier = fl
 					}
 				}
+				if th.exps != nil {
+					cexpPut(th.exps)
+					th.exps = nil
+				}
 			}
 			if anyLive && !anyProgress {
 				res.Deadlocks++
 			}
 		}
 		opts.Collector.Sample(res.States, res.Steps, len(next), depth, vis.Len())
+		cslotsPut(slots)
+		cframesPut(level)
 		level = next
 	}
 	res.Verdict = Safe

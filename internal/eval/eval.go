@@ -56,6 +56,9 @@ type FieldResult struct {
 	States  int
 	Steps   int
 	Message string
+	// Pos is the failing statement's source position (Race verdicts only) —
+	// the identity key the macro-step ablation compares across arms.
+	Pos string
 	// Stats is the full per-field metrics record (per-phase wall time,
 	// states/sec, peaks, visited set, budget-trip reason). Its timing
 	// fields are wall-clock-dependent; determinism comparisons strip them
@@ -102,6 +105,10 @@ type Options struct {
 	// total cores. Verdicts are independent of both settings. 0 keeps the
 	// sequential per-field search.
 	SearchWorkers int
+	// DisableMacroSteps turns off macro-step compression for every field
+	// check (ablation arm; see kiss.Config.DisableMacroSteps). Verdicts are
+	// identical either way; only stored-state counts and speed differ.
+	DisableMacroSteps bool
 	// Context, when non-nil, makes the corpus run cancelable: on
 	// cancellation (or deadline expiry) the in-flight checks stop at their
 	// next poll, the remaining fields are marked Canceled, and RunCorpus
@@ -233,7 +240,7 @@ func RunCorpus(opts Options) ([]*DriverResult, error) {
 			}
 			return nil
 		}
-		fr, err := checkField(j.model, j.field, opts.Refined, budget, opts.SearchWorkers, opts.Context, opts.Progress)
+		fr, err := checkField(j.model, j.field, opts.Refined, budget, opts.SearchWorkers, opts.DisableMacroSteps, opts.Context, opts.Progress)
 		if err != nil {
 			return fmt.Errorf("%s.%s: %w", j.dr.Spec.Name, j.field.Name, err)
 		}
@@ -305,7 +312,7 @@ func RunCorpus(opts Options) ([]*DriverResult, error) {
 	return out, nil
 }
 
-func checkField(model *drivers.Model, f drivers.FieldSpec, refined bool, budget kiss.Budget, searchWorkers int, ctx context.Context, progress func(FieldEvent)) (FieldResult, error) {
+func checkField(model *drivers.Model, f drivers.FieldSpec, refined bool, budget kiss.Budget, searchWorkers int, macroOff bool, ctx context.Context, progress func(FieldEvent)) (FieldResult, error) {
 	fr := FieldResult{Driver: model.Spec.Name, Field: f.Name, Pattern: f.Pattern}
 	if checkFieldHook != nil {
 		if err := checkFieldHook(model.Spec.Name, f.Name); err != nil {
@@ -319,14 +326,15 @@ func checkField(model *drivers.Model, f drivers.FieldSpec, refined bool, budget 
 	// Table 1/2 configuration (Section 6): "Guided by the intuition of the
 	// Bluetooth driver example in Section 2.2, we set the size of ts to 0."
 	cfg := &kiss.Config{
-		MaxTS:         0,
-		RaceTarget:    &kiss.RaceTarget{Record: "DEVICE_EXTENSION", Field: f.Name},
-		MaxStates:     budget.MaxStates,
-		MaxSteps:      budget.MaxSteps,
-		MaxDepth:      budget.MaxDepth,
-		BFS:           budget.BFS,
-		SearchWorkers: searchWorkers,
-		Context:       ctx,
+		MaxTS:             0,
+		RaceTarget:        &kiss.RaceTarget{Record: "DEVICE_EXTENSION", Field: f.Name},
+		MaxStates:         budget.MaxStates,
+		MaxSteps:          budget.MaxSteps,
+		MaxDepth:          budget.MaxDepth,
+		BFS:               budget.BFS,
+		DisableMacroSteps: macroOff,
+		SearchWorkers:     searchWorkers,
+		Context:           ctx,
 	}
 	if progress != nil {
 		driver, field := model.Spec.Name, f.Name
@@ -344,6 +352,7 @@ func checkField(model *drivers.Model, f drivers.FieldSpec, refined bool, budget 
 	case kiss.Error:
 		fr.Verdict = Race
 		fr.Message = res.Message
+		fr.Pos = fmt.Sprint(res.Pos)
 	case kiss.Safe:
 		fr.Verdict = NoRace
 	case kiss.ResourceBound:

@@ -1,0 +1,168 @@
+package sem
+
+// Macro-step compression: the SPIN-style statement-merging optimization.
+//
+// The KISS transformation inflates every statement with instrumentation
+// (the choice{skip [] RAISE} prefix, raise-flag tests, unwinding returns),
+// so most transitions of the transformed program have exactly one
+// successor. A search that stores and fingerprints a state after every
+// micro-statement pays clone, hash, and visited-set costs for states that
+// carry no decision. MacroStep folds a maximal deterministic run into a
+// single transition: it repeatedly applies Step while the transition is
+// deterministic and accumulates the intermediate Event log so error traces
+// replay bit-identically.
+//
+// A run keeps folding only while, after each micro step:
+//
+//   - the step neither failed nor blocked (failures and blocks must
+//     surface exactly where the per-statement search surfaces them);
+//   - exactly one successor branch is live (see the infeasible-branch
+//     pruning below);
+//   - thread ti is the sole live thread of the successor (any other live
+//     thread makes the successor a scheduling point that an interleaving
+//     search must store and branch on).
+//
+// Infeasible-branch pruning: the lowering of if/iter produces
+// choice{assume(c);...}[]{assume(!c);...}, so a nondeterministic jump
+// routinely has branches that are dead on arrival. When a step has more
+// than one successor, a branch is pruned if its next instruction is an
+// assume whose condition cleanly evaluates to false and no other thread is
+// live to change it — stepping such a state
+// can only ever block, so the per-statement search stores it, steps it
+// once, and discards it without any observable effect. Branches whose
+// assume condition fails to evaluate are kept: the per-statement search
+// would report that evaluation error as a failure, and pruning them would
+// lose it. When pruning leaves exactly one live branch (the common case
+// for the raise-flag unwinding tests), the run keeps folding through it.
+const (
+	// MaxMacroRun caps the number of micro steps folded into one macro
+	// step. It guards against deterministic infinite loops (which the
+	// per-statement search would also never finish, but would at least
+	// keep hitting budget checks); it is set far above the deterministic
+	// run lengths real programs produce so that loop-free programs never
+	// hit it, keeping the set of stored states independent of fold-entry
+	// points.
+	MaxMacroRun = 4096
+)
+
+// MacroResult is the outcome of one macro step. The embedded StepResult
+// carries the final micro step's failure/block/outcome information, with
+// Outcomes reduced to the live branches; OutIdx maps each surviving
+// outcome to its index in the unpruned outcome list (searches that need
+// the per-statement successor order — the parallel BFS — use it as the
+// tie-breaking key). Prefix holds the events of the folded deterministic
+// run, in order, and PrefixIdx the unpruned successor index taken at each
+// folded position. Stepped counts Step invocations, including the final
+// one.
+type MacroResult struct {
+	StepResult
+	OutIdx    []int32
+	Prefix    []Event
+	PrefixIdx []int32
+	Stepped   int
+}
+
+// MacroStep folds a maximal deterministic run of thread ti starting at s
+// into one transition. limit bounds the number of micro steps taken
+// (callers cap it with the remaining depth/step budget); limit <= 0 means
+// MaxMacroRun. The thread must not be done. s is not mutated; ownership of
+// the returned outcome states passes to the caller exactly as with Step.
+func MacroStep(s *State, ti, limit int) MacroResult {
+	if limit <= 0 || limit > MaxMacroRun {
+		limit = MaxMacroRun
+	}
+	var mr MacroResult
+	cur := s
+	for {
+		sr := Step(cur, ti)
+		mr.Stepped++
+		if sr.Failure != nil || sr.Blocked {
+			mr.StepResult = sr
+			return mr
+		}
+		outs := sr.Outcomes
+		var idxs []int32
+		if len(outs) > 1 {
+			// Only choice branches are pruned: a deterministic continuation
+			// into a dead assume instead folds to its blocked endpoint, so
+			// the block (and concheck's deadlock accounting) surfaces
+			// exactly as in the per-statement search.
+			outs, idxs = pruneInfeasible(sr.Outcomes, ti)
+		}
+		if len(outs) != 1 || mr.Stepped >= limit || !soleLive(outs[0].State, ti) {
+			if idxs == nil {
+				idxs = identityIdx(len(outs))
+			}
+			mr.StepResult = sr
+			mr.Outcomes = outs
+			mr.OutIdx = idxs
+			return mr
+		}
+		idx0 := int32(0)
+		if idxs != nil {
+			idx0 = idxs[0]
+		}
+		mr.Prefix = append(mr.Prefix, outs[0].Event)
+		mr.PrefixIdx = append(mr.PrefixIdx, idx0)
+		cur = outs[0].State
+	}
+}
+
+// identityIdx returns [0, 1, ..., n-1].
+func identityIdx(n int) []int32 {
+	idxs := make([]int32, n)
+	for i := range idxs {
+		idxs[i] = int32(i)
+	}
+	return idxs
+}
+
+// pruneInfeasible drops outcomes that are dead on arrival: the stepped
+// thread is the sole live thread and sits at an assume whose condition
+// cleanly evaluates to false. The returned index slice maps survivors to
+// their original positions.
+func pruneInfeasible(outs []Outcome, ti int) ([]Outcome, []int32) {
+	live := outs[:0:0]
+	idxs := make([]int32, 0, len(outs))
+	for i, out := range outs {
+		if soleLive(out.State, ti) && nextIsFalseAssume(out.State, ti) {
+			continue
+		}
+		live = append(live, out)
+		idxs = append(idxs, int32(i))
+	}
+	return live, idxs
+}
+
+// soleLive reports whether thread ti is live and every other thread of s
+// is done.
+func soleLive(s *State, ti int) bool {
+	for i := range s.Threads {
+		if i == ti {
+			if s.Threads[i].Done() {
+				return false
+			}
+		} else if !s.Threads[i].Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// nextIsFalseAssume reports whether thread ti's next instruction is an
+// assume whose condition cleanly evaluates to false in s. Evaluation is
+// read-only (Step itself evaluates assume conditions before cloning); an
+// evaluation error reports false so the branch is kept and the error
+// surfaces exactly where the per-statement search would report it.
+func nextIsFalseAssume(s *State, ti int) bool {
+	fr := s.Threads[ti].Top()
+	if fr == nil || fr.PC >= len(fr.CF.Code) {
+		return false
+	}
+	in := &fr.CF.Code[fr.PC]
+	if in.Op != OpAssume {
+		return false
+	}
+	ok, err := s.evalBool(fr, in.Cond)
+	return err == nil && !ok
+}

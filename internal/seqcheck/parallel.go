@@ -41,10 +41,61 @@ const workerPollStride = 64
 
 // expansion is one prefiltered successor produced by a worker: the
 // outcome plus its fingerprint, hashed worker-side so the commit loop
-// never hashes.
+// never hashes. idx is the successor's raw index in the unpruned outcome
+// list — the macro engine's within-level ordering key (the per-statement
+// engine records it too, for uniformity; it is simply the loop index).
 type expansion struct {
 	out sem.Outcome
 	fp  uint64
+	idx int32
+}
+
+// Expansion rounds allocate a successor buffer per item and a slot/frame
+// slice per level, all dead by the next level. The pools recycle them
+// across levels and across checks; buffers are cleared before Put so
+// pooled memory never pins dead states. Early returns (budget trips,
+// failures) may skip a Put — a pool miss later, never a leak or a
+// correctness issue.
+var (
+	expPool   = sync.Pool{New: func() any { return new([]expansion) }}
+	slotPool  = sync.Pool{New: func() any { return new([]itemSlot) }}
+	framePool = sync.Pool{New: func() any { return new([]pframe) }}
+)
+
+func expGet() []expansion {
+	return (*expPool.Get().(*[]expansion))[:0]
+}
+
+func expPut(exps []expansion) {
+	clear(exps)
+	exps = exps[:0]
+	expPool.Put(&exps)
+}
+
+func slotsGet(n int) []itemSlot {
+	slots := (*slotPool.Get().(*[]itemSlot))[:0]
+	if cap(slots) < n {
+		return make([]itemSlot, n)
+	}
+	slots = slots[:n]
+	clear(slots)
+	return slots
+}
+
+func slotsPut(slots []itemSlot) {
+	clear(slots)
+	slots = slots[:0]
+	slotPool.Put(&slots)
+}
+
+func framesGet() []pframe {
+	return (*framePool.Get().(*[]pframe))[:0]
+}
+
+func framesPut(frames []pframe) {
+	clear(frames)
+	frames = frames[:0]
+	framePool.Put(&frames)
 }
 
 // itemSlot is the private output slot for one level item. Slots make the
@@ -102,7 +153,7 @@ func checkParallel(c *sem.Compiled, opts Options) *Result {
 		}
 
 		// Expansion round.
-		slots := make([]itemSlot, len(level))
+		slots := slotsGet(len(level))
 		expandItem := func(i, w int) {
 			it := level[i]
 			if it.st.Threads[0].Done() {
@@ -113,13 +164,13 @@ func checkParallel(c *sem.Compiled, opts Options) *Result {
 				slots[i] = itemSlot{fail: sr.Failure, worker: w}
 				return
 			}
-			var exps []expansion
-			for _, out := range sr.Outcomes {
+			exps := expGet()
+			for k, out := range sr.Outcomes {
 				fp := hashers[w].Hash(out.State)
 				if vis.Contains(fp) {
 					continue
 				}
-				exps = append(exps, expansion{out: out, fp: fp})
+				exps = append(exps, expansion{out: out, fp: fp, idx: int32(k)})
 			}
 			slots[i] = itemSlot{exps: exps, worker: w}
 		}
@@ -169,7 +220,7 @@ func checkParallel(c *sem.Compiled, opts Options) *Result {
 
 		// Commit: replay the level in item order through the sequential
 		// search's budget checks.
-		var next []pframe
+		next := framesGet()
 		for i := range level {
 			it := level[i]
 			if it.st.Threads[0].Done() {
@@ -214,8 +265,14 @@ func checkParallel(c *sem.Compiled, opts Options) *Result {
 					res.PeakFrontier = fl
 				}
 			}
+			if sl.exps != nil {
+				expPut(sl.exps)
+				sl.exps = nil
+			}
 		}
 		opts.Collector.Sample(res.States, res.Steps, len(next), depth, vis.Len())
+		slotsPut(slots)
+		framesPut(level)
 		level = next
 	}
 	res.Verdict = Safe

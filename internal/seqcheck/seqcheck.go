@@ -54,6 +54,21 @@ type Options struct {
 	// returned counterexample a *shortest* error trace. DFS (the default)
 	// is faster to a first error and uses less frontier memory.
 	BFS bool
+	// DisableMacroSteps turns off macro-step compression (sem.MacroStep),
+	// restoring the per-statement search that stores and fingerprints a
+	// state after every micro transition. Compression is on by default: the
+	// search stores only decision-point states and folds each maximal
+	// deterministic run into one transition, keeping the verdict, failure
+	// position, and counterexample trace identical while cutting stored
+	// states, clones, and visited-set pressure by the run length. States,
+	// Steps and the peak metrics keep their meaning (Steps still counts
+	// micro transitions); States counts only stored states — compare with
+	// StatesStepped for the compression ratio. Budget trip points may
+	// differ from the per-statement search (MaxStates bounds *stored*
+	// states), exactly as BFS and DFS already cover different prefixes of
+	// the state space under a budget. AuditFingerprints forces compression
+	// off: the audit maps shadow the per-statement visited inserts.
+	DisableMacroSteps bool
 	// AuditFingerprints cross-checks the 64-bit visited-set hashes against
 	// the canonical string encodings, counting states whose hash collided
 	// with a structurally different state in Result.HashCollisions. A
@@ -107,6 +122,13 @@ type Result struct {
 	Trace  []sem.Event
 	States int
 	Steps  int
+	// StatesStepped counts the states the search traversed, including the
+	// intermediate states of folded deterministic runs that macro-step
+	// compression never stored: States plus the folded run lengths.
+	// StatesStepped/States is the compression ratio; without compression
+	// the two are equal (the per-statement engines leave this at zero and
+	// callers treat that as "equal to States").
+	StatesStepped int
 	// Reason names which bound ended the search (ResourceBound verdicts):
 	// the state budget, the step budget, the context deadline, or
 	// cancellation. ReasonNone for Safe/Error verdicts.
@@ -125,16 +147,19 @@ type Result struct {
 }
 
 func (r *Result) String() string {
+	counters := fmt.Sprintf("states=%d steps=%d visited=%d peak-frontier=%d",
+		r.States, r.Steps, r.Visited, r.PeakFrontier)
+	if r.StatesStepped > 0 {
+		counters += fmt.Sprintf(" stepped=%d", r.StatesStepped)
+	}
 	switch r.Verdict {
 	case Error:
-		return fmt.Sprintf("error: %s (states=%d steps=%d visited=%d peak-frontier=%d)",
-			r.Failure, r.States, r.Steps, r.Visited, r.PeakFrontier)
+		return fmt.Sprintf("error: %s (%s)", r.Failure, counters)
 	case Safe:
-		return fmt.Sprintf("safe (states=%d steps=%d visited=%d peak-frontier=%d)",
-			r.States, r.Steps, r.Visited, r.PeakFrontier)
+		return fmt.Sprintf("safe (%s)", counters)
 	default:
-		return fmt.Sprintf("resource bound exhausted (%s; states=%d steps=%d visited=%d peak-frontier=%d)",
-			stats.BoundName(r.Reason), r.States, r.Steps, r.Visited, r.PeakFrontier)
+		return fmt.Sprintf("resource bound exhausted (%s; %s)",
+			stats.BoundName(r.Reason), counters)
 	}
 }
 
@@ -146,20 +171,36 @@ func reasonFor(err error) stats.Reason {
 	return stats.ReasonCanceled
 }
 
+// node is one stored state's position in the trace tree. Under macro-step
+// compression an edge covers a whole deterministic run: prefix holds the
+// folded events preceding event, prefixIdx the raw successor index taken
+// at each folded position, and idx the raw index of the final edge —
+// together they spell this state's padded successor-index path, the
+// uncompressed BFS's within-level ordering key (see pathLess). depth is
+// the micro depth: parent.depth + len(prefix) + 1.
 type node struct {
-	parent *node
-	event  sem.Event
-	depth  int
+	parent    *node
+	prefix    []sem.Event
+	prefixIdx []int32
+	event     sem.Event
+	idx       int32
+	depth     int
 }
 
 func (n *node) trace() []sem.Event {
-	var rev []sem.Event
+	total := 0
 	for cur := n; cur != nil && cur.parent != nil; cur = cur.parent {
-		rev = append(rev, cur.event)
+		total += len(cur.prefix) + 1
 	}
-	out := make([]sem.Event, len(rev))
-	for i := range rev {
-		out[i] = rev[len(rev)-1-i]
+	out := make([]sem.Event, total)
+	i := total
+	for cur := n; cur != nil && cur.parent != nil; cur = cur.parent {
+		i--
+		out[i] = cur.event
+		for j := len(cur.prefix) - 1; j >= 0; j-- {
+			i--
+			out[i] = cur.prefix[j]
+		}
 	}
 	return out
 }
@@ -168,8 +209,24 @@ func (n *node) trace() []sem.Event {
 // in the sequential fragment (no async, no atomic); transformed programs
 // produced by the KISS translation always are.
 func Check(c *sem.Compiled, opts Options) *Result {
+	if opts.AuditFingerprints {
+		// The audit maps shadow the per-statement search's visited inserts
+		// one-for-one; compression stores a different (smaller) state set.
+		opts.DisableMacroSteps = true
+	}
 	if opts.SearchWorkers >= 1 && !opts.AuditFingerprints {
+		if !opts.DisableMacroSteps {
+			return checkMacroBFS(c, opts)
+		}
 		return checkParallel(c, opts)
+	}
+	if !opts.DisableMacroSteps {
+		if opts.BFS {
+			// The macro BFS engine is the parallel engine run inline
+			// (SearchWorkers 0): same bucket queue, same counters.
+			return checkMacroBFS(c, opts)
+		}
+		return checkMacroDFS(c, opts)
 	}
 	res := &Result{}
 	init := sem.NewState(c)

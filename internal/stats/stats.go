@@ -150,8 +150,18 @@ func (pt PhaseTimes) MarshalJSON() ([]byte, error) {
 // compare records after StripTiming.
 type Stats struct {
 	// States and Steps are distinct-state and executed-transition counts.
+	// States counts *stored* states: under macro-step compression the
+	// search keeps only decision-point states.
 	States int `json:"states"`
 	Steps  int `json:"steps"`
+	// StatesStepped counts the states the search traversed, including the
+	// intermediate states of folded deterministic runs that macro-step
+	// compression never stored. Equal to States when compression is off.
+	StatesStepped int `json:"states_stepped"`
+	// CompressionRatio is StatesStepped / States — how many traversed
+	// states each stored state stands for (1 with compression off). Both
+	// inputs are deterministic, so StripTiming keeps it.
+	CompressionRatio float64 `json:"compression_ratio,omitempty"`
 	// Visited is the final visited-set size (hash-distinct states).
 	Visited int `json:"visited"`
 	// PeakFrontier is the high-water mark of the search frontier (DFS

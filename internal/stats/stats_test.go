@@ -135,6 +135,7 @@ func TestReasonAndPhaseStrings(t *testing.T) {
 func TestStatsJSON(t *testing.T) {
 	s := Stats{
 		States: 40001, Steps: 50000, Visited: 40001,
+		StatesStepped: 120003, CompressionRatio: 3.0,
 		PeakFrontier: 12, PeakDepth: 90, Reason: ReasonStates,
 		Phases:       PhaseTimes{Check: 1500 * time.Millisecond},
 		StatesPerSec: 26667.3,
@@ -147,6 +148,7 @@ func TestStatsJSON(t *testing.T) {
 		`"states":40001`, `"peak_frontier":12`, `"peak_depth":90`,
 		`"visited":40001`, `"reason":"max-states"`, `"check_s":1.5`,
 		`"states_per_sec":`, `"total_s":1.5`,
+		`"states_stepped":120003`, `"compression_ratio":3`,
 	} {
 		if !strings.Contains(string(data), key) {
 			t.Errorf("JSON record missing %s:\n%s", key, data)

@@ -215,6 +215,14 @@ type Config struct {
 	// BFS selects breadth-first search in the sequential checker, which
 	// makes the returned counterexample a shortest error trace.
 	BFS bool
+	// DisableMacroSteps turns off macro-step compression, restoring the
+	// seed-identical per-statement search that stores a state after every
+	// micro transition. Compression is on by default: deterministic runs
+	// fold into single transitions and only decision-point states are
+	// stored, with identical verdicts, failure positions, and certified
+	// traces (see WithMacroSteps). Stats.States then counts stored states;
+	// Stats.StatesStepped counts traversed ones.
+	DisableMacroSteps bool
 	// SearchWorkers >= 1 runs the state-space search of a *single* check
 	// with that many concurrent workers over a level-synchronized
 	// breadth-first frontier and a sharded visited set (both Check and
@@ -294,6 +302,14 @@ func WithMaxDepth(n int) Option { return func(c *Config) { c.MaxDepth = n } }
 
 // WithBFS selects breadth-first search (shortest counterexamples).
 func WithBFS() Option { return func(c *Config) { c.BFS = true } }
+
+// WithMacroSteps toggles macro-step compression (default on): the search
+// folds each maximal deterministic run into one transition and stores
+// only decision-point states, cutting stored states, clones, and
+// visited-set pressure by the run length. The verdict, failure position,
+// and certified trace are identical either way and at every SearchWorkers
+// count; WithMacroSteps(false) reproduces the per-statement search.
+func WithMacroSteps(on bool) Option { return func(c *Config) { c.DisableMacroSteps = !on } }
 
 // WithSearchWorkers runs the state-space search with n concurrent workers
 // (n >= 1; results are bit-identical at every n). 0 restores the classic
@@ -404,14 +420,18 @@ type Result struct {
 // ran out of budget" and "the operator hit ^C" call for different
 // reactions.
 func (r *Result) String() string {
+	counters := fmt.Sprintf("states=%d steps=%d", r.States, r.Steps)
+	if r.Stats.CompressionRatio > 1 {
+		counters += fmt.Sprintf(" compression=%.1fx", r.Stats.CompressionRatio)
+	}
 	switch r.Verdict {
 	case Safe:
-		return fmt.Sprintf("no bug found (states=%d steps=%d)", r.States, r.Steps)
+		return fmt.Sprintf("no bug found (%s)", counters)
 	case Error:
-		return fmt.Sprintf("error: %s (states=%d steps=%d)", r.Message, r.States, r.Steps)
+		return fmt.Sprintf("error: %s (%s)", r.Message, counters)
 	default:
-		return fmt.Sprintf("resource bound exhausted (%s; states=%d steps=%d)",
-			stats.BoundName(r.Stats.Reason), r.States, r.Steps)
+		return fmt.Sprintf("resource bound exhausted (%s; %s)",
+			stats.BoundName(r.Stats.Reason), counters)
 	}
 }
 
@@ -450,14 +470,15 @@ func (c *Config) Check(p *Program) (*Result, error) {
 		return nil, err
 	}
 	r := seqcheck.Check(compiled, seqcheck.Options{
-		MaxStates:     c.MaxStates,
-		MaxSteps:      c.MaxSteps,
-		MaxDepth:      c.MaxDepth,
-		BFS:           c.BFS,
-		SearchWorkers: c.SearchWorkers,
-		NumShards:     c.NumShards,
-		Context:       c.Context,
-		Collector:     col,
+		MaxStates:         c.MaxStates,
+		MaxSteps:          c.MaxSteps,
+		MaxDepth:          c.MaxDepth,
+		BFS:               c.BFS,
+		DisableMacroSteps: c.DisableMacroSteps,
+		SearchWorkers:     c.SearchWorkers,
+		NumShards:         c.NumShards,
+		Context:           c.Context,
+		Collector:         col,
 	})
 
 	out := &Result{Verdict: Verdict(r.Verdict), States: r.States, Steps: r.Steps}
@@ -479,18 +500,35 @@ func (c *Config) Check(p *Program) (*Result, error) {
 		out.Trace = trace.Reconstruct(r.Trace)
 	}
 	col.End(stats.PhaseCheck)
+	stepped, ratio := compression(r.States, r.StatesStepped)
 	out.Stats = Stats{
-		States:         r.States,
-		Steps:          r.Steps,
-		Visited:        r.Visited,
-		PeakFrontier:   r.PeakFrontier,
-		PeakDepth:      r.PeakDepth,
-		HashCollisions: r.HashCollisions,
-		Reason:         r.Reason,
-		Parallel:       r.Parallel,
+		States:           r.States,
+		Steps:            r.Steps,
+		StatesStepped:    stepped,
+		CompressionRatio: ratio,
+		Visited:          r.Visited,
+		PeakFrontier:     r.PeakFrontier,
+		PeakDepth:        r.PeakDepth,
+		HashCollisions:   r.HashCollisions,
+		Reason:           r.Reason,
+		Parallel:         r.Parallel,
 	}
 	col.Finalize(&out.Stats)
 	return out, nil
+}
+
+// compression derives the (StatesStepped, CompressionRatio) pair from a
+// checker result; the per-statement engines leave their stepped counter
+// at zero, meaning "equal to stored".
+func compression(states, stepped int) (int, float64) {
+	if stepped <= 0 {
+		stepped = states
+	}
+	ratio := 1.0
+	if states > 0 {
+		ratio = float64(stepped) / float64(states)
+	}
+	return stepped, ratio
 }
 
 // checkSummaries is the Summaries engine path of Check.
@@ -534,14 +572,15 @@ func (c *Config) Explore(p *Program) (*Result, error) {
 		return nil, err
 	}
 	r := concheck.Check(compiled, concheck.Options{
-		MaxStates:     c.MaxStates,
-		MaxSteps:      c.MaxSteps,
-		MaxDepth:      c.MaxDepth,
-		ContextBound:  c.ContextBound,
-		SearchWorkers: c.SearchWorkers,
-		NumShards:     c.NumShards,
-		Context:       c.Context,
-		Collector:     col,
+		MaxStates:         c.MaxStates,
+		MaxSteps:          c.MaxSteps,
+		MaxDepth:          c.MaxDepth,
+		ContextBound:      c.ContextBound,
+		DisableMacroSteps: c.DisableMacroSteps,
+		SearchWorkers:     c.SearchWorkers,
+		NumShards:         c.NumShards,
+		Context:           c.Context,
+		Collector:         col,
 	})
 	col.End(stats.PhaseCheck)
 	out := &Result{Verdict: Verdict(r.Verdict), States: r.States, Steps: r.Steps}
@@ -550,15 +589,18 @@ func (c *Config) Explore(p *Program) (*Result, error) {
 		out.Pos = r.Failure.Pos
 		out.SeqEvents = r.Trace
 	}
+	stepped, ratio := compression(r.States, r.StatesStepped)
 	out.Stats = Stats{
-		States:         r.States,
-		Steps:          r.Steps,
-		Visited:        r.Visited,
-		PeakFrontier:   r.PeakFrontier,
-		PeakDepth:      r.PeakDepth,
-		HashCollisions: r.HashCollisions,
-		Reason:         r.Reason,
-		Parallel:       r.Parallel,
+		States:           r.States,
+		Steps:            r.Steps,
+		StatesStepped:    stepped,
+		CompressionRatio: ratio,
+		Visited:          r.Visited,
+		PeakFrontier:     r.PeakFrontier,
+		PeakDepth:        r.PeakDepth,
+		HashCollisions:   r.HashCollisions,
+		Reason:           r.Reason,
+		Parallel:         r.Parallel,
 	}
 	col.Finalize(&out.Stats)
 	return out, nil

@@ -1,0 +1,87 @@
+package kiss_test
+
+import (
+	"testing"
+
+	kiss "repro"
+	"repro/internal/drivers"
+)
+
+// TestMacroStepsCertifyOnDriver: the full pipeline with macro-step
+// compression — transform, check the Bluetooth race of Section 2.2,
+// reconstruct the concurrent trace, and certify it by guided replay on
+// the original program. The compressed search must find the same race at
+// the same position as the per-statement search at every worker count,
+// with strictly fewer stored states, and its reconstructed schedule must
+// replay.
+func TestMacroStepsCertifyOnDriver(t *testing.T) {
+	prog, err := kiss.Parse(drivers.BluetoothSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := kiss.RaceTarget{Record: "DEVICE_EXTENSION", Field: "stoppingFlag"}
+
+	refCfg := kiss.NewConfig(kiss.WithMaxTS(0), kiss.WithRaceTarget(target), kiss.WithMacroSteps(false))
+	ref, err := refCfg.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Verdict != kiss.Error {
+		t.Fatalf("per-statement search missed the stoppingFlag race: %v", ref.Verdict)
+	}
+
+	for _, w := range []int{0, 1, 8} {
+		cfg := kiss.NewConfig(kiss.WithMaxTS(0), kiss.WithRaceTarget(target),
+			kiss.WithSearchWorkers(w), kiss.WithMacroSteps(true))
+		res, err := cfg.Check(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Verdict != kiss.Error {
+			t.Fatalf("workers=%d: compressed search missed the race: %v", w, res.Verdict)
+		}
+		if res.Pos != ref.Pos {
+			t.Errorf("workers=%d: race position %v, per-statement search reports %v", w, res.Pos, ref.Pos)
+		}
+		if res.States >= ref.States {
+			t.Errorf("workers=%d: compression stored %d states, per-statement stored %d",
+				w, res.States, ref.States)
+		}
+		if res.Stats.StatesStepped < res.States {
+			t.Errorf("workers=%d: StatesStepped %d < stored %d", w, res.Stats.StatesStepped, res.States)
+		}
+		if res.Stats.CompressionRatio <= 1 {
+			t.Errorf("workers=%d: compression ratio %.2f not > 1", w, res.Stats.CompressionRatio)
+		}
+		ok, err := cfg.Certify(prog, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("workers=%d: compressed search's reconstructed trace failed to certify", w)
+		}
+	}
+}
+
+// TestMacroStepsOffReproducesSeedCounters: WithMacroSteps(false) restores
+// the per-statement search: StatesStepped equals stored states and the
+// compression ratio reports 1.
+func TestMacroStepsOffReproducesSeedCounters(t *testing.T) {
+	prog, err := kiss.Parse(drivers.BluetoothSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := kiss.NewConfig(kiss.WithMaxTS(0),
+		kiss.WithRaceTarget(kiss.RaceTarget{Record: "DEVICE_EXTENSION", Field: "stoppingFlag"}),
+		kiss.WithMacroSteps(false))
+	res, err := cfg.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.StatesStepped != res.States {
+		t.Errorf("uncompressed StatesStepped %d != States %d", res.Stats.StatesStepped, res.States)
+	}
+	if res.Stats.CompressionRatio != 1 {
+		t.Errorf("uncompressed compression ratio %v != 1", res.Stats.CompressionRatio)
+	}
+}
