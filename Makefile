@@ -1,9 +1,14 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-smoke benchall
+# VERSION is stamped into the kiss/kissbench/kissd binaries (reported by
+# -version and kissd's /healthz); plain `go build` yields "dev".
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+LDFLAGS := -ldflags "-X main.version=$(VERSION)"
+
+.PHONY: build test vet race verify bench bench-smoke serve-smoke benchall
 
 build:
-	$(GO) build ./...
+	$(GO) build $(LDFLAGS) ./...
 
 test:
 	$(GO) test ./...
@@ -18,10 +23,12 @@ vet:
 # set — including the macro-step engines and their sync.Pool buffer
 # reuse, exercised by the TestMacro* differential tests in those
 # packages — and the copy-on-write state representation their workers
-# share. -short skips the full-corpus reproductions, which the plain
-# `test` target already runs.
+# share, plus the kissd service layer (queue admission vs. drain, the
+# worker scheduler, and the result cache). -short skips the full-corpus
+# reproductions, which the plain `test` target already runs.
 race:
 	$(GO) test -race -short ./internal/eval/... ./internal/seqcheck/... ./internal/concheck/... ./internal/sem/... ./internal/visited/...
+	$(GO) test -race ./internal/service/...
 
 # verify is the tier-1 gate: build, vet, full tests, and the race check.
 verify: build vet test race
@@ -47,6 +54,14 @@ bench:
 # ratio exceeds 1. Runs in a couple of seconds.
 bench-smoke:
 	$(GO) run ./cmd/kissbench -macrobench -drivers kbfiltr,moufiltr -min-ratio 1.0
+
+# serve-smoke is the kissd acceptance loop: start the daemon on a
+# loopback port, run a two-driver corpus slice through it twice, require
+# verdicts and search counters identical to local checking and >=90% of
+# the warm pass served from the content-addressed cache, then drain
+# cleanly. Runs in about a second.
+serve-smoke:
+	$(GO) run $(LDFLAGS) ./cmd/kissd -smoke
 
 # benchall runs every benchmark in the repository.
 benchall:

@@ -22,6 +22,12 @@
 // partial result; -search-workers N runs the state-space search with N
 // workers (verdicts and counters are identical at every worker count).
 //
+// check and race also take -server URL to submit the job to a running
+// kissd daemon instead of checking in-process: the daemon may answer
+// from its content-addressed result cache (marked "[cached]"), and
+// -timeout becomes the job's server-side deadline. kiss -version prints
+// the build version.
+//
 // The race target T is either a global variable name ("stopped") or
 // record.field ("DEVICE_EXTENSION.stoppingFlag").
 package main
@@ -35,7 +41,13 @@ import (
 	"time"
 
 	kiss "repro"
+	"repro/internal/service"
+	"repro/internal/stats"
 )
+
+// version is stamped by the Makefile via
+// -ldflags "-X main.version=$(VERSION)"; "dev" for plain go build.
+var version = "dev"
 
 func main() {
 	if len(os.Args) < 2 {
@@ -57,6 +69,9 @@ func main() {
 		err = runPrint(args)
 	case "cfg":
 		err = runCFG(args)
+	case "-version", "--version", "version":
+		fmt.Printf("kiss %s\n", version)
+		return
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -111,6 +126,7 @@ type budgetFlags struct {
 	macroSteps                    *bool
 	timeout                       *time.Duration
 	progress                      *bool
+	server                        *string
 }
 
 func addBudgetFlags(fs *flag.FlagSet) *budgetFlags {
@@ -122,6 +138,7 @@ func addBudgetFlags(fs *flag.FlagSet) *budgetFlags {
 		macroSteps:    fs.Bool("macro-steps", true, "collapse deterministic runs into single transitions (-macro-steps=false reproduces the per-statement search)"),
 		timeout:       fs.Duration("timeout", 0, "wall-time bound, e.g. 30s (0 = unlimited)"),
 		progress:      fs.Bool("progress", false, "stream search metrics to stderr while running"),
+		server:        fs.String("server", "", "base URL of a running kissd (e.g. http://localhost:8344): submit the check to the daemon instead of checking locally"),
 	}
 }
 
@@ -158,6 +175,49 @@ func printProgress(e kiss.Event) {
 		e.Phase, e.States, e.Steps, e.Frontier, e.Depth, e.Visited, e.StatesPerSec, e.Elapsed.Round(time.Millisecond))
 }
 
+// remoteCheck submits the raw program source to a running kissd and
+// prints the wire result — the service-backed twin of the local
+// parse/check/report path. The daemon parses and checks (possibly
+// answering from its content-addressed cache); -timeout becomes the
+// job's server-side deadline.
+func remoteCheck(server, path string, cfg *kiss.Config, timeout time.Duration) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	resp, err := service.NewClient(server).Check(context.Background(), string(data), cfg, timeout)
+	if err != nil {
+		return err
+	}
+	if resp.State == service.StateFailed {
+		return fmt.Errorf("remote check failed: %s", resp.Error)
+	}
+	reportWire(resp.Result, resp.Cached)
+	return nil
+}
+
+// reportWire mirrors report for the serialized result shape, marking
+// cache-served answers.
+func reportWire(res *service.Result, cached bool) {
+	note := ""
+	if cached {
+		note = " [cached]"
+	}
+	switch res.Verdict {
+	case kiss.Safe.String():
+		fmt.Printf("result: no bug found (states=%d steps=%d)%s\n", res.States, res.Steps, note)
+	case kiss.Error.String():
+		fmt.Printf("result: ERROR at %s: %s (states=%d steps=%d)%s\n", res.Pos, res.Message, res.States, res.Steps, note)
+		if res.Trace != "" {
+			fmt.Println()
+			fmt.Print(res.Trace)
+		}
+	default:
+		fmt.Printf("result: resource bound exhausted (%s; states=%d steps=%d)%s\n",
+			stats.BoundName(res.Stats.Reason), res.States, res.Steps, note)
+	}
+}
+
 func report(res *kiss.Result) {
 	switch res.Verdict {
 	case kiss.Safe:
@@ -183,10 +243,6 @@ func runCheck(args []string) error {
 	certify := fs.Bool("certify", false, "on error, replay the reconstructed schedule on the concurrent program")
 	summaries := fs.Bool("summaries", false, "use the summary-based engine (pointer-free fragment; handles recursion; no trace)")
 	fs.Parse(args)
-	prog, err := loadProgram(fs)
-	if err != nil {
-		return err
-	}
 	opts, cancel := bf.options()
 	defer cancel()
 	opts = append(opts, kiss.WithMaxTS(*maxTS))
@@ -197,6 +253,19 @@ func runCheck(args []string) error {
 		opts = append(opts, kiss.WithSummaries())
 	}
 	cfg := kiss.NewConfig(opts...)
+	if *bf.server != "" {
+		if *certify {
+			return fmt.Errorf("-certify replays the trace locally and is incompatible with -server")
+		}
+		if fs.NArg() != 1 {
+			return fmt.Errorf("expected exactly one program file, got %d args", fs.NArg())
+		}
+		return remoteCheck(*bf.server, fs.Arg(0), cfg, *bf.timeout)
+	}
+	prog, err := loadProgram(fs)
+	if err != nil {
+		return err
+	}
 	res, err := cfg.Check(prog)
 	if err != nil {
 		return err
@@ -222,14 +291,22 @@ func runRace(args []string) error {
 	if err != nil {
 		return err
 	}
+	opts, cancel := bf.options()
+	defer cancel()
+	opts = append(opts, kiss.WithMaxTS(*maxTS), kiss.WithRaceTarget(t))
+	cfg := kiss.NewConfig(opts...)
+	if *bf.server != "" {
+		if fs.NArg() != 1 {
+			return fmt.Errorf("expected exactly one program file, got %d args", fs.NArg())
+		}
+		fmt.Printf("race check on %s:\n", t)
+		return remoteCheck(*bf.server, fs.Arg(0), cfg, *bf.timeout)
+	}
 	prog, err := loadProgram(fs)
 	if err != nil {
 		return err
 	}
-	opts, cancel := bf.options()
-	defer cancel()
-	opts = append(opts, kiss.WithMaxTS(*maxTS), kiss.WithRaceTarget(t))
-	res, err := kiss.Check(prog, opts...)
+	res, err := cfg.Check(prog)
 	if err != nil {
 		return err
 	}
@@ -265,6 +342,9 @@ func runExplore(args []string) error {
 	contextBound := fs.Int("context-bound", -1, "context-switch bound (-1 = unlimited)")
 	bf := addBudgetFlags(fs)
 	fs.Parse(args)
+	if *bf.server != "" {
+		return fmt.Errorf("explore runs the unreduced interleaving baseline, which kissd does not serve; run it locally")
+	}
 	prog, err := loadProgram(fs)
 	if err != nil {
 		return err

@@ -37,6 +37,11 @@
 // per-field search events to stderr. -timeout D bounds the whole corpus
 // run; on expiry the tables render the completed prefix and unchecked
 // fields are marked canceled.
+//
+// -server URL submits the corpus table checks to a running kissd daemon
+// instead of checking in-process: repeated runs of the same table are
+// answered from the daemon's content-addressed result cache with
+// identical verdicts and counters. -version prints the build version.
 package main
 
 import (
@@ -51,6 +56,10 @@ import (
 	kiss "repro"
 	"repro/internal/eval"
 )
+
+// version is stamped by the Makefile via
+// -ldflags "-X main.version=$(VERSION)"; "dev" for plain go build.
+var version = "dev"
 
 func main() {
 	table1 := flag.Bool("table1", false, "regenerate Table 1")
@@ -71,10 +80,17 @@ func main() {
 	searchWorkers := flag.Int("search-workers", 0, "workers per state-space search (0 = sequential search; >0 shrinks the auto-sized field pool to share the cores)")
 	blowupN := flag.Int("blowup-threads", 6, "max thread count for the blowup study")
 	jsonOut := flag.Bool("json", false, "emit per-field JSON metrics records (JSON Lines) for the corpus tables")
+	stripTiming := flag.Bool("strip-timing", false, "with -json: zero the wall-clock Stats fields so two runs diff byte-for-byte at any worker count")
 	progress := flag.Bool("progress", false, "stream per-field search progress to stderr")
 	timeout := flag.Duration("timeout", 0, "wall-time bound for the corpus runs, e.g. 10m (0 = unlimited)")
+	server := flag.String("server", "", "base URL of a running kissd: submit corpus-table checks to the daemon instead of checking in-process")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Printf("kissbench %s\n", version)
+		return
+	}
 	if *all {
 		*table1, *table2, *refcount, *blowup, *coverage, *locksetCmp, *contextBound, *schedulers = true, true, true, true, true, true, true, true
 	}
@@ -83,7 +99,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := eval.Options{Workers: *workers, SearchWorkers: *searchWorkers, DisableMacroSteps: !*macroSteps}
+	opts := eval.Options{Workers: *workers, SearchWorkers: *searchWorkers, DisableMacroSteps: !*macroSteps, Server: *server}
 	if *maxStates > 0 {
 		opts.Budget = kiss.Budget{MaxStates: *maxStates}
 	}
@@ -114,6 +130,11 @@ func main() {
 		}
 	}
 
+	writeJSON := eval.WriteJSON
+	if *stripTiming {
+		writeJSON = eval.WriteJSONDeterministic
+	}
+
 	var t1 []*eval.DriverResult
 	if *table1 || *table2 {
 		var err error
@@ -122,7 +143,7 @@ func main() {
 	}
 	if *table1 {
 		if *jsonOut {
-			fatal(eval.WriteJSON(os.Stdout, t1))
+			fatal(writeJSON(os.Stdout, t1))
 		} else {
 			fmt.Println(eval.FormatTable1(t1))
 			printMismatches("Table 1", eval.CompareTable1(t1))
@@ -135,7 +156,7 @@ func main() {
 		t2, err := eval.RunCorpus(opts2)
 		fatal(err)
 		if *jsonOut {
-			fatal(eval.WriteJSON(os.Stdout, t2))
+			fatal(writeJSON(os.Stdout, t2))
 		} else {
 			fmt.Println(eval.FormatTable2(t2))
 			printMismatches("Table 2", eval.CompareTable2(t2))

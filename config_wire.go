@@ -1,0 +1,177 @@
+package kiss
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// This file gives Config a stable JSON wire format, the single encoding
+// shared by the kissd HTTP API (internal/service wire requests) and the
+// content-addressed result cache (the config half of the cache key). The
+// format is defined once, here, next to the functional options it
+// mirrors, so the two can't drift: every serializable Config knob appears
+// in wireConfig with a fixed snake_case name, and the golden test in
+// config_wire_test.go pins the rendered bytes.
+//
+// The runtime-only fields — Context, Progress, and the progress cadence —
+// are deliberately absent: they parameterize *how* a check runs (who is
+// watching, when it may be interrupted), never *what* it computes, so
+// they have no business in a wire request or a cache key.
+
+// wireConfig is the serialized shape of Config. Field order is the
+// canonical order; tags are the canonical names.
+type wireConfig struct {
+	MaxTS               int             `json:"max_ts"`
+	DisableAliasElision bool            `json:"disable_alias_elision"`
+	Scheduler           string          `json:"scheduler"`
+	RaceTarget          *wireRaceTarget `json:"race_target,omitempty"`
+	Summaries           bool            `json:"summaries"`
+	MaxStates           int             `json:"max_states"`
+	MaxSteps            int             `json:"max_steps"`
+	MaxDepth            int             `json:"max_depth"`
+	BFS                 bool            `json:"bfs"`
+	DisableMacroSteps   bool            `json:"disable_macro_steps"`
+	SearchWorkers       int             `json:"search_workers"`
+	NumShards           int             `json:"num_shards"`
+	ContextBound        int             `json:"context_bound"`
+}
+
+type wireRaceTarget struct {
+	Global string `json:"global,omitempty"`
+	Record string `json:"record,omitempty"`
+	Field  string `json:"field,omitempty"`
+}
+
+// schedulerNames maps the Scheduler enum to its stable wire spelling
+// (the same strings Scheduler.String renders).
+var schedulerNames = map[Scheduler]string{
+	SchedulerNondet:      "nondet",
+	SchedulerDrainAll:    "drain-all",
+	SchedulerAtCallsOnly: "at-calls-only",
+}
+
+func parseScheduler(s string) (Scheduler, error) {
+	for sched, name := range schedulerNames {
+		if name == s {
+			return sched, nil
+		}
+	}
+	return 0, fmt.Errorf("kiss: unknown scheduler %q", s)
+}
+
+// MarshalJSON renders the serializable Config knobs in the stable wire
+// format. The runtime-only fields (Context, Progress, ProgressStates,
+// ProgressEvery) are dropped; schedulers render by name.
+func (c *Config) MarshalJSON() ([]byte, error) {
+	name, ok := schedulerNames[c.Scheduler]
+	if !ok {
+		return nil, fmt.Errorf("kiss: cannot marshal unknown scheduler %d", int(c.Scheduler))
+	}
+	w := wireConfig{
+		MaxTS:               c.MaxTS,
+		DisableAliasElision: c.DisableAliasElision,
+		Scheduler:           name,
+		Summaries:           c.Summaries,
+		MaxStates:           c.MaxStates,
+		MaxSteps:            c.MaxSteps,
+		MaxDepth:            c.MaxDepth,
+		BFS:                 c.BFS,
+		DisableMacroSteps:   c.DisableMacroSteps,
+		SearchWorkers:       c.SearchWorkers,
+		NumShards:           c.NumShards,
+		ContextBound:        c.ContextBound,
+	}
+	if c.RaceTarget != nil {
+		w.RaceTarget = &wireRaceTarget{
+			Global: c.RaceTarget.Global,
+			Record: c.RaceTarget.Record,
+			Field:  c.RaceTarget.Field,
+		}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes the wire format back into a Config. Unknown
+// fields are rejected — a wire request naming a knob this build doesn't
+// know about is a version skew the caller must hear about, not a silent
+// no-op. An absent scheduler means the paper's nondeterministic default.
+func (c *Config) UnmarshalJSON(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var w wireConfig
+	if err := dec.Decode(&w); err != nil {
+		return fmt.Errorf("kiss: decoding config: %w", err)
+	}
+	sched := SchedulerNondet
+	if w.Scheduler != "" {
+		var err error
+		if sched, err = parseScheduler(w.Scheduler); err != nil {
+			return err
+		}
+	}
+	*c = Config{
+		MaxTS:               w.MaxTS,
+		DisableAliasElision: w.DisableAliasElision,
+		Scheduler:           sched,
+		Summaries:           w.Summaries,
+		MaxStates:           w.MaxStates,
+		MaxSteps:            w.MaxSteps,
+		MaxDepth:            w.MaxDepth,
+		BFS:                 w.BFS,
+		DisableMacroSteps:   w.DisableMacroSteps,
+		SearchWorkers:       w.SearchWorkers,
+		NumShards:           w.NumShards,
+		ContextBound:        w.ContextBound,
+	}
+	if w.RaceTarget != nil {
+		c.RaceTarget = &RaceTarget{
+			Global: w.RaceTarget.Global,
+			Record: w.RaceTarget.Record,
+			Field:  w.RaceTarget.Field,
+		}
+	}
+	return nil
+}
+
+// Normalized returns a copy of the Config reduced to the knobs that
+// determine a Check result. Two configs with equal Normalized forms are
+// guaranteed to produce identical Check outcomes on the same program, so
+// the normalized form is what a result cache may key on. Dropped fields:
+//
+//   - Context, Progress, ProgressStates, ProgressEvery: runtime plumbing,
+//     invisible to the verdict.
+//   - SearchWorkers, NumShards: the parallel search is bit-identical at
+//     every worker/shard count (the PR 3 invariant, property-tested in
+//     internal/seqcheck and internal/concheck), so they only move wall
+//     clock and the scheduling-dependent Stats.Parallel diagnostics.
+//   - ContextBound: consulted only by Explore, ignored by Check.
+//
+// Everything else — the transformation knobs, the engine selection, the
+// budgets, BFS, and macro-step compression (which changes the stored-state
+// counters a Result reports) — is kept.
+func (c *Config) Normalized() Config {
+	n := *c
+	n.Context = nil
+	n.Progress = nil
+	n.ProgressStates = 0
+	n.ProgressEvery = 0
+	n.SearchWorkers = 0
+	n.NumShards = 0
+	n.ContextBound = 0
+	if n.RaceTarget != nil {
+		// Detach the pointer so the normalized copy shares no storage.
+		t := *n.RaceTarget
+		n.RaceTarget = &t
+	}
+	return n
+}
+
+// CanonicalJSON renders the normalized config as the canonical byte
+// sequence used in cache keys: fixed field order, fixed names, runtime
+// and result-invariant knobs stripped. Configs that must produce the
+// same Check result render to the same bytes.
+func (c *Config) CanonicalJSON() ([]byte, error) {
+	n := c.Normalized()
+	return n.MarshalJSON()
+}

@@ -1,0 +1,120 @@
+package kiss_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	kiss "repro"
+)
+
+// TestConfigWireGolden pins the canonical wire rendering byte-for-byte.
+// The kissd wire protocol and the content-addressed cache key both hang
+// off this encoding: if this golden changes, every cached result keyed
+// under the old bytes is invalidated and old clients speak a different
+// dialect — so changing it must be a deliberate act, not a drive-by.
+func TestConfigWireGolden(t *testing.T) {
+	cfg := kiss.NewConfig(
+		kiss.WithMaxTS(2),
+		kiss.WithRaceTarget(kiss.RaceTarget{Record: "DEVICE_EXTENSION", Field: "stoppingFlag"}),
+		kiss.WithMaxStates(40000),
+		kiss.WithBFS(),
+	)
+	const golden = `{"max_ts":2,"disable_alias_elision":false,"scheduler":"nondet",` +
+		`"race_target":{"record":"DEVICE_EXTENSION","field":"stoppingFlag"},` +
+		`"summaries":false,"max_states":40000,"max_steps":0,"max_depth":0,` +
+		`"bfs":true,"disable_macro_steps":false,"search_workers":0,` +
+		`"num_shards":0,"context_bound":-1}`
+	got, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != golden {
+		t.Errorf("wire format drifted:\n got: %s\nwant: %s", got, golden)
+	}
+}
+
+// TestConfigWireRoundTrip: marshal → unmarshal must reproduce every
+// serializable knob, for both default and fully-populated configs.
+func TestConfigWireRoundTrip(t *testing.T) {
+	cases := []*kiss.Config{
+		kiss.NewConfig(),
+		kiss.NewConfig(
+			kiss.WithMaxTS(3),
+			kiss.WithScheduler(kiss.SchedulerDrainAll),
+			kiss.WithoutAliasElision(),
+			kiss.WithRaceTarget(kiss.RaceTarget{Global: "stopped"}),
+			kiss.WithMaxStates(1000),
+			kiss.WithMaxSteps(2000),
+			kiss.WithMaxDepth(64),
+			kiss.WithBFS(),
+			kiss.WithMacroSteps(false),
+			kiss.WithSearchWorkers(8),
+			kiss.WithContextBound(2),
+		),
+		kiss.NewConfig(kiss.WithSummaries(), kiss.WithScheduler(kiss.SchedulerAtCallsOnly)),
+	}
+	for i, cfg := range cases {
+		data, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatalf("case %d: marshal: %v", i, err)
+		}
+		var back kiss.Config
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("case %d: unmarshal: %v", i, err)
+		}
+		redata, err := json.Marshal(&back)
+		if err != nil {
+			t.Fatalf("case %d: re-marshal: %v", i, err)
+		}
+		if string(data) != string(redata) {
+			t.Errorf("case %d: round trip drifted:\n first: %s\nsecond: %s", i, data, redata)
+		}
+	}
+}
+
+// TestConfigWireRejectsUnknownFields: version skew must be loud.
+func TestConfigWireRejectsUnknownFields(t *testing.T) {
+	var cfg kiss.Config
+	if err := json.Unmarshal([]byte(`{"max_ts":1,"definitely_not_a_knob":true}`), &cfg); err == nil {
+		t.Error("unknown wire field accepted silently")
+	}
+	if err := json.Unmarshal([]byte(`{"scheduler":"round-robin"}`), &cfg); err == nil {
+		t.Error("unknown scheduler name accepted silently")
+	}
+}
+
+// TestConfigCanonicalJSONInvariance: configs differing only in
+// result-invariant knobs (search workers, shards, runtime context,
+// progress plumbing, Explore-only context bound) must share one
+// canonical form — that is what lets a warm cache serve a -search-workers 8
+// resubmission of a -search-workers 0 run.
+func TestConfigCanonicalJSONInvariance(t *testing.T) {
+	base := kiss.NewConfig(kiss.WithMaxStates(500))
+	variant := kiss.NewConfig(
+		kiss.WithMaxStates(500),
+		kiss.WithSearchWorkers(8),
+		kiss.WithContextBound(3),
+		kiss.WithProgress(func(kiss.Event) {}),
+		kiss.WithProgressCadence(10, 0),
+	)
+	a, err := base.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := variant.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("result-invariant knobs leaked into the canonical form:\n%s\n%s", a, b)
+	}
+
+	// And a knob that does change the result must change the bytes.
+	c, err := kiss.NewConfig(kiss.WithMaxStates(501)).CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) == string(c) {
+		t.Error("different budgets share a canonical form")
+	}
+}

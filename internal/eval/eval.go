@@ -15,6 +15,7 @@ import (
 
 	kiss "repro"
 	"repro/internal/drivers"
+	"repro/internal/service"
 )
 
 // FieldVerdict is the per-field outcome of a race-checking run.
@@ -109,6 +110,15 @@ type Options struct {
 	// check (ablation arm; see kiss.Config.DisableMacroSteps). Verdicts are
 	// identical either way; only stored-state counts and speed differ.
 	DisableMacroSteps bool
+	// Server, when non-empty, is the base URL of a running kissd
+	// (cmd/kissd): field checks are submitted over HTTP instead of run
+	// in-process, so repeated corpus runs hit the daemon's content-
+	// addressed result cache — the warm-cache CI/re-run path. Verdicts
+	// and the deterministic search counters are identical to a local
+	// run (the service runs the same kiss.Check); the Workers pool then
+	// bounds concurrent HTTP submissions rather than local checks, and
+	// per-field Progress events do not stream (the search runs remotely).
+	Server string
 	// Context, when non-nil, makes the corpus run cancelable: on
 	// cancellation (or deadline expiry) the in-flight checks stop at their
 	// next poll, the remaining fields are marked Canceled, and RunCorpus
@@ -192,6 +202,10 @@ func RunCorpus(opts Options) ([]*DriverResult, error) {
 	if budget == (kiss.Budget{}) {
 		budget = DefaultBudget
 	}
+	var cl *service.Client
+	if opts.Server != "" {
+		cl = service.NewClient(opts.Server)
+	}
 
 	// Lay out the result skeleton and the flat job list up front: every
 	// selected field owns a fixed slot, so workers never contend on a
@@ -240,7 +254,7 @@ func RunCorpus(opts Options) ([]*DriverResult, error) {
 			}
 			return nil
 		}
-		fr, err := checkField(j.model, j.field, opts.Refined, budget, opts.SearchWorkers, opts.DisableMacroSteps, opts.Context, opts.Progress)
+		fr, err := checkField(j.model, j.field, opts, budget, cl)
 		if err != nil {
 			return fmt.Errorf("%s.%s: %w", j.dr.Spec.Name, j.field.Name, err)
 		}
@@ -312,17 +326,14 @@ func RunCorpus(opts Options) ([]*DriverResult, error) {
 	return out, nil
 }
 
-func checkField(model *drivers.Model, f drivers.FieldSpec, refined bool, budget kiss.Budget, searchWorkers int, macroOff bool, ctx context.Context, progress func(FieldEvent)) (FieldResult, error) {
+func checkField(model *drivers.Model, f drivers.FieldSpec, opts Options, budget kiss.Budget, cl *service.Client) (FieldResult, error) {
 	fr := FieldResult{Driver: model.Spec.Name, Field: f.Name, Pattern: f.Pattern}
 	if checkFieldHook != nil {
 		if err := checkFieldHook(model.Spec.Name, f.Name); err != nil {
 			return fr, err
 		}
 	}
-	prog, err := parseHarness(model.HarnessProgram(f.Name, refined))
-	if err != nil {
-		return fr, fmt.Errorf("generated model does not parse: %w", err)
-	}
+	src := model.HarnessProgram(f.Name, opts.Refined)
 	// Table 1/2 configuration (Section 6): "Guided by the intuition of the
 	// Bluetooth driver example in Section 2.2, we set the size of ts to 0."
 	cfg := &kiss.Config{
@@ -332,14 +343,21 @@ func checkField(model *drivers.Model, f drivers.FieldSpec, refined bool, budget 
 		MaxSteps:          budget.MaxSteps,
 		MaxDepth:          budget.MaxDepth,
 		BFS:               budget.BFS,
-		DisableMacroSteps: macroOff,
-		SearchWorkers:     searchWorkers,
-		Context:           ctx,
+		DisableMacroSteps: opts.DisableMacroSteps,
+		SearchWorkers:     opts.SearchWorkers,
+		Context:           opts.Context,
 	}
-	if progress != nil {
+	if cl != nil {
+		return checkFieldRemote(cl, fr, src, cfg, opts.Context)
+	}
+	prog, err := parseHarness(src)
+	if err != nil {
+		return fr, fmt.Errorf("generated model does not parse: %w", err)
+	}
+	if opts.Progress != nil {
 		driver, field := model.Spec.Name, f.Name
 		cfg.Progress = func(e kiss.Event) {
-			progress(FieldEvent{Driver: driver, Field: field, Event: e})
+			opts.Progress(FieldEvent{Driver: driver, Field: field, Event: e})
 		}
 	}
 	res, err := cfg.Check(prog)
@@ -359,6 +377,47 @@ func checkField(model *drivers.Model, f drivers.FieldSpec, refined bool, budget 
 		// The corpus context stopping the run is cancellation, not the
 		// paper's per-field resource bound.
 		if res.Stats.Reason == kiss.ReasonCanceled || res.Stats.Reason == kiss.ReasonDeadline {
+			fr.Verdict = Canceled
+		} else {
+			fr.Verdict = Timeout
+		}
+	}
+	return fr, nil
+}
+
+// checkFieldRemote is the service-backed arm of checkField: the harness
+// and config travel to a kissd over the wire (the config's functional
+// knobs survive via kiss.Config's stable JSON form), the daemon runs —
+// or cache-serves — the same kiss.Check, and the wire result maps back
+// onto the FieldResult exactly like a local verdict. Cancellation of the
+// corpus context marks the field Canceled, mirroring the local path.
+func checkFieldRemote(cl *service.Client, fr FieldResult, src string, cfg *kiss.Config, ctx context.Context) (FieldResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	resp, err := cl.Check(ctx, src, cfg, 0)
+	if err != nil {
+		if ctx.Err() != nil {
+			fr.Verdict = Canceled
+			return fr, nil
+		}
+		return fr, fmt.Errorf("kissd check: %w", err)
+	}
+	if resp.State != service.StateDone || resp.Result == nil {
+		return fr, fmt.Errorf("kissd check: job %s ended %s: %s", resp.JobID, resp.State, resp.Error)
+	}
+	r := resp.Result
+	fr.States, fr.Steps = r.States, r.Steps
+	fr.Stats = r.Stats
+	switch r.Verdict {
+	case kiss.Error.String():
+		fr.Verdict = Race
+		fr.Message = r.Message
+		fr.Pos = r.Pos
+	case kiss.Safe.String():
+		fr.Verdict = NoRace
+	default:
+		if r.Stats.Reason == kiss.ReasonCanceled || r.Stats.Reason == kiss.ReasonDeadline {
 			fr.Verdict = Canceled
 		} else {
 			fr.Verdict = Timeout

@@ -41,10 +41,31 @@ func Records(results []*DriverResult) []Record {
 }
 
 // WriteJSON emits one JSON object per corpus entry (JSON Lines), the
-// format behind kissbench -json.
+// format behind kissbench -json. Records come out in fixed corpus order
+// — every field owns a result slot assigned before the worker pool
+// starts — so the stream's record and field order is identical at every
+// worker count; only the wall-clock numbers inside Stats vary.
 func WriteJSON(w io.Writer, results []*DriverResult) error {
+	return writeRecords(w, Records(results))
+}
+
+// WriteJSONDeterministic is WriteJSON with the wall-clock-dependent
+// Stats fields zeroed (per-phase times, states/sec, parallel-search
+// diagnostics — see stats.StripTiming). Everything left is a
+// deterministic function of (source, config), so two corpus runs at any
+// worker counts produce byte-for-byte identical streams — the mode for
+// diffing runs and for determinism regression tests.
+func WriteJSONDeterministic(w io.Writer, results []*DriverResult) error {
+	recs := Records(results)
+	for i := range recs {
+		recs[i].Stats.StripTiming()
+	}
+	return writeRecords(w, recs)
+}
+
+func writeRecords(w io.Writer, recs []Record) error {
 	enc := json.NewEncoder(w)
-	for _, rec := range Records(results) {
+	for _, rec := range recs {
 		if err := enc.Encode(rec); err != nil {
 			return fmt.Errorf("encoding %s.%s: %w", rec.Driver, rec.Field, err)
 		}

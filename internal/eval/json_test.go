@@ -1,0 +1,91 @@
+package eval
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestWriteJSONDeterministicAcrossWorkers: the JSON Lines stream must be
+// byte-for-byte identical between a sequential corpus run and a heavily
+// parallel one. Record order is fixed by construction (every field owns
+// a slot assigned before the pool starts); the deterministic writer also
+// strips the wall-clock Stats fields, leaving nothing scheduling-
+// dependent in the bytes.
+func TestWriteJSONDeterministicAcrossWorkers(t *testing.T) {
+	sel := map[string]bool{"kbfiltr": true, "moufiltr": true}
+
+	seq, err := RunCorpus(Options{Drivers: sel, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunCorpus(Options{Drivers: sel, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var a, b bytes.Buffer
+	if err := WriteJSONDeterministic(&a, seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONDeterministic(&b, par); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() == 0 {
+		t.Fatal("empty JSON stream")
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("workers=1 and workers=8 streams differ:\n--- w1 ---\n%s\n--- w8 ---\n%s",
+			firstDiffLine(a.Bytes(), b.Bytes()), firstDiffLine(b.Bytes(), a.Bytes()))
+	}
+
+	// The plain writer keeps wall-clock metrics, so its bytes may differ —
+	// but the record identities and order must not.
+	var pa, pb bytes.Buffer
+	if err := WriteJSON(&pa, seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&pb, par); err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := decodeRecords(t, &pa), decodeRecords(t, &pb)
+	if len(ra) != len(rb) || len(ra) == 0 {
+		t.Fatalf("record counts: w1 %d, w8 %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i].Driver != rb[i].Driver || ra[i].Field != rb[i].Field || ra[i].Verdict != rb[i].Verdict {
+			t.Errorf("record %d: w1 %s.%s=%s, w8 %s.%s=%s", i,
+				ra[i].Driver, ra[i].Field, ra[i].Verdict, rb[i].Driver, rb[i].Field, rb[i].Verdict)
+		}
+	}
+}
+
+func decodeRecords(t *testing.T, buf *bytes.Buffer) []Record {
+	t.Helper()
+	var out []Record
+	dec := json.NewDecoder(buf)
+	for dec.More() {
+		var r Record
+		if err := dec.Decode(&r); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// firstDiffLine returns the first line of a that differs from b's
+// corresponding line, for a readable failure message.
+func firstDiffLine(a, b []byte) string {
+	sa := bufio.NewScanner(bytes.NewReader(a))
+	sb := bufio.NewScanner(bytes.NewReader(b))
+	sa.Buffer(make([]byte, 1<<20), 1<<20)
+	sb.Buffer(make([]byte, 1<<20), 1<<20)
+	for sa.Scan() {
+		if !sb.Scan() || sa.Text() != sb.Text() {
+			return sa.Text()
+		}
+	}
+	return "(streams are a prefix of each other)"
+}

@@ -1,0 +1,110 @@
+package eval
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// startDaemon spins up an in-process kissd (service handler over
+// httptest) and returns its base URL plus the server for counter
+// inspection.
+func startDaemon(t *testing.T) (*service.Server, string) {
+	t.Helper()
+	s := service.New(service.Config{Workers: 2, QueueSize: 64})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+		ts.Close()
+	})
+	return s, ts.URL
+}
+
+// TestRunCorpusServiceBackedMatchesLocal: the service-backed execution
+// path must reproduce the local corpus verdicts exactly — same drivers,
+// same per-field verdicts, same deterministic search counters — and a
+// second identical corpus run must be answered from the daemon's
+// content-addressed cache without exploring new states.
+func TestRunCorpusServiceBackedMatchesLocal(t *testing.T) {
+	sel := map[string]bool{"tracedrv": true}
+	local, err := RunCorpus(Options{Drivers: sel})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, url := startDaemon(t)
+	remote, err := RunCorpus(Options{Drivers: sel, Server: url})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(remote) != len(local) {
+		t.Fatalf("driver rows: remote %d, local %d", len(remote), len(local))
+	}
+	for i := range local {
+		ld, rd := local[i], remote[i]
+		if ld.Races != rd.Races || ld.NoRace != rd.NoRace || ld.Timeouts != rd.Timeouts {
+			t.Errorf("%s: remote %d/%d/%d, local %d/%d/%d (races/no-race/timeouts)",
+				ld.Spec.Name, rd.Races, rd.NoRace, rd.Timeouts, ld.Races, ld.NoRace, ld.Timeouts)
+		}
+		for j := range ld.Fields {
+			lf, rf := ld.Fields[j], rd.Fields[j]
+			if lf.Verdict != rf.Verdict || lf.States != rf.States || lf.Steps != rf.Steps ||
+				lf.Message != rf.Message || lf.Pos != rf.Pos {
+				t.Errorf("%s.%s: remote {%v %d %d %q %q}, local {%v %d %d %q %q}",
+					lf.Driver, lf.Field, rf.Verdict, rf.States, rf.Steps, rf.Message, rf.Pos,
+					lf.Verdict, lf.States, lf.Steps, lf.Message, lf.Pos)
+			}
+		}
+	}
+
+	// The warm re-run: every field is an identical (source, config)
+	// problem, so the second pass must be all cache hits.
+	h1 := srv.Health()
+	again, err := RunCorpus(Options{Drivers: sel, Server: url})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := srv.Health()
+	fields := 0
+	for _, dr := range again {
+		fields += len(dr.Fields)
+	}
+	hits := h2.Cache.Hits - h1.Cache.Hits
+	if hits != int64(fields) {
+		t.Errorf("warm pass: %d cache hits for %d fields", hits, fields)
+	}
+	if h2.Cache.Misses != h1.Cache.Misses {
+		t.Errorf("warm pass took %d misses", h2.Cache.Misses-h1.Cache.Misses)
+	}
+	for i := range local {
+		for j := range local[i].Fields {
+			if again[i].Fields[j].Verdict != local[i].Fields[j].Verdict {
+				t.Errorf("warm verdict drifted for %s.%s", local[i].Fields[j].Driver, local[i].Fields[j].Field)
+			}
+		}
+	}
+}
+
+// TestRunCorpusServiceBackedCancellation: canceling the corpus context
+// mid-run must mark fields Canceled and return without error, like the
+// local path.
+func TestRunCorpusServiceBackedCancellation(t *testing.T) {
+	_, url := startDaemon(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already canceled: every field should come back Canceled
+	res, err := RunCorpus(Options{Drivers: map[string]bool{"tracedrv": true}, Server: url, Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dr := range res {
+		if dr.Canceled != len(dr.Fields) {
+			t.Errorf("%s: %d of %d fields canceled", dr.Spec.Name, dr.Canceled, len(dr.Fields))
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	kiss "repro"
+)
+
+// Client is the Go client for a running kissd. It is what `kiss -server`
+// and the service-backed eval.RunCorpus path speak; any HTTP client can
+// do the same with curl (see README, "Running kissd").
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a client for the daemon at base (e.g.
+// "http://localhost:8344"). Requests are bounded by the per-call
+// context, not a client-wide timeout — checks legitimately run long.
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// StatusError is a non-2xx daemon response. Callers distinguishing
+// backpressure (429) from drain (503) switch on Code.
+type StatusError struct {
+	Code       int
+	Message    string
+	RetryAfter string // the Retry-After header, when present
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("kissd: HTTP %d: %s", e.Code, e.Message)
+}
+
+// Check submits source under cfg and waits for the verdict. A zero
+// timeout leaves the job on the server's default deadline. The returned
+// response carries the wire result and whether it was served from the
+// content-addressed cache.
+func (c *Client) Check(ctx context.Context, source string, cfg *kiss.Config, timeout time.Duration) (*CheckResponse, error) {
+	req := CheckRequest{Source: source, Config: cfg}
+	if timeout > 0 {
+		req.TimeoutMS = timeout.Milliseconds()
+	}
+	return c.post(ctx, "/v1/check", req)
+}
+
+// Submit enqueues source without waiting; poll the returned JobID with
+// Job.
+func (c *Client) Submit(ctx context.Context, source string, cfg *kiss.Config, timeout time.Duration) (*CheckResponse, error) {
+	wait := false
+	req := CheckRequest{Source: source, Config: cfg, Wait: &wait}
+	if timeout > 0 {
+		req.TimeoutMS = timeout.Milliseconds()
+	}
+	return c.post(ctx, "/v1/check", req)
+}
+
+// Job polls an async submission.
+func (c *Client) Job(ctx context.Context, id string) (*CheckResponse, error) {
+	var out CheckResponse
+	if err := c.getJSON(ctx, "/v1/jobs/"+id, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health fetches /healthz.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	var out Health
+	if err := c.getJSON(ctx, "/healthz", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Metrics fetches the raw Prometheus text exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &StatusError{Code: resp.StatusCode, Message: strings.TrimSpace(string(b))}
+	}
+	return string(b), nil
+}
+
+func (c *Client) post(ctx context.Context, path string, body CheckRequest) (*CheckResponse, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return nil, decodeErr(resp)
+	}
+	var out CheckResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("kissd: decoding response: %w", err)
+	}
+	return &out, nil
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeErr(resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("kissd: decoding response: %w", err)
+	}
+	return nil
+}
+
+// decodeErr lifts a non-2xx response into a StatusError, preferring the
+// JSON error body.
+func decodeErr(resp *http.Response) error {
+	e := &StatusError{Code: resp.StatusCode, RetryAfter: resp.Header.Get("Retry-After")}
+	var b errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&b); err == nil && b.Error != "" {
+		e.Message = b.Error
+	} else {
+		e.Message = http.StatusText(resp.StatusCode)
+	}
+	return e
+}

@@ -1,0 +1,134 @@
+package service
+
+import (
+	"context"
+	"sync"
+
+	kiss "repro"
+)
+
+// job is one unit of queued work: a parsed program plus the effective
+// run config, flowing from the admission handler through the bounded
+// queue to a scheduler worker. The handler owns creation; exactly one
+// worker (or the cache fast path) calls finish; any number of pollers
+// read status.
+type job struct {
+	id  string
+	key string // content address (cache key)
+
+	prog *kiss.Program
+	cfg  *kiss.Config // normalized request config + server-side overrides
+
+	// ctx carries the per-job deadline, measured from submission so
+	// queue wait counts against it; cancel releases the timer and is
+	// called by the worker when the job finishes.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	state  string
+	cached bool
+	result *Result
+	errMsg string
+	done   chan struct{}
+}
+
+func newJob(id, key string, prog *kiss.Program, cfg *kiss.Config, ctx context.Context, cancel context.CancelFunc) *job {
+	return &job{
+		id: id, key: key, prog: prog, cfg: cfg,
+		ctx: ctx, cancel: cancel,
+		state: StateQueued, done: make(chan struct{}),
+	}
+}
+
+// doneJob builds an already-completed job (the cache-hit fast path).
+func doneJob(id, key string, res *Result, cached bool) *job {
+	j := &job{id: id, key: key, state: StateDone, cached: cached, result: res, done: make(chan struct{})}
+	close(j.done)
+	return j
+}
+
+func (j *job) setRunning() {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.mu.Unlock()
+}
+
+// finish records the outcome and releases waiters. A non-empty errMsg
+// marks the job failed (a pipeline error, distinct from any verdict).
+func (j *job) finish(res *Result, errMsg string) {
+	j.mu.Lock()
+	if errMsg != "" {
+		j.state, j.errMsg = StateFailed, errMsg
+	} else {
+		j.state, j.result = StateDone, res
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// status snapshots the job as a wire response.
+func (j *job) status() CheckResponse {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return CheckResponse{
+		JobID:  j.id,
+		State:  j.state,
+		Cached: j.cached,
+		Result: j.result,
+		Error:  j.errMsg,
+	}
+}
+
+// maxRetainedJobs bounds the job table of a long-running daemon: once
+// exceeded, the oldest *completed* jobs are forgotten (their results
+// remain reachable through the cache; only the job-id handle expires).
+const maxRetainedJobs = 4096
+
+// jobTable is the id -> job registry behind GET /v1/jobs/{id}.
+type jobTable struct {
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string // insertion order, for retention pruning
+}
+
+func newJobTable() *jobTable {
+	return &jobTable{jobs: map[string]*job{}}
+}
+
+func (t *jobTable) add(j *job) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.jobs[j.id] = j
+	t.order = append(t.order, j.id)
+	if len(t.order) <= maxRetainedJobs {
+		return
+	}
+	// Prune the oldest completed jobs; never drop one still queued or
+	// running — its submitter may be waiting on the handle.
+	keep := t.order[:0]
+	pruned := 0
+	for _, id := range t.order {
+		over := len(t.order)-pruned > maxRetainedJobs
+		jj := t.jobs[id]
+		if over && jj != nil {
+			jj.mu.Lock()
+			finished := jj.state == StateDone || jj.state == StateFailed
+			jj.mu.Unlock()
+			if finished {
+				delete(t.jobs, id)
+				pruned++
+				continue
+			}
+		}
+		keep = append(keep, id)
+	}
+	t.order = keep
+}
+
+func (t *jobTable) get(id string) (*job, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	j, ok := t.jobs[id]
+	return j, ok
+}

@@ -1,0 +1,149 @@
+package service
+
+import (
+	"runtime"
+
+	kiss "repro"
+	"repro/internal/stats"
+)
+
+// The scheduler half of the Server: a fixed pool of workers draining the
+// bounded queue. Parallelism composes the same way eval.RunCorpus does
+// it (PR 3): the pool width times the per-check SearchWorkers is held at
+// the machine's core count, so concurrent jobs multiplex the hardware
+// instead of oversubscribing it. Workers run jobs to completion — drain
+// closes the queue and waits, so SIGTERM never abandons an accepted job.
+
+// defaultWorkers sizes the pool for a per-check search width: enough
+// workers to cover the cores once searchWorkers-wide checks are running.
+func defaultWorkers(searchWorkers int) int {
+	cores := runtime.GOMAXPROCS(0)
+	if searchWorkers > 1 {
+		return max(1, cores/searchWorkers)
+	}
+	return max(1, cores)
+}
+
+// checkHook, when non-nil, runs in the worker just before kiss.Check.
+// Test instrumentation: lifecycle tests park a worker here to make
+// queue-full and drain timing deterministic.
+var checkHook func(*job)
+
+// startWorkers launches the pool; each worker exits when the queue is
+// closed and empty (Drain).
+func (s *Server) startWorkers() {
+	for w := 0; w < s.cfg.Workers; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				s.inflight.Add(1)
+				s.runJob(j)
+				s.inflight.Add(-1)
+			}
+		}()
+	}
+}
+
+// runJob executes one check and publishes the outcome: result into the
+// job (waking sync waiters), wire form into the cache, counters and
+// phase timings into the metrics registry.
+func (s *Server) runJob(j *job) {
+	j.setRunning()
+	if hook := checkHook; hook != nil {
+		hook(j)
+	}
+	defer j.cancel() // release the deadline timer
+
+	res, err := j.cfg.Check(j.prog)
+	if err != nil {
+		// A pipeline error (the transformation rejecting the program,
+		// compilation failing) — a property of the submission, reported
+		// on the job, not a server failure.
+		s.jobsFailed.Inc()
+		j.finish(nil, err.Error())
+		return
+	}
+
+	wres := wireResult(res)
+	// Deadline/cancellation trims the explored space, so a partial
+	// result is NOT the answer to the (source, config) problem — only
+	// completed verdicts are cacheable. Budget-tripped results (states/
+	// steps) ARE deterministic for the config and cache fine.
+	reason := res.Stats.Reason
+	if reason != kiss.ReasonDeadline && reason != kiss.ReasonCanceled {
+		s.cache.put(j.key, wres)
+	}
+
+	s.observe(res)
+	j.finish(wres, "")
+	s.jobsDone.Add(1)
+}
+
+// observe folds one completed check into the fleet metrics.
+func (s *Server) observe(res *kiss.Result) {
+	if c, ok := s.outcomes[res.Verdict.String()]; ok {
+		c.Inc()
+	}
+	s.statesTotal.Add(float64(res.States))
+	s.stepsTotal.Add(float64(res.Steps))
+	s.phaseParse.Observe(res.Stats.Phases.Parse.Seconds())
+	s.phaseTransform.Observe(res.Stats.Phases.Transform.Seconds())
+	s.phaseCheck.Observe(res.Stats.Phases.Check.Seconds())
+}
+
+// registerMetrics populates the registry with the service fleet metrics:
+// queue and worker gauges, job outcome counters, cache counters and hit
+// ratio, per-phase wall-time histograms, and fleet-wide states/sec.
+func (s *Server) registerMetrics() {
+	r := s.reg
+	r.GaugeFunc("kissd_queue_depth", "Jobs waiting in the admission queue.", nil,
+		func() float64 { return float64(len(s.queue)) })
+	r.GaugeFunc("kissd_queue_capacity", "Admission queue capacity.", nil,
+		func() float64 { return float64(cap(s.queue)) })
+	r.GaugeFunc("kissd_inflight_jobs", "Jobs currently being checked.", nil,
+		func() float64 { return float64(s.inflight.Load()) })
+	r.GaugeFunc("kissd_workers", "Scheduler worker-pool size.", nil,
+		func() float64 { return float64(s.cfg.Workers) })
+
+	s.outcomes = map[string]*stats.Counter{}
+	for _, outcome := range []string{"safe", "error", "resource-bound"} {
+		s.outcomes[outcome] = r.Counter("kissd_jobs_total",
+			"Completed jobs by verdict.", map[string]string{"outcome": outcome})
+	}
+	s.jobsFailed = r.Counter("kissd_jobs_total",
+		"Completed jobs by verdict.", map[string]string{"outcome": "failed"})
+	s.jobsRejected = r.Counter("kissd_rejected_total",
+		"Submissions rejected with 429 because the queue was full.", nil)
+
+	r.CounterFunc("kissd_cache_hits_total", "Result-cache hits.", nil,
+		func() float64 { return float64(s.cache.hits.Load()) })
+	r.CounterFunc("kissd_cache_misses_total", "Result-cache misses.", nil,
+		func() float64 { return float64(s.cache.misses.Load()) })
+	r.CounterFunc("kissd_cache_evictions_total", "Result-cache LRU evictions.", nil,
+		func() float64 { return float64(s.cache.evictions.Load()) })
+	r.GaugeFunc("kissd_cache_bytes", "Bytes held by the result cache.", nil,
+		func() float64 { return float64(s.cache.stats().Bytes) })
+	r.GaugeFunc("kissd_cache_entries", "Entries in the result cache.", nil,
+		func() float64 { return float64(s.cache.stats().Entries) })
+	r.GaugeFunc("kissd_cache_hit_ratio", "Lifetime cache hits / lookups.", nil,
+		s.cache.hitRatio)
+
+	s.statesTotal = r.Counter("kissd_states_total",
+		"States stored across all completed checks.", nil)
+	s.stepsTotal = r.Counter("kissd_steps_total",
+		"Transitions executed across all completed checks.", nil)
+	s.phaseParse = r.Histogram("kissd_phase_seconds", "Per-phase wall time of completed checks.",
+		map[string]string{"phase": "parse"}, nil)
+	s.phaseTransform = r.Histogram("kissd_phase_seconds", "Per-phase wall time of completed checks.",
+		map[string]string{"phase": "transform"}, nil)
+	s.phaseCheck = r.Histogram("kissd_phase_seconds", "Per-phase wall time of completed checks.",
+		map[string]string{"phase": "check"}, nil)
+	r.GaugeFunc("kissd_states_per_sec", "Fleet-wide average states/sec (states total / check seconds total).", nil,
+		func() float64 {
+			if secs := s.phaseCheck.Sum(); secs > 0 {
+				return s.statesTotal.Value() / secs
+			}
+			return 0
+		})
+}

@@ -1,0 +1,123 @@
+// Package service is the long-running checking service behind cmd/kissd:
+// an HTTP API over the kiss.Check pipeline with a bounded job queue,
+// a worker scheduler multiplexing checks under one core budget, a
+// content-addressed result cache, and Prometheus-text metrics.
+//
+// The KISS reduction turns every checking problem into an independent
+// sequential search over a (source, config) pair — deterministic, shared-
+// nothing, and therefore perfectly suited to being served: identical
+// submissions (the common case for corpus re-runs and CI) are answered
+// from the cache without re-exploration, distinct submissions queue up
+// behind a fixed worker pool, and overload surfaces as backpressure
+// (HTTP 429 + Retry-After) instead of memory growth.
+//
+// Endpoints:
+//
+//	POST /v1/check     submit {source, config, wait?, timeout_ms?}
+//	GET  /v1/jobs/{id} poll an async submission
+//	GET  /healthz      liveness + version + queue/cache counters (JSON)
+//	GET  /metrics      Prometheus text exposition
+package service
+
+import (
+	kiss "repro"
+)
+
+// CheckRequest is the POST /v1/check body. Config uses kiss.Config's
+// stable wire format (config_wire.go); nil means the default config.
+// Wait selects synchronous semantics (the response carries the result);
+// nil defaults to true. TimeoutMS bounds this job's wall time from
+// submission — expiry yields a ResourceBound result with reason
+// "deadline", never an HTTP error.
+type CheckRequest struct {
+	Source    string       `json:"source"`
+	Config    *kiss.Config `json:"config,omitempty"`
+	Wait      *bool        `json:"wait,omitempty"`
+	TimeoutMS int64        `json:"timeout_ms,omitempty"`
+}
+
+// wait reports the effective wait flag (default true).
+func (r *CheckRequest) wait() bool { return r.Wait == nil || *r.Wait }
+
+// Result is the wire form of a kiss.Result: everything a remote caller
+// can use, in serializable shape. The reconstructed concurrent trace
+// travels pre-formatted plus as the replayable schedule; Stats embeds
+// the full observability payload (kiss.Stats round-trips via the
+// internal/stats JSON codecs).
+type Result struct {
+	Verdict  string     `json:"verdict"`
+	Message  string     `json:"message,omitempty"`
+	Pos      string     `json:"pos,omitempty"`
+	States   int        `json:"states"`
+	Steps    int        `json:"steps"`
+	Trace    string     `json:"trace,omitempty"`
+	Schedule []int      `json:"schedule,omitempty"`
+	Stats    kiss.Stats `json:"stats"`
+}
+
+// wireResult lowers a kiss.Result to the wire shape.
+func wireResult(res *kiss.Result) *Result {
+	out := &Result{
+		Verdict: res.Verdict.String(),
+		Message: res.Message,
+		States:  res.States,
+		Steps:   res.Steps,
+		Stats:   res.Stats,
+	}
+	if res.Verdict == kiss.Error {
+		out.Pos = res.Pos.String()
+		if res.Trace != nil {
+			out.Trace = res.Trace.Format()
+			out.Schedule = res.Trace.Schedule()
+		}
+	}
+	return out
+}
+
+// Job states reported by CheckResponse.State.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// CheckResponse is the body of POST /v1/check and GET /v1/jobs/{id}.
+// Cached marks results served from the content-addressed cache; Error
+// carries pipeline errors (e.g. the transformation rejecting a program),
+// which put the job in StateFailed.
+type CheckResponse struct {
+	JobID  string  `json:"job_id"`
+	State  string  `json:"state"`
+	Cached bool    `json:"cached,omitempty"`
+	Result *Result `json:"result,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// CacheStats is a point-in-time snapshot of the result cache counters.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	MaxBytes  int64 `json:"max_bytes"`
+}
+
+// Health is the GET /healthz body.
+type Health struct {
+	Status        string     `json:"status"` // "ok" or "draining"
+	Version       string     `json:"version"`
+	Workers       int        `json:"workers"`
+	SearchWorkers int        `json:"search_workers"`
+	QueueDepth    int        `json:"queue_depth"`
+	QueueCapacity int        `json:"queue_capacity"`
+	InFlight      int        `json:"inflight"`
+	JobsDone      int64      `json:"jobs_done"`
+	Cache         CacheStats `json:"cache"`
+}
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,326 @@
+package stats
+
+// Prometheus text exposition. The stats package owns the checker core's
+// metrics vocabulary (phases, reasons, search counters); this file adds
+// the fleet-level half: a small metric registry — counters, gauges,
+// gauge functions, and fixed-bucket histograms — that renders itself in
+// the Prometheus text exposition format (version 0.0.4). kissd's
+// /metrics endpoint is a Registry populated by the service scheduler
+// with queue depth, in-flight jobs, cache hit/miss/eviction counters,
+// per-phase timing histograms fed from each Result's Stats.Phases, and
+// fleet-wide states/sec.
+//
+// The implementation is deliberately dependency-free (the repo is
+// standard-library-only): no client_golang, just the subset of the text
+// format the format spec requires — HELP/TYPE headers, sorted families,
+// sorted label sets, cumulative le buckets with a trailing +Inf.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds d (d must be >= 0 for Prometheus semantics; not enforced).
+func (c *Counter) Add(d float64) {
+	c.mu.Lock()
+	c.v += d
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add adjusts the value by d (negative to decrease).
+func (g *Gauge) Add(d float64) {
+	g.mu.Lock()
+	g.v += d
+	g.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Histogram is a fixed-bucket cumulative histogram.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // ascending upper bounds, +Inf implicit
+	counts  []uint64  // per-bound (non-cumulative); rendered cumulatively
+	infOver uint64    // observations above the last bound
+	sum     float64
+	count   uint64
+}
+
+// DefaultDurationBuckets suit checker phase times: sub-millisecond
+// parses through minute-long bounded searches.
+var DefaultDurationBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]uint64, len(b))}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sum += v
+	h.count++
+	for i, ub := range h.bounds {
+		if v <= ub {
+			h.counts[i]++
+			return
+		}
+	}
+	h.infOver++
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// snapshot returns (cumulative bucket counts incl. +Inf, sum, count).
+func (h *Histogram) snapshot() ([]uint64, float64, uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum := make([]uint64, len(h.bounds)+1)
+	var run uint64
+	for i, c := range h.counts {
+		run += c
+		cum[i] = run
+	}
+	cum[len(h.bounds)] = run + h.infOver
+	return cum, h.sum, h.count
+}
+
+// sampler is anything a series can read a float from at scrape time.
+type sampler func() float64
+
+// series is one (labels, collector) pair inside a family.
+type series struct {
+	labels    string // pre-rendered, sorted, "{k="v",...}" or ""
+	sample    sampler
+	histogram *Histogram // set for histogram families
+}
+
+// family groups the series sharing one metric name.
+type family struct {
+	name, help, typ string
+	series          []*series
+}
+
+// Registry holds metric families and renders them as Prometheus text.
+// Registration is typically done once at startup; WriteText may be
+// called concurrently with metric updates.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// renderLabels renders a label map in sorted-key order.
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(v)
+}
+
+// add registers one series, enforcing one type and help per family.
+func (r *Registry) add(name, help, typ string, s *series) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ}
+		r.families[name] = f
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("stats: metric %s registered as both %s and %s", name, f.typ, typ))
+	}
+	for _, existing := range f.series {
+		if existing.labels == s.labels {
+			panic(fmt.Sprintf("stats: duplicate series %s%s", name, s.labels))
+		}
+	}
+	f.series = append(f.series, s)
+}
+
+// Counter registers and returns a counter series.
+func (r *Registry) Counter(name, help string, labels map[string]string) *Counter {
+	c := &Counter{}
+	r.add(name, help, "counter", &series{labels: renderLabels(labels), sample: c.Value})
+	return c
+}
+
+// Gauge registers and returns a settable gauge series.
+func (r *Registry) Gauge(name, help string, labels map[string]string) *Gauge {
+	g := &Gauge{}
+	r.add(name, help, "gauge", &series{labels: renderLabels(labels), sample: g.Value})
+	return g
+}
+
+// CounterFunc registers a counter whose value is read at scrape time
+// from an externally maintained monotonic source (e.g. an atomic hit
+// counter owned by a cache).
+func (r *Registry) CounterFunc(name, help string, labels map[string]string, fn func() float64) {
+	r.add(name, help, "counter", &series{labels: renderLabels(labels), sample: fn})
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time —
+// the natural shape for derived quantities (queue depth read off a
+// channel, cache hit ratio, fleet states/sec).
+func (r *Registry) GaugeFunc(name, help string, labels map[string]string, fn func() float64) {
+	r.add(name, help, "gauge", &series{labels: renderLabels(labels), sample: fn})
+}
+
+// Histogram registers and returns a histogram series with the given
+// ascending bucket upper bounds (nil selects DefaultDurationBuckets).
+func (r *Registry) Histogram(name, help string, labels map[string]string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultDurationBuckets
+	}
+	h := newHistogram(bounds)
+	r.add(name, help, "histogram", &series{labels: renderLabels(labels), histogram: h})
+	return h
+}
+
+// formatValue renders a sample the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labeledName splices extra labels (the histogram le) into a rendered
+// label string.
+func labeledName(name, labels, extraKey, extraVal string) string {
+	extra := extraKey + `="` + extraVal + `"`
+	if labels == "" {
+		return name + "{" + extra + "}"
+	}
+	return name + labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// WriteText renders every registered family in the Prometheus text
+// exposition format: families sorted by name, series sorted by label
+// string, HELP and TYPE emitted once per family.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		ordered := make([]*series, len(f.series))
+		copy(ordered, f.series)
+		sort.Slice(ordered, func(i, j int) bool { return ordered[i].labels < ordered[j].labels })
+		for _, s := range ordered {
+			if s.histogram != nil {
+				cum, sum, count := s.histogram.snapshot()
+				for i, ub := range s.histogram.bounds {
+					fmt.Fprintf(&b, "%s %d\n",
+						labeledName(f.name+"_bucket", s.labels, "le", formatValue(ub)), cum[i])
+				}
+				fmt.Fprintf(&b, "%s %d\n",
+					labeledName(f.name+"_bucket", s.labels, "le", "+Inf"), cum[len(cum)-1])
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, s.labels, formatValue(sum))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, s.labels, count)
+				continue
+			}
+			fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatValue(s.sample()))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRegistryExposition: the rendered text must be the Prometheus
+// 0.0.4 format — HELP/TYPE once per family, families sorted by name,
+// series sorted by labels, cumulative histogram buckets ending in +Inf.
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("kissd_cache_hits_total", "Cache hits.", nil)
+	c.Add(3)
+	g := r.Gauge("kissd_inflight_jobs", "Jobs being checked now.", nil)
+	g.Set(2)
+	r.GaugeFunc("kissd_queue_depth", "Jobs waiting in the queue.", nil, func() float64 { return 7 })
+	h := r.Histogram("kissd_phase_seconds", "Per-phase wall time.",
+		map[string]string{"phase": "check"}, []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(100)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP kissd_cache_hits_total Cache hits.\n# TYPE kissd_cache_hits_total counter\nkissd_cache_hits_total 3\n",
+		"kissd_inflight_jobs 2\n",
+		"kissd_queue_depth 7\n",
+		`kissd_phase_seconds_bucket{phase="check",le="0.1"} 1` + "\n",
+		`kissd_phase_seconds_bucket{phase="check",le="1"} 2` + "\n",
+		`kissd_phase_seconds_bucket{phase="check",le="10"} 2` + "\n",
+		`kissd_phase_seconds_bucket{phase="check",le="+Inf"} 3` + "\n",
+		`kissd_phase_seconds_sum{phase="check"} 100.55` + "\n",
+		`kissd_phase_seconds_count{phase="check"} 3` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Families must come out name-sorted.
+	hits := strings.Index(out, "kissd_cache_hits_total")
+	inflight := strings.Index(out, "kissd_inflight_jobs")
+	queue := strings.Index(out, "kissd_queue_depth")
+	if !(hits < inflight && inflight < queue) {
+		t.Errorf("families not sorted by name:\n%s", out)
+	}
+}
+
+// TestRegistryMultiSeriesFamily: several label sets under one name share
+// a single HELP/TYPE header.
+func TestRegistryMultiSeriesFamily(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs_total", "Jobs by outcome.", map[string]string{"outcome": "safe"}).Add(5)
+	r.Counter("jobs_total", "Jobs by outcome.", map[string]string{"outcome": "error"}).Inc()
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "# TYPE jobs_total counter") != 1 {
+		t.Errorf("TYPE header not emitted exactly once:\n%s", out)
+	}
+	errIdx := strings.Index(out, `jobs_total{outcome="error"} 1`)
+	safeIdx := strings.Index(out, `jobs_total{outcome="safe"} 5`)
+	if errIdx < 0 || safeIdx < 0 || errIdx > safeIdx {
+		t.Errorf("series missing or not label-sorted:\n%s", out)
+	}
+}
+
+// TestRegistryTypeConflictPanics: one name, two types is a programming
+// error and must fail fast.
+func TestRegistryTypeConflictPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("conflicting registration did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("m", "h", nil)
+	r.Gauge("m", "h", nil)
+}
+
+// TestLabelEscaping: quotes, backslashes, and newlines in label values
+// must render escaped.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("weird", "h", map[string]string{"k": "a\"b\\c\nd"}).Inc()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if want := `weird{k="a\"b\\c\nd"} 1`; !strings.Contains(b.String(), want) {
+		t.Errorf("label not escaped, want %q in:\n%s", want, b.String())
+	}
+}
+
+// TestStatsJSONRoundTrip: a full Stats record must survive
+// marshal/unmarshal — the kissd client decodes cached Result.Stats off
+// the wire, so Reason and PhaseTimes need working inverses.
+func TestStatsJSONRoundTrip(t *testing.T) {
+	s := Stats{
+		States:           123,
+		Steps:            456,
+		StatesStepped:    400,
+		CompressionRatio: 3.25,
+		Visited:          120,
+		PeakFrontier:     40,
+		PeakDepth:        17,
+		Reason:           ReasonDeadline,
+		Phases: PhaseTimes{
+			Parse:     1500 * time.Microsecond,
+			Transform: 2 * time.Millisecond,
+			Check:     1250 * time.Millisecond,
+		},
+		StatesPerSec: 98.4,
+		Parallel:     &Parallel{Workers: 4, Shards: 16, PerWorkerStates: []int{30, 30, 30, 33}, ShardContention: 7},
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Stats
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.States != s.States || back.Steps != s.Steps || back.Reason != s.Reason ||
+		back.CompressionRatio != s.CompressionRatio || back.Parallel == nil ||
+		back.Parallel.Workers != 4 {
+		t.Errorf("round trip lost fields: %+v", back)
+	}
+	// Phase times round through seconds floats; micro-level agreement is
+	// plenty for wall-clock metrics.
+	if d := back.Phases.Check - s.Phases.Check; d > time.Microsecond || d < -time.Microsecond {
+		t.Errorf("check phase drifted: %v vs %v", back.Phases.Check, s.Phases.Check)
+	}
+	for _, name := range []string{"", "none", "max-states", "max-steps", "deadline", "canceled"} {
+		var r Reason
+		if err := json.Unmarshal([]byte(`"`+name+`"`), &r); err != nil {
+			t.Errorf("reason %q failed to parse: %v", name, err)
+		}
+	}
+	var r Reason
+	if err := json.Unmarshal([]byte(`"out-of-coffee"`), &r); err == nil {
+		t.Error("unknown reason accepted")
+	}
+}

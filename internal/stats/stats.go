@@ -97,6 +97,31 @@ func (r Reason) MarshalJSON() ([]byte, error) {
 	return json.Marshal(r.String())
 }
 
+// UnmarshalJSON parses the name form back (the inverse of MarshalJSON),
+// so Stats records round-trip over the kissd wire protocol. "" and
+// "none" both decode to ReasonNone.
+func (r *Reason) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "", "none":
+		*r = ReasonNone
+	case "max-states":
+		*r = ReasonStates
+	case "max-steps":
+		*r = ReasonSteps
+	case "deadline":
+		*r = ReasonDeadline
+	case "canceled":
+		*r = ReasonCanceled
+	default:
+		return fmt.Errorf("stats: unknown reason %q", s)
+	}
+	return nil
+}
+
 // PhaseTimes records wall-clock duration per pipeline phase.
 type PhaseTimes struct {
 	Parse     time.Duration
@@ -141,6 +166,29 @@ func (pt PhaseTimes) MarshalJSON() ([]byte, error) {
 		Replay:    pt.Replay.Seconds(),
 		Total:     pt.Total().Seconds(),
 	})
+}
+
+// UnmarshalJSON parses the seconds form back into durations (the
+// inverse of MarshalJSON, modulo sub-nanosecond float rounding), so
+// Stats records survive the kissd wire protocol and cached results
+// report the phase times of the run that produced them.
+func (pt *PhaseTimes) UnmarshalJSON(data []byte) error {
+	var w struct {
+		Parse     float64 `json:"parse_s"`
+		Transform float64 `json:"transform_s"`
+		Check     float64 `json:"check_s"`
+		Replay    float64 `json:"replay_s"`
+		Total     float64 `json:"total_s"` // derived; ignored on decode
+	}
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	secs := func(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+	pt.Parse = secs(w.Parse)
+	pt.Transform = secs(w.Transform)
+	pt.Check = secs(w.Check)
+	pt.Replay = secs(w.Replay)
+	return nil
 }
 
 // Stats is the unified metrics record for one check run. The search
