@@ -20,9 +20,10 @@ vet:
 # the eval worker pool (and, transitively, the shared parsed-harness and
 # model caches it hands to concurrent field checks), the parallel
 # state-space searches in seqcheck/concheck with their sharded visited
-# set — including the macro-step engines and their sync.Pool buffer
-# reuse, exercised by the TestMacro* differential tests in those
-# packages — and the copy-on-write state representation their workers
+# set — including the macro-step engines, their sync.Pool buffer reuse,
+# and the sharded fold-memo replay cache they share, exercised by the
+# TestMacro* and TestFoldMemo* differential tests in those packages —
+# and the copy-on-write state representation their workers
 # share, plus the kissd service layer (queue admission vs. drain, the
 # worker scheduler, and the result cache). -short skips the full-corpus
 # reproductions, which the plain `test` target already runs.
@@ -41,19 +42,27 @@ verify: build vet test race
 # search-workers 0/1/8, stored/stepped states, throughput, and
 # allocations per arm — written to BENCH_PR4.json (the run exits
 # non-zero if the arms disagree or stored states fail to compress).
+# The PR 6 suite reruns the ablation as three arms — per-statement,
+# macro, macro+memo — and writes BENCH_PR6.json with the fold-memo hit
+# ratio and steps-saved totals; it exits non-zero unless compression
+# holds 3.0x, the memo hit ratio reaches 10%, and the memo arm's
+# traversal rate (stepped states/sec) at least matches per-statement.
 bench:
 	$(GO) test -bench 'BenchmarkClone|BenchmarkDeepClone|BenchmarkSuccessors' -benchmem -run '^$$' ./internal/sem/
 	$(GO) run ./cmd/kissbench -table1 -json > BENCH_PR3.json
 	@echo "wrote BENCH_PR3.json"
 	$(GO) run ./cmd/kissbench -macrobench -min-ratio 3.0 -json > BENCH_PR4.json
 	@echo "wrote BENCH_PR4.json"
+	$(GO) run ./cmd/kissbench -macrobench -min-ratio 3.0 -min-hit-ratio 0.10 -require-memo-speedup -json > BENCH_PR6.json
+	@echo "wrote BENCH_PR6.json"
 
-# bench-smoke is the CI-sized slice of the PR 4 suite: the macro-step
-# ablation on two small drivers (kbfiltr + moufiltr), both arms, with
-# the same identity verification, asserting the stored-state compression
-# ratio exceeds 1. Runs in a couple of seconds.
+# bench-smoke is the CI-sized slice of the ablation suite: three arms on
+# two small drivers (kbfiltr + moufiltr) with the same identity
+# verification, asserting the stored-state compression ratio exceeds 1,
+# a nonzero fold-memo hit ratio, and a memo-arm traversal rate at least
+# matching the per-statement arm. Runs in a couple of seconds.
 bench-smoke:
-	$(GO) run ./cmd/kissbench -macrobench -drivers kbfiltr,moufiltr -min-ratio 1.0
+	$(GO) run ./cmd/kissbench -macrobench -drivers kbfiltr,moufiltr -min-ratio 1.0 -min-hit-ratio 0.01 -require-memo-speedup
 
 # serve-smoke is the kissd acceptance loop: start the daemon on a
 # loopback port, run a two-driver corpus slice through it twice, require

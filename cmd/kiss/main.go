@@ -15,8 +15,11 @@
 //
 // Flag names mirror the kiss.Config fields (and kissbench flags): -max-ts,
 // -max-states, -max-steps, -max-depth, -bfs, -context-bound, -timeout,
-// -search-workers, -macro-steps, -progress. -macro-steps=false disables
-// macro-step compression and reproduces the per-statement search.
+// -search-workers, -macro-steps, -fold-memo, -memo-mb, -progress.
+// -macro-steps=false disables macro-step compression and reproduces the
+// per-statement search; -fold-memo=false disables the fold-memoization
+// replay cache (results are identical, folds just re-execute) and
+// -memo-mb caps its byte budget.
 // -progress streams search metrics to stderr
 // while the checker runs; -timeout bounds wall time and reports the
 // partial result; -search-workers N runs the state-space search with N
@@ -124,6 +127,8 @@ type budgetFlags struct {
 	maxStates, maxSteps, maxDepth *int
 	searchWorkers                 *int
 	macroSteps                    *bool
+	foldMemo                      *bool
+	memoMB                        *int
 	timeout                       *time.Duration
 	progress                      *bool
 	server                        *string
@@ -136,6 +141,8 @@ func addBudgetFlags(fs *flag.FlagSet) *budgetFlags {
 		maxDepth:      fs.Int("max-depth", 0, "search depth bound (0 = unlimited)"),
 		searchWorkers: fs.Int("search-workers", 0, "parallel search workers (0 = sequential; results identical at every count)"),
 		macroSteps:    fs.Bool("macro-steps", true, "collapse deterministic runs into single transitions (-macro-steps=false reproduces the per-statement search)"),
+		foldMemo:      fs.Bool("fold-memo", true, "replay previously recorded folds from the read-footprint memo table (-fold-memo=false re-executes every fold; results identical either way)"),
+		memoMB:        fs.Int("memo-mb", 0, "fold-memo table byte budget in MiB (0 = default)"),
 		timeout:       fs.Duration("timeout", 0, "wall-time bound, e.g. 30s (0 = unlimited)"),
 		progress:      fs.Bool("progress", false, "stream search metrics to stderr while running"),
 		server:        fs.String("server", "", "base URL of a running kissd (e.g. http://localhost:8344): submit the check to the daemon instead of checking locally"),
@@ -152,6 +159,8 @@ func (bf *budgetFlags) options() ([]kiss.Option, context.CancelFunc) {
 		kiss.WithMaxDepth(*bf.maxDepth),
 		kiss.WithSearchWorkers(*bf.searchWorkers),
 		kiss.WithMacroSteps(*bf.macroSteps),
+		kiss.WithFoldMemo(*bf.foldMemo),
+		kiss.WithMemoMB(*bf.memoMB),
 	}
 	cancel := context.CancelFunc(func() {})
 	if *bf.timeout > 0 {

@@ -12,14 +12,20 @@
 //	kissbench -macrobench    macro-step compression ablation (JSON with -json)
 //	kissbench -all        everything
 //
-// -macrobench runs the corpus with macro-step compression on and off,
-// verifies that verdicts and failure positions are identical at
-// search-workers 0, 1, and 8, and reports stored/stepped state counts,
-// throughput, and allocations per arm. It exits non-zero if the arms
-// disagree, or if -min-ratio R is given and the stored-state compression
+// -macrobench runs the corpus three ways — per-statement, macro steps,
+// and macro steps + fold memoization — verifies that verdicts and
+// failure positions are identical at search-workers 0, 1, and 8, and
+// reports stored/stepped state counts, throughput, allocations, and the
+// memo hit/steps-saved totals per arm. It exits non-zero if the arms
+// disagree; if -min-ratio R is given and the stored-state compression
 // ratio — measured over the fields that completed in both arms, the ones
-// whose runs covered the same state space — falls below R. -macro-steps=false turns compression
-// off for the regular table runs (the ablation's uncompressed arm).
+// whose runs covered the same state space — falls below R; if
+// -min-hit-ratio H is given and the memo arm's hit ratio falls below H;
+// or if -require-memo-speedup is given and the memo arm's traversal rate
+// (stepped states/sec) falls below the per-statement arm's.
+// -macro-steps=false and -fold-memo=false turn the corresponding layer
+// off for the regular table runs (the ablation arms, one at a time);
+// -memo-mb M caps the memo table.
 //
 // Optional: -drivers a,b,c restricts the corpus tables to named drivers;
 // -max-states N overrides the per-field state budget (spelled like the
@@ -72,7 +78,11 @@ func main() {
 	schedulers := flag.Bool("schedulers", false, "run the scheduler-policy study")
 	macrobench := flag.Bool("macrobench", false, "run the macro-step compression ablation")
 	minRatio := flag.Float64("min-ratio", 0, "with -macrobench: fail unless the stored-state compression ratio reaches this value (0 = no check)")
+	minHitRatio := flag.Float64("min-hit-ratio", 0, "with -macrobench: fail unless the memo arm's hit ratio reaches this value (0 = no check)")
+	requireMemoSpeedup := flag.Bool("require-memo-speedup", false, "with -macrobench: fail unless the memo arm's stepped-states/sec reaches the per-statement arm's")
 	macroSteps := flag.Bool("macro-steps", true, "collapse deterministic runs into single transitions (-macro-steps=false reproduces the per-statement search)")
+	foldMemo := flag.Bool("fold-memo", true, "replay previously recorded folds from the read-footprint memo table (-fold-memo=false re-executes every fold)")
+	memoMB := flag.Int("memo-mb", 0, "fold-memo table byte budget in MiB (0 = default)")
 	all := flag.Bool("all", false, "run everything")
 	driversFlag := flag.String("drivers", "", "comma-separated driver subset for the tables")
 	maxStates := flag.Int("max-states", 0, "per-field state budget override (0 = default)")
@@ -99,7 +109,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := eval.Options{Workers: *workers, SearchWorkers: *searchWorkers, DisableMacroSteps: !*macroSteps, Server: *server}
+	opts := eval.Options{
+		Workers: *workers, SearchWorkers: *searchWorkers, Server: *server,
+		DisableMacroSteps: !*macroSteps, DisableFoldMemo: !*foldMemo, MemoMB: *memoMB,
+	}
 	if *maxStates > 0 {
 		opts.Budget = kiss.Budget{MaxStates: *maxStates}
 	}
@@ -197,6 +210,7 @@ func main() {
 			Budget:  opts.Budget,
 			Drivers: opts.Drivers,
 			Workers: *workers,
+			MemoMB:  *memoMB,
 		})
 		fatal(err)
 		if *jsonOut {
@@ -210,6 +224,15 @@ func main() {
 		}
 		if *minRatio > 0 && rep.CompressionRatio < *minRatio {
 			fmt.Fprintf(os.Stderr, "kissbench: macrobench: compression ratio %.2fx below required %.2fx\n", rep.CompressionRatio, *minRatio)
+			os.Exit(1)
+		}
+		if *minHitRatio > 0 && rep.Memo.MemoHitRatio < *minHitRatio {
+			fmt.Fprintf(os.Stderr, "kissbench: macrobench: memo hit ratio %.3f below required %.3f\n", rep.Memo.MemoHitRatio, *minHitRatio)
+			os.Exit(1)
+		}
+		if *requireMemoSpeedup && rep.Memo.SteppedPerSec < rep.Off.SteppedPerSec {
+			fmt.Fprintf(os.Stderr, "kissbench: macrobench: memo arm traversal rate %.0f/s below per-statement %.0f/s\n",
+				rep.Memo.SteppedPerSec, rep.Off.SteppedPerSec)
 			os.Exit(1)
 		}
 	}

@@ -21,13 +21,15 @@
 // -smoke runs the self-contained acceptance loop used by `make
 // serve-smoke`: serve on a loopback port, run a corpus slice through
 // the daemon twice, require verdicts and counters identical to local
-// checking and a >=90% warm-pass cache-hit rate, then drain cleanly.
+// checking, a >=90% warm-pass cache-hit rate, and a nonzero fold-memo
+// steps-saved total on /metrics, then drain cleanly.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -181,6 +183,19 @@ func runSmoke(cfg service.Config, driverList string, drainTimeout time.Duration)
 	}
 	fmt.Fprintf(os.Stderr, "kissd smoke: verdicts identical to local; warm pass %d/%d cache hits\n", hits, fields)
 
+	// The cold pass ran real checks with fold memoization on (the
+	// default); the exported memo metrics must show the replay cache
+	// engaging, end to end through /metrics.
+	memoRatio, memoSaved, err := scrapeMemoMetrics(url)
+	if err != nil {
+		return fmt.Errorf("memo metrics: %w", err)
+	}
+	if memoSaved <= 0 {
+		return fmt.Errorf("memo metrics: kissd_memo_steps_saved_total is %v; the fold memo never engaged", memoSaved)
+	}
+	fmt.Fprintf(os.Stderr, "kissd smoke: memo hit ratio %.1f%%, %.0f steps replayed from the table\n",
+		memoRatio*100, memoSaved)
+
 	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if err := s.Drain(dctx); err != nil {
@@ -189,6 +204,41 @@ func runSmoke(cfg service.Config, driverList string, drainTimeout time.Duration)
 	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	return hs.Shutdown(sctx)
+}
+
+// scrapeMemoMetrics reads the fold-memo gauges off the daemon's
+// Prometheus endpoint — the same bytes an operator's scrape sees.
+func scrapeMemoMetrics(url string) (hitRatio, stepsSaved float64, err error) {
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	var buf strings.Builder
+	if _, err := io.Copy(&buf, resp.Body); err != nil {
+		return 0, 0, err
+	}
+	foundRatio := false
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		switch name {
+		case "kissd_memo_hit_ratio":
+			fmt.Sscanf(val, "%g", &hitRatio)
+			foundRatio = true
+		case "kissd_memo_steps_saved_total":
+			fmt.Sscanf(val, "%g", &stepsSaved)
+		}
+	}
+	if !foundRatio {
+		return 0, 0, fmt.Errorf("kissd_memo_hit_ratio missing from /metrics")
+	}
+	return hitRatio, stepsSaved, nil
 }
 
 // compareCorpus requires the service-backed corpus results to be

@@ -32,6 +32,8 @@ type wireConfig struct {
 	MaxDepth            int             `json:"max_depth"`
 	BFS                 bool            `json:"bfs"`
 	DisableMacroSteps   bool            `json:"disable_macro_steps"`
+	DisableFoldMemo     bool            `json:"disable_fold_memo"`
+	MemoMB              int             `json:"memo_mb"`
 	SearchWorkers       int             `json:"search_workers"`
 	NumShards           int             `json:"num_shards"`
 	ContextBound        int             `json:"context_bound"`
@@ -78,6 +80,8 @@ func (c *Config) MarshalJSON() ([]byte, error) {
 		MaxDepth:            c.MaxDepth,
 		BFS:                 c.BFS,
 		DisableMacroSteps:   c.DisableMacroSteps,
+		DisableFoldMemo:     c.DisableFoldMemo,
+		MemoMB:              c.MemoMB,
 		SearchWorkers:       c.SearchWorkers,
 		NumShards:           c.NumShards,
 		ContextBound:        c.ContextBound,
@@ -120,6 +124,8 @@ func (c *Config) UnmarshalJSON(data []byte) error {
 		MaxDepth:            w.MaxDepth,
 		BFS:                 w.BFS,
 		DisableMacroSteps:   w.DisableMacroSteps,
+		DisableFoldMemo:     w.DisableFoldMemo,
+		MemoMB:              w.MemoMB,
 		SearchWorkers:       w.SearchWorkers,
 		NumShards:           w.NumShards,
 		ContextBound:        w.ContextBound,
@@ -146,6 +152,10 @@ func (c *Config) UnmarshalJSON(data []byte) error {
 //     internal/seqcheck and internal/concheck), so they only move wall
 //     clock and the scheduling-dependent Stats.Parallel diagnostics.
 //   - ContextBound: consulted only by Explore, ignored by Check.
+//   - DisableFoldMemo, MemoMB, AuditFoldMemo: fold memoization replays
+//     folds bit-identically (the memo invariant, property-tested against
+//     memo-off runs), so the knobs move only wall time and the
+//     scheduling-dependent Stats.Memo diagnostics.
 //
 // Everything else — the transformation knobs, the engine selection, the
 // budgets, BFS, and macro-step compression (which changes the stored-state
@@ -159,6 +169,9 @@ func (c *Config) Normalized() Config {
 	n.SearchWorkers = 0
 	n.NumShards = 0
 	n.ContextBound = 0
+	n.DisableFoldMemo = false
+	n.MemoMB = 0
+	n.AuditFoldMemo = false
 	if n.RaceTarget != nil {
 		// Detach the pointer so the normalized copy shares no storage.
 		t := *n.RaceTarget

@@ -22,8 +22,8 @@ func TestConfigWireGolden(t *testing.T) {
 	const golden = `{"max_ts":2,"disable_alias_elision":false,"scheduler":"nondet",` +
 		`"race_target":{"record":"DEVICE_EXTENSION","field":"stoppingFlag"},` +
 		`"summaries":false,"max_states":40000,"max_steps":0,"max_depth":0,` +
-		`"bfs":true,"disable_macro_steps":false,"search_workers":0,` +
-		`"num_shards":0,"context_bound":-1}`
+		`"bfs":true,"disable_macro_steps":false,"disable_fold_memo":false,` +
+		`"memo_mb":0,"search_workers":0,"num_shards":0,"context_bound":-1}`
 	got, err := json.Marshal(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -48,6 +48,8 @@ func TestConfigWireRoundTrip(t *testing.T) {
 			kiss.WithMaxDepth(64),
 			kiss.WithBFS(),
 			kiss.WithMacroSteps(false),
+			kiss.WithFoldMemo(false),
+			kiss.WithMemoMB(16),
 			kiss.WithSearchWorkers(8),
 			kiss.WithContextBound(2),
 		),
@@ -94,6 +96,8 @@ func TestConfigCanonicalJSONInvariance(t *testing.T) {
 		kiss.WithMaxStates(500),
 		kiss.WithSearchWorkers(8),
 		kiss.WithContextBound(3),
+		kiss.WithFoldMemo(false),
+		kiss.WithMemoMB(16),
 		kiss.WithProgress(func(kiss.Event) {}),
 		kiss.WithProgressCadence(10, 0),
 	)

@@ -95,6 +95,10 @@ type Options struct {
 	// false-assume branch endpoints that compression prunes without
 	// storing. AuditFingerprints forces compression off.
 	DisableMacroSteps bool
+	// Memo, when non-nil, is the fold-memoization table shared by every
+	// engine of this search (sem.MacroStepMemo); see
+	// seqcheck.Options.Memo. Ignored when macro steps are disabled.
+	Memo *sem.FoldMemo
 	// AuditFingerprints cross-checks the 64-bit visited-set hashes against
 	// the canonical string encodings (see seqcheck.Options); collisions are
 	// counted in Result.HashCollisions.

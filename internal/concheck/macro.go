@@ -147,7 +147,7 @@ func checkMacroSeq(c *sem.Compiled, opts Options) *Result {
 				res.Reason = stats.ReasonSteps
 				return res
 			}
-			mr := sem.MacroStep(cur.st, ti, cMacroLimit(opts, cur.nd.depth, res.Steps))
+			mr := sem.MacroStepMemo(cur.st, ti, cMacroLimit(opts, cur.nd.depth, res.Steps), opts.Memo)
 			res.Steps += mr.Stepped
 			res.StatesStepped += len(mr.Prefix)
 			if mr.Failure != nil {
@@ -406,7 +406,7 @@ func checkMacroLevel(c *sem.Compiled, opts Options) *Result {
 						continue
 					}
 				}
-				mr := sem.MacroStep(it.st, ti, limit)
+				mr := sem.MacroStepMemo(it.st, ti, limit, opts.Memo)
 				th := cmThread{
 					ti: ti, switches: switches,
 					fail:      mr.Failure,

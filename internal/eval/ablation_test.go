@@ -34,7 +34,19 @@ func TestMacroAblationSmallCorpus(t *testing.T) {
 	if rep.On.StatesStepped < rep.On.StatesStored {
 		t.Errorf("stepped %d < stored %d in the compressed arm", rep.On.StatesStepped, rep.On.StatesStored)
 	}
-	t.Logf("compression ratio on kbfiltr+moufiltr: %.2fx", rep.CompressionRatio)
+	// The memo arm replays bit-identically: same stored/stepped counts as
+	// the plain macro arm, and the replay cache must actually engage.
+	if rep.Memo.StatesStored != rep.On.StatesStored || rep.Memo.StatesStepped != rep.On.StatesStepped {
+		t.Errorf("memo arm counters diverged from macro arm: memo %+v, on %+v", rep.Memo, rep.On)
+	}
+	if rep.Memo.MemoHits == 0 {
+		t.Error("memo arm recorded zero hits on a corpus with repeated folds")
+	}
+	if rep.Memo.MemoStepsSaved == 0 {
+		t.Error("memo arm saved zero steps despite hits")
+	}
+	t.Logf("compression ratio on kbfiltr+moufiltr: %.2fx, memo hit ratio %.1f%%",
+		rep.CompressionRatio, rep.Memo.MemoHitRatio*100)
 
 	var buf bytes.Buffer
 	if err := WriteMacroAblation(&buf, rep); err != nil {
@@ -43,7 +55,7 @@ func TestMacroAblationSmallCorpus(t *testing.T) {
 	if rep.CompletedFields == 0 {
 		t.Error("no completed fields on drivers without hard fields")
 	}
-	for _, key := range []string{`"states_stored"`, `"states_stepped"`, `"compression_ratio"`, `"aggregate_ratio"`, `"search_workers"`, `"identical": true`} {
+	for _, key := range []string{`"states_stored"`, `"states_stepped"`, `"compression_ratio"`, `"aggregate_ratio"`, `"search_workers"`, `"identical": true`, `"memo_hit_ratio"`, `"memo_steps_saved"`} {
 		if !strings.Contains(buf.String(), key) {
 			t.Errorf("JSON payload missing %s:\n%s", key, buf.String())
 		}
@@ -57,7 +69,7 @@ func TestMacroAblationSmallCorpus(t *testing.T) {
 	}
 
 	out := FormatMacroAblation(rep)
-	for _, want := range []string{"macro-steps", "per-statement", "compression ratio"} {
+	for _, want := range []string{"macro-steps", "macro+memo", "per-statement", "compression ratio", "hit ratio"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("formatted report missing %q:\n%s", want, out)
 		}

@@ -110,6 +110,13 @@ type Options struct {
 	// check (ablation arm; see kiss.Config.DisableMacroSteps). Verdicts are
 	// identical either way; only stored-state counts and speed differ.
 	DisableMacroSteps bool
+	// DisableFoldMemo turns off fold memoization for every field check
+	// (ablation arm; see kiss.Config.DisableFoldMemo). Results are
+	// bit-identical either way; only wall time and the Stats.Memo
+	// diagnostics differ.
+	DisableFoldMemo bool
+	// MemoMB is the per-field fold-memo byte budget in MiB (0: default).
+	MemoMB int
 	// Server, when non-empty, is the base URL of a running kissd
 	// (cmd/kissd): field checks are submitted over HTTP instead of run
 	// in-process, so repeated corpus runs hit the daemon's content-
@@ -344,6 +351,8 @@ func checkField(model *drivers.Model, f drivers.FieldSpec, opts Options, budget 
 		MaxDepth:          budget.MaxDepth,
 		BFS:               budget.BFS,
 		DisableMacroSteps: opts.DisableMacroSteps,
+		DisableFoldMemo:   opts.DisableFoldMemo,
+		MemoMB:            opts.MemoMB,
 		SearchWorkers:     opts.SearchWorkers,
 		Context:           opts.Context,
 	}

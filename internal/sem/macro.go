@@ -1,5 +1,7 @@
 package sem
 
+import "sync"
+
 // Macro-step compression: the SPIN-style statement-merging optimization.
 //
 // The KISS transformation inflates every statement with instrumentation
@@ -53,14 +55,29 @@ const (
 // tie-breaking key). Prefix holds the events of the folded deterministic
 // run, in order, and PrefixIdx the unpruned successor index taken at each
 // folded position. Stepped counts Step invocations, including the final
-// one.
+// one. Limited reports that the run stopped only because it hit the
+// caller's limit — it would have kept folding otherwise — which the memo
+// table uses to decide at which limits a recorded run may be replayed.
 type MacroResult struct {
 	StepResult
 	OutIdx    []int32
 	Prefix    []Event
 	PrefixIdx []int32
 	Stepped   int
+	Limited   bool
 }
+
+// prefixScratch is the reusable Event-prefix accumulator of a fold. The
+// growth reallocations of a long run land in the pooled buffers; the
+// caller-visible Prefix/PrefixIdx are exact-size copies, so appending to
+// them can never clobber a shared backing array and ownership passes to
+// the search (which retains them in trace nodes) without aliasing.
+type prefixScratch struct {
+	ev  []Event
+	idx []int32
+}
+
+var prefixPool = sync.Pool{New: func() any { return new(prefixScratch) }}
 
 // MacroStep folds a maximal deterministic run of thread ti starting at s
 // into one transition. limit bounds the number of micro steps taken
@@ -71,14 +88,66 @@ func MacroStep(s *State, ti, limit int) MacroResult {
 	if limit <= 0 || limit > MaxMacroRun {
 		limit = MaxMacroRun
 	}
+	return macroRun(s, ti, limit)
+}
+
+// MacroStepMemo is MacroStep with fold memoization: if memo is non-nil and
+// holds a recorded run whose control point and read footprint match s, the
+// fold is replayed by applying the stored write delta — no Step executes.
+// A miss at a control point that has missed before runs the fold under a
+// read/write recorder and stores the result; a first-visit miss runs it
+// bare (most control points are never revisited, so recording them would
+// be pure overhead — see FoldMemo.lookup). The replayed MacroResult is
+// bit-identical to the executed one (outcome states raw-equal, same
+// events, counters, and successor indices): matching is exact, and the
+// memo's audit mode re-checks each hit against execution; see memo.go.
+func MacroStepMemo(s *State, ti, limit int, memo *FoldMemo) MacroResult {
+	if limit <= 0 || limit > MaxMacroRun {
+		limit = MaxMacroRun
+	}
+	if memo == nil || !othersDone(s, ti) {
+		// Memo entries are recorded and replayed only at states where every
+		// other thread is done (sole-live folding), so the fold-stop
+		// condition is invariant across base and replay states.
+		return macroRun(s, ti, limit)
+	}
+	e, warm := memo.lookup(s, ti, limit)
+	if e != nil {
+		return memo.replay(s, ti, limit, e)
+	}
+	memo.misses.Add(1)
+	if !warm {
+		return macroRun(s, ti, limit)
+	}
+	rec := recorderPool.Get().(*foldRecorder)
+	rec.reset(s)
+	s.rec = rec
+	mr := macroRun(s, ti, limit)
+	// Clear the recorder from every state that escapes to the search.
+	s.rec = nil
+	for i := range mr.Outcomes {
+		mr.Outcomes[i].State.rec = nil
+	}
+	if !rec.aborted && mr.Stepped >= memoMinStepped {
+		memo.store(s, ti, rec, &mr)
+	}
+	recorderPool.Put(rec)
+	return mr
+}
+
+// macroRun is the folding loop shared by MacroStep and MacroStepMemo;
+// limit has been normalized by the caller.
+func macroRun(s *State, ti, limit int) MacroResult {
 	var mr MacroResult
+	ps := prefixPool.Get().(*prefixScratch)
+	evs, pidx := ps.ev[:0], ps.idx[:0]
 	cur := s
 	for {
 		sr := Step(cur, ti)
 		mr.Stepped++
 		if sr.Failure != nil || sr.Blocked {
 			mr.StepResult = sr
-			return mr
+			break
 		}
 		outs := sr.Outcomes
 		var idxs []int32
@@ -89,23 +158,46 @@ func MacroStep(s *State, ti, limit int) MacroResult {
 			// exactly as in the per-statement search.
 			outs, idxs = pruneInfeasible(sr.Outcomes, ti)
 		}
-		if len(outs) != 1 || mr.Stepped >= limit || !soleLive(outs[0].State, ti) {
+		if len(outs) != 1 || !soleLive(outs[0].State, ti) || mr.Stepped >= limit {
 			if idxs == nil {
 				idxs = identityIdx(len(outs))
 			}
 			mr.StepResult = sr
 			mr.Outcomes = outs
 			mr.OutIdx = idxs
-			return mr
+			// Limited only when the limit alone stopped the run: with one
+			// live sole-live successor it would have kept folding.
+			mr.Limited = len(outs) == 1 && soleLive(outs[0].State, ti)
+			break
 		}
 		idx0 := int32(0)
 		if idxs != nil {
 			idx0 = idxs[0]
 		}
-		mr.Prefix = append(mr.Prefix, outs[0].Event)
-		mr.PrefixIdx = append(mr.PrefixIdx, idx0)
+		evs = append(evs, outs[0].Event)
+		pidx = append(pidx, idx0)
 		cur = outs[0].State
 	}
+	if len(evs) > 0 {
+		mr.Prefix = make([]Event, len(evs))
+		copy(mr.Prefix, evs)
+		mr.PrefixIdx = make([]int32, len(pidx))
+		copy(mr.PrefixIdx, pidx)
+	}
+	clear(evs) // drop Event string/state references held by the pooled buffer
+	ps.ev, ps.idx = evs, pidx
+	prefixPool.Put(ps)
+	return mr
+}
+
+// othersDone reports whether every thread of s other than ti is done.
+func othersDone(s *State, ti int) bool {
+	for i := range s.Threads {
+		if i != ti && !s.Threads[i].Done() {
+			return false
+		}
+	}
+	return true
 }
 
 // identityIdx returns [0, 1, ..., n-1].

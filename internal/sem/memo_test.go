@@ -1,0 +1,257 @@
+package sem
+
+import (
+	"testing"
+)
+
+// treeLeaves collects every entry in a group's decision tree.
+func treeLeaves(n *memoNode) []*memoEntry {
+	out := append([]*memoEntry(nil), n.leaves...)
+	for i := range n.kids {
+		out = append(out, treeLeaves(n.kids[i].n)...)
+	}
+	return out
+}
+
+// warm primes the warm-up gate for the program's initial control point:
+// a first miss at a control point runs bare and records nothing, so tests
+// fold once and discard before exercising store and replay.
+func warm(c *Compiled, memo *FoldMemo) {
+	MacroStepMemo(NewState(c), 0, 0, memo)
+}
+
+// soleEntry returns the table's single entry, failing unless there is
+// exactly one. In-package test helper for corrupting stored folds.
+func soleEntry(t *testing.T, m *FoldMemo) *memoEntry {
+	t.Helper()
+	var found *memoEntry
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for _, gs := range sh.m {
+			for _, g := range gs {
+				for _, e := range treeLeaves(&g.root) {
+					if found != nil {
+						sh.mu.Unlock()
+						t.Fatal("table holds more than one entry")
+					}
+					found = e
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if found == nil {
+		t.Fatal("table holds no entries")
+	}
+	return found
+}
+
+// TestFoldMemoHitReplaysExactly: the second fold of an identical
+// (control point, read footprint) pair is served from the table and the
+// replayed MacroResult is bit-identical to the executed one — same
+// events, counters, successor indices, and raw outcome states.
+func TestFoldMemoHitReplaysExactly(t *testing.T) {
+	src := `var x; var y; func main() { x = 1; y = x + 1; x = y * 2; }`
+	c := compile(t, src)
+	memo := NewFoldMemo(0, false)
+	warm(c, memo)
+
+	first := MacroStepMemo(NewState(c), 0, 0, memo)
+	if first.Failure != nil || first.Blocked {
+		t.Fatalf("unexpected failure/block: %+v", first.StepResult)
+	}
+	if st := memo.Stats(); st.Hits != 0 || st.Misses != 2 || st.Stores != 1 {
+		t.Fatalf("after the recording fold: %+v, want 0 hits / 2 misses / 1 store", st)
+	}
+
+	second := MacroStepMemo(NewState(c), 0, 0, memo)
+	st := memo.Stats()
+	if st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("after the replayed fold: %+v, want 1 hit / 2 misses", st)
+	}
+	if st.StepsSaved != int64(first.Stepped) {
+		t.Errorf("StepsSaved = %d, want the fold's %d micro steps", st.StepsSaved, first.Stepped)
+	}
+	if !macroResultsEqual(&first, &second) {
+		t.Fatal("replayed MacroResult differs from the executed one")
+	}
+	fin := second.Outcomes[0].State
+	if !fin.Threads[0].Done() {
+		t.Error("replayed run did not reach thread completion")
+	}
+	if g := fin.Globals[0]; !g.Equal(IntV(4)) {
+		t.Errorf("replayed x = %v, want 4", g)
+	}
+}
+
+// TestFoldMemoMissOnDifferentFootprint: same control point, different
+// read values — the lookup must re-read the footprint in the new state
+// and miss, not replay a stale delta.
+func TestFoldMemoMissOnDifferentFootprint(t *testing.T) {
+	// main's fold reads g before writing, so g's initial value is in the
+	// footprint.
+	src := `var g; var out; func main() { out = g + 1; out = out + g; }`
+	c := compile(t, src)
+	memo := NewFoldMemo(0, false)
+	warm(c, memo)
+
+	s1 := NewState(c)
+	first := MacroStepMemo(s1, 0, 0, memo)
+	if first.Failure != nil || first.Blocked {
+		t.Fatalf("unexpected failure/block: %+v", first.StepResult)
+	}
+
+	s2 := NewState(c)
+	s2.Globals[0] = IntV(41) // perturb the footprint value
+	second := MacroStepMemo(s2, 0, 0, memo)
+	st := memo.Stats()
+	if st.Hits != 0 || st.Misses != 3 {
+		t.Fatalf("perturbed footprint: %+v, want 0 hits / 3 misses", st)
+	}
+	if g := second.Outcomes[0].State.Globals[1]; !g.Equal(IntV(83)) {
+		t.Errorf("out = %v after the perturbed fold, want 83", g)
+	}
+}
+
+// TestFoldMemoBlindWriteReplays: a blind constant write whose value
+// happens to equal the recording base's value changes nothing there, and
+// the location is not footprint-pinned (it was never read) — so the
+// entry also matches bases where the location differs, and the delta
+// must still carry the write or the replay silently drops it.
+func TestFoldMemoBlindWriteReplays(t *testing.T) {
+	src := `var g; var sink; func main() { sink = 0; g = 1; sink = 2; }`
+	c := compile(t, src)
+	memo := NewFoldMemo(0, false)
+	warm(c, memo)
+
+	// Record at a base where g is already 1: the write is a no-op diff.
+	s1 := NewState(c)
+	s1.Globals[0] = IntV(1)
+	first := MacroStepMemo(s1, 0, 0, memo)
+	if first.Failure != nil || first.Blocked {
+		t.Fatalf("unexpected failure/block: %+v", first.StepResult)
+	}
+
+	// Replay at a base where g is 0. The fold never reads g, so the
+	// footprint matches; the replayed outcome must still set g = 1.
+	second := MacroStepMemo(NewState(c), 0, 0, memo)
+	if st := memo.Stats(); st.Hits != 1 {
+		t.Fatalf("blind-write fold was not replayed: %+v", st)
+	}
+	if g := second.Outcomes[0].State.Globals[0]; !g.Equal(IntV(1)) {
+		t.Errorf("replay dropped the blind write: g = %v, want 1", g)
+	}
+}
+
+// TestFoldMemoAuditCatchesCorruptEntry: a stored entry whose key still
+// matches but whose payload is wrong — what an implementation bug in the
+// recorder or delta model would produce — is detected by audit mode: the
+// mismatch is counted, the executed (correct) result is returned, and the
+// poisoned entry is dropped from the table.
+func TestFoldMemoAuditCatchesCorruptEntry(t *testing.T) {
+	src := `var x; var y; func main() { x = 1; y = x + 1; x = y * 2; }`
+	c := compile(t, src)
+	memo := NewFoldMemo(0, true)
+	warm(c, memo)
+
+	first := MacroStepMemo(NewState(c), 0, 0, memo)
+	if first.Failure != nil || first.Blocked {
+		t.Fatalf("unexpected failure/block: %+v", first.StepResult)
+	}
+
+	// Corrupt the stored write delta in place, leaving the key (control
+	// signature and read footprint) untouched.
+	e := soleEntry(t, memo)
+	if len(e.outs) != 1 || len(e.outs[0].globals) == 0 {
+		t.Fatalf("entry has no global writes to corrupt: %+v", e.outs)
+	}
+	e.outs[0].globals[0].v = IntV(999)
+
+	got := MacroStepMemo(NewState(c), 0, 0, memo)
+	st := memo.Stats()
+	if st.AuditMismatches != 1 {
+		t.Fatalf("AuditMismatches = %d, want 1", st.AuditMismatches)
+	}
+	if st.Hits != 0 {
+		t.Errorf("a refuted replay still counted as a hit: %+v", st)
+	}
+	if !macroResultsEqual(&first, &got) {
+		t.Fatal("audit mode did not return the executed result after the mismatch")
+	}
+
+	// The poisoned entry is gone: the next fold is a fresh miss + store
+	// (the refuted lookup itself counts as neither hit nor miss).
+	_ = MacroStepMemo(NewState(c), 0, 0, memo)
+	if st := memo.Stats(); st.Misses != 3 || st.Stores != 2 {
+		t.Fatalf("after the dropped entry: %+v, want 3 misses / 2 stores", st)
+	}
+}
+
+// TestFoldMemoAuditPassesOnHonestEntry: with an uncorrupted table, audit
+// mode verifies and admits the replay — hits count, no mismatches.
+func TestFoldMemoAuditPassesOnHonestEntry(t *testing.T) {
+	src := `var x; var y; func main() { x = 1; y = x + 1; x = y * 2; }`
+	c := compile(t, src)
+	memo := NewFoldMemo(0, true)
+	warm(c, memo)
+
+	first := MacroStepMemo(NewState(c), 0, 0, memo)
+	second := MacroStepMemo(NewState(c), 0, 0, memo)
+	st := memo.Stats()
+	if st.Hits != 1 || st.AuditMismatches != 0 {
+		t.Fatalf("honest audit hit: %+v, want 1 hit / 0 mismatches", st)
+	}
+	if !macroResultsEqual(&first, &second) {
+		t.Fatal("audited replay differs from the executed fold")
+	}
+}
+
+// TestFoldMemoFailureEndpointReplays: a fold ending in an assertion
+// violation replays with the same failure and prefix.
+func TestFoldMemoFailureEndpointReplays(t *testing.T) {
+	src := `var x; func main() { x = 1; x = x + 1; assert(x == 3); }`
+	c := compile(t, src)
+	memo := NewFoldMemo(0, false)
+	warm(c, memo)
+
+	first := MacroStepMemo(NewState(c), 0, 0, memo)
+	if first.Failure == nil {
+		t.Fatalf("assertion violation folded away: %+v", first.StepResult)
+	}
+	second := MacroStepMemo(NewState(c), 0, 0, memo)
+	if st := memo.Stats(); st.Hits != 1 {
+		t.Fatalf("failing fold was not replayed: %+v", st)
+	}
+	if !macroResultsEqual(&first, &second) {
+		t.Fatal("replayed failing fold differs from the executed one")
+	}
+}
+
+// TestFoldMemoLimitedRunReplayValidity: a limit-stopped fold replays only
+// at exactly the limit that cut it; a naturally-stopped fold replays at
+// any limit that would not have cut it shorter.
+func TestFoldMemoLimitedRunReplayValidity(t *testing.T) {
+	src := `var x; func main() { x = 1; x = 2; x = 3; x = 4; x = 5; }`
+	c := compile(t, src)
+	memo := NewFoldMemo(0, false)
+	warm(c, memo)
+
+	mr := MacroStepMemo(NewState(c), 0, 3, memo) // cut at 3 of the run's >3 steps
+	if !mr.Limited || mr.Stepped != 3 {
+		t.Fatalf("limit-3 fold: Stepped=%d Limited=%v", mr.Stepped, mr.Limited)
+	}
+	// Different limit: the stored limited run must NOT replay.
+	_ = MacroStepMemo(NewState(c), 0, 4, memo)
+	if st := memo.Stats(); st.Hits != 0 {
+		t.Fatalf("limit-3 entry replayed under limit 4: %+v", st)
+	}
+	// Same limit: replays.
+	again := MacroStepMemo(NewState(c), 0, 3, memo)
+	if st := memo.Stats(); st.Hits != 1 {
+		t.Fatalf("limit-3 entry did not replay under limit 3: %+v", st)
+	}
+	if !macroResultsEqual(&mr, &again) {
+		t.Fatal("replayed limited fold differs from the executed one")
+	}
+}

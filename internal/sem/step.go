@@ -255,6 +255,9 @@ func Step(s *State, ti int) StepResult {
 		}
 		nfr.PC++
 		resolveJumps(nfr)
+		if ns.rec != nil {
+			ns.rec.readNextThreadID(ns.nextThreadID)
+		}
 		newT := &Thread{ID: ns.nextThreadID, Frames: []*Frame{ns.newFrame(callee, args, "")}}
 		ns.nextThreadID++
 		ns.appendThread(newT)
@@ -294,6 +297,9 @@ func Step(s *State, ti int) StepResult {
 			}
 			args[i] = av
 		}
+		if ns.rec != nil {
+			ns.rec.readTs(ns.Ts) // the occupancy check reads the multiset
+		}
 		if len(ns.Ts) >= ns.C.Prog.MaxTS {
 			return fail(RuntimeFail, in.Pos, "__ts_put on full ts (transformation invariant violated)")
 		}
@@ -305,6 +311,9 @@ func Step(s *State, ti int) StepResult {
 		return StepResult{Outcomes: []Outcome{{State: ns, Event: pev}}}
 
 	case OpTsDispatch:
+		if s.rec != nil {
+			s.rec.readTs(s.Ts) // dispatch enumerates the whole multiset
+		}
 		if len(s.Ts) == 0 {
 			return fail(RuntimeFail, in.Pos, "__ts_dispatch on empty ts (transformation invariant violated)")
 		}
@@ -406,6 +415,13 @@ func stepAtomic(s *State, ti int, in *Instr, ev Event) StepResult {
 				pc = sub.Targets[0]
 				continue
 			case OpNondetJump:
+				// Multi-path atomics defeat the fold recorder's written-set
+				// filtering (branch A's writes would suppress recording branch
+				// B's reads of pre-run values), so give up on memoizing this
+				// fold; single-path atomics (test-and-set) stay memoizable.
+				if st.rec != nil {
+					st.rec.abort()
+				}
 				for _, tgt := range sub.Targets[1:] {
 					work = append(work, workItem{st: st.Clone(), pc: tgt})
 				}

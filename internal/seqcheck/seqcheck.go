@@ -69,6 +69,14 @@ type Options struct {
 	// the state space under a budget. AuditFingerprints forces compression
 	// off: the audit maps shadow the per-statement visited inserts.
 	DisableMacroSteps bool
+	// Memo, when non-nil, is the fold-memoization table shared by every
+	// engine of this search (sem.MacroStepMemo): folds whose control point
+	// and read footprint were seen before replay as stored write deltas
+	// instead of re-executing. The verdict, trace, failure position, and
+	// every deterministic counter are bit-identical with or without a
+	// memo; only wall time and the memo's own hit/miss statistics differ.
+	// Ignored when macro steps are disabled.
+	Memo *sem.FoldMemo
 	// AuditFingerprints cross-checks the 64-bit visited-set hashes against
 	// the canonical string encodings, counting states whose hash collided
 	// with a structurally different state in Result.HashCollisions. A

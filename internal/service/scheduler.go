@@ -87,6 +87,11 @@ func (s *Server) observe(res *kiss.Result) {
 	}
 	s.statesTotal.Add(float64(res.States))
 	s.stepsTotal.Add(float64(res.Steps))
+	if m := res.Stats.Memo; m != nil {
+		s.memoHits.Add(float64(m.Hits))
+		s.memoMisses.Add(float64(m.Misses))
+		s.memoStepsSaved.Add(float64(m.StepsSaved))
+	}
 	s.phaseParse.Observe(res.Stats.Phases.Parse.Seconds())
 	s.phaseTransform.Observe(res.Stats.Phases.Transform.Seconds())
 	s.phaseCheck.Observe(res.Stats.Phases.Check.Seconds())
@@ -133,6 +138,20 @@ func (s *Server) registerMetrics() {
 		"States stored across all completed checks.", nil)
 	s.stepsTotal = r.Counter("kissd_steps_total",
 		"Transitions executed across all completed checks.", nil)
+	s.memoHits = r.Counter("kissd_memo_hits_total",
+		"Fold-memo replay hits across all completed checks.", nil)
+	s.memoMisses = r.Counter("kissd_memo_misses_total",
+		"Fold-memo lookup misses across all completed checks.", nil)
+	s.memoStepsSaved = r.Counter("kissd_memo_steps_saved_total",
+		"Micro steps replayed from the fold memo instead of executing.", nil)
+	r.GaugeFunc("kissd_memo_hit_ratio", "Fleet-wide fold-memo hits / lookups.", nil,
+		func() float64 {
+			hits, misses := s.memoHits.Value(), s.memoMisses.Value()
+			if total := hits + misses; total > 0 {
+				return hits / total
+			}
+			return 0
+		})
 	s.phaseParse = r.Histogram("kissd_phase_seconds", "Per-phase wall time of completed checks.",
 		map[string]string{"phase": "parse"}, nil)
 	s.phaseTransform = r.Histogram("kissd_phase_seconds", "Per-phase wall time of completed checks.",

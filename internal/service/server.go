@@ -68,6 +68,9 @@ type Server struct {
 	jobsRejected   *stats.Counter
 	statesTotal    *stats.Counter
 	stepsTotal     *stats.Counter
+	memoHits       *stats.Counter
+	memoMisses     *stats.Counter
+	memoStepsSaved *stats.Counter
 	phaseParse     *stats.Histogram
 	phaseTransform *stats.Histogram
 	phaseCheck     *stats.Histogram
