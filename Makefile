@@ -5,7 +5,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags "-X main.version=$(VERSION)"
 
-.PHONY: build test vet race verify bench bench-smoke serve-smoke benchall
+.PHONY: build test vet race verify bench bench-smoke serve-smoke cluster-smoke benchall
 
 build:
 	$(GO) build $(LDFLAGS) ./...
@@ -25,10 +25,12 @@ vet:
 # TestMacro* and TestFoldMemo* differential tests in those packages —
 # and the copy-on-write state representation their workers
 # share, plus the kissd service layer (queue admission vs. drain, the
-# worker scheduler, and the result cache). -short skips the full-corpus
-# reproductions, which the plain `test` target already runs.
+# worker scheduler, and the result cache) and the kiss-coord cluster
+# coordinator (ring swaps, health transitions, batch fan-out, tenant
+# buckets). -short skips the full-corpus reproductions and the chaos
+# test's state-space passes, which the plain `test` target already runs.
 race:
-	$(GO) test -race -short ./internal/eval/... ./internal/seqcheck/... ./internal/concheck/... ./internal/sem/... ./internal/visited/...
+	$(GO) test -race -short ./internal/eval/... ./internal/seqcheck/... ./internal/concheck/... ./internal/sem/... ./internal/visited/... ./internal/coord/...
 	$(GO) test -race ./internal/service/...
 
 # verify is the tier-1 gate: build, vet, full tests, and the race check.
@@ -71,6 +73,15 @@ bench-smoke:
 # cleanly. Runs in about a second.
 serve-smoke:
 	$(GO) run $(LDFLAGS) ./cmd/kissd -smoke
+
+# cluster-smoke is the kiss-coord acceptance loop: two in-process kissd
+# backends behind a coordinator on loopback ports, a two-driver corpus
+# slice submitted as one /v1/batch twice plus one per-field /v1/check
+# pass, verdicts and counters required identical to local checking,
+# >=90% of the warm lookups required to hit the shard caches, and both
+# backends required to have computed part of the corpus.
+cluster-smoke:
+	$(GO) run $(LDFLAGS) ./cmd/kiss-coord -smoke
 
 # benchall runs every benchmark in the repository.
 benchall:

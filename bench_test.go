@@ -210,7 +210,7 @@ func main() {
 			if err != nil {
 				b.Fatal(err)
 			}
-			res, err := kiss.CheckAssertions(prog, kiss.Options{MaxTS: 4}, kiss.Budget{})
+			res, err := kiss.Check(prog, kiss.WithMaxTS(4))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -226,7 +226,7 @@ func main() {
 			if err != nil {
 				b.Fatal(err)
 			}
-			res, err := kiss.CheckAssertionsSummaries(prog, kiss.Options{MaxTS: 4}, kiss.Budget{})
+			res, err := kiss.Check(prog, kiss.WithMaxTS(4), kiss.WithSummaries())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -247,8 +247,7 @@ func BenchmarkBluetoothRace(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := kiss.CheckRace(prog, kiss.RaceTarget{Record: "DEVICE_EXTENSION", Field: "stoppingFlag"},
-			kiss.Options{MaxTS: 0}, kiss.Budget{})
+		res, err := kiss.Check(prog, kiss.WithRaceTarget(kiss.RaceTarget{Record: "DEVICE_EXTENSION", Field: "stoppingFlag"}))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -267,7 +266,7 @@ func BenchmarkBluetoothAssertion(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := kiss.CheckAssertions(prog, kiss.Options{MaxTS: 1}, kiss.Budget{})
+		res, err := kiss.Check(prog, kiss.WithMaxTS(1))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -288,7 +287,7 @@ func BenchmarkTsKnobCost(b *testing.B) {
 	for _, maxTS := range []int{0, 1, 2, 3} {
 		b.Run(tsName(maxTS), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := kiss.CheckAssertions(prog, kiss.Options{MaxTS: maxTS}, kiss.Budget{})
+				res, err := kiss.Check(prog, kiss.WithMaxTS(maxTS))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -330,8 +329,7 @@ func BenchmarkAliasElision(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				res, err := kiss.CheckRace(prog, target,
-					kiss.Options{MaxTS: 0, DisableAliasElision: disable}, kiss.Budget{MaxStates: 500000})
+				res, err := (&kiss.Config{RaceTarget: &target, DisableAliasElision: disable, MaxStates: 500000}).Check(prog)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -353,8 +351,7 @@ func BenchmarkTransformOnly(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := kiss.TransformRace(prog, kiss.RaceTarget{Record: "DEVICE_EXTENSION", Field: "Flags"},
-			kiss.Options{MaxTS: 0}); err != nil {
+		if _, err := kiss.NewConfig().TransformRace(prog, kiss.RaceTarget{Record: "DEVICE_EXTENSION", Field: "Flags"}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -395,7 +392,7 @@ func main() {
 				if err != nil {
 					b.Fatal(err)
 				}
-				res, err := kiss.CheckAssertions(prog, kiss.Options{MaxTS: 2, Scheduler: sched}, kiss.Budget{})
+				res, err := kiss.Check(prog, kiss.WithMaxTS(2), kiss.WithScheduler(sched))
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -49,7 +49,7 @@ func TestBenignAnnotationSuppressesReport(t *testing.T) {
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	res, err := CheckRace(prog, target, Options{MaxTS: 0}, Budget{})
+	res, err := Check(prog, WithRaceTarget(target))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +68,7 @@ func TestBenignAnnotationSuppressesReport(t *testing.T) {
 	if err != nil {
 		t.Fatalf("parse annotated: %v", err)
 	}
-	res2, err := CheckRace(prog2, target, Options{MaxTS: 0}, Budget{})
+	res2, err := Check(prog2, WithRaceTarget(target))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,8 +103,7 @@ func main() {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := CheckRace(prog, RaceTarget{Record: "EXT", Field: "OpenCount"},
-		Options{MaxTS: 0}, Budget{})
+	res, err := Check(prog, WithRaceTarget(RaceTarget{Record: "EXT", Field: "OpenCount"}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,14 +133,14 @@ func main() {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := CheckAssertions(prog, Options{MaxTS: 1}, Budget{})
+	res, err := Check(prog, WithMaxTS(1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Verdict != Safe {
 		t.Fatalf("benign changed assertion semantics: %v (%s)", res.Verdict, res.Message)
 	}
-	ground, err := ExploreConcurrent(prog, Budget{}, -1)
+	ground, err := Explore(prog)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,306 @@
+// Command kiss-coord is the cluster coordinator: one HTTP front end
+// over a fleet of kissd backends (internal/coord). Jobs are routed by
+// consistent-hashing their content address, so each backend's result
+// cache becomes a shard of one distributed cache; a dead backend's work
+// reroutes to its ring successor, and after the member comes back the
+// coordinator probes its peers' caches before recomputing anything.
+//
+// Endpoints (see internal/coord):
+//
+//	POST /v1/check  synchronous single check, same wire shape as kissd
+//	POST /v1/batch  submit a corpus; results stream back as JSON Lines
+//	GET  /healthz   coordinator + per-backend health, ring epoch
+//	GET  /metrics   Prometheus text exposition
+//
+// Named tenants (X-Kiss-Tenant) draw from per-tenant token buckets and
+// get 429 + Retry-After when over quota. kiss -server and kissbench
+// -server work against a coordinator unchanged; kissbench -batch uses
+// the batch endpoint.
+//
+// -smoke runs the self-contained acceptance loop used by `make
+// cluster-smoke`: two in-process kissd backends behind a coordinator,
+// a corpus slice submitted as one batch twice, verdicts required
+// identical to local checking, the warm pass required to come from the
+// shard caches, and the work required to have spread across both
+// backends.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/eval"
+	"repro/internal/service"
+)
+
+// version is stamped by the Makefile via
+// -ldflags "-X main.version=$(VERSION)"; "dev" for plain go build.
+var version = "dev"
+
+func main() {
+	addr := flag.String("addr", ":8345", "listen address")
+	backends := flag.String("backends", "", "comma-separated kissd backends, each name=url or a bare url (auto-named b0, b1, ...)")
+	healthEvery := flag.Duration("health-every", 2*time.Second, "backend health-poll cadence")
+	tenantRate := flag.Float64("tenant-rate", 50, "per-tenant admission rate in jobs/second")
+	tenantBurst := flag.Int("tenant-burst", 200, "per-tenant admission burst in jobs")
+	batchWorkers := flag.Int("batch-workers", 0, "concurrent jobs per batch across the fleet (0 = 4 per backend)")
+	smoke := flag.Bool("smoke", false, "self-contained smoke test: two in-process backends, a corpus slice batched through the cluster twice, local-identical verdicts and warm-pass cache hits required, then exit")
+	smokeDrivers := flag.String("smoke-drivers", "kbfiltr,moufiltr", "comma-separated corpus slice checked by -smoke")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
+	flag.Parse()
+
+	if *showVersion {
+		fmt.Printf("kiss-coord %s\n", version)
+		return
+	}
+
+	var err error
+	if *smoke {
+		err = runSmoke(*smokeDrivers, *healthEvery)
+		if err == nil {
+			fmt.Println("kiss-coord smoke: ok")
+		}
+	} else {
+		var specs []coord.BackendSpec
+		specs, err = parseBackends(*backends)
+		if err == nil {
+			err = serve(coord.Config{
+				Version:      version,
+				Backends:     specs,
+				HealthEvery:  *healthEvery,
+				TenantRate:   *tenantRate,
+				TenantBurst:  *tenantBurst,
+				BatchWorkers: *batchWorkers,
+			}, *addr)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kiss-coord: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBackends reads the -backends list: "name=url" entries, or bare
+// URLs auto-named by position.
+func parseBackends(s string) ([]coord.BackendSpec, error) {
+	var out []coord.BackendSpec
+	for i, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if name, url, ok := strings.Cut(part, "="); ok && !strings.Contains(name, "/") {
+			out = append(out, coord.BackendSpec{Name: name, URL: url})
+		} else {
+			out = append(out, coord.BackendSpec{Name: fmt.Sprintf("b%d", i), URL: part})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no backends: pass -backends name=url[,name=url...]")
+	}
+	return out, nil
+}
+
+// serve runs the coordinator until SIGINT/SIGTERM. Shutdown waits for
+// in-flight requests — batch streams included — up to a minute; a
+// second signal kills outright.
+func serve(cfg coord.Config, addr string) error {
+	co, err := coord.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer co.Close()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: co.Handler()}
+	fmt.Fprintf(os.Stderr, "kiss-coord %s listening on %s (%d backends)\n",
+		cfg.Version, ln.Addr(), len(cfg.Backends))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "kiss-coord: signal received; shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	return hs.Shutdown(sctx)
+}
+
+// runSmoke is the in-process cluster acceptance loop: local baseline,
+// cold batched pass through a 2-backend cluster, warm batched pass
+// served from the shard caches, plus one per-field pass over the proxy
+// endpoint — all required verdict-identical to local checking.
+func runSmoke(driverList string, healthEvery time.Duration) error {
+	sel := map[string]bool{}
+	for _, d := range strings.Split(driverList, ",") {
+		if d = strings.TrimSpace(d); d != "" {
+			sel[d] = true
+		}
+	}
+
+	local, err := eval.RunCorpus(eval.Options{Drivers: sel})
+	if err != nil {
+		return fmt.Errorf("local baseline: %w", err)
+	}
+	fields := 0
+	for _, dr := range local {
+		fields += len(dr.Fields)
+	}
+	if fields == 0 {
+		return fmt.Errorf("corpus slice %q selected no fields", driverList)
+	}
+
+	// Two in-process backends on loopback ports.
+	var specs []coord.BackendSpec
+	var servers []*service.Server
+	for i := 0; i < 2; i++ {
+		s := service.New(service.Config{Version: version})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: s.Handler()}
+		go hs.Serve(ln)
+		defer hs.Close()
+		servers = append(servers, s)
+		specs = append(specs, coord.BackendSpec{
+			Name: fmt.Sprintf("b%d", i),
+			URL:  "http://" + ln.Addr().String(),
+		})
+	}
+
+	co, err := coord.New(coord.Config{Version: version, Backends: specs, HealthEvery: healthEvery})
+	if err != nil {
+		return err
+	}
+	defer co.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: co.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	url := "http://" + ln.Addr().String()
+	fmt.Fprintf(os.Stderr, "kiss-coord smoke: %s fronting %s and %s, drivers %s\n",
+		url, specs[0].URL, specs[1].URL, driverList)
+
+	cold, err := eval.RunCorpus(eval.Options{Drivers: sel, Server: url, Batch: true})
+	if err != nil {
+		return fmt.Errorf("cold batch: %w", err)
+	}
+	if err := compareCorpus(local, cold); err != nil {
+		return fmt.Errorf("cold batch: %w", err)
+	}
+
+	warm, err := eval.RunCorpus(eval.Options{Drivers: sel, Server: url, Batch: true})
+	if err != nil {
+		return fmt.Errorf("warm batch: %w", err)
+	}
+	if err := compareCorpus(local, warm); err != nil {
+		return fmt.Errorf("warm batch: %w", err)
+	}
+
+	// The proxy endpoint serves the same shard caches per field.
+	proxy, err := eval.RunCorpus(eval.Options{Drivers: sel, Server: url})
+	if err != nil {
+		return fmt.Errorf("proxy pass: %w", err)
+	}
+	if err := compareCorpus(local, proxy); err != nil {
+		return fmt.Errorf("proxy pass: %w", err)
+	}
+
+	// The warm and proxy passes must have been answered from the shard
+	// caches: 2*fields lookups, >=90% owner hits.
+	ownerHits, err := scrapeMetric(url, "kiss_coord_owner_cache_hits_total")
+	if err != nil {
+		return err
+	}
+	if ownerHits*10 < float64(2*fields)*9 {
+		return fmt.Errorf("warm passes: %.0f of %d submissions served from the shard caches (<90%%)", ownerHits, 2*fields)
+	}
+
+	// The sharding must actually have spread the corpus: both backends
+	// solved some of it.
+	for i, s := range servers {
+		if done := s.Health().JobsDone; done == 0 {
+			return fmt.Errorf("backend b%d computed no jobs; the corpus was not sharded", i)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "kiss-coord smoke: verdicts identical to local; %.0f/%d warm lookups were shard-cache hits\n",
+		ownerHits, 2*fields)
+
+	for _, s := range servers {
+		dctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		err := s.Drain(dctx)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+	}
+	return nil
+}
+
+// scrapeMetric reads one label-free sample off the coordinator's
+// Prometheus endpoint.
+func scrapeMetric(url, name string) (float64, error) {
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if val, ok := strings.CutPrefix(line, name+" "); ok {
+			var v float64
+			fmt.Sscanf(val, "%g", &v)
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("%s missing from /metrics", name)
+}
+
+// compareCorpus requires the cluster-backed corpus results to be
+// field-for-field identical to the local baseline.
+func compareCorpus(local, remote []*eval.DriverResult) error {
+	if len(remote) != len(local) {
+		return fmt.Errorf("driver rows: remote %d, local %d", len(remote), len(local))
+	}
+	for i := range local {
+		if len(remote[i].Fields) != len(local[i].Fields) {
+			return fmt.Errorf("%s: field rows: remote %d, local %d",
+				local[i].Spec.Name, len(remote[i].Fields), len(local[i].Fields))
+		}
+		for j := range local[i].Fields {
+			lf, rf := local[i].Fields[j], remote[i].Fields[j]
+			if lf.Verdict != rf.Verdict || lf.States != rf.States || lf.Steps != rf.Steps ||
+				lf.Message != rf.Message || lf.Pos != rf.Pos {
+				return fmt.Errorf("%s.%s: remote {%v %d %d %q %q}, local {%v %d %d %q %q}",
+					lf.Driver, lf.Field, rf.Verdict, rf.States, rf.Steps, rf.Message, rf.Pos,
+					lf.Verdict, lf.States, lf.Steps, lf.Message, lf.Pos)
+			}
+		}
+	}
+	return nil
+}

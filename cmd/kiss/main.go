@@ -194,7 +194,9 @@ func remoteCheck(server, path string, cfg *kiss.Config, timeout time.Duration) e
 	if err != nil {
 		return err
 	}
-	resp, err := service.NewClient(server).Check(context.Background(), string(data), cfg, timeout)
+	resp, err := service.NewClient(server).Do(context.Background(),
+		service.CheckRequest{Source: string(data), Config: cfg},
+		service.WithTimeout(timeout))
 	if err != nil {
 		return err
 	}

@@ -116,7 +116,7 @@ func TestTransformOutputIsValidInput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq, err := kiss.Transform(prog, kiss.Options{MaxTS: 1})
+	seq, err := kiss.NewConfig(kiss.WithMaxTS(1)).Transform(prog)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -59,7 +59,6 @@ import (
 	"sync"
 	"time"
 
-	kiss "repro"
 	"repro/internal/eval"
 )
 
@@ -93,7 +92,8 @@ func main() {
 	stripTiming := flag.Bool("strip-timing", false, "with -json: zero the wall-clock Stats fields so two runs diff byte-for-byte at any worker count")
 	progress := flag.Bool("progress", false, "stream per-field search progress to stderr")
 	timeout := flag.Duration("timeout", 0, "wall-time bound for the corpus runs, e.g. 10m (0 = unlimited)")
-	server := flag.String("server", "", "base URL of a running kissd: submit corpus-table checks to the daemon instead of checking in-process")
+	server := flag.String("server", "", "base URL of a running kissd or kiss-coord: submit corpus-table checks over HTTP instead of checking in-process")
+	batch := flag.Bool("batch", false, "with -server pointing at a kiss-coord coordinator: submit the corpus as one /v1/batch instead of per-field /v1/check calls")
 	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
 
@@ -110,11 +110,15 @@ func main() {
 	}
 
 	opts := eval.Options{
-		Workers: *workers, SearchWorkers: *searchWorkers, Server: *server,
+		Workers: *workers, SearchWorkers: *searchWorkers, Server: *server, Batch: *batch,
 		DisableMacroSteps: !*macroSteps, DisableFoldMemo: !*foldMemo, MemoMB: *memoMB,
 	}
+	if *batch && *server == "" {
+		fmt.Fprintln(os.Stderr, "kissbench: -batch requires -server (a kiss-coord coordinator)")
+		os.Exit(2)
+	}
 	if *maxStates > 0 {
-		opts.Budget = kiss.Budget{MaxStates: *maxStates}
+		opts.MaxStates = *maxStates
 	}
 	if *driversFlag != "" {
 		opts.Drivers = map[string]bool{}
@@ -207,10 +211,10 @@ func main() {
 	}
 	if *macrobench {
 		rep, err := eval.RunMacroAblation(eval.AblationOptions{
-			Budget:  opts.Budget,
-			Drivers: opts.Drivers,
-			Workers: *workers,
-			MemoMB:  *memoMB,
+			MaxStates: opts.MaxStates,
+			Drivers:   opts.Drivers,
+			Workers:   *workers,
+			MemoMB:    *memoMB,
 		})
 		fatal(err)
 		if *jsonOut {

@@ -32,43 +32,46 @@ func main() {
 }
 `
 
-// TestUnifiedCheckMatchesLegacyAPI: the new Check must produce the same
-// verdicts and counts as the deprecated wrappers it replaces.
-func TestUnifiedCheckMatchesLegacyAPI(t *testing.T) {
+// TestOptionsMatchStructConfig: the functional-options constructor and a
+// hand-filled Config literal are the same API — same verdicts, same
+// counts. This is the v1 freeze invariant that replaced the old
+// Options/Budget equivalence tests when those wrappers were deleted.
+func TestOptionsMatchStructConfig(t *testing.T) {
 	prog, err := kiss.Parse(racyConfigSrc)
 	if err != nil {
 		t.Fatal(err)
 	}
-	oldRes, err := kiss.CheckAssertions(prog, kiss.Options{MaxTS: 1}, kiss.Budget{})
+	structRes, err := (&kiss.Config{MaxTS: 1}).Check(prog)
 	if err != nil {
 		t.Fatal(err)
 	}
-	newRes, err := kiss.Check(prog, kiss.WithMaxTS(1))
+	optRes, err := kiss.Check(prog, kiss.WithMaxTS(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if oldRes.Verdict != newRes.Verdict || oldRes.States != newRes.States || oldRes.Steps != newRes.Steps {
-		t.Errorf("unified Check diverges from CheckAssertions: %+v vs %+v", oldRes, newRes)
+	if structRes.Verdict != optRes.Verdict || structRes.States != optRes.States || structRes.Steps != optRes.Steps {
+		t.Errorf("options path diverges from struct Config: %+v vs %+v", optRes, structRes)
 	}
-	if newRes.Verdict != kiss.Error {
-		t.Fatalf("expected the publish-before-write bug, got %v", newRes.Verdict)
+	if optRes.Verdict != kiss.Error {
+		t.Fatalf("expected the publish-before-write bug, got %v", optRes.Verdict)
 	}
 
-	oldRace, err := kiss.CheckRace(prog, kiss.RaceTarget{Global: "x"}, kiss.Options{MaxTS: 0}, kiss.Budget{})
+	structRace, err := (&kiss.Config{RaceTarget: &kiss.RaceTarget{Global: "x"}}).Check(prog)
 	if err != nil {
 		t.Fatal(err)
 	}
-	newRace, err := kiss.Check(prog, kiss.WithRaceTarget(kiss.RaceTarget{Global: "x"}), kiss.WithMaxTS(0))
+	optRace, err := kiss.Check(prog, kiss.WithRaceTarget(kiss.RaceTarget{Global: "x"}), kiss.WithMaxTS(0))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if oldRace.Verdict != newRace.Verdict || oldRace.Message != newRace.Message {
-		t.Errorf("unified race check diverges: %+v vs %+v", oldRace, newRace)
+	if structRace.Verdict != optRace.Verdict || structRace.Message != optRace.Message {
+		t.Errorf("race check diverges between option and struct configs: %+v vs %+v", optRace, structRace)
 	}
 }
 
 // TestCheckSkipsTransformForSequentialPrograms: Transform output passed to
-// Check is analyzed directly, matching the old CheckSequential.
+// Check is analyzed directly — no second sequentialization — so a config
+// that differs only in transformation knobs reaches the same analysis.
 func TestCheckSkipsTransformForSequentialPrograms(t *testing.T) {
 	prog, err := kiss.Parse(racyConfigSrc)
 	if err != nil {
@@ -86,12 +89,12 @@ func TestCheckSkipsTransformForSequentialPrograms(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	old, err := kiss.CheckSequential(seq, kiss.Budget{})
+	plain, err := kiss.Check(seq)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Verdict != old.Verdict || res.States != old.States {
-		t.Errorf("Check on sequential program diverges from CheckSequential: %+v vs %+v", res, old)
+	if res.Verdict != plain.Verdict || res.States != plain.States {
+		t.Errorf("Check on sequential program depends on transform knobs: %+v vs %+v", res, plain)
 	}
 	if res.Stats.Phases.Transform != 0 {
 		t.Errorf("transform phase timed on an already-sequential program: %v", res.Stats.Phases.Transform)
@@ -259,12 +262,12 @@ func TestExploreWithConfig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	old, err := kiss.ExploreConcurrent(prog, kiss.Budget{}, 2)
+	direct, err := (&kiss.Config{ContextBound: 2}).Explore(prog)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Verdict != old.Verdict || res.States != old.States {
-		t.Errorf("Explore diverges from ExploreConcurrent: %+v vs %+v", res, old)
+	if res.Verdict != direct.Verdict || res.States != direct.States {
+		t.Errorf("Explore diverges between option and struct configs: %+v vs %+v", res, direct)
 	}
 	if res.Stats.Visited == 0 {
 		t.Error("Explore fills no stats")
@@ -292,12 +295,12 @@ func TestSummariesWithConfig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	old, err := kiss.CheckAssertionsSummaries(prog, kiss.Options{MaxTS: 1}, kiss.Budget{})
+	direct, err := (&kiss.Config{MaxTS: 1, Summaries: true}).Check(prog)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Verdict != old.Verdict || res.States != old.States {
-		t.Errorf("summary path diverges: %+v vs %+v", res, old)
+	if res.Verdict != direct.Verdict || res.States != direct.States {
+		t.Errorf("summary path diverges: %+v vs %+v", res, direct)
 	}
 }
 

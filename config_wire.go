@@ -18,10 +18,50 @@ import (
 // are deliberately absent: they parameterize *how* a check runs (who is
 // watching, when it may be interrupted), never *what* it computes, so
 // they have no business in a wire request or a cache key.
+//
+// Every payload leads with an explicit version field "v". The format was
+// frozen as v1 together with the service envelope (internal/service) and
+// the Go API (DESIGN.md, "the v1 API freeze"): a payload without a
+// version, or with one this build does not speak, fails fast with a
+// *WireVersionError instead of being half-understood.
+
+// WireV is the wire-format version this build speaks, carried in the "v"
+// field of every Config payload and service envelope. Distributed result
+// reuse (kissd's cache, kiss-coord's peer lookup) is only sound when both
+// sides agree byte-for-byte on what a payload means, so version skew is a
+// hard decode error, never a best-effort parse.
+const WireV = 1
+
+// WireVersionError reports a wire payload whose "v" field is missing
+// (Got == 0) or names a version this build does not speak. It is the
+// typed form callers match with errors.As to distinguish version skew
+// from malformed JSON.
+type WireVersionError struct {
+	What string // which payload failed: "config", "check request", ...
+	Got  int
+}
+
+func (e *WireVersionError) Error() string {
+	if e.Got == 0 {
+		return fmt.Sprintf("kiss: %s is missing the wire version field \"v\" (this build speaks v%d)", e.What, WireV)
+	}
+	return fmt.Sprintf("kiss: %s wire version %d is not supported (this build speaks v%d)", e.What, e.Got, WireV)
+}
+
+// CheckWireV validates a decoded "v" field, returning a *WireVersionError
+// naming the payload on mismatch. internal/service uses it for the
+// request/response envelopes; Config.UnmarshalJSON uses it for configs.
+func CheckWireV(what string, v int) error {
+	if v != WireV {
+		return &WireVersionError{What: what, Got: v}
+	}
+	return nil
+}
 
 // wireConfig is the serialized shape of Config. Field order is the
 // canonical order; tags are the canonical names.
 type wireConfig struct {
+	V                   int             `json:"v"`
 	MaxTS               int             `json:"max_ts"`
 	DisableAliasElision bool            `json:"disable_alias_elision"`
 	Scheduler           string          `json:"scheduler"`
@@ -71,6 +111,7 @@ func (c *Config) MarshalJSON() ([]byte, error) {
 		return nil, fmt.Errorf("kiss: cannot marshal unknown scheduler %d", int(c.Scheduler))
 	}
 	w := wireConfig{
+		V:                   WireV,
 		MaxTS:               c.MaxTS,
 		DisableAliasElision: c.DisableAliasElision,
 		Scheduler:           name,
@@ -99,13 +140,19 @@ func (c *Config) MarshalJSON() ([]byte, error) {
 // UnmarshalJSON decodes the wire format back into a Config. Unknown
 // fields are rejected — a wire request naming a knob this build doesn't
 // know about is a version skew the caller must hear about, not a silent
-// no-op. An absent scheduler means the paper's nondeterministic default.
+// no-op — and the "v" field must name a version this build speaks: a
+// missing or unknown version fails with a *WireVersionError before any
+// knob is interpreted. An absent scheduler means the paper's
+// nondeterministic default.
 func (c *Config) UnmarshalJSON(data []byte) error {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	var w wireConfig
 	if err := dec.Decode(&w); err != nil {
 		return fmt.Errorf("kiss: decoding config: %w", err)
+	}
+	if err := CheckWireV("config", w.V); err != nil {
+		return err
 	}
 	sched := SchedulerNondet
 	if w.Scheduler != "" {

@@ -2,6 +2,8 @@ package kiss_test
 
 import (
 	"encoding/json"
+	"errors"
+	"strings"
 	"testing"
 
 	kiss "repro"
@@ -19,7 +21,7 @@ func TestConfigWireGolden(t *testing.T) {
 		kiss.WithMaxStates(40000),
 		kiss.WithBFS(),
 	)
-	const golden = `{"max_ts":2,"disable_alias_elision":false,"scheduler":"nondet",` +
+	const golden = `{"v":1,"max_ts":2,"disable_alias_elision":false,"scheduler":"nondet",` +
 		`"race_target":{"record":"DEVICE_EXTENSION","field":"stoppingFlag"},` +
 		`"summaries":false,"max_states":40000,"max_steps":0,"max_depth":0,` +
 		`"bfs":true,"disable_macro_steps":false,"disable_fold_memo":false,` +
@@ -77,11 +79,56 @@ func TestConfigWireRoundTrip(t *testing.T) {
 // TestConfigWireRejectsUnknownFields: version skew must be loud.
 func TestConfigWireRejectsUnknownFields(t *testing.T) {
 	var cfg kiss.Config
-	if err := json.Unmarshal([]byte(`{"max_ts":1,"definitely_not_a_knob":true}`), &cfg); err == nil {
+	if err := json.Unmarshal([]byte(`{"v":1,"max_ts":1,"definitely_not_a_knob":true}`), &cfg); err == nil {
 		t.Error("unknown wire field accepted silently")
 	}
-	if err := json.Unmarshal([]byte(`{"scheduler":"round-robin"}`), &cfg); err == nil {
+	if err := json.Unmarshal([]byte(`{"v":1,"scheduler":"round-robin"}`), &cfg); err == nil {
 		t.Error("unknown scheduler name accepted silently")
+	}
+}
+
+// TestConfigWireVersion: the "v" field is mandatory and must name a
+// version this build speaks; failures are the typed *WireVersionError so
+// callers can tell version skew from plain JSON garbage.
+func TestConfigWireVersion(t *testing.T) {
+	var cfg kiss.Config
+	var verr *kiss.WireVersionError
+
+	err := json.Unmarshal([]byte(`{"max_ts":1}`), &cfg)
+	if err == nil {
+		t.Fatal("config without a version field accepted silently")
+	}
+	if !errors.As(err, &verr) || verr.Got != 0 {
+		t.Errorf("missing version: got %v, want *WireVersionError{Got: 0}", err)
+	}
+
+	err = json.Unmarshal([]byte(`{"v":2,"max_ts":1}`), &cfg)
+	if err == nil {
+		t.Fatal("config with an unknown version accepted silently")
+	}
+	if !errors.As(err, &verr) || verr.Got != 2 {
+		t.Errorf("unknown version: got %v, want *WireVersionError{Got: 2}", err)
+	}
+
+	// The happy path: an explicit v1 payload decodes.
+	if err := json.Unmarshal([]byte(`{"v":1,"max_ts":1}`), &cfg); err != nil {
+		t.Errorf("v1 payload rejected: %v", err)
+	}
+	if cfg.MaxTS != 1 {
+		t.Errorf("v1 payload decoded MaxTS=%d, want 1", cfg.MaxTS)
+	}
+}
+
+// TestConfigCanonicalJSONCarriesVersion: the cache key's config half is
+// version-stamped, so a future v2 format can never collide with v1
+// entries in a shared cache.
+func TestConfigCanonicalJSONCarriesVersion(t *testing.T) {
+	cj, err := kiss.NewConfig().CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(cj), `{"v":1,`) {
+		t.Errorf("canonical form does not lead with the version: %s", cj)
 	}
 }
 

@@ -75,7 +75,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("%s: %v", label, err)
 		}
-		res, err := kiss.CheckRace(prog, target, kiss.Options{MaxTS: 0}, kiss.Budget{})
+		res, err := kiss.Check(prog, kiss.WithRaceTarget(target))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -94,7 +94,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ground, err := kiss.ExploreConcurrent(prog, kiss.Budget{}, -1)
+	ground, err := kiss.Explore(prog)
 	if err != nil {
 		log.Fatal(err)
 	}

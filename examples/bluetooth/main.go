@@ -29,9 +29,8 @@ func main() {
 	}
 
 	fmt.Println("=== 1. Race on DEVICE_EXTENSION.stoppingFlag, ts=0 (Section 2.2) ===")
-	res, err := kiss.CheckRace(buggy,
-		kiss.RaceTarget{Record: "DEVICE_EXTENSION", Field: "stoppingFlag"},
-		kiss.Options{MaxTS: 0}, kiss.Budget{})
+	res, err := kiss.Check(buggy,
+		kiss.WithRaceTarget(kiss.RaceTarget{Record: "DEVICE_EXTENSION", Field: "stoppingFlag"}))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,7 +41,7 @@ func main() {
 
 	fmt.Println("\n=== 2. Assertion checking: the ts knob (Section 2.3) ===")
 	for _, ts := range []int{0, 1} {
-		res, err := kiss.CheckAssertions(buggy, kiss.Options{MaxTS: ts}, kiss.Budget{})
+		res, err := kiss.Check(buggy, kiss.WithMaxTS(ts))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -61,7 +60,7 @@ func main() {
 		log.Fatalf("parse fixed: %v", err)
 	}
 	for _, ts := range []int{0, 1, 2} {
-		res, err := kiss.CheckAssertions(fixed, kiss.Options{MaxTS: ts}, kiss.Budget{})
+		res, err := kiss.Check(fixed, kiss.WithMaxTS(ts))
 		if err != nil {
 			log.Fatal(err)
 		}

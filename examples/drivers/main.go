@@ -70,9 +70,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := kiss.CheckRace(prog,
-			kiss.RaceTarget{Record: "DEVICE_EXTENSION", Field: fr.Field},
-			kiss.Options{MaxTS: 0}, kiss.Budget{})
+		res, err := kiss.Check(prog,
+			kiss.WithRaceTarget(kiss.RaceTarget{Record: "DEVICE_EXTENSION", Field: fr.Field}))
 		if err != nil {
 			log.Fatal(err)
 		}

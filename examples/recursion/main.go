@@ -6,7 +6,7 @@
 // Reps-Horwitz-Sagiv [34]; SLAM's Bebop engine). This example runs a
 // concurrent program whose worker recurses to a nondeterministic depth:
 //
-//   - the summary-based engine (CheckAssertionsSummaries) terminates with
+//   - the summary-based engine (WithSummaries) terminates with
 //     a verdict, because the number of (procedure, valuation) path edges
 //     is finite even though the stack is unbounded;
 //   - the explicit-state engine, which fingerprints whole configurations
@@ -63,7 +63,7 @@ func main() {
 	}
 
 	fmt.Println("summary-based engine (Bebop/RHS architecture):")
-	sres, err := kiss.CheckAssertionsSummaries(prog, kiss.Options{MaxTS: 1}, kiss.Budget{})
+	sres, err := kiss.Check(prog, kiss.WithMaxTS(1), kiss.WithSummaries())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func main() {
 		sres.Verdict, sres.States)
 
 	fmt.Println("\nexplicit-state engine (whole-configuration fingerprints):")
-	eres, err := kiss.CheckAssertions(prog, kiss.Options{MaxTS: 1}, kiss.Budget{MaxStates: 20000})
+	eres, err := kiss.Check(prog, kiss.WithMaxTS(1), kiss.WithMaxStates(20000))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -56,7 +56,7 @@ func main() {
 		log.Fatalf("parse: %v", err)
 	}
 
-	res, err := kiss.CheckAssertions(prog, kiss.Options{MaxTS: 1}, kiss.Budget{})
+	res, err := kiss.Check(prog, kiss.WithMaxTS(1))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func main() {
 
 	// Certification, two ways. First the coarse check: the original
 	// concurrent program has *some* failing execution.
-	ground, err := kiss.ExploreConcurrent(prog, kiss.Budget{}, -1)
+	ground, err := kiss.Explore(prog)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func main() {
 	// Then the exact check: replay the original program along the
 	// reconstructed schedule and reach the failure at precisely those
 	// context switches.
-	certified, err := kiss.CertifyTrace(prog, res, kiss.Budget{})
+	certified, err := kiss.NewConfig().Certify(prog, res)
 	if err != nil {
 		log.Fatal(err)
 	}

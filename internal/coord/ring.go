@@ -1,0 +1,86 @@
+package coord
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// vnodes is the number of ring points per backend. More points smooth
+// the key distribution while the ring stays small enough to rebuild on
+// every membership change.
+const vnodes = 128
+
+// ring is an immutable consistent-hash ring over the healthy backends.
+// Keys (service.CacheKey strings) map to the first point clockwise from
+// their hash, so each backend's LRU cache becomes a shard of one
+// distributed cache and a membership change moves only the keys owned
+// by the departed (or arrived) member. The coordinator swaps in a fresh
+// ring on every change rather than mutating in place — readers route
+// lock-free off whatever ring they loaded.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	b    *backend
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// buildRing lays the members' virtual nodes on the ring. An empty
+// member list yields an empty ring (owner returns nil).
+func buildRing(members []*backend) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(members)*vnodes)}
+	for _, b := range members {
+		// Chain the vnode hashes (each point hashes the previous point's
+		// hex) — hashing short "name#i" labels directly leaves fnv64a
+		// points clumped and the shards badly skewed.
+		h := hash64(b.name)
+		for i := 0; i < vnodes; i++ {
+			h = hash64(strconv.FormatUint(h, 16) + "#" + b.name)
+			r.points = append(r.points, ringPoint{hash: h, b: b})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// owner returns the backend owning key, or nil on an empty ring.
+func (r *ring) owner(key string) *backend {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].b
+}
+
+// successors returns the distinct backends in ring order starting at
+// key's owner — the failover order: if the owner is unreachable the
+// coordinator reroutes to the next member, and so on.
+func (r *ring) successors(key string) []*backend {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := map[*backend]bool{}
+	var out []*backend
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.b] {
+			seen[p.b] = true
+			out = append(out, p.b)
+		}
+	}
+	return out
+}

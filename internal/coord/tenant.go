@@ -1,0 +1,58 @@
+package coord
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// tenantTable holds one token bucket per tenant (the X-Kiss-Tenant
+// header value). Buckets refill at rate tokens/second up to burst;
+// a submission costs one token per job, so a batch of N draws N at
+// once. A request from an unnamed tenant is not charged — the quota
+// protects shared clusters from named noisy neighbors, not the
+// single-user localhost setup.
+type tenantTable struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket capacity
+
+	mu  sync.Mutex
+	m   map[string]*bucket
+	now func() time.Time // injectable clock for tests
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newTenantTable(rate float64, burst int) *tenantTable {
+	return &tenantTable{rate: rate, burst: float64(burst), m: map[string]*bucket{}, now: time.Now}
+}
+
+// take withdraws n tokens from tenant's bucket. On refusal it returns
+// the wait after which the bucket will have refilled enough, rounded up
+// to whole seconds for the Retry-After header (minimum 1s).
+func (t *tenantTable) take(tenant string, n int) (ok bool, retryAfter time.Duration) {
+	need := float64(n)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	b := t.m[tenant]
+	if b == nil {
+		b = &bucket{tokens: t.burst, last: now}
+		t.m[tenant] = b
+	}
+	b.tokens = math.Min(t.burst, b.tokens+t.rate*now.Sub(b.last).Seconds())
+	b.last = now
+	if b.tokens >= need {
+		b.tokens -= need
+		return true, 0
+	}
+	deficit := need - b.tokens
+	secs := math.Ceil(deficit / t.rate)
+	if secs < 1 {
+		secs = 1
+	}
+	return false, time.Duration(secs) * time.Second
+}

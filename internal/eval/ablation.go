@@ -7,8 +7,6 @@ import (
 	"runtime"
 	"sort"
 	"time"
-
-	kiss "repro"
 )
 
 // This file holds the macro-step ablation: the driver corpus run across
@@ -22,8 +20,8 @@ import (
 
 // AblationOptions configure RunMacroAblation.
 type AblationOptions struct {
-	// Budget is the per-field resource bound (zero = DefaultBudget).
-	Budget kiss.Budget
+	// MaxStates is the per-field state bound (zero = DefaultMaxStates).
+	MaxStates int
 	// Drivers restricts the corpus subset (nil = all 18 drivers).
 	Drivers map[string]bool
 	// Workers bounds the corpus field-check pool per arm (0 = auto).
@@ -173,7 +171,7 @@ func RunMacroAblation(opts AblationOptions) (*MacroAblation, error) {
 		wcs = defaultWorkerCounts()
 	}
 	base := Options{
-		Budget: opts.Budget, Drivers: opts.Drivers, Workers: opts.Workers,
+		MaxStates: opts.MaxStates, Drivers: opts.Drivers, Workers: opts.Workers,
 		SearchWorkers: wcs[0], MemoMB: opts.MemoMB,
 	}
 

@@ -32,7 +32,6 @@ type ContextBoundStudy struct {
 // RunContextBound evaluates bounds 0..maxBound plus unbounded over
 // `programs` random two-threaded programs.
 func RunContextBound(programs int, maxBound int) (*ContextBoundStudy, error) {
-	budget := kiss.Budget{MaxStates: 300000}
 	study := &ContextBoundStudy{Programs: programs}
 	counts := make([]int, maxBound+2) // [0..maxBound] + unbounded
 
@@ -44,7 +43,7 @@ func RunContextBound(programs int, maxBound int) (*ContextBoundStudy, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := kiss.ExploreConcurrent(prog, budget, b)
+			res, err := kiss.Explore(prog, kiss.WithMaxStates(300000), kiss.WithContextBound(b))
 			if err != nil {
 				return nil, err
 			}
@@ -56,7 +55,7 @@ func RunContextBound(programs int, maxBound int) (*ContextBoundStudy, error) {
 		if err != nil {
 			return nil, err
 		}
-		unb, err := kiss.ExploreConcurrent(prog, budget, -1)
+		unb, err := kiss.Explore(prog, kiss.WithMaxStates(300000))
 		if err != nil {
 			return nil, err
 		}
@@ -68,7 +67,7 @@ func RunContextBound(programs int, maxBound int) (*ContextBoundStudy, error) {
 		if err != nil {
 			return nil, err
 		}
-		kres, err := kiss.CheckAssertions(kprog, kiss.Options{MaxTS: 1}, budget)
+		kres, err := kiss.Check(kprog, kiss.WithMaxTS(1), kiss.WithMaxStates(300000))
 		if err != nil {
 			return nil, err
 		}

@@ -7,7 +7,9 @@ package eval
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"strings"
 	"sync"
@@ -80,10 +82,10 @@ type DriverResult struct {
 
 // Options configure a corpus run.
 type Options struct {
-	// Budget is the per-field resource bound, the analogue of the paper's
+	// MaxStates is the per-field state bound, the analogue of the paper's
 	// "20 minutes of CPU time and 800MB of memory" per run. The default
-	// (zero) is DefaultBudget.
-	Budget kiss.Budget
+	// (zero) is DefaultMaxStates.
+	MaxStates int
 	// Refined selects the refined harness (rules A1-A3 + driver-specific).
 	Refined bool
 	// Only restricts the run to the given driver->fields subset (Table 2
@@ -126,6 +128,14 @@ type Options struct {
 	// bounds concurrent HTTP submissions rather than local checks, and
 	// per-field Progress events do not stream (the search runs remotely).
 	Server string
+	// Batch, with Server set, submits the whole corpus as one
+	// POST /v1/batch and fills the result slots from the streamed JSONL
+	// items instead of one /v1/check round trip per field. The batch
+	// endpoint is served by the kiss-coord coordinator (cmd/kiss-coord),
+	// not by a single kissd; the coordinator shards the jobs across its
+	// backends by cache key. Verdicts and counters are identical to the
+	// per-field path.
+	Batch bool
 	// Context, when non-nil, makes the corpus run cancelable: on
 	// cancellation (or deadline expiry) the in-flight checks stop at their
 	// next poll, the remaining fields are marked Canceled, and RunCorpus
@@ -145,10 +155,10 @@ type FieldEvent struct {
 	Event  kiss.Event
 }
 
-// DefaultBudget is calibrated so that FieldHard runs (whose hard-worker
-// loops explore >= AmplifierBound counter states) exceed it while every
-// other pattern completes well inside it.
-var DefaultBudget = kiss.Budget{MaxStates: 40000}
+// DefaultMaxStates is calibrated so that FieldHard runs (whose
+// hard-worker loops explore >= AmplifierBound counter states) exceed it
+// while every other pattern completes well inside it.
+const DefaultMaxStates = 40000
 
 // modelCache memoizes drivers.Generate per spec name: generation is
 // deterministic, so the model (text, routine maps, LOC) is computed once
@@ -205,9 +215,9 @@ type fieldJob struct {
 // to a pool of opts.Workers goroutines; the output is independent of the
 // worker count.
 func RunCorpus(opts Options) ([]*DriverResult, error) {
-	budget := opts.Budget
-	if budget == (kiss.Budget{}) {
-		budget = DefaultBudget
+	maxStates := opts.MaxStates
+	if maxStates == 0 {
+		maxStates = DefaultMaxStates
 	}
 	var cl *service.Client
 	if opts.Server != "" {
@@ -261,7 +271,7 @@ func RunCorpus(opts Options) ([]*DriverResult, error) {
 			}
 			return nil
 		}
-		fr, err := checkField(j.model, j.field, opts, budget, cl)
+		fr, err := checkField(j.model, j.field, opts, maxStates, cl)
 		if err != nil {
 			return fmt.Errorf("%s.%s: %w", j.dr.Spec.Name, j.field.Name, err)
 		}
@@ -269,7 +279,11 @@ func RunCorpus(opts Options) ([]*DriverResult, error) {
 		return nil
 	}
 
-	if workers <= 1 {
+	if cl != nil && opts.Batch {
+		if err := runBatch(cl, jobs, opts, maxStates); err != nil {
+			return nil, err
+		}
+	} else if workers <= 1 {
 		for _, j := range jobs {
 			if err := run(j); err != nil {
 				return nil, err
@@ -333,7 +347,24 @@ func RunCorpus(opts Options) ([]*DriverResult, error) {
 	return out, nil
 }
 
-func checkField(model *drivers.Model, f drivers.FieldSpec, opts Options, budget kiss.Budget, cl *service.Client) (FieldResult, error) {
+// fieldConfig is the per-field check configuration, shared by the
+// local, per-field-remote, and batch paths. Table 1/2 configuration
+// (Section 6): "Guided by the intuition of the Bluetooth driver example
+// in Section 2.2, we set the size of ts to 0."
+func fieldConfig(f drivers.FieldSpec, opts Options, maxStates int) *kiss.Config {
+	return &kiss.Config{
+		MaxTS:             0,
+		RaceTarget:        &kiss.RaceTarget{Record: "DEVICE_EXTENSION", Field: f.Name},
+		MaxStates:         maxStates,
+		DisableMacroSteps: opts.DisableMacroSteps,
+		DisableFoldMemo:   opts.DisableFoldMemo,
+		MemoMB:            opts.MemoMB,
+		SearchWorkers:     opts.SearchWorkers,
+		Context:           opts.Context,
+	}
+}
+
+func checkField(model *drivers.Model, f drivers.FieldSpec, opts Options, maxStates int, cl *service.Client) (FieldResult, error) {
 	fr := FieldResult{Driver: model.Spec.Name, Field: f.Name, Pattern: f.Pattern}
 	if checkFieldHook != nil {
 		if err := checkFieldHook(model.Spec.Name, f.Name); err != nil {
@@ -341,21 +372,7 @@ func checkField(model *drivers.Model, f drivers.FieldSpec, opts Options, budget 
 		}
 	}
 	src := model.HarnessProgram(f.Name, opts.Refined)
-	// Table 1/2 configuration (Section 6): "Guided by the intuition of the
-	// Bluetooth driver example in Section 2.2, we set the size of ts to 0."
-	cfg := &kiss.Config{
-		MaxTS:             0,
-		RaceTarget:        &kiss.RaceTarget{Record: "DEVICE_EXTENSION", Field: f.Name},
-		MaxStates:         budget.MaxStates,
-		MaxSteps:          budget.MaxSteps,
-		MaxDepth:          budget.MaxDepth,
-		BFS:               budget.BFS,
-		DisableMacroSteps: opts.DisableMacroSteps,
-		DisableFoldMemo:   opts.DisableFoldMemo,
-		MemoMB:            opts.MemoMB,
-		SearchWorkers:     opts.SearchWorkers,
-		Context:           opts.Context,
-	}
+	cfg := fieldConfig(f, opts, maxStates)
 	if cl != nil {
 		return checkFieldRemote(cl, fr, src, cfg, opts.Context)
 	}
@@ -404,7 +421,7 @@ func checkFieldRemote(cl *service.Client, fr FieldResult, src string, cfg *kiss.
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	resp, err := cl.Check(ctx, src, cfg, 0)
+	resp, err := cl.Do(ctx, service.CheckRequest{Source: src, Config: cfg})
 	if err != nil {
 		if ctx.Err() != nil {
 			fr.Verdict = Canceled
@@ -415,7 +432,12 @@ func checkFieldRemote(cl *service.Client, fr FieldResult, src string, cfg *kiss.
 	if resp.State != service.StateDone || resp.Result == nil {
 		return fr, fmt.Errorf("kissd check: job %s ended %s: %s", resp.JobID, resp.State, resp.Error)
 	}
-	r := resp.Result
+	return fieldFromWire(fr, resp.Result), nil
+}
+
+// fieldFromWire maps a wire Result onto a FieldResult exactly like a
+// local verdict.
+func fieldFromWire(fr FieldResult, r *service.Result) FieldResult {
 	fr.States, fr.Steps = r.States, r.Steps
 	fr.Stats = r.Stats
 	switch r.Verdict {
@@ -432,7 +454,88 @@ func checkFieldRemote(cl *service.Client, fr FieldResult, src string, cfg *kiss.
 			fr.Verdict = Timeout
 		}
 	}
-	return fr, nil
+	return fr
+}
+
+// runBatch is the coordinator-backed arm of RunCorpus: the whole job
+// list travels as one BatchRequest, the coordinator shards it across
+// its backends, and the streamed items land in their fixed slots by
+// index — completion order does not matter. A canceled corpus context
+// marks whatever has not streamed back yet as Canceled, mirroring the
+// per-field paths.
+func runBatch(cl *service.Client, jobs []fieldJob, opts Options, maxStates int) error {
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	req := service.BatchRequest{}
+	for _, j := range jobs {
+		if checkFieldHook != nil {
+			if err := checkFieldHook(j.dr.Spec.Name, j.field.Name); err != nil {
+				return err
+			}
+		}
+		req.Jobs = append(req.Jobs, service.BatchJob{
+			Source: j.model.HarnessProgram(j.field.Name, opts.Refined),
+			Config: fieldConfig(j.field, opts, maxStates),
+		})
+	}
+
+	markCanceled := func(filled []bool) {
+		for i, j := range jobs {
+			if !filled[i] {
+				j.dr.Fields[j.slot] = FieldResult{
+					Driver: j.dr.Spec.Name, Field: j.field.Name,
+					Pattern: j.field.Pattern, Verdict: Canceled,
+				}
+			}
+		}
+	}
+
+	filled := make([]bool, len(jobs))
+	stream, err := cl.Batch(ctx, req)
+	if err != nil {
+		if ctx.Err() != nil {
+			markCanceled(filled)
+			return nil
+		}
+		return fmt.Errorf("batch submit: %w", err)
+	}
+	defer stream.Close()
+	for {
+		item, err := stream.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if ctx.Err() != nil {
+				markCanceled(filled)
+				return nil
+			}
+			return fmt.Errorf("batch stream: %w", err)
+		}
+		if item.Index < 0 || item.Index >= len(jobs) || filled[item.Index] {
+			return fmt.Errorf("batch stream: bad item index %d", item.Index)
+		}
+		j := jobs[item.Index]
+		fr := FieldResult{Driver: j.dr.Spec.Name, Field: j.field.Name, Pattern: j.field.Pattern}
+		if item.State != service.StateDone || item.Result == nil {
+			return fmt.Errorf("batch: %s.%s ended %s: %s", fr.Driver, fr.Field, item.State, item.Error)
+		}
+		j.dr.Fields[j.slot] = fieldFromWire(fr, item.Result)
+		filled[item.Index] = true
+	}
+	for i := range jobs {
+		if !filled[i] {
+			if ctx.Err() != nil {
+				markCanceled(filled)
+				return nil
+			}
+			return fmt.Errorf("batch stream ended with %s.%s missing",
+				jobs[i].dr.Spec.Name, jobs[i].field.Name)
+		}
+	}
+	return nil
 }
 
 // RacedFields extracts the driver->field set that raced, for feeding a

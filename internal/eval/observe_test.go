@@ -210,8 +210,8 @@ func TestJSONRecords(t *testing.T) {
 // its specific trip reason ("max-states") in the JSON record.
 func TestJSONRecordsNameTrippedBound(t *testing.T) {
 	res, err := RunCorpus(Options{
-		Drivers: map[string]bool{"tracedrv": true},
-		Budget:  kiss.Budget{MaxStates: 100},
+		Drivers:   map[string]bool{"tracedrv": true},
+		MaxStates: 100,
 	})
 	if err != nil {
 		t.Fatal(err)

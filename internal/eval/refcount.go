@@ -44,7 +44,7 @@ func RunRefcount() ([]RefcountResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", c.name, err)
 		}
-		res, err := kiss.CheckAssertions(prog, kiss.Options{MaxTS: c.maxTS}, kiss.Budget{})
+		res, err := kiss.Check(prog, kiss.WithMaxTS(c.maxTS))
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", c.name, err)
 		}

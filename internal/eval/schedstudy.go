@@ -28,7 +28,6 @@ type SchedulerStudy struct {
 
 // RunSchedulerStudy executes the comparison.
 func RunSchedulerStudy(programs int) (*SchedulerStudy, error) {
-	budget := kiss.Budget{MaxStates: 300000}
 	study := &SchedulerStudy{Programs: programs}
 	policies := []kiss.Scheduler{kiss.SchedulerNondet, kiss.SchedulerDrainAll, kiss.SchedulerAtCallsOnly}
 	rows := make([]SchedulerRow, len(policies))
@@ -42,7 +41,7 @@ func RunSchedulerStudy(programs int) (*SchedulerStudy, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := kiss.CheckAssertions(prog, kiss.Options{MaxTS: 2, Scheduler: policy}, budget)
+			res, err := kiss.Check(prog, kiss.WithMaxTS(2), kiss.WithScheduler(policy), kiss.WithMaxStates(300000))
 			if err != nil {
 				return nil, err
 			}

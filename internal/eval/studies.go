@@ -44,7 +44,7 @@ func RunBlowup(maxThreads int) ([]BlowupRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		con, err := kiss.ExploreConcurrent(prog, kiss.Budget{}, -1)
+		con, err := kiss.Explore(prog)
 		if err != nil {
 			return nil, err
 		}
@@ -53,7 +53,7 @@ func RunBlowup(maxThreads int) ([]BlowupRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		seq, err := kiss.CheckAssertions(prog2, kiss.Options{MaxTS: n}, kiss.Budget{})
+		seq, err := kiss.Check(prog2, kiss.WithMaxTS(n))
 		if err != nil {
 			return nil, err
 		}
@@ -115,7 +115,7 @@ func RunCoverage(maxDepth, maxTS int) ([]CoverageRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := kiss.CheckAssertions(prog, kiss.Options{MaxTS: ts}, kiss.Budget{})
+			res, err := kiss.Check(prog, kiss.WithMaxTS(ts))
 			if err != nil {
 				return nil, err
 			}

@@ -98,9 +98,9 @@ func TestDefaultBudgetSeparation(t *testing.T) {
 	for _, fr := range res[0].Fields {
 		if fr.Pattern.TimesOut() && fr.Verdict == Timeout {
 			sawHardTimeout = true
-			if fr.States <= DefaultBudget.MaxStates {
+			if fr.States <= DefaultMaxStates {
 				t.Errorf("hard field %s stopped at %d states, expected to exceed budget %d",
-					fr.Field, fr.States, DefaultBudget.MaxStates)
+					fr.Field, fr.States, DefaultMaxStates)
 			}
 		}
 		if fr.Pattern == drivers.FieldProtected && fr.Verdict == NoRace {

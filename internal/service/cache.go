@@ -11,7 +11,7 @@ import (
 	kiss "repro"
 )
 
-// cacheKey derives the content address of one checking problem: the
+// CacheKey derives the content address of one checking problem: the
 // SHA-256 of the *canonicalized* source and the *normalized* config.
 //
 // The source half is the parsed program rendered back to concrete syntax
@@ -20,8 +20,14 @@ import (
 // Config.CanonicalJSON, which strips runtime plumbing and the
 // result-invariant parallelism knobs — a -search-workers 8 resubmission
 // of a sequential run is, by the PR 3 bit-identity invariant, the same
-// problem and hits the same entry.
-func cacheKey(canonSource string, cfg *kiss.Config) (string, error) {
+// problem and hits the same entry. The canonical form is version-stamped
+// ("v":1), so entries from incompatible wire formats can never collide.
+//
+// The key is exported because it is also the cluster's unit of routing:
+// internal/coord consistent-hashes it to pick the owning backend, making
+// each backend's LRU a shard of one distributed cache, and uses it
+// verbatim for GET /v1/cache/{key} peer lookups.
+func CacheKey(canonSource string, cfg *kiss.Config) (string, error) {
 	cj, err := cfg.CanonicalJSON()
 	if err != nil {
 		return "", err

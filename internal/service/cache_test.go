@@ -51,7 +51,7 @@ func TestCacheLRUEviction(t *testing.T) {
 func TestCacheOversizeEntryNotStored(t *testing.T) {
 	c := newResultCache(2048)
 	c.put("small", entry(100))
-	c.put("huge", entry(1 << 20))
+	c.put("huge", entry(1<<20))
 	if _, ok := c.get("huge"); ok {
 		t.Error("over-budget entry stored")
 	}
@@ -84,25 +84,25 @@ func TestCacheUpdateExistingKey(t *testing.T) {
 // config normalization noise and sensitive to result-relevant knobs.
 func TestCacheKeyStability(t *testing.T) {
 	src := "canonical source text"
-	a, err := cacheKey(src, kiss.NewConfig(kiss.WithMaxStates(100)))
+	a, err := CacheKey(src, kiss.NewConfig(kiss.WithMaxStates(100)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := cacheKey(src, kiss.NewConfig(kiss.WithMaxStates(100), kiss.WithSearchWorkers(8)))
+	b, err := CacheKey(src, kiss.NewConfig(kiss.WithMaxStates(100), kiss.WithSearchWorkers(8)))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a != b {
 		t.Error("search-workers changed the content address")
 	}
-	cDiff, err := cacheKey(src, kiss.NewConfig(kiss.WithMaxStates(101)))
+	cDiff, err := CacheKey(src, kiss.NewConfig(kiss.WithMaxStates(101)))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a == cDiff {
 		t.Error("budget change did not change the content address")
 	}
-	dDiff, err := cacheKey(src+" ", kiss.NewConfig(kiss.WithMaxStates(100)))
+	dDiff, err := CacheKey(src+" ", kiss.NewConfig(kiss.WithMaxStates(100)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,18 +4,21 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	kiss "repro"
 )
 
-// Client is the Go client for a running kissd. It is what `kiss -server`
-// and the service-backed eval.RunCorpus path speak; any HTTP client can
-// do the same with curl (see README, "Running kissd").
+// Client is the Go client for a running kissd or kiss-coord. It is what
+// `kiss -server` and the service-backed eval.RunCorpus path speak; any
+// HTTP client can do the same with curl (see README, "Running kissd" and
+// "Running a cluster").
 type Client struct {
 	base string
 	hc   *http.Client
@@ -40,27 +43,163 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("kissd: HTTP %d: %s", e.Code, e.Message)
 }
 
-// Check submits source under cfg and waits for the verdict. A zero
-// timeout leaves the job on the server's default deadline. The returned
-// response carries the wire result and whether it was served from the
-// content-addressed cache.
-func (c *Client) Check(ctx context.Context, source string, cfg *kiss.Config, timeout time.Duration) (*CheckResponse, error) {
-	req := CheckRequest{Source: source, Config: cfg}
-	if timeout > 0 {
-		req.TimeoutMS = timeout.Milliseconds()
+// Temporary reports whether the rejection is worth retrying: 429
+// (backpressure: a full queue or an exhausted tenant quota) and 503
+// (draining) both clear with time; everything else is a property of the
+// request.
+func (e *StatusError) Temporary() bool {
+	return e.Code == http.StatusTooManyRequests || e.Code == http.StatusServiceUnavailable
+}
+
+// RetryAfterDuration parses the Retry-After header into a wait, handling
+// both the delta-seconds form the service emits and the HTTP-date form
+// the spec also allows. ok is false when the header is absent or
+// unparseable — callers fall back to their own backoff.
+func (e *StatusError) RetryAfterDuration() (d time.Duration, ok bool) {
+	v := strings.TrimSpace(e.RetryAfter)
+	if v == "" {
+		return 0, false
 	}
-	return c.post(ctx, "/v1/check", req)
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+// callSettings is the resolved form of a CallOption list.
+type callSettings struct {
+	wait      *bool
+	timeout   time.Duration
+	tenant    string
+	retries   int
+	retryBase time.Duration
+}
+
+// CallOption adjusts one Do/Batch call: synchronous vs async semantics,
+// the server-side deadline, the tenant identity, and retry policy.
+type CallOption func(*callSettings)
+
+// WithWait selects synchronous (true, the default) or asynchronous
+// (false: poll the returned JobID with Job) semantics.
+func WithWait(wait bool) CallOption {
+	return func(s *callSettings) { s.wait = &wait }
+}
+
+// WithTimeout sets the job's server-side wall-time bound, measured from
+// submission (queue wait included). Zero leaves the server default.
+func WithTimeout(d time.Duration) CallOption {
+	return func(s *callSettings) { s.timeout = d }
+}
+
+// WithTenant names the submitting tenant for per-tenant admission quotas
+// (sent as the X-Kiss-Tenant header and the wire Tenant field; the
+// coordinator's token buckets key on it).
+func WithTenant(tenant string) CallOption {
+	return func(s *callSettings) { s.tenant = tenant }
+}
+
+// WithRetry retries temporary rejections (429 backpressure, 503 drain)
+// up to attempts extra times, sleeping the server's Retry-After when
+// given and doubling from a base backoff otherwise — the client half of
+// the service's backpressure idiom. Non-temporary errors never retry.
+func WithRetry(attempts int) CallOption {
+	return func(s *callSettings) { s.retries = attempts }
+}
+
+// WithRetryBackoff sets the base sleep WithRetry doubles from when the
+// server sends no Retry-After (default 100ms).
+func WithRetryBackoff(base time.Duration) CallOption {
+	return func(s *callSettings) { s.retryBase = base }
+}
+
+func resolve(opts []CallOption) callSettings {
+	s := callSettings{retryBase: 100 * time.Millisecond}
+	for _, o := range opts {
+		o(&s)
+	}
+	return s
+}
+
+// Do submits one check — the single client path for every caller (the
+// kiss CLI, kissbench, eval). The request's V is stamped, the options
+// fill the envelope (WithWait, WithTimeout, WithTenant) and retry policy
+// (WithRetry), and the response envelope's version is verified before
+// any field is trusted.
+func (c *Client) Do(ctx context.Context, req CheckRequest, opts ...CallOption) (*CheckResponse, error) {
+	s := resolve(opts)
+	req.V = kiss.WireV
+	if s.wait != nil {
+		req.Wait = s.wait
+	}
+	if s.timeout > 0 {
+		req.TimeoutMS = s.timeout.Milliseconds()
+	}
+	if s.tenant != "" {
+		req.Tenant = s.tenant
+	}
+	data, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var out CheckResponse
+	err = c.withRetry(ctx, s, func() error {
+		out = CheckResponse{}
+		return c.postJSON(ctx, "/v1/check", data, s.tenant, &out)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := kiss.CheckWireV("check response", out.V); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Check submits source under cfg and waits for the verdict.
+//
+// Deprecated: use Do with WithTimeout.
+func (c *Client) Check(ctx context.Context, source string, cfg *kiss.Config, timeout time.Duration) (*CheckResponse, error) {
+	return c.Do(ctx, CheckRequest{Source: source, Config: cfg}, WithTimeout(timeout))
 }
 
 // Submit enqueues source without waiting; poll the returned JobID with
 // Job.
+//
+// Deprecated: use Do with WithWait(false).
 func (c *Client) Submit(ctx context.Context, source string, cfg *kiss.Config, timeout time.Duration) (*CheckResponse, error) {
-	wait := false
-	req := CheckRequest{Source: source, Config: cfg, Wait: &wait}
-	if timeout > 0 {
-		req.TimeoutMS = timeout.Milliseconds()
+	return c.Do(ctx, CheckRequest{Source: source, Config: cfg}, WithWait(false), WithTimeout(timeout))
+}
+
+// withRetry runs fn, retrying temporary rejections per the settings.
+func (c *Client) withRetry(ctx context.Context, s callSettings, fn func() error) error {
+	backoff := s.retryBase
+	for attempt := 0; ; attempt++ {
+		err := fn()
+		var se *StatusError
+		if err == nil || attempt >= s.retries || !errors.As(err, &se) || !se.Temporary() {
+			return err
+		}
+		wait := backoff
+		if d, ok := se.RetryAfterDuration(); ok {
+			wait = d
+		} else {
+			backoff *= 2
+		}
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return err
+		}
 	}
-	return c.post(ctx, "/v1/check", req)
 }
 
 // Job polls an async submission.
@@ -71,6 +210,95 @@ func (c *Client) Job(ctx context.Context, id string) (*CheckResponse, error) {
 	}
 	return &out, nil
 }
+
+// CacheLookup probes the daemon's content-addressed result cache for key
+// (a service.CacheKey) without ever triggering computation. ok is false
+// on a clean miss; err reports transport or protocol failures only. The
+// coordinator's peer lookup is built on this.
+func (c *Client) CacheLookup(ctx context.Context, key string) (res *CheckResponse, ok bool, err error) {
+	var out CheckResponse
+	if err := c.getJSON(ctx, "/v1/cache/"+key, &out); err != nil {
+		var se *StatusError
+		if errors.As(err, &se) && se.Code == http.StatusNotFound {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	if err := kiss.CheckWireV("cache response", out.V); err != nil {
+		return nil, false, err
+	}
+	return &out, true, nil
+}
+
+// Batch submits a whole corpus of jobs in one request and returns the
+// JSONL result stream (one BatchItem per job, completion order). The
+// caller must drain or Close the stream. Retry options apply to the
+// initial submission only — once the stream is open, results flow.
+func (c *Client) Batch(ctx context.Context, req BatchRequest, opts ...CallOption) (*BatchStream, error) {
+	s := resolve(opts)
+	req.V = kiss.WireV
+	if s.tenant != "" {
+		req.Tenant = s.tenant
+	}
+	data, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var stream *BatchStream
+	err = c.withRetry(ctx, s, func() error {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/batch", bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		if s.tenant != "" {
+			hreq.Header.Set(TenantHeader, s.tenant)
+		}
+		resp, err := c.hc.Do(hreq)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			defer resp.Body.Close()
+			return decodeErr(resp)
+		}
+		stream = &BatchStream{body: resp.Body, dec: json.NewDecoder(resp.Body)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return stream, nil
+}
+
+// BatchStream decodes the /v1/batch JSONL response incrementally: one
+// BatchItem per Next call, io.EOF on clean end of stream. A connection
+// cut mid-stream (the coordinator died, a proxy gave up) surfaces as a
+// decode error, never a silent short read — callers distinguish "batch
+// finished" from "batch truncated" by io.EOF versus anything else.
+type BatchStream struct {
+	body io.Closer
+	dec  *json.Decoder
+}
+
+// Next returns the next completed job's item, or io.EOF when the server
+// finished the batch and closed the stream cleanly.
+func (s *BatchStream) Next() (*BatchItem, error) {
+	var item BatchItem
+	if err := s.dec.Decode(&item); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("kissd: decoding batch stream: %w", err)
+	}
+	if err := kiss.CheckWireV("batch item", item.V); err != nil {
+		return nil, err
+	}
+	return &item, nil
+}
+
+// Close releases the underlying response body; safe to call after EOF.
+func (s *BatchStream) Close() error { return s.body.Close() }
 
 // Health fetches /healthz.
 func (c *Client) Health(ctx context.Context) (*Health, error) {
@@ -102,29 +330,27 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 	return string(b), nil
 }
 
-func (c *Client) post(ctx context.Context, path string, body CheckRequest) (*CheckResponse, error) {
-	data, err := json.Marshal(body)
+func (c *Client) postJSON(ctx context.Context, path string, body []byte, tenant string, out *CheckResponse) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 	if err != nil {
-		return nil, err
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(data))
-	if err != nil {
-		return nil, err
+		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set(TenantHeader, tenant)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
-		return nil, decodeErr(resp)
+		return decodeErr(resp)
 	}
-	var out CheckResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, fmt.Errorf("kissd: decoding response: %w", err)
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("kissd: decoding response: %w", err)
 	}
-	return &out, nil
+	return nil
 }
 
 func (c *Client) getJSON(ctx context.Context, path string, out any) error {

@@ -72,6 +72,7 @@ func (j *job) status() CheckResponse {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return CheckResponse{
+		V:      kiss.WireV,
 		JobID:  j.id,
 		State:  j.state,
 		Cached: j.cached,

@@ -117,6 +117,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/check", s.handleCheck)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheProbe)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -203,6 +204,10 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
 		return
 	}
+	if err := kiss.CheckWireV("check request", req.V); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	if req.Source == "" {
 		writeErr(w, http.StatusBadRequest, "empty source")
 		return
@@ -216,7 +221,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	if cfg == nil {
 		cfg = kiss.NewConfig()
 	}
-	key, err := cacheKey(prog.Source(), cfg)
+	key, err := CacheKey(prog.Source(), cfg)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Sprintf("canonicalizing config: %v", err))
 		return
@@ -283,6 +288,21 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleCacheProbe is GET /v1/cache/{key}: a pure content-addressed
+// lookup that never computes. The coordinator uses it for peer lookup —
+// after a rebalance moves a key to a backend that has not computed it,
+// the peer that has answers from its LRU shard instead of the new owner
+// re-exploring the state space. Probes count in the hit/miss telemetry
+// like any other lookup.
+func (s *Server) handleCacheProbe(w http.ResponseWriter, r *http.Request) {
+	res, ok := s.cache.get(r.PathValue("key"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "key not cached")
+		return
+	}
+	writeJSON(w, http.StatusOK, CheckResponse{V: kiss.WireV, State: StateDone, Cached: true, Result: res})
 }
 
 // handleHealth is GET /healthz.

@@ -13,27 +13,43 @@
 //
 // Endpoints:
 //
-//	POST /v1/check     submit {source, config, wait?, timeout_ms?}
-//	GET  /v1/jobs/{id} poll an async submission
-//	GET  /healthz      liveness + version + queue/cache counters (JSON)
-//	GET  /metrics      Prometheus text exposition
+//	POST /v1/check       submit {v, source, config, wait?, timeout_ms?}
+//	POST /v1/batch       submit {v, jobs: [...]}; stream JSONL results
+//	GET  /v1/jobs/{id}   poll an async submission
+//	GET  /v1/cache/{key} content-addressed cache probe (kiss-coord peers)
+//	GET  /healthz        liveness + version + queue/cache counters (JSON)
+//	GET  /metrics        Prometheus text exposition
+//
+// Every request and response envelope carries the explicit wire version
+// "v" (kiss.WireV); a missing or unknown version is rejected with 400
+// before any field is interpreted.
 package service
 
 import (
 	kiss "repro"
 )
 
-// CheckRequest is the POST /v1/check body. Config uses kiss.Config's
-// stable wire format (config_wire.go); nil means the default config.
-// Wait selects synchronous semantics (the response carries the result);
-// nil defaults to true. TimeoutMS bounds this job's wall time from
-// submission — expiry yields a ResourceBound result with reason
-// "deadline", never an HTTP error.
+// TenantHeader is the HTTP header naming the submitting tenant for
+// admission accounting (kiss-coord's per-tenant token buckets). The
+// CheckRequest/BatchRequest Tenant field is the in-body equivalent; when
+// both are set the header wins.
+const TenantHeader = "X-Kiss-Tenant"
+
+// CheckRequest is the POST /v1/check body. V is the wire version
+// (kiss.WireV; required). Config uses kiss.Config's stable wire format
+// (config_wire.go); nil means the default config. Wait selects
+// synchronous semantics (the response carries the result); nil defaults
+// to true. TimeoutMS bounds this job's wall time from submission —
+// expiry yields a ResourceBound result with reason "deadline", never an
+// HTTP error. Tenant names the submitting tenant for per-tenant
+// admission quotas (coordinator only; kissd ignores it).
 type CheckRequest struct {
+	V         int          `json:"v"`
 	Source    string       `json:"source"`
 	Config    *kiss.Config `json:"config,omitempty"`
 	Wait      *bool        `json:"wait,omitempty"`
 	TimeoutMS int64        `json:"timeout_ms,omitempty"`
+	Tenant    string       `json:"tenant,omitempty"`
 }
 
 // wait reports the effective wait flag (default true).
@@ -82,16 +98,56 @@ const (
 	StateFailed  = "failed"
 )
 
-// CheckResponse is the body of POST /v1/check and GET /v1/jobs/{id}.
-// Cached marks results served from the content-addressed cache; Error
-// carries pipeline errors (e.g. the transformation rejecting a program),
-// which put the job in StateFailed.
+// CheckResponse is the body of POST /v1/check, GET /v1/jobs/{id}, and
+// GET /v1/cache/{key}. V is the wire version (kiss.WireV). Cached marks
+// results served from the content-addressed cache; Error carries
+// pipeline errors (e.g. the transformation rejecting a program), which
+// put the job in StateFailed.
 type CheckResponse struct {
-	JobID  string  `json:"job_id"`
+	V      int     `json:"v"`
+	JobID  string  `json:"job_id,omitempty"`
 	State  string  `json:"state"`
 	Cached bool    `json:"cached,omitempty"`
 	Result *Result `json:"result,omitempty"`
 	Error  string  `json:"error,omitempty"`
+}
+
+// BatchRequest is the POST /v1/batch body: a whole corpus of independent
+// {source, config} jobs submitted in one request. The coordinator
+// (internal/coord) fans the jobs out across its backends and streams one
+// BatchItem per job back as JSON Lines, in completion order. Tenant
+// names the submitting tenant for admission quotas (the TenantHeader
+// wins when both are set).
+type BatchRequest struct {
+	V      int        `json:"v"`
+	Jobs   []BatchJob `json:"jobs"`
+	Tenant string     `json:"tenant,omitempty"`
+}
+
+// BatchJob is one job of a BatchRequest — the Check fields minus the
+// envelope (batches are always synchronous; the stream is the wait).
+type BatchJob struct {
+	Source    string       `json:"source"`
+	Config    *kiss.Config `json:"config,omitempty"`
+	TimeoutMS int64        `json:"timeout_ms,omitempty"`
+}
+
+// BatchItem is one line of the /v1/batch JSONL response stream: the
+// outcome of Jobs[Index]. Key is the job's content address (the
+// consistent-hash routing key); Backend names the backend that produced
+// the result. Cached marks a result served from the owner's cache;
+// PeerCache marks one found on a non-owner peer after a rebalance (see
+// internal/coord). State/Result/Error mirror CheckResponse.
+type BatchItem struct {
+	V         int     `json:"v"`
+	Index     int     `json:"index"`
+	Key       string  `json:"key,omitempty"`
+	Backend   string  `json:"backend,omitempty"`
+	State     string  `json:"state"`
+	Cached    bool    `json:"cached,omitempty"`
+	PeerCache bool    `json:"peer_cache,omitempty"`
+	Result    *Result `json:"result,omitempty"`
+	Error     string  `json:"error,omitempty"`
 }
 
 // CacheStats is a point-in-time snapshot of the result cache counters.

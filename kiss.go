@@ -711,113 +711,13 @@ func Explore(p *Program, opts ...Option) (*Result, error) {
 	return NewConfig(opts...).Explore(p)
 }
 
-// ---------------------------------------------------------------------------
-// Deprecated API: the Options/Budget pair, collapsed into Config. The
-// wrappers below keep the original Check* signatures compiling unchanged.
-
-// Options parameterize the KISS transformation.
-//
-// Deprecated: use Config with WithMaxTS, WithScheduler, and
-// WithoutAliasElision.
-type Options struct {
-	MaxTS               int
-	DisableAliasElision bool
-	Scheduler           Scheduler
-}
-
-// Budget bounds a model-checking run; zero fields mean unlimited.
-//
-// Deprecated: use Config with WithMaxStates, WithMaxSteps, WithMaxDepth,
-// and WithBFS.
-type Budget struct {
-	MaxStates int
-	MaxSteps  int
-	MaxDepth  int
-	BFS       bool
-}
-
-// configOf merges the legacy pair into a Config.
-func configOf(opts Options, budget Budget) *Config {
-	return &Config{
-		MaxTS:               opts.MaxTS,
-		DisableAliasElision: opts.DisableAliasElision,
-		Scheduler:           opts.Scheduler,
-		MaxStates:           budget.MaxStates,
-		MaxSteps:            budget.MaxSteps,
-		MaxDepth:            budget.MaxDepth,
-		BFS:                 budget.BFS,
-		ContextBound:        -1,
-	}
-}
-
-// Transform applies the assertion-checking translation (Figure 4).
-//
-// Deprecated: use Config.Transform.
-func Transform(p *Program, opts Options) (*Program, error) {
-	return configOf(opts, Budget{}).Transform(p)
-}
-
-// TransformRace applies the race-checking translation (Figure 5).
-//
-// Deprecated: use Config.TransformRace.
-func TransformRace(p *Program, t RaceTarget, opts Options) (*Program, error) {
-	return configOf(opts, Budget{}).TransformRace(p, t)
-}
-
-// CheckAssertions runs the full KISS pipeline for assertion checking.
-//
-// Deprecated: use Check with functional options.
-func CheckAssertions(p *Program, opts Options, budget Budget) (*Result, error) {
-	return configOf(opts, budget).Check(p)
-}
-
-// CheckRace runs the full KISS pipeline for race checking on one
-// distinguished variable.
-//
-// Deprecated: use Check with WithRaceTarget.
-func CheckRace(p *Program, t RaceTarget, opts Options, budget Budget) (*Result, error) {
-	c := configOf(opts, budget)
-	c.RaceTarget = &t
-	return c.Check(p)
-}
-
-// CheckSequential analyzes an already-transformed sequential program.
-//
-// Deprecated: Check skips the translation for transformed programs; use
-// it directly.
-func CheckSequential(seq *Program, budget Budget) (*Result, error) {
-	if !seq.sequential {
-		return nil, fmt.Errorf("kiss: CheckSequential requires a transformed program")
-	}
-	return configOf(Options{}, budget).Check(seq)
-}
-
-// CheckAssertionsSummaries runs the KISS pipeline with the summary-based
-// interprocedural checker.
-//
-// Deprecated: use Check with WithSummaries.
-func CheckAssertionsSummaries(p *Program, opts Options, budget Budget) (*Result, error) {
-	c := configOf(opts, budget)
-	c.Summaries = true
-	return c.Check(p)
-}
-
-// CertifyTrace replays a reconstructed error schedule on the original
-// concurrent program.
-//
-// Deprecated: use Config.Certify.
-func CertifyTrace(p *Program, res *Result, budget Budget) (bool, error) {
-	return configOf(Options{}, budget).Certify(p, res)
-}
-
-// ExploreConcurrent runs the baseline interleaving explorer.
-//
-// Deprecated: use Explore with WithContextBound.
-func ExploreConcurrent(p *Program, budget Budget, contextBound int) (*Result, error) {
-	c := configOf(Options{}, budget)
-	c.ContextBound = contextBound
-	return c.Explore(p)
-}
+// The long-deprecated Options/Budget wrapper layer (the pre-Config API:
+// CheckAssertions, CheckRace, CheckSequential, CheckAssertionsSummaries,
+// CertifyTrace, ExploreConcurrent, and the package-level Transform/
+// TransformRace) was removed when the API froze at v1 — Config and the
+// functional options above are the one public surface, matching the
+// versioned wire format in config_wire.go. See DESIGN.md, "the v1 API
+// freeze".
 
 // TransformStats re-exports the instrumentation blowup statistics
 // (Section 4's "small constant blowup" quantities).

@@ -15,10 +15,9 @@ func TestBluetoothRaceTS0(t *testing.T) {
 	if err != nil {
 		t.Fatalf("parse bluetooth: %v", err)
 	}
-	res, err := CheckRace(prog, RaceTarget{Record: "DEVICE_EXTENSION", Field: "stoppingFlag"},
-		Options{MaxTS: 0}, Budget{})
+	res, err := Check(prog, WithRaceTarget(RaceTarget{Record: "DEVICE_EXTENSION", Field: "stoppingFlag"}))
 	if err != nil {
-		t.Fatalf("CheckRace: %v", err)
+		t.Fatalf("race check: %v", err)
 	}
 	if res.Verdict != Error {
 		t.Fatalf("want race detected on stoppingFlag with ts=0, got %v (states=%d)", res.Verdict, res.States)
@@ -38,17 +37,17 @@ func TestBluetoothAssertionNeedsTS1(t *testing.T) {
 		t.Fatalf("parse bluetooth: %v", err)
 	}
 
-	res0, err := CheckAssertions(prog, Options{MaxTS: 0}, Budget{})
+	res0, err := Check(prog, WithMaxTS(0))
 	if err != nil {
-		t.Fatalf("CheckAssertions ts=0: %v", err)
+		t.Fatalf("Check ts=0: %v", err)
 	}
 	if res0.Verdict != Safe {
 		t.Fatalf("ts=0: want safe (violation not simulable), got %v: %s", res0.Verdict, res0.Message)
 	}
 
-	res1, err := CheckAssertions(prog, Options{MaxTS: 1}, Budget{})
+	res1, err := Check(prog, WithMaxTS(1))
 	if err != nil {
-		t.Fatalf("CheckAssertions ts=1: %v", err)
+		t.Fatalf("Check ts=1: %v", err)
 	}
 	if res1.Verdict != Error {
 		t.Fatalf("ts=1: want assertion violation, got %v (states=%d)", res1.Verdict, res1.States)
@@ -67,9 +66,9 @@ func TestBluetoothFixedIsSafe(t *testing.T) {
 		t.Fatalf("parse fixed bluetooth: %v", err)
 	}
 	for _, maxTS := range []int{0, 1, 2} {
-		res, err := CheckAssertions(prog, Options{MaxTS: maxTS}, Budget{})
+		res, err := Check(prog, WithMaxTS(maxTS))
 		if err != nil {
-			t.Fatalf("CheckAssertions ts=%d: %v", maxTS, err)
+			t.Fatalf("Check ts=%d: %v", maxTS, err)
 		}
 		if res.Verdict != Safe {
 			t.Errorf("fixed driver, ts=%d: want safe, got %v: %s", maxTS, res.Verdict, res.Message)
@@ -87,9 +86,9 @@ func TestBluetoothConcurrentGroundTruth(t *testing.T) {
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	res, err := ExploreConcurrent(buggy, Budget{}, -1)
+	res, err := Explore(buggy)
 	if err != nil {
-		t.Fatalf("ExploreConcurrent: %v", err)
+		t.Fatalf("Explore: %v", err)
 	}
 	if res.Verdict != Error {
 		t.Fatalf("concurrent exploration of buggy driver: want error, got %v", res.Verdict)
@@ -99,9 +98,9 @@ func TestBluetoothConcurrentGroundTruth(t *testing.T) {
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	res, err = ExploreConcurrent(fixed, Budget{}, -1)
+	res, err = Explore(fixed)
 	if err != nil {
-		t.Fatalf("ExploreConcurrent: %v", err)
+		t.Fatalf("Explore: %v", err)
 	}
 	if res.Verdict != Safe {
 		t.Fatalf("concurrent exploration of fixed driver: want safe, got %v: %s", res.Verdict, res.Message)
@@ -133,11 +132,11 @@ func main() {
 	if err != nil {
 		t.Fatal(err)
 	}
-	explicit, err := CheckAssertions(prog, Options{MaxTS: 2}, Budget{})
+	explicit, err := Check(prog, WithMaxTS(2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	summary, err := CheckAssertionsSummaries(prog, Options{MaxTS: 2}, Budget{})
+	summary, err := Check(prog, WithMaxTS(2), WithSummaries())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,14 +159,14 @@ func main() {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sres, err := CheckAssertionsSummaries(rprog, Options{MaxTS: 0}, Budget{})
+	sres, err := Check(rprog, WithSummaries())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sres.Verdict != Safe {
 		t.Fatalf("summary engine on recursion: want safe, got %v", sres.Verdict)
 	}
-	eres, err := CheckAssertions(rprog, Options{MaxTS: 0}, Budget{MaxStates: 2000})
+	eres, err := Check(rprog, WithMaxStates(2000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +182,7 @@ func TestSummaryEngineRejectsPointerPrograms(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := CheckAssertionsSummaries(prog, Options{MaxTS: 1}, Budget{}); err == nil {
+	if _, err := Check(prog, WithMaxTS(1), WithSummaries()); err == nil {
 		t.Fatal("heap-using program accepted by the summary engine")
 	}
 }

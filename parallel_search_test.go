@@ -56,7 +56,7 @@ func TestParallelSearchMatchesSequentialOnDriver(t *testing.T) {
 		t.Fatal(err)
 	}
 	target := kiss.RaceTarget{Record: "DEVICE_EXTENSION", Field: "stoppingFlag"}
-	seq, err := kiss.CheckRace(prog, target, kiss.Options{MaxTS: 0}, kiss.Budget{})
+	seq, err := kiss.Check(prog, kiss.WithRaceTarget(target))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,13 +28,12 @@ func mustParse(t *testing.T, src string) *Program {
 // as well"): whenever the KISS pipeline reports an error, the full
 // interleaving exploration of the original program must also report one.
 func TestNoFalseErrors(t *testing.T) {
-	budget := Budget{MaxStates: 300000}
 	errors := 0
 	for seed := int64(0); seed < 120; seed++ {
 		src := randprog.Generate(seed, randprog.Default)
 		for _, maxTS := range []int{0, 1, 2} {
 			prog := mustParse(t, src)
-			res, err := CheckAssertions(prog, Options{MaxTS: maxTS}, budget)
+			res, err := Check(prog, WithMaxTS(maxTS), WithMaxStates(300000))
 			if err != nil {
 				t.Fatalf("seed %d ts %d: %v", seed, maxTS, err)
 			}
@@ -42,7 +41,7 @@ func TestNoFalseErrors(t *testing.T) {
 				continue
 			}
 			errors++
-			ground, err := ExploreConcurrent(mustParse(t, src), budget, -1)
+			ground, err := Explore(mustParse(t, src), WithMaxStates(300000))
 			if err != nil {
 				t.Fatalf("seed %d: ground truth: %v", seed, err)
 			}
@@ -64,11 +63,10 @@ func TestNoFalseErrors(t *testing.T) {
 // switches"): every error the bounded concurrent explorer finds within 2
 // context switches must also be found by KISS with ts bound 1.
 func TestTwoThreadContextSwitchCoverage(t *testing.T) {
-	budget := Budget{MaxStates: 300000}
 	covered := 0
 	for seed := int64(0); seed < 150; seed++ {
 		src := randprog.GenerateTwoThreaded(seed, randprog.Default)
-		bounded, err := ExploreConcurrent(mustParse(t, src), budget, 2)
+		bounded, err := Explore(mustParse(t, src), WithMaxStates(300000), WithContextBound(2))
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -76,7 +74,7 @@ func TestTwoThreadContextSwitchCoverage(t *testing.T) {
 			continue
 		}
 		covered++
-		res, err := CheckAssertions(mustParse(t, src), Options{MaxTS: 1}, budget)
+		res, err := Check(mustParse(t, src), WithMaxTS(1), WithMaxStates(300000))
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -96,10 +94,9 @@ func TestTwoThreadContextSwitchCoverage(t *testing.T) {
 // by TestNoFalseErrors but phrased over the verdict lattice: Error implies
 // ground Error; Safe may under-approximate.)
 func TestKissVerdictLattice(t *testing.T) {
-	budget := Budget{MaxStates: 300000}
 	for seed := int64(200); seed < 260; seed++ {
 		src := randprog.Generate(seed, randprog.Default)
-		ground, err := ExploreConcurrent(mustParse(t, src), budget, -1)
+		ground, err := Explore(mustParse(t, src), WithMaxStates(300000))
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -107,7 +104,7 @@ func TestKissVerdictLattice(t *testing.T) {
 			continue
 		}
 		for _, maxTS := range []int{0, 3} {
-			res, err := CheckAssertions(mustParse(t, src), Options{MaxTS: maxTS}, budget)
+			res, err := Check(mustParse(t, src), WithMaxTS(maxTS), WithMaxStates(300000))
 			if err != nil {
 				t.Fatalf("seed %d: %v", seed, err)
 			}
@@ -129,7 +126,7 @@ func TestTransformInvariants(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		out1, err := Transform(p1, Options{MaxTS: maxTS})
+		out1, err := NewConfig(WithMaxTS(maxTS)).Transform(p1)
 		if err != nil {
 			return false
 		}
@@ -143,7 +140,7 @@ func TestTransformInvariants(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		out2, err := Transform(p2, Options{MaxTS: maxTS})
+		out2, err := NewConfig(WithMaxTS(maxTS)).Transform(p2)
 		if err != nil {
 			return false
 		}
@@ -158,7 +155,6 @@ func TestTransformInvariants(t *testing.T) {
 // a failing random program starts on thread 0, marks switches exactly at
 // thread changes, and never leaks instrumentation names.
 func TestTraceWellFormedness(t *testing.T) {
-	budget := Budget{MaxStates: 300000}
 	checked := 0
 	f := func(seed int64) bool {
 		src := randprog.Generate(seed, randprog.Default)
@@ -166,7 +162,7 @@ func TestTraceWellFormedness(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		res, err := CheckAssertions(prog, Options{MaxTS: 2}, budget)
+		res, err := Check(prog, WithMaxTS(2), WithMaxStates(300000))
 		if err != nil {
 			return false
 		}
@@ -202,19 +198,18 @@ func TestTraceWellFormedness(t *testing.T) {
 // original concurrent program — not merely "some failure exists", but the
 // specific interleaving the trace describes.
 func TestTraceReplayCertification(t *testing.T) {
-	budget := Budget{MaxStates: 300000}
 	certified := 0
 	for seed := int64(0); seed < 80; seed++ {
 		src := randprog.Generate(seed, randprog.Default)
 		prog := mustParse(t, src)
-		res, err := CheckAssertions(prog, Options{MaxTS: 2}, budget)
+		res, err := Check(prog, WithMaxTS(2), WithMaxStates(300000))
 		if err != nil {
 			t.Fatal(err)
 		}
 		if res.Verdict != Error {
 			continue
 		}
-		ok, err := CertifyTrace(mustParse(t, src), res, budget)
+		ok, err := NewConfig(WithMaxStates(300000)).Certify(mustParse(t, src), res)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}

@@ -55,7 +55,7 @@ func checkWith(t *testing.T, src string, sched Scheduler, maxTS int) Verdict {
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	res, err := CheckAssertions(prog, Options{MaxTS: maxTS, Scheduler: sched}, Budget{})
+	res, err := Check(prog, WithMaxTS(maxTS), WithScheduler(sched))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +100,7 @@ func main() {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := CheckAssertions(prog, Options{MaxTS: 2, Scheduler: sched}, Budget{})
+		res, err := Check(prog, WithMaxTS(2), WithScheduler(sched))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -124,13 +124,12 @@ func main() {
 // TestSchedulerVariantsSound: no scheduler variant reports a false error —
 // the under-approximation only shrinks, never grows.
 func TestSchedulerVariantsSound(t *testing.T) {
-	budget := Budget{MaxStates: 300000}
 	validated := 0
 	for seed := int64(0); seed < 60; seed++ {
 		src := randprog.Generate(seed, randprog.Default)
 		for _, sched := range []Scheduler{SchedulerDrainAll, SchedulerAtCallsOnly} {
 			prog := mustParse(t, src)
-			res, err := CheckAssertions(prog, Options{MaxTS: 2, Scheduler: sched}, budget)
+			res, err := Check(prog, WithMaxTS(2), WithScheduler(sched), WithMaxStates(300000))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -138,7 +137,7 @@ func TestSchedulerVariantsSound(t *testing.T) {
 				continue
 			}
 			validated++
-			ground, err := ExploreConcurrent(mustParse(t, src), budget, -1)
+			ground, err := Explore(mustParse(t, src), WithMaxStates(300000))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -158,13 +157,12 @@ func TestSchedulerVariantsSound(t *testing.T) {
 // nondeterministic scheduler finds at least as many bugs as each
 // restricted variant.
 func TestSchedulerCoverageOrdering(t *testing.T) {
-	budget := Budget{MaxStates: 300000}
 	found := map[Scheduler]int{}
 	for seed := int64(100); seed < 160; seed++ {
 		src := randprog.Generate(seed, randprog.Default)
 		for _, sched := range []Scheduler{SchedulerNondet, SchedulerDrainAll, SchedulerAtCallsOnly} {
 			prog := mustParse(t, src)
-			res, err := CheckAssertions(prog, Options{MaxTS: 2, Scheduler: sched}, budget)
+			res, err := Check(prog, WithMaxTS(2), WithScheduler(sched), WithMaxStates(300000))
 			if err != nil {
 				t.Fatal(err)
 			}
