@@ -22,7 +22,10 @@
 // serve-smoke`: serve on a loopback port, run a corpus slice through
 // the daemon twice, require verdicts and counters identical to local
 // checking, a >=90% warm-pass cache-hit rate, and a nonzero fold-memo
-// steps-saved total on /metrics, then drain cleanly.
+// steps-saved total on /metrics; then re-run the slice under a shifted
+// state budget (result-cache miss, persistent summary-table hit) and
+// require the warm re-check to beat the cold pass on wall time; then
+// drain cleanly.
 package main
 
 import (
@@ -52,6 +55,7 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent checks (0 = sized from the core count and -search-workers)")
 	searchWorkers := flag.Int("search-workers", 0, "parallel search workers per check (0 = sequential; verdicts identical at every count)")
 	cacheMB := flag.Int64("cache-mb", 64, "result-cache byte budget in MiB")
+	summaryMB := flag.Int64("summary-mb", 0, "persistent call-summary store byte budget in MiB (0 = default, negative disables cross-check summary reuse)")
 	timeout := flag.Duration("timeout", 0, "default per-job wall-time bound when the request sets no timeout_ms (0 = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "bound on running accepted jobs to completion at shutdown")
 	smoke := flag.Bool("smoke", false, "self-contained smoke test: serve on a loopback port, run a corpus slice twice through the daemon, require local-identical verdicts and a >=90% warm-pass cache-hit rate, drain, exit")
@@ -70,7 +74,11 @@ func main() {
 		Workers:        *workers,
 		SearchWorkers:  *searchWorkers,
 		CacheBytes:     *cacheMB << 20,
+		SummaryBytes:   *summaryMB << 20,
 		DefaultTimeout: *timeout,
+	}
+	if *summaryMB < 0 {
+		cfg.SummaryBytes = -1
 	}
 	var err error
 	if *smoke {
@@ -152,7 +160,9 @@ func runSmoke(cfg service.Config, driverList string, drainTimeout time.Duration)
 	url := "http://" + ln.Addr().String()
 	fmt.Fprintf(os.Stderr, "kissd smoke: serving on %s, drivers %s\n", url, driverList)
 
+	coldStart := time.Now()
 	cold, err := eval.RunCorpus(eval.Options{Drivers: sel, Server: url})
+	coldDur := time.Since(coldStart)
 	if err != nil {
 		return fmt.Errorf("cold pass: %w", err)
 	}
@@ -186,15 +196,52 @@ func runSmoke(cfg service.Config, driverList string, drainTimeout time.Duration)
 	// The cold pass ran real checks with fold memoization on (the
 	// default); the exported memo metrics must show the replay cache
 	// engaging, end to end through /metrics.
-	memoRatio, memoSaved, err := scrapeMemoMetrics(url)
+	m, err := scrapeMetrics(url, "kissd_memo_hit_ratio", "kissd_memo_steps_saved_total",
+		"kissd_summary_hits_total", "kissd_summary_steps_saved_total")
 	if err != nil {
 		return fmt.Errorf("memo metrics: %w", err)
 	}
-	if memoSaved <= 0 {
-		return fmt.Errorf("memo metrics: kissd_memo_steps_saved_total is %v; the fold memo never engaged", memoSaved)
+	if m["kissd_memo_steps_saved_total"] <= 0 {
+		return fmt.Errorf("memo metrics: kissd_memo_steps_saved_total is %v; the fold memo never engaged",
+			m["kissd_memo_steps_saved_total"])
 	}
 	fmt.Fprintf(os.Stderr, "kissd smoke: memo hit ratio %.1f%%, %.0f steps replayed from the table\n",
-		memoRatio*100, memoSaved)
+		m["kissd_memo_hit_ratio"]*100, m["kissd_memo_steps_saved_total"])
+
+	// Third pass: the same corpus under a shifted state budget. The
+	// canonical config changes, so every submission misses the result
+	// cache and runs a real check — but the shaping config (and hence
+	// the program key) does not change, so those checks replay from the
+	// summary tables the cold pass populated. That is the warm-service
+	// pattern the persistent store exists for, and it must show up as
+	// wall time: the re-check beats the cold pass.
+	budgetStart := time.Now()
+	shifted, err := eval.RunCorpus(eval.Options{Drivers: sel, Server: url, MaxStates: eval.DefaultMaxStates + 1})
+	budgetDur := time.Since(budgetStart)
+	if err != nil {
+		return fmt.Errorf("budget pass: %w", err)
+	}
+	if err := compareVerdicts(local, shifted); err != nil {
+		return fmt.Errorf("budget pass: %w", err)
+	}
+	h3 := s.Health()
+	if d := h3.Cache.Hits - h2.Cache.Hits; d != 0 {
+		return fmt.Errorf("budget pass: %d submissions served from the result cache; the shifted budget should miss it", d)
+	}
+	m2, err := scrapeMetrics(url, "kissd_summary_hits_total", "kissd_summary_steps_saved_total")
+	if err != nil {
+		return fmt.Errorf("summary metrics: %w", err)
+	}
+	sumHits := m2["kissd_summary_hits_total"] - m["kissd_summary_hits_total"]
+	sumSaved := m2["kissd_summary_steps_saved_total"] - m["kissd_summary_steps_saved_total"]
+	if sumHits <= 0 || sumSaved <= 0 {
+		return fmt.Errorf("budget pass: summary hits %+v steps-saved %+v; the persistent summary table never engaged", sumHits, sumSaved)
+	}
+	if budgetDur >= coldDur {
+		return fmt.Errorf("budget pass: warm re-check took %v, cold pass took %v; summary reuse must be measurably faster", budgetDur, coldDur)
+	}
+	fmt.Fprintf(os.Stderr, "kissd smoke: budget-shifted re-check %v vs cold %v (%.0f summary hits, %.0f steps replayed)\n",
+		budgetDur.Round(time.Millisecond), coldDur.Round(time.Millisecond), sumHits, sumSaved)
 
 	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
@@ -206,39 +253,67 @@ func runSmoke(cfg service.Config, driverList string, drainTimeout time.Duration)
 	return hs.Shutdown(sctx)
 }
 
-// scrapeMemoMetrics reads the fold-memo gauges off the daemon's
-// Prometheus endpoint — the same bytes an operator's scrape sees.
-func scrapeMemoMetrics(url string) (hitRatio, stepsSaved float64, err error) {
+// scrapeMetrics reads the named unlabeled series off the daemon's
+// Prometheus endpoint — the same bytes an operator's scrape sees. Every
+// requested name must be present.
+func scrapeMetrics(url string, names ...string) (map[string]float64, error) {
 	resp, err := http.Get(url + "/metrics")
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
 	defer resp.Body.Close()
 	var buf strings.Builder
 	if _, err := io.Copy(&buf, resp.Body); err != nil {
-		return 0, 0, err
+		return nil, err
 	}
-	foundRatio := false
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
+	out := map[string]float64{}
 	for _, line := range strings.Split(buf.String(), "\n") {
 		if strings.HasPrefix(line, "#") {
 			continue
 		}
 		name, val, ok := strings.Cut(line, " ")
-		if !ok {
+		if !ok || !want[name] {
 			continue
 		}
-		switch name {
-		case "kissd_memo_hit_ratio":
-			fmt.Sscanf(val, "%g", &hitRatio)
-			foundRatio = true
-		case "kissd_memo_steps_saved_total":
-			fmt.Sscanf(val, "%g", &stepsSaved)
+		var v float64
+		fmt.Sscanf(val, "%g", &v)
+		out[name] = v
+	}
+	for _, n := range names {
+		if _, ok := out[n]; !ok {
+			return nil, fmt.Errorf("%s missing from /metrics", n)
 		}
 	}
-	if !foundRatio {
-		return 0, 0, fmt.Errorf("kissd_memo_hit_ratio missing from /metrics")
+	return out, nil
+}
+
+// compareVerdicts requires field-for-field verdict identity (verdict,
+// message, failing position) but not counter identity: the budget pass
+// runs under a shifted state bound, so budget-tripped fields legitimately
+// report different stored-state counts while every verdict is unchanged.
+func compareVerdicts(local, remote []*eval.DriverResult) error {
+	if len(remote) != len(local) {
+		return fmt.Errorf("driver rows: remote %d, local %d", len(remote), len(local))
 	}
-	return hitRatio, stepsSaved, nil
+	for i := range local {
+		if len(remote[i].Fields) != len(local[i].Fields) {
+			return fmt.Errorf("%s: field rows: remote %d, local %d",
+				local[i].Spec.Name, len(remote[i].Fields), len(local[i].Fields))
+		}
+		for j := range local[i].Fields {
+			lf, rf := local[i].Fields[j], remote[i].Fields[j]
+			if lf.Verdict != rf.Verdict || lf.Message != rf.Message || lf.Pos != rf.Pos {
+				return fmt.Errorf("%s.%s: remote {%v %q %q}, local {%v %q %q}",
+					lf.Driver, lf.Field, rf.Verdict, rf.Message, rf.Pos,
+					lf.Verdict, lf.Message, lf.Pos)
+			}
+		}
+	}
+	return nil
 }
 
 // compareCorpus requires the service-backed corpus results to be

@@ -74,6 +74,8 @@ type wireConfig struct {
 	DisableMacroSteps   bool            `json:"disable_macro_steps"`
 	DisableFoldMemo     bool            `json:"disable_fold_memo"`
 	MemoMB              int             `json:"memo_mb"`
+	DisableCallSum      bool            `json:"disable_call_summaries"`
+	SummaryMB           int             `json:"summary_mb"`
 	SearchWorkers       int             `json:"search_workers"`
 	NumShards           int             `json:"num_shards"`
 	ContextBound        int             `json:"context_bound"`
@@ -123,6 +125,8 @@ func (c *Config) MarshalJSON() ([]byte, error) {
 		DisableMacroSteps:   c.DisableMacroSteps,
 		DisableFoldMemo:     c.DisableFoldMemo,
 		MemoMB:              c.MemoMB,
+		DisableCallSum:      c.DisableCallSummaries,
+		SummaryMB:           c.SummaryMB,
 		SearchWorkers:       c.SearchWorkers,
 		NumShards:           c.NumShards,
 		ContextBound:        c.ContextBound,
@@ -162,20 +166,22 @@ func (c *Config) UnmarshalJSON(data []byte) error {
 		}
 	}
 	*c = Config{
-		MaxTS:               w.MaxTS,
-		DisableAliasElision: w.DisableAliasElision,
-		Scheduler:           sched,
-		Summaries:           w.Summaries,
-		MaxStates:           w.MaxStates,
-		MaxSteps:            w.MaxSteps,
-		MaxDepth:            w.MaxDepth,
-		BFS:                 w.BFS,
-		DisableMacroSteps:   w.DisableMacroSteps,
-		DisableFoldMemo:     w.DisableFoldMemo,
-		MemoMB:              w.MemoMB,
-		SearchWorkers:       w.SearchWorkers,
-		NumShards:           w.NumShards,
-		ContextBound:        w.ContextBound,
+		MaxTS:                w.MaxTS,
+		DisableAliasElision:  w.DisableAliasElision,
+		Scheduler:            sched,
+		Summaries:            w.Summaries,
+		MaxStates:            w.MaxStates,
+		MaxSteps:             w.MaxSteps,
+		MaxDepth:             w.MaxDepth,
+		BFS:                  w.BFS,
+		DisableMacroSteps:    w.DisableMacroSteps,
+		DisableFoldMemo:      w.DisableFoldMemo,
+		MemoMB:               w.MemoMB,
+		DisableCallSummaries: w.DisableCallSum,
+		SummaryMB:            w.SummaryMB,
+		SearchWorkers:        w.SearchWorkers,
+		NumShards:            w.NumShards,
+		ContextBound:         w.ContextBound,
 	}
 	if w.RaceTarget != nil {
 		c.RaceTarget = &RaceTarget{
@@ -203,6 +209,10 @@ func (c *Config) UnmarshalJSON(data []byte) error {
 //     folds bit-identically (the memo invariant, property-tested against
 //     memo-off runs), so the knobs move only wall time and the
 //     scheduling-dependent Stats.Memo diagnostics.
+//   - DisableCallSummaries, SummaryMB, SummaryTable: call summaries carry
+//     the same bit-identity invariant as the memo (property-tested against
+//     summary-off runs), so the knobs — and any injected persistent table —
+//     move only wall time and Stats.Summary.
 //
 // Everything else — the transformation knobs, the engine selection, the
 // budgets, BFS, and macro-step compression (which changes the stored-state
@@ -219,6 +229,9 @@ func (c *Config) Normalized() Config {
 	n.DisableFoldMemo = false
 	n.MemoMB = 0
 	n.AuditFoldMemo = false
+	n.DisableCallSummaries = false
+	n.SummaryMB = 0
+	n.SummaryTable = nil
 	if n.RaceTarget != nil {
 		// Detach the pointer so the normalized copy shares no storage.
 		t := *n.RaceTarget

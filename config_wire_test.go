@@ -25,7 +25,8 @@ func TestConfigWireGolden(t *testing.T) {
 		`"race_target":{"record":"DEVICE_EXTENSION","field":"stoppingFlag"},` +
 		`"summaries":false,"max_states":40000,"max_steps":0,"max_depth":0,` +
 		`"bfs":true,"disable_macro_steps":false,"disable_fold_memo":false,` +
-		`"memo_mb":0,"search_workers":0,"num_shards":0,"context_bound":-1}`
+		`"memo_mb":0,"disable_call_summaries":false,"summary_mb":0,` +
+		`"search_workers":0,"num_shards":0,"context_bound":-1}`
 	got, err := json.Marshal(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -52,6 +53,8 @@ func TestConfigWireRoundTrip(t *testing.T) {
 			kiss.WithMacroSteps(false),
 			kiss.WithFoldMemo(false),
 			kiss.WithMemoMB(16),
+			kiss.WithCallSummaries(false),
+			kiss.WithSummaryMB(32),
 			kiss.WithSearchWorkers(8),
 			kiss.WithContextBound(2),
 		),
@@ -145,6 +148,8 @@ func TestConfigCanonicalJSONInvariance(t *testing.T) {
 		kiss.WithContextBound(3),
 		kiss.WithFoldMemo(false),
 		kiss.WithMemoMB(16),
+		kiss.WithCallSummaries(false),
+		kiss.WithSummaryMB(32),
 		kiss.WithProgress(func(kiss.Event) {}),
 		kiss.WithProgressCadence(10, 0),
 	)

@@ -147,7 +147,7 @@ func checkMacroSeq(c *sem.Compiled, opts Options) *Result {
 				res.Reason = stats.ReasonSteps
 				return res
 			}
-			mr := sem.MacroStepMemo(cur.st, ti, cMacroLimit(opts, cur.nd.depth, res.Steps), opts.Memo)
+			mr := sem.MacroStepMemoSum(cur.st, ti, cMacroLimit(opts, cur.nd.depth, res.Steps), opts.Memo, opts.Summaries)
 			res.Steps += mr.Stepped
 			res.StatesStepped += len(mr.Prefix)
 			if mr.Failure != nil {
@@ -406,7 +406,7 @@ func checkMacroLevel(c *sem.Compiled, opts Options) *Result {
 						continue
 					}
 				}
-				mr := sem.MacroStepMemo(it.st, ti, limit, opts.Memo)
+				mr := sem.MacroStepMemoSum(it.st, ti, limit, opts.Memo, opts.Summaries)
 				th := cmThread{
 					ti: ti, switches: switches,
 					fail:      mr.Failure,

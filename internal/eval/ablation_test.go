@@ -45,8 +45,19 @@ func TestMacroAblationSmallCorpus(t *testing.T) {
 	if rep.Memo.MemoStepsSaved == 0 {
 		t.Error("memo arm saved zero steps despite hits")
 	}
-	t.Logf("compression ratio on kbfiltr+moufiltr: %.2fx, memo hit ratio %.1f%%",
-		rep.CompressionRatio, rep.Memo.MemoHitRatio*100)
+	// The summary arm replays bit-identically on top of the memo: same
+	// stored/stepped counts again, and the summary table must engage.
+	if rep.Sum.StatesStored != rep.On.StatesStored || rep.Sum.StatesStepped != rep.On.StatesStepped {
+		t.Errorf("summary arm counters diverged from macro arm: sum %+v, on %+v", rep.Sum, rep.On)
+	}
+	if rep.Sum.SumHits == 0 {
+		t.Error("summary arm recorded zero hits on a corpus with repeated calls")
+	}
+	if rep.Sum.SumStepsSaved == 0 {
+		t.Error("summary arm saved zero steps despite hits")
+	}
+	t.Logf("compression ratio on kbfiltr+moufiltr: %.2fx, memo hit ratio %.1f%%, summary hit ratio %.1f%%",
+		rep.CompressionRatio, rep.Memo.MemoHitRatio*100, rep.Sum.SumHitRatio*100)
 
 	var buf bytes.Buffer
 	if err := WriteMacroAblation(&buf, rep); err != nil {
@@ -55,7 +66,7 @@ func TestMacroAblationSmallCorpus(t *testing.T) {
 	if rep.CompletedFields == 0 {
 		t.Error("no completed fields on drivers without hard fields")
 	}
-	for _, key := range []string{`"states_stored"`, `"states_stepped"`, `"compression_ratio"`, `"aggregate_ratio"`, `"search_workers"`, `"identical": true`, `"memo_hit_ratio"`, `"memo_steps_saved"`} {
+	for _, key := range []string{`"states_stored"`, `"states_stepped"`, `"compression_ratio"`, `"aggregate_ratio"`, `"search_workers"`, `"identical": true`, `"memo_hit_ratio"`, `"memo_steps_saved"`, `"call_summaries"`, `"summary_hit_ratio"`, `"summary_steps_saved"`} {
 		if !strings.Contains(buf.String(), key) {
 			t.Errorf("JSON payload missing %s:\n%s", key, buf.String())
 		}
@@ -69,7 +80,7 @@ func TestMacroAblationSmallCorpus(t *testing.T) {
 	}
 
 	out := FormatMacroAblation(rep)
-	for _, want := range []string{"macro-steps", "macro+memo", "per-statement", "compression ratio", "hit ratio"} {
+	for _, want := range []string{"macro-steps", "macro+memo", "macro+memo+sum", "per-statement", "compression ratio", "hit ratio", "summaries:"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("formatted report missing %q:\n%s", want, out)
 		}

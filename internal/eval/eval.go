@@ -119,6 +119,14 @@ type Options struct {
 	DisableFoldMemo bool
 	// MemoMB is the per-field fold-memo byte budget in MiB (0: default).
 	MemoMB int
+	// DisableCallSummaries turns off call-grained procedure summaries for
+	// every field check (ablation arm; see kiss.Config.
+	// DisableCallSummaries). Results are bit-identical either way; only
+	// wall time and the Stats.Summary diagnostics differ.
+	DisableCallSummaries bool
+	// SummaryMB is the per-field summary-table byte budget in MiB
+	// (0: default).
+	SummaryMB int
 	// Server, when non-empty, is the base URL of a running kissd
 	// (cmd/kissd): field checks are submitted over HTTP instead of run
 	// in-process, so repeated corpus runs hit the daemon's content-
@@ -353,14 +361,16 @@ func RunCorpus(opts Options) ([]*DriverResult, error) {
 // in Section 2.2, we set the size of ts to 0."
 func fieldConfig(f drivers.FieldSpec, opts Options, maxStates int) *kiss.Config {
 	return &kiss.Config{
-		MaxTS:             0,
-		RaceTarget:        &kiss.RaceTarget{Record: "DEVICE_EXTENSION", Field: f.Name},
-		MaxStates:         maxStates,
-		DisableMacroSteps: opts.DisableMacroSteps,
-		DisableFoldMemo:   opts.DisableFoldMemo,
-		MemoMB:            opts.MemoMB,
-		SearchWorkers:     opts.SearchWorkers,
-		Context:           opts.Context,
+		MaxTS:                0,
+		RaceTarget:           &kiss.RaceTarget{Record: "DEVICE_EXTENSION", Field: f.Name},
+		MaxStates:            maxStates,
+		DisableMacroSteps:    opts.DisableMacroSteps,
+		DisableFoldMemo:      opts.DisableFoldMemo,
+		MemoMB:               opts.MemoMB,
+		DisableCallSummaries: opts.DisableCallSummaries,
+		SummaryMB:            opts.SummaryMB,
+		SearchWorkers:        opts.SearchWorkers,
+		Context:              opts.Context,
 	}
 }
 

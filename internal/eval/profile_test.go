@@ -1,0 +1,39 @@
+package eval
+
+// Throwaway profiling harness: run one ablation arm over a mid-size
+// driver slice so `go test -cpuprofile` captures that arm's hot path
+// in isolation. Gated behind KISS_PROFILE_ARM so the normal test run
+// never pays for it.
+//
+//	KISS_PROFILE_ARM=sum go test ./internal/eval -run TestProfileArm -cpuprofile /tmp/sum.prof
+//	KISS_PROFILE_ARM=on  go test ./internal/eval -run TestProfileArm -cpuprofile /tmp/on.prof
+
+import (
+	"os"
+	"testing"
+)
+
+func TestProfileArm(t *testing.T) {
+	arm := os.Getenv("KISS_PROFILE_ARM")
+	if arm == "" {
+		t.Skip("set KISS_PROFILE_ARM=on|memo|sum to profile")
+	}
+	sel := map[string]bool{
+		"gameenum": true, "serenum": true, "toaster/func": true,
+		"mouclass": true, "kbdclass": true, "mouser": true, "fdc": true,
+	}
+	opts := Options{Drivers: sel, Workers: 1}
+	switch arm {
+	case "on":
+		opts.DisableFoldMemo = true
+		opts.DisableCallSummaries = true
+	case "memo":
+		opts.DisableCallSummaries = true
+	case "sum":
+	default:
+		t.Fatalf("unknown arm %q", arm)
+	}
+	if _, err := RunCorpus(opts); err != nil {
+		t.Fatal(err)
+	}
+}

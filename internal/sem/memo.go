@@ -62,8 +62,11 @@ import (
 
 const (
 	// DefaultMemoBytes is the table budget when the caller passes none:
-	// 64 MiB, far below the working set of the searches it accelerates.
-	DefaultMemoBytes = 64 << 20
+	// 256 MiB, still far below the working set of the searches it
+	// accelerates. The old 64 MiB default evicted a quarter-million
+	// entries over the driver corpus; eviction churn costs both the
+	// removal itself and the hits the removed entries would have served.
+	DefaultMemoBytes = 256 << 20
 	// memoShards matches visited.DefaultShards.
 	memoShards = 64
 	// memoMinStepped is the shortest run worth a table entry: one-step
@@ -105,12 +108,28 @@ type memoRead struct {
 	v   Value
 }
 
+// readEq is memoRead equality with the value compared first: sibling
+// kids of a decision-tree node share their read location and differ in
+// the observed value, so the integer compare almost always decides.
+// Field-for-field identical to ==, only reordered.
+func readEq(a, b memoRead) bool {
+	return a.v.I == b.v.I && a.v.Kind == b.v.Kind && a.v.Ptr == b.v.Ptr &&
+		a.v.Fn == b.v.Fn && a.loc == b.loc
+}
+
 // foldRecorder observes one fold's reads and writes. It is attached to the
 // base state and propagated to every clone of the run (see State.rec), so
 // all micro steps of the fold feed one recorder. Reads are recorded only
 // if the location was not written earlier in the run and does not belong
 // to an object/frame the run itself created — such values are determined
 // by the footprint already taken, not by the base state.
+//
+// The recorder is also the fan-out point for call-summary layers (see
+// summary.go): every hook feeds the whole-fold footprint when foldActive
+// is set AND each open sumLayer, which applies its own baselines and
+// normalization. A recorder may serve layers alone (summaries on, fold
+// memo cold or off), the fold alone (the original MacroStepMemo path),
+// or both.
 type foldRecorder struct {
 	baseHeapLen    int
 	baseNextFrame  int
@@ -127,6 +146,11 @@ type foldRecorder struct {
 	nextFrameSeen  bool
 	nextThreadSeen bool
 	aborted        bool
+
+	// foldActive gates the whole-fold footprint above; layers holds the
+	// open call-summary recording layers, innermost last.
+	foldActive bool
+	layers     []*sumLayer
 }
 
 var recorderPool = sync.Pool{New: func() any {
@@ -147,9 +171,16 @@ func (r *foldRecorder) reset(s *State) {
 	r.tsSeen, r.tsWritten = false, false
 	r.heapLenSeen, r.nextFrameSeen, r.nextThreadSeen = false, false, false
 	r.aborted = false
+	r.foldActive = false
+	r.layers = r.layers[:0]
 }
 
-func (r *foldRecorder) abort() { r.aborted = true }
+func (r *foldRecorder) abort() {
+	r.aborted = true
+	for _, l := range r.layers {
+		l.aborted = true
+	}
+}
 
 // note registers loc as a footprint read with the value observed at the
 // base, unless the run is aborted, the location was written earlier in
@@ -169,58 +200,81 @@ func (r *foldRecorder) note(loc memoLoc, v Value) {
 }
 
 func (r *foldRecorder) readGlobal(idx int, v Value) {
-	r.note(memoLoc{k: locGlobal, a: int32(idx)}, v)
+	if r.foldActive {
+		r.note(memoLoc{k: locGlobal, a: int32(idx)}, v)
+	}
+	for _, l := range r.layers {
+		l.readGlobal(idx, v)
+	}
 }
 
 func (r *foldRecorder) readHeapField(obj, field int, v Value) {
-	if obj >= r.baseHeapLen {
-		return // created by this run: contents determined by the run
+	// Objects at/after the base heap length were created by this run:
+	// their contents are determined by the footprint already taken.
+	if r.foldActive && obj < r.baseHeapLen {
+		r.note(memoLoc{k: locHeapField, a: int32(obj), b: int32(field)}, v)
 	}
-	r.note(memoLoc{k: locHeapField, a: int32(obj), b: int32(field)}, v)
+	for _, l := range r.layers {
+		l.readHeapField(obj, field, v)
+	}
 }
 
 func (r *foldRecorder) readHeapRec(obj int, rec string) {
-	if obj >= r.baseHeapLen {
-		return
+	if r.foldActive && obj < r.baseHeapLen {
+		r.note(memoLoc{k: locHeapRec, a: int32(obj)}, Value{Fn: rec})
 	}
-	r.note(memoLoc{k: locHeapRec, a: int32(obj)}, Value{Fn: rec})
+	for _, l := range r.layers {
+		l.readHeapRec(obj, rec)
+	}
 }
 
 func (r *foldRecorder) readLocal(frameID, slot int, v Value) {
-	if frameID >= r.baseNextFrame {
-		return // frame created by this run
+	// Frames created by this run are determined; skip them.
+	if r.foldActive && frameID < r.baseNextFrame {
+		r.note(memoLoc{k: locLocal, a: int32(frameID), b: int32(slot)}, v)
 	}
-	r.note(memoLoc{k: locLocal, a: int32(frameID), b: int32(slot)}, v)
+	for _, l := range r.layers {
+		l.readLocal(frameID, slot, v)
+	}
 }
 
 // readDangling records that a load/store addressed a popped frame's local.
 // Replay-side matching checks the frame is popped there too; no value.
 func (r *foldRecorder) readDangling(frameID, slot int) {
-	if frameID >= r.baseNextFrame {
-		return // created and popped within the run: determined
+	if r.foldActive && frameID < r.baseNextFrame {
+		r.note(memoLoc{k: locDangling, a: int32(frameID), b: int32(slot)}, Value{})
 	}
-	r.note(memoLoc{k: locDangling, a: int32(frameID), b: int32(slot)}, Value{})
+	for _, l := range r.layers {
+		l.readDangling(frameID, slot)
+	}
 }
 
 func (r *foldRecorder) readTs(ts []Pending) {
-	if r.aborted || r.tsSeen || r.tsWritten {
-		return
+	if r.foldActive && !r.aborted && !r.tsSeen && !r.tsWritten {
+		r.tsSeen = true
+		r.reads = append(r.reads, memoRead{loc: memoLoc{k: locTsFull}})
+		r.ts = ts
 	}
-	r.tsSeen = true
-	r.reads = append(r.reads, memoRead{loc: memoLoc{k: locTsFull}})
-	r.ts = ts
+	for _, l := range r.layers {
+		l.readTs(ts)
+	}
 }
 
 func (r *foldRecorder) readHeapLen(n int) {
-	if r.aborted || r.heapLenSeen {
-		return
+	if r.foldActive && !r.aborted && !r.heapLenSeen {
+		r.heapLenSeen = true
+		r.reads = append(r.reads, memoRead{loc: memoLoc{k: locHeapLen, a: int32(n)}})
 	}
-	r.heapLenSeen = true
-	r.reads = append(r.reads, memoRead{loc: memoLoc{k: locHeapLen, a: int32(n)}})
+	for _, l := range r.layers {
+		l.readHeapLen(n)
+	}
 }
 
 func (r *foldRecorder) readNextFrameID(n int) {
-	if r.aborted || r.nextFrameSeen {
+	// Layers deliberately do NOT pin the frame-id counter: every call
+	// segment pushes a frame, so an absolute pin would make entries
+	// instance-specific. They store a relative delta instead (sumDiff).
+	if !r.foldActive || r.aborted || r.nextFrameSeen {
 		return
 	}
 	r.nextFrameSeen = true
@@ -228,35 +282,59 @@ func (r *foldRecorder) readNextFrameID(n int) {
 }
 
 func (r *foldRecorder) readNextThreadID(n int) {
-	if r.aborted || r.nextThreadSeen {
-		return
+	if r.foldActive && !r.aborted && !r.nextThreadSeen {
+		r.nextThreadSeen = true
+		r.reads = append(r.reads, memoRead{loc: memoLoc{k: locNextThreadID, a: int32(n)}})
 	}
-	r.nextThreadSeen = true
-	r.reads = append(r.reads, memoRead{loc: memoLoc{k: locNextThreadID, a: int32(n)}})
+	// A new thread ends sole-liveness, so the enclosing fold breaks and
+	// any open segment can never close; abort the layers eagerly.
+	for _, l := range r.layers {
+		l.aborted = true
+	}
+}
+
+// noteReturn fans a return value to the open layers (see
+// sumLayer.noteReturn); the whole-fold footprint is raw and needs no
+// check — its events replay only at raw-identical bases.
+func (r *foldRecorder) noteReturn(rv Value) {
+	for _, l := range r.layers {
+		l.noteReturn(rv)
+	}
 }
 
 func (r *foldRecorder) wroteGlobal(idx int) {
-	if r.aborted {
-		return
+	if r.foldActive && !r.aborted {
+		r.written[memoLoc{k: locGlobal, a: int32(idx)}] = struct{}{}
 	}
-	r.written[memoLoc{k: locGlobal, a: int32(idx)}] = struct{}{}
+	for _, l := range r.layers {
+		l.wroteGlobal(idx)
+	}
 }
 
 func (r *foldRecorder) wroteHeapField(obj, field int) {
-	if r.aborted || obj >= r.baseHeapLen {
-		return
+	if r.foldActive && !r.aborted && obj < r.baseHeapLen {
+		r.written[memoLoc{k: locHeapField, a: int32(obj), b: int32(field)}] = struct{}{}
 	}
-	r.written[memoLoc{k: locHeapField, a: int32(obj), b: int32(field)}] = struct{}{}
+	for _, l := range r.layers {
+		l.wroteHeapField(obj, field)
+	}
 }
 
 func (r *foldRecorder) wroteLocal(frameID, slot int) {
-	if r.aborted || frameID >= r.baseNextFrame {
-		return
+	if r.foldActive && !r.aborted && frameID < r.baseNextFrame {
+		r.written[memoLoc{k: locLocal, a: int32(frameID), b: int32(slot)}] = struct{}{}
 	}
-	r.written[memoLoc{k: locLocal, a: int32(frameID), b: int32(slot)}] = struct{}{}
+	for _, l := range r.layers {
+		l.wroteLocal(frameID, slot)
+	}
 }
 
-func (r *foldRecorder) wroteTs() { r.tsWritten = true }
+func (r *foldRecorder) wroteTs() {
+	r.tsWritten = true
+	for _, l := range r.layers {
+		l.wroteTs()
+	}
+}
 
 // Hash mixing helpers over the shared FNV-1a constants.
 
@@ -281,13 +359,15 @@ type ctrlFrame struct {
 	result string
 }
 
-// ctrlHash hashes thread ti's control signature (id + frame stack).
+// ctrlHash hashes thread ti's control signature (id + frame stack). The
+// function-name component comes precomputed from compile time so a deep
+// stack costs a handful of multiplies, not a string walk per frame.
 func ctrlHash(s *State, ti int) uint64 {
 	t := s.Threads[ti]
 	h := uint64(fnvOffset64)
 	h = Mix64(h, uint64(t.ID))
 	for _, fr := range t.Frames {
-		h = mixString(h, fr.CF.Fn.Name)
+		h = Mix64(h, fr.CF.nameHash)
 		h = Mix64(h, uint64(fr.PC))
 		h = Mix64(h, uint64(fr.ID))
 		h = mixString(h, fr.Result)
@@ -372,10 +452,24 @@ type memoGroup struct {
 // discriminates the next read by its observed value. All kids of a node
 // agree on the location kind — and, for value-carrying kinds, the exact
 // location — by the determinism argument above.
+//
+// kidIdx indexes kids by read once the fan-out crosses kidMapThreshold —
+// a location observed with many distinct values (a counter global, a
+// loop induction local) would otherwise cost a linear, cache-missing kid
+// scan per lookup AND per insert. It is never built over locTsFull kids
+// (their ts snapshots need slice comparison and are matched before the
+// value descent) and, once built, is maintained across removals rather
+// than rebuilt.
 type memoNode struct {
 	leaves []*memoEntry
 	kids   []memoKid
+	kidIdx map[memoRead]int32
 }
+
+// kidMapThreshold is the fan-out at which a node switches from linear
+// kid scans to the kidIdx map. Below it the scan's first-field compares
+// beat the map's hashing.
+const kidMapThreshold = 16
 
 // memoKid is one decision-tree edge: the full observed read (location +
 // value) it stands for, with the ts snapshot spelled out for locTsFull
@@ -459,10 +553,16 @@ func (g *memoGroup) find(s *State, ti, limit int) *memoEntry {
 			or = memoRead{loc: memoLoc{k: locNextThreadID, a: int32(s.nextThreadID)}}
 		}
 		next := (*memoNode)(nil)
-		for i := range n.kids {
-			if n.kids[i].r == or {
-				next = n.kids[i].n
-				break
+		if n.kidIdx != nil {
+			if j, ok := n.kidIdx[or]; ok {
+				next = n.kids[j].n
+			}
+		} else {
+			for i := range n.kids {
+				if readEq(n.kids[i].r, or) {
+					next = n.kids[i].n
+					break
+				}
 			}
 		}
 		if next == nil {
@@ -479,16 +579,24 @@ func (g *memoGroup) insert(e *memoEntry) bool {
 	for i := range e.reads {
 		r := e.reads[i]
 		var next *memoNode
-		for j := range n.kids {
-			k := &n.kids[j]
-			if r.loc.k == locTsFull {
+		if r.loc.k == locTsFull {
+			for j := range n.kids {
+				k := &n.kids[j]
 				if k.r.loc.k == locTsFull && tsEqual(e.ts, k.ts) {
 					next = k.n
 					break
 				}
-			} else if k.r == r {
-				next = k.n
-				break
+			}
+		} else if n.kidIdx != nil {
+			if j, ok := n.kidIdx[r]; ok {
+				next = n.kids[j].n
+			}
+		} else {
+			for j := range n.kids {
+				if readEq(n.kids[j].r, r) {
+					next = n.kids[j].n
+					break
+				}
 			}
 		}
 		if next == nil {
@@ -498,6 +606,16 @@ func (g *memoGroup) insert(e *memoEntry) bool {
 				kid.ts = e.ts
 			}
 			n.kids = append(n.kids, kid)
+			if r.loc.k != locTsFull {
+				if n.kidIdx != nil {
+					n.kidIdx[r] = int32(len(n.kids) - 1)
+				} else if len(n.kids) >= kidMapThreshold {
+					n.kidIdx = make(map[memoRead]int32, len(n.kids))
+					for j := range n.kids {
+						n.kidIdx[n.kids[j].r] = int32(j)
+					}
+				}
+			}
 		}
 		n = next
 	}
@@ -537,9 +655,20 @@ func (n *memoNode) removeEntry(e *memoEntry, reads []memoRead) {
 		}
 		k.n.removeEntry(e, reads[1:])
 		if len(k.n.leaves) == 0 && len(k.n.kids) == 0 {
-			n.kids[j] = n.kids[len(n.kids)-1]
-			n.kids[len(n.kids)-1] = memoKid{}
-			n.kids = n.kids[:len(n.kids)-1]
+			removed := n.kids[j].r
+			last := len(n.kids) - 1
+			n.kids[j] = n.kids[last]
+			n.kids[last] = memoKid{}
+			n.kids = n.kids[:last]
+			// Maintain the index across the swap-delete: dropping it here
+			// instead causes an O(kids) rebuild per insert under eviction
+			// churn. Never nil once built, even below the threshold.
+			if n.kidIdx != nil {
+				delete(n.kidIdx, removed)
+				if j < last {
+					n.kidIdx[n.kids[j].r] = int32(j)
+				}
+			}
 		}
 		return
 	}
@@ -610,6 +739,50 @@ func findFrameInThread(t *Thread, id int) *Frame {
 	return nil
 }
 
+// writtenSet is a fold's write set split by location kind, built once
+// per store. The force-include checks below then scan these short slices
+// instead of probing the write-set map once per compared slot — the map
+// probes dominated the store path's profile.
+type writtenSet struct {
+	globals []memoLoc
+	fields  []memoLoc
+	locals  []memoLoc
+}
+
+func splitWritten(written map[memoLoc]struct{}) writtenSet {
+	// One shared backing array, partitioned by kind: the per-kind counts
+	// vary per fold, and three growing appends per store showed up in the
+	// allocation profile.
+	buf := make([]memoLoc, len(written))
+	var ng, nf, nl int
+	for loc := range written {
+		switch loc.k {
+		case locGlobal:
+			ng++
+		case locHeapField:
+			nf++
+		case locLocal:
+			nl++
+		}
+	}
+	ws := writtenSet{
+		globals: buf[:0:ng],
+		fields:  buf[ng : ng : ng+nf],
+		locals:  buf[ng+nf : ng+nf : ng+nf+nl],
+	}
+	for loc := range written {
+		switch loc.k {
+		case locGlobal:
+			ws.globals = append(ws.globals, loc)
+		case locHeapField:
+			ws.fields = append(ws.fields, loc)
+		case locLocal:
+			ws.locals = append(ws.locals, loc)
+		}
+	}
+	return ws
+}
+
 // diffOutcome computes the write delta from base to one outcome state.
 // ok=false means the outcome does not fit the delta model (something
 // outside ti's reach changed); the caller then skips storing the fold.
@@ -619,19 +792,17 @@ func findFrameInThread(t *Thread, id int) *Frame {
 // already 1 — changes nothing here, but the location is not footprint-
 // pinned (never read), so the entry also matches bases where g differs
 // and the replay must still perform the write. Every location in the
-// recorder's write set is therefore forced into the delta. That is sound
-// for all outcomes uniformly: slot writes only happen in single-outcome
-// micro steps (multi-outcome endpoints are choice and dispatch, which
-// write no slots; multi-path atomics abort recording), so they are shared
-// prefix effects, and their final values are functions of the recorded
-// read footprint.
-func diffOutcome(base *State, ti int, out Outcome, written map[memoLoc]struct{}) (outcomeDelta, bool) {
+// recorder's write set is therefore forced into the delta: the value
+// scans catch writes that changed the value, and each region follows up
+// with a pass over the (short) write set for the equal-value remainder.
+// That is sound for all outcomes uniformly: slot writes only happen in
+// single-outcome micro steps (multi-outcome endpoints are choice and
+// dispatch, which write no slots; multi-path atomics abort recording),
+// so they are shared prefix effects, and their final values are
+// functions of the recorded read footprint.
+func diffOutcome(base *State, ti int, out Outcome, ws *writtenSet) (outcomeDelta, bool) {
 	d := outcomeDelta{ev: out.Event, nextFrameID: -1, nextThreadID: -1}
 	os := out.State
-	wrote := func(loc memoLoc) bool {
-		_, ok := written[loc]
-		return ok
-	}
 
 	// Globals: COW shares the slice untouched, so pointer equality is the
 	// common fast path (a written array is always a copy).
@@ -640,8 +811,13 @@ func diffOutcome(base *State, ti int, out Outcome, written map[memoLoc]struct{})
 	}
 	if len(base.Globals) > 0 && &os.Globals[0] != &base.Globals[0] {
 		for i := range os.Globals {
-			if os.Globals[i] != base.Globals[i] || wrote(memoLoc{k: locGlobal, a: int32(i)}) {
+			if os.Globals[i] != base.Globals[i] {
 				d.globals = append(d.globals, slotWrite{int32(i), os.Globals[i]})
+			}
+		}
+		for _, loc := range ws.globals {
+			if i := int(loc.a); i < len(os.Globals) && os.Globals[i] == base.Globals[i] {
+				d.globals = append(d.globals, slotWrite{loc.a, os.Globals[i]})
 			}
 		}
 	}
@@ -660,8 +836,16 @@ func diffOutcome(base *State, ti int, out Outcome, written map[memoLoc]struct{})
 			return d, false
 		}
 		for f := range oo.Fields {
-			if oo.Fields[f] != bo.Fields[f] || wrote(memoLoc{k: locHeapField, a: int32(i), b: int32(f)}) {
+			if oo.Fields[f] != bo.Fields[f] {
 				d.objFields = append(d.objFields, objFieldWrite{int32(i), int32(f), oo.Fields[f]})
+			}
+		}
+		for _, loc := range ws.fields {
+			if int(loc.a) != i {
+				continue
+			}
+			if f := int(loc.b); f < len(oo.Fields) && oo.Fields[f] == bo.Fields[f] {
+				d.objFields = append(d.objFields, objFieldWrite{loc.a, loc.b, oo.Fields[f]})
 			}
 		}
 	}
@@ -702,8 +886,16 @@ func diffOutcome(base *State, ti int, out Outcome, written map[memoLoc]struct{})
 		}
 		fd := frameDiff{fi: int32(j), pc: int32(of.PC)}
 		for si := range of.Locals {
-			if of.Locals[si] != bf.Locals[si] || wrote(memoLoc{k: locLocal, a: int32(bf.ID), b: int32(si)}) {
+			if of.Locals[si] != bf.Locals[si] {
 				fd.slots = append(fd.slots, slotWrite{int32(si), of.Locals[si]})
+			}
+		}
+		for _, loc := range ws.locals {
+			if int(loc.a) != bf.ID {
+				continue
+			}
+			if si := int(loc.b); si < len(of.Locals) && of.Locals[si] == bf.Locals[si] {
+				fd.slots = append(fd.slots, slotWrite{loc.b, of.Locals[si]})
 			}
 		}
 		if of.PC != bf.PC || len(fd.slots) > 0 {
@@ -1027,9 +1219,10 @@ func (m *FoldMemo) store(s *State, ti int, rec *foldRecorder, mr *MacroResult) {
 	}
 	e.ctrl = ctrlHash(s, ti)
 	if len(mr.Outcomes) > 0 {
+		ws := splitWritten(rec.written)
 		e.outs = make([]outcomeDelta, 0, len(mr.Outcomes))
 		for i := range mr.Outcomes {
-			d, ok := diffOutcome(s, ti, mr.Outcomes[i], rec.written)
+			d, ok := diffOutcome(s, ti, mr.Outcomes[i], &ws)
 			if !ok {
 				return
 			}

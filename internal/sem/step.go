@@ -351,6 +351,11 @@ func Step(s *State, ti int) StepResult {
 func doReturn(s *State, ti int, rv Value, pos ast.Pos, fnName string) StepResult {
 	tid := s.Threads[ti].ID
 	ns := s.Clone()
+	if ns.rec != nil {
+		// The return event's text embeds rv raw ("return " + rv.String());
+		// summary layers must reject values naming instance-specific frames.
+		ns.rec.noteReturn(rv)
+	}
 	top := ns.popFrame(ti)
 	result := top.Result
 	if caller := ns.Threads[ti].Top(); caller != nil && result != "" {

@@ -1,0 +1,159 @@
+package sem
+
+import (
+	"testing"
+)
+
+// sumTreeLeaves collects every entry in a site group's decision tree.
+func sumTreeLeaves(n *sumNode) []*sumEntry {
+	var out []*sumEntry
+	if n.leaf != nil {
+		out = append(out, n.leaf)
+	}
+	for i := range n.kids {
+		out = append(out, sumTreeLeaves(n.kids[i].n)...)
+	}
+	return out
+}
+
+// soleSumEntry returns the table's single entry, failing unless there is
+// exactly one. In-package test helper for corrupting stored segments.
+func soleSumEntry(t *testing.T, tab *SummaryTable) *sumEntry {
+	t.Helper()
+	var found *sumEntry
+	for i := range tab.shards {
+		sh := &tab.shards[i]
+		sh.mu.Lock()
+		for _, gs := range sh.m {
+			for _, g := range gs {
+				for _, e := range sumTreeLeaves(&g.root) {
+					if found != nil {
+						sh.mu.Unlock()
+						t.Fatal("summary table holds more than one entry")
+					}
+					found = e
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if found == nil {
+		t.Fatal("summary table holds no entries")
+	}
+	return found
+}
+
+// sumSrc has one call site whose body reads and writes a global: the
+// site is cold on the first fold, records on the second, and replays on
+// the third (each fold starts from a fresh initial state, so the
+// footprint b=0 repeats exactly).
+const sumSrc = `var a; var b; func set() { b = b + 5; } func main() { a = 1; set(); a = 2; }`
+
+// TestSummaryHitReplaysExactly: after the warm-up miss and the recording
+// fold, a third fold over the same values replays the call segment and
+// the whole MacroResult stays bit-identical to the executed one.
+func TestSummaryHitReplaysExactly(t *testing.T) {
+	c := compile(t, sumSrc)
+	sum := NewSummaryTable(0, false)
+
+	first := MacroStepMemoSum(NewState(c), 0, 0, nil, sum)
+	if first.Failure != nil || first.Blocked {
+		t.Fatalf("unexpected failure/block: %+v", first.StepResult)
+	}
+	if st := sum.Stats(); st.Stores != 0 {
+		t.Fatalf("cold site recorded an entry: %+v", st)
+	}
+
+	second := MacroStepMemoSum(NewState(c), 0, 0, nil, sum)
+	if st := sum.Stats(); st.Stores != 1 || st.Hits != 0 {
+		t.Fatalf("after the recording fold: %+v, want 1 store / 0 hits", st)
+	}
+	if !macroResultsEqual(&first, &second) {
+		t.Fatal("recording fold diverged from the bare one")
+	}
+
+	third := MacroStepMemoSum(NewState(c), 0, 0, nil, sum)
+	st := sum.Stats()
+	if st.Hits != 1 {
+		t.Fatalf("after the replaying fold: %+v, want 1 hit", st)
+	}
+	if st.StepsSaved == 0 {
+		t.Error("a replayed call saved no steps")
+	}
+	if !macroResultsEqual(&first, &third) {
+		t.Fatal("replayed MacroResult differs from the executed one")
+	}
+	fin := third.Outcomes[0].State
+	if g := fin.Globals[1]; !g.Equal(IntV(5)) {
+		t.Errorf("replayed b = %v, want 5", g)
+	}
+}
+
+// TestSummaryAuditCatchesCorruptEntry: a stored segment whose key still
+// matches but whose write delta is wrong — what a recorder or
+// normalization bug would produce — is detected by audit mode: the
+// mismatch is counted, the executed (correct) result is returned, and
+// the poisoned entry is dropped from the table.
+func TestSummaryAuditCatchesCorruptEntry(t *testing.T) {
+	c := compile(t, sumSrc)
+	sum := NewSummaryTable(0, true)
+
+	first := MacroStepMemoSum(NewState(c), 0, 0, nil, sum)
+	if first.Failure != nil || first.Blocked {
+		t.Fatalf("unexpected failure/block: %+v", first.StepResult)
+	}
+	second := MacroStepMemoSum(NewState(c), 0, 0, nil, sum)
+	if st := sum.Stats(); st.Stores != 1 {
+		t.Fatalf("recording fold: %+v, want 1 store", st)
+	}
+	if !macroResultsEqual(&first, &second) {
+		t.Fatal("recording fold diverged from the bare one")
+	}
+
+	// Corrupt the stored write delta in place, leaving the key (site and
+	// read footprint) untouched.
+	e := soleSumEntry(t, sum)
+	if len(e.delta.globals) == 0 {
+		t.Fatalf("entry has no global writes to corrupt: %+v", e.delta)
+	}
+	e.delta.globals[0].v = IntV(999)
+
+	got := MacroStepMemoSum(NewState(c), 0, 0, nil, sum)
+	st := sum.Stats()
+	if st.AuditMismatches != 1 {
+		t.Fatalf("AuditMismatches = %d, want 1", st.AuditMismatches)
+	}
+	if st.Hits != 0 {
+		t.Errorf("a refuted replay still counted as a hit: %+v", st)
+	}
+	if !macroResultsEqual(&first, &got) {
+		t.Fatal("audit mode did not return the executed result after the mismatch")
+	}
+	if g := got.Outcomes[0].State.Globals[1]; !g.Equal(IntV(5)) {
+		t.Errorf("post-audit b = %v, want the executed 5", g)
+	}
+
+	// The poisoned entry is gone: the next fold records afresh.
+	_ = MacroStepMemoSum(NewState(c), 0, 0, nil, sum)
+	if st := sum.Stats(); st.Stores != 2 {
+		t.Fatalf("after the dropped entry: %+v, want 2 stores", st)
+	}
+}
+
+// TestSummaryAuditPassesOnHonestEntry: with an uncorrupted table, audit
+// mode verifies and admits the replay — hits count, no mismatches.
+func TestSummaryAuditPassesOnHonestEntry(t *testing.T) {
+	c := compile(t, sumSrc)
+	sum := NewSummaryTable(0, true)
+
+	first := MacroStepMemoSum(NewState(c), 0, 0, nil, sum)
+	_ = MacroStepMemoSum(NewState(c), 0, 0, nil, sum)
+	third := MacroStepMemoSum(NewState(c), 0, 0, nil, sum)
+	st := sum.Stats()
+	if st.Hits != 1 || st.AuditMismatches != 0 {
+		t.Fatalf("honest audit hit: %+v, want 1 hit / 0 mismatches", st)
+	}
+	if !macroResultsEqual(&first, &third) {
+		t.Fatal("audited replay differs from the executed fold")
+	}
+}

@@ -130,7 +130,7 @@ func checkMacroDFS(c *sem.Compiled, opts Options) *Result {
 			return res
 		}
 
-		mr := sem.MacroStepMemo(cur.st, 0, macroLimit(opts, cur.nd.depth, res.Steps), opts.Memo)
+		mr := sem.MacroStepMemoSum(cur.st, 0, macroLimit(opts, cur.nd.depth, res.Steps), opts.Memo, opts.Summaries)
 		res.Steps += mr.Stepped
 		res.StatesStepped += len(mr.Prefix)
 		if mr.Failure != nil {
@@ -338,7 +338,7 @@ func checkMacroBFS(c *sem.Compiled, opts Options) *Result {
 				slots[i] = macroSlot{done: true}
 				return
 			}
-			mr := sem.MacroStepMemo(it.st, 0, limit, opts.Memo)
+			mr := sem.MacroStepMemoSum(it.st, 0, limit, opts.Memo, opts.Summaries)
 			sl := macroSlot{
 				prefix:    mr.Prefix,
 				prefixIdx: mr.PrefixIdx,

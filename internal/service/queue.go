@@ -127,6 +127,19 @@ func (t *jobTable) add(j *job) {
 	t.order = keep
 }
 
+// cancelAll fires every retained job's context (Drain's deadline-expiry
+// path). Finished jobs' cancels are released no-ops; queued and running
+// ones see their checker loop stop with a ResourceBound partial result.
+func (t *jobTable) cancelAll() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, j := range t.jobs {
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+}
+
 func (t *jobTable) get(id string) (*job, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()

@@ -1,0 +1,144 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	kiss "repro"
+	"repro/internal/sem"
+)
+
+// The summary store: cross-check persistence for call-grained procedure
+// summaries. A sem.SummaryTable is only sound for one compiled program —
+// its entries compare compiled-function pointers — so the store keys
+// tables by a *program key*: the SHA-256 of the canonical source and the
+// shaping half of the config (the knobs that change what sequential
+// program the transformation emits). Budget knobs (max-states, max-steps,
+// BFS, worker counts) are deliberately absent: a re-check of the same
+// source with a different budget misses the result cache but hits the
+// summary table, which is exactly the warm-service pattern the store
+// exists for. Eviction is whole-table LRU under a byte budget: partial
+// tables stay internally consistent, and a program not checked recently
+// ages out as one unit.
+
+// SummaryKey derives the program key a persistent summary table is stored
+// under: SHA-256 of the canonical source and the shaping config subset
+// (MaxTS, alias elision, scheduler, race target — everything that changes
+// the transformed program), version-stamped via the config wire format.
+func SummaryKey(canonSource string, cfg *kiss.Config) (string, error) {
+	shape := kiss.Config{
+		MaxTS:               cfg.MaxTS,
+		DisableAliasElision: cfg.DisableAliasElision,
+		Scheduler:           cfg.Scheduler,
+		RaceTarget:          cfg.RaceTarget,
+	}
+	sj, err := shape.MarshalJSON()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write([]byte(canonSource))
+	h.Write([]byte{0})
+	h.Write(sj)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// summaryStore is the program-keyed LRU of persistent summary tables.
+type summaryStore struct {
+	mu       sync.Mutex
+	maxBytes int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+
+	// retired accumulates the counters of evicted tables so the fleet
+	// totals survive whole-table eviction.
+	retired       sem.SummaryStats
+	tablesCreated int64
+	tablesEvicted int64
+}
+
+type summaryStoreEntry struct {
+	key   string
+	table *sem.SummaryTable
+}
+
+func newSummaryStore(maxBytes int64) *summaryStore {
+	if maxBytes <= 0 {
+		maxBytes = sem.DefaultSummaryBytes
+	}
+	return &summaryStore{maxBytes: maxBytes, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// table returns the summary table for key, creating it on first use and
+// refreshing recency. Each table gets the full store budget as its own
+// internal cap; the store-level LRU below keeps the sum in bounds.
+func (st *summaryStore) table(key string) *sem.SummaryTable {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if el, ok := st.items[key]; ok {
+		st.ll.MoveToFront(el)
+		return el.Value.(*summaryStoreEntry).table
+	}
+	t := sem.NewSummaryTable(st.maxBytes, false)
+	st.items[key] = st.ll.PushFront(&summaryStoreEntry{key: key, table: t})
+	st.tablesCreated++
+	return t
+}
+
+// trim evicts least-recently-used tables until the byte budget holds.
+// Called after each check (table sizes only grow while a check runs).
+// The most recent table always stays, even oversized — its own internal
+// LRU bounds it.
+func (st *summaryStore) trim() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	total := int64(0)
+	for el := st.ll.Front(); el != nil; el = el.Next() {
+		total += el.Value.(*summaryStoreEntry).table.Stats().Bytes
+	}
+	for total > st.maxBytes && st.ll.Len() > 1 {
+		back := st.ll.Back()
+		ev := back.Value.(*summaryStoreEntry)
+		s := ev.table.Stats()
+		total -= s.Bytes
+		st.retired = addSummaryStats(st.retired, s)
+		st.ll.Remove(back)
+		delete(st.items, ev.key)
+		st.tablesEvicted++
+	}
+}
+
+// stats aggregates live tables plus the retired baseline. Entries/Bytes
+// cover live tables only (evicted ones hold nothing).
+func (st *summaryStore) stats() (agg sem.SummaryStats, tables int, evicted int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	agg = st.retired
+	agg.Entries, agg.Bytes = 0, 0
+	for el := st.ll.Front(); el != nil; el = el.Next() {
+		agg = addSummaryStats(agg, el.Value.(*summaryStoreEntry).table.Stats())
+	}
+	return agg, st.ll.Len(), st.tablesEvicted
+}
+
+// addSummaryStats sums counters; MaxDepth takes the max.
+func addSummaryStats(a, b sem.SummaryStats) sem.SummaryStats {
+	out := sem.SummaryStats{
+		Hits:            a.Hits + b.Hits,
+		Misses:          a.Misses + b.Misses,
+		Stores:          a.Stores + b.Stores,
+		Evictions:       a.Evictions + b.Evictions,
+		StepsSaved:      a.StepsSaved + b.StepsSaved,
+		Composed:        a.Composed + b.Composed,
+		MaxDepth:        a.MaxDepth,
+		AuditMismatches: a.AuditMismatches + b.AuditMismatches,
+		Entries:         a.Entries + b.Entries,
+		Bytes:           a.Bytes + b.Bytes,
+	}
+	if b.MaxDepth > out.MaxDepth {
+		out.MaxDepth = b.MaxDepth
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package service
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	kiss "repro"
+)
+
+// recurSrc exercises the summary table through the daemon: race-checking
+// it makes the translation emit check_r/check_w calls whose segments the
+// table records and replays.
+const recurSrc = `
+var n;
+var done;
+func work() {
+  if (n > 0) { n = n - 1; work(); } else { skip; }
+}
+func helper() {
+  done = 1;
+}
+func main() {
+  n = 3;
+  done = 0;
+  async helper();
+  work();
+  assert(n == 0);
+}
+`
+
+func raceCfg(maxStates int) *kiss.Config {
+	return kiss.NewConfig(
+		kiss.WithMaxTS(2),
+		kiss.WithMaxStates(maxStates),
+		kiss.WithRaceTarget(kiss.RaceTarget{Global: "n"}),
+	)
+}
+
+// TestSummaryKeyExcludesBudgets: the program key is a function of the
+// source and the shaping knobs only — budget changes map to the same
+// table, shaping changes and source changes to different ones.
+func TestSummaryKeyExcludesBudgets(t *testing.T) {
+	base, err := SummaryKey(recurSrc, raceCfg(10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTable, err := SummaryKey(recurSrc, raceCfg(9999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sameTable != base {
+		t.Error("a budget knob changed the summary key")
+	}
+	otherShape, err := SummaryKey(recurSrc, kiss.NewConfig(kiss.WithMaxTS(1),
+		kiss.WithRaceTarget(kiss.RaceTarget{Global: "n"})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if otherShape == base {
+		t.Error("changing MaxTS did not change the summary key")
+	}
+	otherSrc, err := SummaryKey(strings.Replace(recurSrc, "n = 3;", "n = 2;", 1), raceCfg(10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if otherSrc == base {
+		t.Error("changing the source did not change the summary key")
+	}
+}
+
+// TestSummaryStoreLifecycle: the persistent summary table outlives the
+// result cache — a resubmission with a changed budget knob misses the
+// cache but replays warm from the program's table, storing nothing new —
+// while a changed source gets a fresh table under a fresh key.
+func TestSummaryStoreLifecycle(t *testing.T) {
+	s, cl := newTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+
+	first, err := cl.Check(ctx, recurSrc, raceCfg(100000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first submission claims cached")
+	}
+	agg1, tables1, _ := s.summaries.stats()
+	if tables1 != 1 {
+		t.Fatalf("after the first check: %d live tables, want 1", tables1)
+	}
+	if agg1.Stores == 0 {
+		t.Fatalf("the cold check recorded no summaries: %+v", agg1)
+	}
+
+	// Same source, different state budget: the result cache must miss
+	// (a different problem) but the summary table must already be warm —
+	// replays happen. (A handful of fresh stores is fine: sites first
+	// seen during check one pass the warm-up gate and record now.)
+	second, err := cl.Check(ctx, recurSrc, raceCfg(99999), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Cached {
+		t.Fatal("budget-shifted resubmission was served from the result cache")
+	}
+	if second.Result.Verdict != first.Result.Verdict {
+		t.Errorf("budget shift changed the verdict: %v vs %v", second.Result.Verdict, first.Result.Verdict)
+	}
+	agg2, tables2, _ := s.summaries.stats()
+	if tables2 != 1 {
+		t.Fatalf("the budget-shifted re-check did not reuse the table: %d live tables", tables2)
+	}
+	if agg2.Hits <= agg1.Hits {
+		t.Errorf("a warm re-check never replayed from the table: hits %d -> %d", agg1.Hits, agg2.Hits)
+	}
+
+	// A semantically changed source is a different program: fresh key,
+	// fresh table, populated cold. (Comment/formatting edits canonicalize
+	// away and would still hit the result cache.)
+	changed := strings.Replace(recurSrc, "n = 3;", "n = 2;", 1)
+	third, err := cl.Check(ctx, changed, raceCfg(100000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Cached {
+		t.Fatal("changed source was served from the result cache")
+	}
+	agg3, tables3, _ := s.summaries.stats()
+	if tables3 != 2 {
+		t.Fatalf("changed source did not get its own table: %d live tables", tables3)
+	}
+	if agg3.Stores <= agg2.Stores {
+		t.Errorf("the new program's table was not populated: stores %d -> %d", agg2.Stores, agg3.Stores)
+	}
+}

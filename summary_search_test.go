@@ -1,0 +1,252 @@
+package kiss_test
+
+import (
+	"testing"
+
+	kiss "repro"
+	"repro/internal/randprog"
+)
+
+// Under the Figure 4/5 translation every statement of user code is
+// preceded by choice{skip [] RAISE}, so no translated user call ever
+// runs a whole body deterministically inside one macro step. The calls
+// the summary table captures are exactly the generated instrumentation
+// — check_r/check_w in race-checking mode, whose straight-line bodies
+// carry no scheduling or raise nondeterminism and dominate the step
+// count of a race check. The property tests below therefore exercise
+// the table through race-mode checks; assertion-mode coverage (where
+// the table stays quiescent) rides along in the recursion cross-check.
+
+// TestCallSummariesDifferentialOnRandomPrograms: call-grained procedure
+// summaries are a pure wall-time optimization — race-checking random
+// concurrent programs with summaries on (fold memo off, to isolate the
+// layer) must produce bit-identical results to the summaries-off search
+// at every worker count: same verdict, failure position and message,
+// stored-state and step counters, and the same reconstructed trace.
+func TestCallSummariesDifferentialOnRandomPrograms(t *testing.T) {
+	target := kiss.RaceTarget{Global: "g0"}
+	var totalHits, totalErrors int64
+	for seed := int64(0); seed < 30; seed++ {
+		src := randprog.Generate(seed, randprog.Default)
+		parse := func() *kiss.Program {
+			p, err := kiss.Parse(src)
+			if err != nil {
+				t.Fatalf("seed %d: generated program does not parse: %v", seed, err)
+			}
+			return p
+		}
+
+		for _, w := range []int{0, 1, 8} {
+			// The reference runs at the same worker count: the sequential
+			// DFS and the parallel BFS legitimately store different state
+			// counts; the summary layer must be invisible within each
+			// engine.
+			ref, err := kiss.NewConfig(kiss.WithMaxTS(2), kiss.WithSearchWorkers(w),
+				kiss.WithRaceTarget(target),
+				kiss.WithFoldMemo(false), kiss.WithCallSummaries(false)).Check(parse())
+			if err != nil {
+				t.Fatalf("seed %d workers %d: summaries-off reference: %v", seed, w, err)
+			}
+			if w == 0 && ref.Verdict == kiss.Error {
+				totalErrors++
+			}
+			refTrace := traceText(ref)
+			cfg := kiss.NewConfig(kiss.WithMaxTS(2), kiss.WithSearchWorkers(w),
+				kiss.WithRaceTarget(target),
+				kiss.WithFoldMemo(false), kiss.WithCallSummaries(true))
+			res, err := cfg.Check(parse())
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, w, err)
+			}
+			if res.Verdict != ref.Verdict || res.Pos != ref.Pos || res.Message != ref.Message {
+				t.Errorf("seed %d workers %d: sum-on verdict {%v %q %q}, sum-off {%v %q %q}\n%s",
+					seed, w, res.Verdict, res.Pos, res.Message, ref.Verdict, ref.Pos, ref.Message, src)
+			}
+			if res.States != ref.States || res.Steps != ref.Steps ||
+				res.Stats.StatesStepped != ref.Stats.StatesStepped {
+				t.Errorf("seed %d workers %d: sum-on counters states=%d steps=%d stepped=%d, sum-off states=%d steps=%d stepped=%d",
+					seed, w, res.States, res.Steps, res.Stats.StatesStepped,
+					ref.States, ref.Steps, ref.Stats.StatesStepped)
+			}
+			if got := traceText(res); got != refTrace {
+				t.Errorf("seed %d workers %d: traces diverge\nsum-on:\n%s\nsum-off:\n%s", seed, w, got, refTrace)
+			}
+			if sm := res.Stats.Summary; sm != nil {
+				totalHits += sm.Hits
+			}
+		}
+	}
+	if totalErrors == 0 {
+		t.Error("no generated program produced a race; the identity was tested only on safe programs")
+	}
+	if totalHits == 0 {
+		t.Error("the summary table never hit across any seed; the differential property was tested vacuously")
+	}
+	t.Logf("compared %d race verdicts; %d summary hits exercised", totalErrors, totalHits)
+}
+
+// TestCallSummariesMemoInterplayOnRandomPrograms: the summary layer and
+// the fold memo share the recorder machinery; with both on (the default
+// configuration) plus audit mode, race-mode results must stay
+// bit-identical to the both-off search at every worker count and no
+// audited replay — memo or summary — may ever disagree with execution.
+func TestCallSummariesMemoInterplayOnRandomPrograms(t *testing.T) {
+	target := kiss.RaceTarget{Global: "g0"}
+	var sumHits, memoHits int64
+	for seed := int64(0); seed < 30; seed++ {
+		src := randprog.Generate(seed, randprog.Default)
+		parse := func() *kiss.Program {
+			p, err := kiss.Parse(src)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			return p
+		}
+		for _, w := range []int{0, 1, 8} {
+			ref, err := kiss.NewConfig(kiss.WithMaxTS(2), kiss.WithSearchWorkers(w),
+				kiss.WithRaceTarget(target),
+				kiss.WithFoldMemo(false), kiss.WithCallSummaries(false)).Check(parse())
+			if err != nil {
+				t.Fatalf("seed %d workers %d: both-off reference: %v", seed, w, err)
+			}
+			cfg := kiss.NewConfig(kiss.WithMaxTS(2), kiss.WithSearchWorkers(w),
+				kiss.WithRaceTarget(target),
+				kiss.WithFoldMemo(true), kiss.WithCallSummaries(true))
+			cfg.AuditFoldMemo = true
+			res, err := cfg.Check(parse())
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, w, err)
+			}
+			if sm := res.Stats.Summary; sm != nil {
+				sumHits += sm.Hits
+				if sm.AuditMismatches != 0 {
+					t.Errorf("seed %d workers %d: %d summary audit mismatches\n%s", seed, w, sm.AuditMismatches, src)
+				}
+			}
+			if m := res.Stats.Memo; m != nil {
+				memoHits += m.Hits
+				if m.AuditMismatches != 0 {
+					t.Errorf("seed %d workers %d: %d memo audit mismatches\n%s", seed, w, m.AuditMismatches, src)
+				}
+			}
+			if res.Verdict != ref.Verdict || res.Pos != ref.Pos || res.Message != ref.Message ||
+				res.States != ref.States || res.Steps != ref.Steps ||
+				res.Stats.StatesStepped != ref.Stats.StatesStepped {
+				t.Errorf("seed %d workers %d: both-on {%v %q states=%d steps=%d stepped=%d}, both-off {%v %q states=%d steps=%d stepped=%d}",
+					seed, w, res.Verdict, res.Pos, res.States, res.Steps, res.Stats.StatesStepped,
+					ref.Verdict, ref.Pos, ref.States, ref.Steps, ref.Stats.StatesStepped)
+			}
+			if got, want := traceText(res), traceText(ref); got != want {
+				t.Errorf("seed %d workers %d: traces diverge\nboth-on:\n%s\nboth-off:\n%s", seed, w, got, want)
+			}
+		}
+	}
+	if sumHits == 0 || memoHits == 0 {
+		t.Errorf("interplay tested vacuously: %d summary hits, %d memo hits", sumHits, memoHits)
+	}
+	t.Logf("interplay exercised %d summary hits and %d memo hits, all audit-clean", sumHits, memoHits)
+}
+
+// recursiveSrc is a bounded recursion racing against an async sibling:
+// work() recurses three deep over the global n while helper() may run at
+// any of the translation's scheduling points.
+const recursiveSrc = `
+var n;
+var done;
+func work() {
+  if (n > 0) { n = n - 1; work(); } else { skip; }
+}
+func helper() {
+  done = 1;
+}
+func main() {
+  n = 3;
+  done = 0;
+  async helper();
+  work();
+  assert(n == 0);
+}
+`
+
+// TestCallSummariesRecursionCrossCheck runs the bounded recursive
+// program three ways in assertion mode — the explicit engine with call
+// summaries on (audited), the explicit engine with everything off, and
+// the boolcheck summary engine (the independent Bebop/RHS-style
+// tabulation selected by Config.Summaries, which owns recursion through
+// its own procedure summaries) — and requires all three to agree with
+// identical explicit-search counters. boolcheck cannot check the
+// race-instrumented program (check_r/check_w take pointer arguments),
+// so the summary table's handling of recursion is then exercised in
+// race mode on the same program: the check calls inside the recursive
+// body must record and replay across interleavings, audit-clean, with
+// the explicit race searches agreeing bit-for-bit.
+func TestCallSummariesRecursionCrossCheck(t *testing.T) {
+	parse := func() *kiss.Program {
+		p, err := kiss.Parse(recursiveSrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	// Assertion mode: three engines, one verdict.
+	ref, err := kiss.NewConfig(kiss.WithMaxTS(2), kiss.WithFoldMemo(false),
+		kiss.WithCallSummaries(false)).Check(parse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := kiss.NewConfig(kiss.WithMaxTS(2), kiss.WithFoldMemo(false), kiss.WithCallSummaries(true))
+	cfg.AuditFoldMemo = true
+	res, err := cfg.Check(parse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bool2, err := kiss.NewConfig(kiss.WithMaxTS(2), kiss.WithSummaries()).Check(parse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Verdict != kiss.Safe || res.Verdict != ref.Verdict || bool2.Verdict != ref.Verdict {
+		t.Fatalf("engines disagree on bounded recursion: explicit=%v explicit+summaries=%v boolcheck=%v",
+			ref.Verdict, res.Verdict, bool2.Verdict)
+	}
+	if res.States != ref.States || res.Steps != ref.Steps {
+		t.Errorf("summaries changed the explicit search: states %d vs %d, steps %d vs %d",
+			res.States, ref.States, res.Steps, ref.Steps)
+	}
+	if sm := res.Stats.Summary; sm != nil && sm.AuditMismatches != 0 {
+		t.Errorf("%d audited summary replays disagreed with execution in assertion mode", sm.AuditMismatches)
+	}
+
+	// Race mode on n: the recursive body's check calls must summarize.
+	target := kiss.RaceTarget{Global: "n"}
+	rref, err := kiss.NewConfig(kiss.WithMaxTS(2), kiss.WithRaceTarget(target),
+		kiss.WithFoldMemo(false), kiss.WithCallSummaries(false)).Check(parse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg := kiss.NewConfig(kiss.WithMaxTS(2), kiss.WithRaceTarget(target),
+		kiss.WithFoldMemo(false), kiss.WithCallSummaries(true))
+	rcfg.AuditFoldMemo = true
+	rres, err := rcfg.Check(parse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rres.Verdict != rref.Verdict || rres.Pos != rref.Pos || rres.Message != rref.Message ||
+		rres.States != rref.States || rres.Steps != rref.Steps {
+		t.Errorf("race-mode divergence: sum-on {%v %q states=%d steps=%d}, sum-off {%v %q states=%d steps=%d}",
+			rres.Verdict, rres.Message, rres.States, rres.Steps,
+			rref.Verdict, rref.Message, rref.States, rref.Steps)
+	}
+	sm := rres.Stats.Summary
+	if sm == nil || sm.Stores == 0 {
+		t.Fatalf("no summary entries recorded inside the recursive calls: %+v", sm)
+	}
+	if sm.Hits == 0 {
+		t.Error("no interleaving ever replayed a check from the table")
+	}
+	if sm.AuditMismatches != 0 {
+		t.Errorf("%d audited summary replays disagreed with execution", sm.AuditMismatches)
+	}
+	t.Logf("recursion cross-check: assertion mode 3-way agree (%v); race mode %d stores, %d hits, %d steps saved",
+		ref.Verdict, sm.Stores, sm.Hits, sm.StepsSaved)
+}
