@@ -31,7 +31,7 @@ vet:
 # buckets). -short skips the full-corpus reproductions and the chaos
 # test's state-space passes, which the plain `test` target already runs.
 race:
-	$(GO) test -race -short ./internal/eval/... ./internal/seqcheck/... ./internal/concheck/... ./internal/sem/... ./internal/visited/... ./internal/coord/...
+	$(GO) test -race -short ./internal/eval/... ./internal/seqcheck/... ./internal/concheck/... ./internal/sem/... ./internal/visited/... ./internal/frontier/... ./internal/coord/...
 	$(GO) test -race ./internal/service/...
 
 # verify is the tier-1 gate: build, vet, full tests, and the race check.
@@ -53,17 +53,32 @@ verify: build vet test race
 # 0/1/8 and the strict speedup gate: the summary arm's traversal rate
 # (stepped states/sec) must strictly exceed the memo-off macro arm's.
 # BENCH_PR8.json is the record the "memo arm pays for itself" claim
-# stands on.
+# stands on. The PR 9 suite is the memory-budget study: the corpus's
+# hard fields (exact visited set, classic state budget — the runs that
+# trip MaxStates) rerun with the compact visited filter and the
+# disk-spilling frontier at a 10x state ceiling under 1 MiB of search
+# memory; BENCH_PR9.json records per-field verdicts, peak search RAM,
+# spilled bytes, and filter occupancy, and the run exits non-zero unless
+# at least 3 tripped fields improve. (The small budget is deliberate:
+# it forces real spill traffic on any machine, making the artifact a
+# record of the spill path, not of having enough RAM.)
+#
+# Every JSON artifact is written by kissbench's -o flag: staged in
+# memory, written to a temp file, renamed into place, and refused when
+# empty — a failed run can never leave a truncated artifact behind
+# (the shell-redirect form this replaces truncated the target before
+# the run began, which is how an empty BENCH_PR8.json once shipped).
+# The PR 8 line runs last: its strict speedup gate is the one most
+# sensitive to the host's scheduler, and a rate regression there should
+# fail the target without blocking the other artifacts from being
+# (re)generated — with -o, even the failing run's own artifact lands.
 bench:
 	$(GO) test -bench 'BenchmarkClone|BenchmarkDeepClone|BenchmarkSuccessors' -benchmem -run '^$$' ./internal/sem/
-	$(GO) run ./cmd/kissbench -table1 -json > BENCH_PR3.json
-	@echo "wrote BENCH_PR3.json"
-	$(GO) run ./cmd/kissbench -macrobench -min-ratio 3.0 -json > BENCH_PR4.json
-	@echo "wrote BENCH_PR4.json"
-	$(GO) run ./cmd/kissbench -macrobench -min-ratio 3.0 -min-hit-ratio 0.10 -json > BENCH_PR6.json
-	@echo "wrote BENCH_PR6.json"
-	$(GO) run ./cmd/kissbench -macrobench -min-ratio 3.0 -min-hit-ratio 0.10 -require-memo-speedup -json > BENCH_PR8.json
-	@echo "wrote BENCH_PR8.json"
+	$(GO) run ./cmd/kissbench -table1 -json -o BENCH_PR3.json
+	$(GO) run ./cmd/kissbench -macrobench -min-ratio 3.0 -json -o BENCH_PR4.json
+	$(GO) run ./cmd/kissbench -macrobench -min-ratio 3.0 -min-hit-ratio 0.10 -json -o BENCH_PR6.json
+	$(GO) run ./cmd/kissbench -membench -drivers fakemodem,kbdclass,mouclass,mouser -max-states 4000 -mem-budget-mb 1 -min-improved 3 -o BENCH_PR9.json
+	$(GO) run ./cmd/kissbench -macrobench -min-ratio 3.0 -min-hit-ratio 0.10 -require-memo-speedup -json -o BENCH_PR8.json
 
 # bench-smoke is the CI-sized slice of the ablation suite: four arms on
 # four small drivers with the same identity verification, asserting the
@@ -71,9 +86,18 @@ bench:
 # ratio, and a summary-arm traversal rate within 10% of the macro+memo
 # arm's (the slice is too small for the strict full-corpus gate; the
 # slack absorbs sub-second rate noise while still catching a summary
-# layer that grossly costs more than it saves). Runs in seconds.
+# layer that grossly costs more than it saves). It then runs a one-
+# driver slice of the memory-budget study through -o and asserts the
+# artifact is non-empty and carries the expected document shape — the
+# regression gate for the truncated-artifact bug. Runs in seconds.
 bench-smoke:
 	$(GO) run ./cmd/kissbench -macrobench -drivers kbfiltr,moufiltr,diskperf,1394diag -min-ratio 1.0 -min-hit-ratio 0.01 -require-summary-parity
+	@rm -f .bench-smoke.json
+	$(GO) run ./cmd/kissbench -membench -drivers fakemodem -max-states 4000 -mem-budget-mb 1 -min-improved 1 -o .bench-smoke.json
+	@test -s .bench-smoke.json || { echo "bench-smoke: empty bench artifact"; rm -f .bench-smoke.json; exit 1; }
+	@grep -q '"rows"' .bench-smoke.json && grep -q '"spilled_bytes"' .bench-smoke.json || { echo "bench-smoke: malformed bench artifact"; rm -f .bench-smoke.json; exit 1; }
+	@rm -f .bench-smoke.json
+	@echo "bench-smoke: membench artifact non-empty and well-formed"
 
 # serve-smoke is the kissd acceptance loop: start the daemon on a
 # loopback port, run a two-driver corpus slice through it twice, require

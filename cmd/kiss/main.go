@@ -25,6 +25,15 @@
 // partial result; -search-workers N runs the state-space search with N
 // workers (verdicts and counters are identical at every worker count).
 //
+// Memory knobs (PR 9): -mem-budget-mb M caps search memory — the BFS
+// frontier spills frames to sorted disk runs past its share (results
+// stay bit-identical; spilling is pure eviction) and, under -visited
+// compact, the rest sizes a blocked-Bloom visited filter (~8-16
+// bits/state instead of a full snapshot per state; may prune revisits
+// spuriously, so Safe becomes "no bug found within the filter's
+// resolution"). -audit-visited shadow-checks compact hits against an
+// exact set and reports the false-positive count.
+//
 // check and race also take -server URL to submit the job to a running
 // kissd daemon instead of checking in-process: the daemon may answer
 // from its content-addressed result cache (marked "[cached]"), and
@@ -129,6 +138,9 @@ type budgetFlags struct {
 	macroSteps                    *bool
 	foldMemo                      *bool
 	memoMB                        *int
+	visitedMode                   *string
+	memBudgetMB                   *int
+	auditVisited                  *bool
 	timeout                       *time.Duration
 	progress                      *bool
 	server                        *string
@@ -143,6 +155,9 @@ func addBudgetFlags(fs *flag.FlagSet) *budgetFlags {
 		macroSteps:    fs.Bool("macro-steps", true, "collapse deterministic runs into single transitions (-macro-steps=false reproduces the per-statement search)"),
 		foldMemo:      fs.Bool("fold-memo", true, "replay previously recorded folds from the read-footprint memo table (-fold-memo=false re-executes every fold; results identical either way)"),
 		memoMB:        fs.Int("memo-mb", 0, "fold-memo table byte budget in MiB (0 = default)"),
+		visitedMode:   fs.String("visited", "", "visited-set representation: exact (default) or compact (blocked-Bloom filter, ~8-16 bits/state)"),
+		memBudgetMB:   fs.Int("mem-budget-mb", 0, "search memory budget in MiB: the frontier spills to disk past its share, a compact filter is sized to the rest (0 = unlimited)"),
+		auditVisited:  fs.Bool("audit-visited", false, "shadow-check compact visited hits against an exact set, counting false positives"),
 		timeout:       fs.Duration("timeout", 0, "wall-time bound, e.g. 30s (0 = unlimited)"),
 		progress:      fs.Bool("progress", false, "stream search metrics to stderr while running"),
 		server:        fs.String("server", "", "base URL of a running kissd (e.g. http://localhost:8344): submit the check to the daemon instead of checking locally"),
@@ -161,6 +176,11 @@ func (bf *budgetFlags) options() ([]kiss.Option, context.CancelFunc) {
 		kiss.WithMacroSteps(*bf.macroSteps),
 		kiss.WithFoldMemo(*bf.foldMemo),
 		kiss.WithMemoMB(*bf.memoMB),
+		kiss.WithVisitedMode(*bf.visitedMode),
+		kiss.WithMemBudgetMB(*bf.memBudgetMB),
+	}
+	if *bf.auditVisited {
+		opts = append(opts, kiss.WithAuditVisited())
 	}
 	cancel := context.CancelFunc(func() {})
 	if *bf.timeout > 0 {

@@ -54,19 +54,90 @@
 // instead of checking in-process: repeated runs of the same table are
 // answered from the daemon's content-addressed result cache with
 // identical verdicts and counters. -version prints the build version.
+//
+// -membench runs the memory-budget study (PR 9): every hard field twice
+// under one -mem-budget-mb budget — exact visited set at -max-states vs
+// compact filter + disk-spilling frontier at a 10x state ceiling — and
+// reports per-field verdicts, spilled bytes, and false-positive-rate
+// stats. -min-improved N exits non-zero unless at least N fields that
+// tripped MaxStates in the exact arm completed (or reached 10x the
+// states) in the budgeted arm. For the regular table runs, -visited
+// exact|compact selects the visited-set representation, -mem-budget-mb
+// caps search memory, and -audit-visited shadow-checks compact hits
+// against an exact set.
+//
+// -o FILE writes the run's JSON output (from -json or -membench) to FILE
+// atomically — the bytes are staged in memory, written to a temp file,
+// and renamed into place only when non-empty — so an interrupted or
+// failed run can never leave a truncated artifact behind; kissbench
+// exits non-zero rather than write an empty payload. The artifact is
+// written even when a gate trips, so a failing run still leaves the
+// evidence to inspect.
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/eval"
 )
+
+// benchOutput stages JSON output for -o: everything written to Writer()
+// lands in memory and Flush() installs it atomically (temp + rename),
+// refusing empty payloads. Without -o, Writer() is plain stdout and
+// Flush() is a no-op.
+type benchOutput struct {
+	path string
+	buf  bytes.Buffer
+}
+
+func (o *benchOutput) Writer() io.Writer {
+	if o.path == "" {
+		return os.Stdout
+	}
+	return &o.buf
+}
+
+func (o *benchOutput) Flush() error {
+	if o.path == "" {
+		return nil
+	}
+	if o.buf.Len() == 0 {
+		return fmt.Errorf("refusing to write empty bench artifact %s", o.path)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(o.path), ".kissbench-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(o.buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	// CreateTemp makes 0600 files; published artifacts are world-readable.
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), o.path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "kissbench: wrote %s (%d bytes)\n", o.path, o.buf.Len())
+	return nil
+}
 
 // version is stamped by the Makefile via
 // -ldflags "-X main.version=$(VERSION)"; "dev" for plain go build.
@@ -82,6 +153,12 @@ func main() {
 	contextBound := flag.Bool("contextbound", false, "run the context-bound coverage study")
 	schedulers := flag.Bool("schedulers", false, "run the scheduler-policy study")
 	macrobench := flag.Bool("macrobench", false, "run the macro-step compression ablation")
+	membench := flag.Bool("membench", false, "run the memory-budget study: exact visited set vs compact filter + spilling frontier on the hard fields")
+	minImproved := flag.Int("min-improved", 0, "with -membench: fail unless at least N MaxStates-tripped fields complete or reach 10x states under the budget (0 = no check)")
+	visitedMode := flag.String("visited", "", "visited-set representation for the table runs: exact (default) or compact")
+	memBudgetMB := flag.Int("mem-budget-mb", 0, "search memory budget in MiB: the frontier spills to disk past its share, a compact filter is sized to the rest (0 = unlimited)")
+	auditVisited := flag.Bool("audit-visited", false, "shadow-check compact visited hits against an exact set, counting false positives in the metrics")
+	outFile := flag.String("o", "", "write JSON output to this file atomically (temp + rename); exits non-zero on an empty payload")
 	minRatio := flag.Float64("min-ratio", 0, "with -macrobench: fail unless the stored-state compression ratio reaches this value (0 = no check)")
 	minHitRatio := flag.Float64("min-hit-ratio", 0, "with -macrobench: fail unless the memo arm's hit ratio reaches this value (0 = no check)")
 	requireMemoSpeedup := flag.Bool("require-memo-speedup", false, "with -macrobench: fail unless the summary arm's stepped-states/sec strictly exceeds the memo-off macro arm's")
@@ -113,7 +190,7 @@ func main() {
 	if *all {
 		*table1, *table2, *refcount, *blowup, *coverage, *locksetCmp, *contextBound, *schedulers = true, true, true, true, true, true, true, true
 	}
-	if !*table1 && !*table2 && !*refcount && !*blowup && !*coverage && !*locksetCmp && !*contextBound && !*schedulers && !*macrobench {
+	if !*table1 && !*table2 && !*refcount && !*blowup && !*coverage && !*locksetCmp && !*contextBound && !*schedulers && !*macrobench && !*membench {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -122,6 +199,7 @@ func main() {
 		Workers: *workers, SearchWorkers: *searchWorkers, Server: *server, Batch: *batch,
 		DisableMacroSteps: !*macroSteps, DisableFoldMemo: !*foldMemo, MemoMB: *memoMB,
 		DisableCallSummaries: !*callSummaries, SummaryMB: *summaryMB,
+		VisitedMode: *visitedMode, MemBudgetMB: *memBudgetMB, AuditVisited: *auditVisited,
 	}
 	if *batch && *server == "" {
 		fmt.Fprintln(os.Stderr, "kissbench: -batch requires -server (a kiss-coord coordinator)")
@@ -161,6 +239,8 @@ func main() {
 	if *stripTiming {
 		writeJSON = eval.WriteJSONDeterministic
 	}
+	out := &benchOutput{path: *outFile}
+	exitCode := 0
 
 	var t1 []*eval.DriverResult
 	if *table1 || *table2 {
@@ -170,7 +250,7 @@ func main() {
 	}
 	if *table1 {
 		if *jsonOut {
-			fatal(writeJSON(os.Stdout, t1))
+			fatal(writeJSON(out.Writer(), t1))
 		} else {
 			fmt.Println(eval.FormatTable1(t1))
 			printMismatches("Table 1", eval.CompareTable1(t1))
@@ -183,7 +263,7 @@ func main() {
 		t2, err := eval.RunCorpus(opts2)
 		fatal(err)
 		if *jsonOut {
-			fatal(writeJSON(os.Stdout, t2))
+			fatal(writeJSON(out.Writer(), t2))
 		} else {
 			fmt.Println(eval.FormatTable2(t2))
 			printMismatches("Table 2", eval.CompareTable2(t2))
@@ -229,26 +309,28 @@ func main() {
 		})
 		fatal(err)
 		if *jsonOut {
-			fatal(eval.WriteMacroAblation(os.Stdout, rep))
+			fatal(eval.WriteMacroAblation(out.Writer(), rep))
 		} else {
 			fmt.Print(eval.FormatMacroAblation(rep))
 		}
+		// Gates set exitCode instead of exiting so the -o artifact still
+		// flushes: a failing run must leave the evidence behind.
 		if !rep.Identical {
 			fmt.Fprintf(os.Stderr, "kissbench: macrobench: %d verdict/position mismatches between arms\n", len(rep.Mismatches))
-			os.Exit(1)
+			exitCode = 1
 		}
 		if *minRatio > 0 && rep.CompressionRatio < *minRatio {
 			fmt.Fprintf(os.Stderr, "kissbench: macrobench: compression ratio %.2fx below required %.2fx\n", rep.CompressionRatio, *minRatio)
-			os.Exit(1)
+			exitCode = 1
 		}
 		if *minHitRatio > 0 && rep.Memo.MemoHitRatio < *minHitRatio {
 			fmt.Fprintf(os.Stderr, "kissbench: macrobench: memo hit ratio %.3f below required %.3f\n", rep.Memo.MemoHitRatio, *minHitRatio)
-			os.Exit(1)
+			exitCode = 1
 		}
 		if *requireMemoSpeedup && rep.Sum.SteppedPerSec <= rep.On.SteppedPerSec {
 			fmt.Fprintf(os.Stderr, "kissbench: macrobench: summary arm traversal rate %.0f/s does not exceed the memo-off macro arm's %.0f/s\n",
 				rep.Sum.SteppedPerSec, rep.On.SteppedPerSec)
-			os.Exit(1)
+			exitCode = 1
 		}
 		// The parity bound carries 10% measurement slack: smoke-sized arms
 		// run well under a second each, where run-to-run rate noise swamps
@@ -257,8 +339,32 @@ func main() {
 		if *requireSummaryParity && rep.Sum.SteppedPerSec < 0.9*rep.Memo.SteppedPerSec {
 			fmt.Fprintf(os.Stderr, "kissbench: macrobench: summary arm traversal rate %.0f/s below 90%% of the macro+memo arm's %.0f/s\n",
 				rep.Sum.SteppedPerSec, rep.Memo.SteppedPerSec)
-			os.Exit(1)
+			exitCode = 1
 		}
+	}
+	if *membench {
+		rep, err := eval.RunMemBudget(eval.MemBudgetOptions{
+			MaxStates:     opts.MaxStates,
+			MemBudgetMB:   *memBudgetMB,
+			Drivers:       opts.Drivers,
+			Workers:       *workers,
+			SearchWorkers: *searchWorkers,
+		})
+		fatal(err)
+		if *jsonOut || *outFile != "" {
+			fatal(eval.WriteMemBudget(out.Writer(), rep))
+		}
+		if !*jsonOut {
+			fmt.Print(eval.FormatMemBudget(rep))
+		}
+		if *minImproved > 0 && rep.Improved < *minImproved {
+			fmt.Fprintf(os.Stderr, "kissbench: membench: only %d fields improved under the budget, required %d\n", rep.Improved, *minImproved)
+			exitCode = 1
+		}
+	}
+	fatal(out.Flush())
+	if exitCode != 0 {
+		os.Exit(exitCode)
 	}
 }
 

@@ -56,6 +56,7 @@ func main() {
 	searchWorkers := flag.Int("search-workers", 0, "parallel search workers per check (0 = sequential; verdicts identical at every count)")
 	cacheMB := flag.Int64("cache-mb", 64, "result-cache byte budget in MiB")
 	summaryMB := flag.Int64("summary-mb", 0, "persistent call-summary store byte budget in MiB (0 = default, negative disables cross-check summary reuse)")
+	memBudgetMB := flag.Int("mem-budget-mb", 0, "per-job search memory ceiling in MiB: jobs asking for more (or for no budget) are clamped; run one value fleet-wide behind a coordinator (0 = no ceiling)")
 	timeout := flag.Duration("timeout", 0, "default per-job wall-time bound when the request sets no timeout_ms (0 = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "bound on running accepted jobs to completion at shutdown")
 	smoke := flag.Bool("smoke", false, "self-contained smoke test: serve on a loopback port, run a corpus slice twice through the daemon, require local-identical verdicts and a >=90% warm-pass cache-hit rate, drain, exit")
@@ -76,6 +77,7 @@ func main() {
 		CacheBytes:     *cacheMB << 20,
 		SummaryBytes:   *summaryMB << 20,
 		DefaultTimeout: *timeout,
+		MemBudgetMB:    *memBudgetMB,
 	}
 	if *summaryMB < 0 {
 		cfg.SummaryBytes = -1

@@ -79,6 +79,11 @@ type wireConfig struct {
 	SearchWorkers       int             `json:"search_workers"`
 	NumShards           int             `json:"num_shards"`
 	ContextBound        int             `json:"context_bound"`
+	// The memory-budget knobs are omitempty: payloads and cache keys
+	// written before they existed decode and re-render byte-identically,
+	// so the v1 freeze holds without a version bump.
+	VisitedMode string `json:"visited_mode,omitempty"`
+	MemBudgetMB int    `json:"mem_budget_mb,omitempty"`
 }
 
 type wireRaceTarget struct {
@@ -130,6 +135,8 @@ func (c *Config) MarshalJSON() ([]byte, error) {
 		SearchWorkers:       c.SearchWorkers,
 		NumShards:           c.NumShards,
 		ContextBound:        c.ContextBound,
+		VisitedMode:         c.VisitedMode,
+		MemBudgetMB:         c.MemBudgetMB,
 	}
 	if c.RaceTarget != nil {
 		w.RaceTarget = &wireRaceTarget{
@@ -165,6 +172,11 @@ func (c *Config) UnmarshalJSON(data []byte) error {
 			return err
 		}
 	}
+	switch w.VisitedMode {
+	case "", VisitedExact, VisitedCompact:
+	default:
+		return fmt.Errorf("kiss: unknown visited mode %q", w.VisitedMode)
+	}
 	*c = Config{
 		MaxTS:                w.MaxTS,
 		DisableAliasElision:  w.DisableAliasElision,
@@ -182,6 +194,8 @@ func (c *Config) UnmarshalJSON(data []byte) error {
 		SearchWorkers:        w.SearchWorkers,
 		NumShards:            w.NumShards,
 		ContextBound:         w.ContextBound,
+		VisitedMode:          w.VisitedMode,
+		MemBudgetMB:          w.MemBudgetMB,
 	}
 	if w.RaceTarget != nil {
 		c.RaceTarget = &RaceTarget{
@@ -213,6 +227,12 @@ func (c *Config) UnmarshalJSON(data []byte) error {
 //     the same bit-identity invariant as the memo (property-tested against
 //     summary-off runs), so the knobs — and any injected persistent table —
 //     move only wall time and Stats.Summary.
+//   - SpillDir and AuditVisited: spill placement and the false-positive
+//     audit never change what a check computes. MemBudgetMB is kept only
+//     under VisitedCompact — frontier spilling is bit-identical (eviction
+//     only, property-tested in internal/seqcheck and internal/concheck),
+//     but the budget also sizes the compact filter, whose false positives
+//     are part of the result.
 //
 // Everything else — the transformation knobs, the engine selection, the
 // budgets, BFS, and macro-step compression (which changes the stored-state
@@ -232,6 +252,11 @@ func (c *Config) Normalized() Config {
 	n.DisableCallSummaries = false
 	n.SummaryMB = 0
 	n.SummaryTable = nil
+	n.SpillDir = ""
+	n.AuditVisited = false
+	if n.VisitedMode != VisitedCompact {
+		n.MemBudgetMB = 0
+	}
 	if n.RaceTarget != nil {
 		// Detach the pointer so the normalized copy shares no storage.
 		t := *n.RaceTarget

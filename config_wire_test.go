@@ -36,6 +36,29 @@ func TestConfigWireGolden(t *testing.T) {
 	}
 }
 
+// TestConfigWireGoldenMemoryKnobs: the memory-budget knobs are omitempty
+// tail fields — absent from the bytes when unset (so pre-existing cache
+// keys survive their introduction), pinned here when set.
+func TestConfigWireGoldenMemoryKnobs(t *testing.T) {
+	cfg := kiss.NewConfig(
+		kiss.WithVisitedMode(kiss.VisitedCompact),
+		kiss.WithMemBudgetMB(256),
+	)
+	const golden = `{"v":1,"max_ts":0,"disable_alias_elision":false,"scheduler":"nondet",` +
+		`"summaries":false,"max_states":0,"max_steps":0,"max_depth":0,` +
+		`"bfs":false,"disable_macro_steps":false,"disable_fold_memo":false,` +
+		`"memo_mb":0,"disable_call_summaries":false,"summary_mb":0,` +
+		`"search_workers":0,"num_shards":0,"context_bound":-1,` +
+		`"visited_mode":"compact","mem_budget_mb":256}`
+	got, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != golden {
+		t.Errorf("wire format drifted:\n got: %s\nwant: %s", got, golden)
+	}
+}
+
 // TestConfigWireRoundTrip: marshal → unmarshal must reproduce every
 // serializable knob, for both default and fully-populated configs.
 func TestConfigWireRoundTrip(t *testing.T) {
@@ -59,6 +82,7 @@ func TestConfigWireRoundTrip(t *testing.T) {
 			kiss.WithContextBound(2),
 		),
 		kiss.NewConfig(kiss.WithSummaries(), kiss.WithScheduler(kiss.SchedulerAtCallsOnly)),
+		kiss.NewConfig(kiss.WithVisitedMode(kiss.VisitedCompact), kiss.WithMemBudgetMB(128)),
 	}
 	for i, cfg := range cases {
 		data, err := json.Marshal(cfg)
@@ -87,6 +111,9 @@ func TestConfigWireRejectsUnknownFields(t *testing.T) {
 	}
 	if err := json.Unmarshal([]byte(`{"v":1,"scheduler":"round-robin"}`), &cfg); err == nil {
 		t.Error("unknown scheduler name accepted silently")
+	}
+	if err := json.Unmarshal([]byte(`{"v":1,"visited_mode":"lossy"}`), &cfg); err == nil {
+		t.Error("unknown visited mode accepted silently")
 	}
 }
 
@@ -172,5 +199,42 @@ func TestConfigCanonicalJSONInvariance(t *testing.T) {
 	}
 	if string(a) == string(c) {
 		t.Error("different budgets share a canonical form")
+	}
+}
+
+// TestConfigCanonicalJSONMemoryKnobs: under an exact visited set the
+// memory budget only moves frontier frames between RAM and disk
+// (bit-identical results), so it must not leak into the cache key; under
+// a compact visited set it sizes the filter, whose false positives are
+// part of the result, so it must.
+func TestConfigCanonicalJSONMemoryKnobs(t *testing.T) {
+	exact, err := kiss.NewConfig().CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgeted, err := kiss.NewConfig(
+		kiss.WithMemBudgetMB(64),
+		kiss.WithAuditVisited(),
+	).CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(exact) != string(budgeted) {
+		t.Errorf("exact-mode budget or audit leaked into the canonical form:\n%s\n%s", exact, budgeted)
+	}
+
+	small, err := kiss.NewConfig(kiss.WithVisitedMode(kiss.VisitedCompact), kiss.WithMemBudgetMB(64)).CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := kiss.NewConfig(kiss.WithVisitedMode(kiss.VisitedCompact), kiss.WithMemBudgetMB(128)).CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(small) == string(large) {
+		t.Error("compact-mode filter sizes share a canonical form")
+	}
+	if string(small) == string(exact) {
+		t.Error("compact and exact visited modes share a canonical form")
 	}
 }

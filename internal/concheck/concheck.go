@@ -83,6 +83,28 @@ type Options struct {
 	// NumShards is the visited-set shard count for the parallel search
 	// (rounded up to a power of two; 0 selects visited.DefaultShards).
 	NumShards int
+	// FrontierBudget, when > 0, bounds the BFS frontier's resident bytes
+	// by spilling frames to sorted on-disk runs under SpillDir; see
+	// seqcheck.Options.FrontierBudget — the contract is shared (spilling
+	// never changes the verdict, trace, or any deterministic counter).
+	// Ignored by the DFS engines.
+	FrontierBudget int64
+	// SpillDir is where frontier runs are created (empty selects the
+	// system temp directory).
+	SpillDir string
+	// VisitedCompact replaces the exact visited set with a blocked Bloom
+	// filter; see seqcheck.Options.VisitedCompact (same unsoundness
+	// direction: missed states, never false alarms). Honored by the macro
+	// engines and the parallel per-statement engine; the classic
+	// per-statement sequential search keeps the exact set.
+	VisitedCompact bool
+	// VisitedBytes sizes the compact filter (<= 0 selects
+	// visited.DefaultCompactBytes).
+	VisitedBytes int64
+	// AuditVisited shadows the compact filter with an exact set and
+	// counts real false positives in the Memory stats; ignored unless
+	// VisitedCompact.
+	AuditVisited bool
 	// DisableMacroSteps turns off macro-step compression (sem.MacroStep),
 	// restoring the per-statement search. Compression is on by default:
 	// whenever a thread is the sole live thread of a state, its maximal
@@ -149,6 +171,10 @@ type Result struct {
 	// Parallel carries the worker-pool diagnostics of a parallel search
 	// (SearchWorkers >= 1); nil for sequential runs.
 	Parallel *stats.Parallel
+	// Memory carries the memory-bounding diagnostics (compact-filter
+	// occupancy, spilled bytes/runs/merges); nil when neither
+	// FrontierBudget nor VisitedCompact engaged.
+	Memory *stats.Memory
 }
 
 func (r *Result) String() string {
@@ -184,6 +210,12 @@ func reasonFor(err error) stats.Reason {
 // (thread, successor)-path, the per-statement BFS's within-level ordering
 // key (see pathKey). depth is the micro depth: parent.depth +
 // len(prefix) + 1.
+//
+// A node restored from a spilled frontier frame has no parent chain:
+// base holds its full padded path of pathEntry-packed (thread, index)
+// pairs instead (the spill key), which cAppendNodePath counts toward
+// descendants' order keys and cReplayPath turns back into the trace
+// prefix on failure.
 type node struct {
 	parent    *node
 	prefix    []sem.Event
@@ -192,6 +224,7 @@ type node struct {
 	idx       int32
 	ti        int32
 	depth     int
+	base      []int32
 }
 
 func (n *node) trace() []sem.Event {

@@ -1,10 +1,11 @@
 package concheck
 
 import (
-	"sort"
+	"bytes"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/frontier"
 	"repro/internal/sem"
 	"repro/internal/stats"
 	"repro/internal/visited"
@@ -67,12 +68,27 @@ func checkMacroSeq(c *sem.Compiled, opts Options) *Result {
 	bounded := opts.ContextBound >= 0
 
 	hasher := sem.NewFPHasher()
+	// Exact mode keeps the plain map (the seed's representation); compact
+	// mode swaps in the Bloom-filter store.
+	var vis visited.Store
+	if opts.VisitedCompact {
+		vis = cNewVisited(opts)
+	}
 	visitedSet := map[uint64]struct{}{}
+	visLen := func() int {
+		if vis != nil {
+			return vis.Len()
+		}
+		return len(visitedSet)
+	}
 	seen := func(s *sem.State, lastTh, switches int) bool {
 		fp := hasher.Hash(s)
 		if bounded {
 			fp = sem.Mix64(fp, uint64(lastTh+1))
 			fp = sem.Mix64(fp, uint64(switches))
+		}
+		if vis != nil {
+			return vis.Seen(fp)
 		}
 		if _, ok := visitedSet[fp]; ok {
 			return true
@@ -86,7 +102,12 @@ func checkMacroSeq(c *sem.Compiled, opts Options) *Result {
 
 	stack := []searchState{{st: init, nd: &node{}, lastTh: -1}}
 	res.PeakFrontier = 1
-	defer func() { res.Visited = len(visitedSet) }()
+	defer func() {
+		res.Visited = visLen()
+		if vis != nil {
+			res.Memory = cMemoryRecord(opts, vis, frontier.Stats{})
+		}
+	}()
 
 	ctxCountdown := 1 // poll the context on the first iteration
 	for len(stack) > 0 {
@@ -105,7 +126,7 @@ func checkMacroSeq(c *sem.Compiled, opts Options) *Result {
 		if cur.nd.depth > res.PeakDepth {
 			res.PeakDepth = cur.nd.depth
 		}
-		opts.Collector.Sample(res.States, res.Steps, len(stack), cur.nd.depth, len(visitedSet))
+		opts.Collector.Sample(res.States, res.Steps, len(stack), cur.nd.depth, visLen())
 
 		if opts.MaxDepth > 0 && cur.nd.depth >= opts.MaxDepth {
 			continue
@@ -211,20 +232,11 @@ func pathEntry(ti, idx int32) int32 {
 	return ti<<16 | idx
 }
 
-// cPaddedPath appends n's full padded (thread, successor-index) path
-// (root-first) to buf, then extra. Folded positions use the folding
-// thread's id.
-func cPaddedPath(nd *node, extra []int32, buf []int32) []int32 {
-	if nd != nil && nd.parent != nil {
-		buf = cPaddedPath(nd.parent, nil, buf)
-		for _, idx := range nd.prefixIdx {
-			buf = append(buf, pathEntry(nd.ti, idx))
-		}
-		buf = append(buf, pathEntry(nd.ti, nd.idx))
-	}
-	return append(buf, extra...)
-}
-
+// cPathLess is lexicographic order on padded (thread, successor-index)
+// paths; folded positions use the folding thread's id. The engines
+// compare key-encoded paths with bytes.Compare instead (see
+// cAppendNodePath); cPathLess is the specification the encoding is
+// tested against.
 func cPathLess(a, b []int32) bool {
 	n := len(a)
 	if len(b) < n {
@@ -239,10 +251,12 @@ func cPathLess(a, b []int32) bool {
 }
 
 // cMacroCand is a mid-run failure deferred until every stored state
-// shallower than its micro depth has been expanded.
+// shallower than its micro depth has been expanded. path is the failing
+// state's padded path in the frontier's key encoding — bytes.Compare on
+// it is cPathLess on the entry slices.
 type cMacroCand struct {
 	depth  int
-	path   []int32
+	path   []byte
 	nd     *node
 	prefix []sem.Event
 	fail   *sem.Failure
@@ -252,17 +266,17 @@ func cMinCand(cands []cMacroCand) int {
 	h := -1
 	for i := range cands {
 		if h < 0 || cands[i].depth < cands[h].depth ||
-			(cands[i].depth == cands[h].depth && cPathLess(cands[i].path, cands[h].path)) {
+			(cands[i].depth == cands[h].depth && bytes.Compare(cands[i].path, cands[h].path) < 0) {
 			h = i
 		}
 	}
 	return h
 }
 
-func cFailFromCand(res *Result, cd *cMacroCand) *Result {
+func cFailFromCand(c *sem.Compiled, res *Result, cd *cMacroCand) *Result {
 	res.Verdict = Error
 	res.Failure = cd.fail
-	res.Trace = append(append(cd.nd.trace(), cd.prefix...), failEvent(cd.fail))
+	res.Trace = append(append(cFullTrace(c, cd.nd), cd.prefix...), failEvent(cd.fail))
 	return res
 }
 
@@ -286,27 +300,21 @@ type cmSlot struct {
 	worker  int
 }
 
-type cBucketSort struct {
-	frames []searchState
-	paths  [][]int32
-}
-
-func (b *cBucketSort) Len() int           { return len(b.frames) }
-func (b *cBucketSort) Less(i, j int) bool { return cPathLess(b.paths[i], b.paths[j]) }
-func (b *cBucketSort) Swap(i, j int) {
-	b.frames[i], b.frames[j] = b.frames[j], b.frames[i]
-	b.paths[i], b.paths[j] = b.paths[j], b.paths[i]
-}
-
 // checkMacroLevel is the micro-depth bucket BFS with macro-step
 // compression, serving SearchWorkers >= 1.
+//
+// The bucket queue is a frontier.Queue in ordered mode (see
+// internal/seqcheck/macro.go — the chunking and spilling machinery is
+// shared): buckets stay in padded-path order resident or spilled, fully
+// resident buckets stream back as one chunk, and the fold limit and the
+// bucket's competing failure candidate are fixed before the first chunk.
 func checkMacroLevel(c *sem.Compiled, opts Options) *Result {
 	workers := opts.SearchWorkers
 	res := &Result{}
 	init := sem.NewState(c)
 	bounded := opts.ContextBound >= 0
 
-	vis := visited.New(opts.NumShards)
+	vis := cNewVisited(opts)
 	initFP := sem.NewFPHasher().Hash(init)
 	if bounded {
 		initFP = sem.Mix64(initFP, uint64(0)) // lastTh -1 encodes as 0
@@ -321,6 +329,8 @@ func checkMacroLevel(c *sem.Compiled, opts Options) *Result {
 		nworkers = 1
 	}
 	perWorker := make([]int, nworkers)
+	q := cNewQueue(c, opts, true)
+	defer q.Close()
 	defer func() {
 		res.Visited = vis.Len()
 		res.Parallel = &stats.Parallel{
@@ -329,6 +339,7 @@ func checkMacroLevel(c *sem.Compiled, opts Options) *Result {
 			PerWorkerStates: perWorker,
 			ShardContention: vis.Contention(),
 		}
+		res.Memory = cMemoryRecord(opts, vis, q.Stats())
 	}()
 
 	hashers := make([]*sem.FPHasher, nworkers)
@@ -336,20 +347,11 @@ func checkMacroLevel(c *sem.Compiled, opts Options) *Result {
 		hashers[i] = sem.NewFPHasher()
 	}
 
-	buckets := map[int][]searchState{0: {{st: init, nd: &node{}, lastTh: -1}}}
-	frontSize := 1
+	q.Push(0, searchState{st: init, nd: &node{}, lastTh: -1})
 	var cands []cMacroCand
 
-	for frontSize > 0 {
-		depth := -1
-		for d := range buckets {
-			if depth < 0 || d < depth {
-				depth = d
-			}
-		}
-		bucket := buckets[depth]
-		delete(buckets, depth)
-		frontSize -= len(bucket)
+	for q.Len() > 0 {
+		depth, _ := q.MinDepth()
 		res.PeakDepth = depth
 
 		if opts.Context != nil {
@@ -360,243 +362,241 @@ func checkMacroLevel(c *sem.Compiled, opts Options) *Result {
 			}
 		}
 		if h := cMinCand(cands); h >= 0 && cands[h].depth < depth {
-			return cFailFromCand(res, &cands[h])
+			return cFailFromCand(c, res, &cands[h])
 		}
 		if opts.MaxDepth > 0 && depth >= opts.MaxDepth {
 			break // buckets come off the queue in increasing depth
 		}
 
-		paths := make([][]int32, len(bucket))
-		for i := range bucket {
-			paths[i] = cPaddedPath(bucket[i].nd, nil, nil)
-		}
-		sort.Sort(&cBucketSort{frames: bucket, paths: paths})
+		bkt := q.Drain(depth)
 
-		// Expansion round: step (and fold) every schedulable thread of
-		// every item, read-only against the visited set.
+		// Fixed for every chunk of this bucket: the limit reads the step
+		// counter as of the bucket's start, and candidates appended during
+		// this bucket's commit are strictly deeper.
 		limit := cMacroLimit(opts, depth, res.Steps)
-		slots := make([]cmSlot, len(bucket))
-		expandItem := func(i, w int) {
-			it := bucket[i]
-			expand := -1
-			if opts.POR {
-				for ti := range it.st.Threads {
-					if it.st.Threads[ti].Done() {
-						continue
-					}
-					if invisibleNext(it.st, ti) {
-						expand = ti
-						break
-					}
-				}
-			}
-			var ths []cmThread
-			for ti := range it.st.Threads {
-				if it.st.Threads[ti].Done() {
-					continue
-				}
-				if expand >= 0 && ti != expand {
-					continue
-				}
-				switches := it.switches
-				if it.lastTh >= 0 && it.lastTh != ti {
-					switches++
-					if bounded && switches > opts.ContextBound {
-						ths = append(ths, cmThread{ti: ti, switches: switches, overBound: true})
-						continue
-					}
-				}
-				mr := sem.MacroStepMemoSum(it.st, ti, limit, opts.Memo, opts.Summaries)
-				th := cmThread{
-					ti: ti, switches: switches,
-					fail:      mr.Failure,
-					prefix:    mr.Prefix,
-					prefixIdx: mr.PrefixIdx,
-					stepped:   mr.Stepped,
-					blocked:   mr.Blocked,
-				}
-				if mr.Failure != nil {
-					// Folding only happens on sole-live items, so a failing
-					// thread is this item's only schedulable thread either
-					// way; stop as the sequential search does.
-					ths = append(ths, th)
-					break
-				}
-				if !mr.Blocked {
-					exps := cexpGet()
-					for k, out := range mr.Outcomes {
-						fp := hashers[w].Hash(out.State)
-						if bounded {
-							fp = sem.Mix64(fp, uint64(ti+1))
-							fp = sem.Mix64(fp, uint64(switches))
-						}
-						if vis.Contains(fp) {
-							continue
-						}
-						exps = append(exps, cexpansion{out: out, fp: fp, idx: mr.OutIdx[k]})
-					}
-					th.exps = exps
-				}
-				ths = append(ths, th)
-			}
-			slots[i] = cmSlot{threads: ths, worker: w}
-		}
-		if workers <= 1 || len(bucket) < minParallelLevel {
-			for i := range bucket {
-				expandItem(i, 0)
-				if opts.Context != nil && i%workerPollStride == workerPollStride-1 {
-					if err := opts.Context.Err(); err != nil {
-						res.Verdict = ResourceBound
-						res.Reason = reasonFor(err)
-						return res
-					}
-				}
-			}
-		} else {
-			var claim atomic.Int64
-			var stop atomic.Bool
-			var wg sync.WaitGroup
-			for w := 0; w < workers; w++ {
-				wg.Add(1)
-				go func(w int) {
-					defer wg.Done()
-					polled := 0
-					for {
-						i := int(claim.Add(1)) - 1
-						if i >= len(bucket) || stop.Load() {
-							return
-						}
-						expandItem(i, w)
-						if polled++; polled >= workerPollStride {
-							polled = 0
-							if opts.Context != nil && opts.Context.Err() != nil {
-								stop.Store(true)
-								return
-							}
-						}
-					}
-				}(w)
-			}
-			wg.Wait()
-			if stop.Load() {
-				res.Verdict = ResourceBound
-				res.Reason = reasonFor(opts.Context.Err())
-				return res
-			}
-		}
-
-		// Candidates at exactly this depth compete with the bucket's items
-		// in path order.
 		candHere := -1
 		for i := range cands {
 			if cands[i].depth == depth &&
-				(candHere < 0 || cPathLess(cands[i].path, cands[candHere].path)) {
+				(candHere < 0 || bytes.Compare(cands[i].path, cands[candHere].path) < 0) {
 				candHere = i
 			}
 		}
 
-		// Commit: replay in sorted (item, thread) order through the
-		// sequential search's budget checks.
-		for i := range bucket {
-			it := bucket[i]
-			sl := &slots[i]
-			if candHere >= 0 && cPathLess(cands[candHere].path, paths[i]) {
-				return cFailFromCand(res, &cands[candHere])
+		for {
+			bucket, keys := bkt.Next(frontierChunk)
+			if len(bucket) == 0 {
+				break
 			}
-			anyLive, anyProgress := false, false
-			for t := range sl.threads {
-				th := &sl.threads[t]
-				anyLive = true
-				if th.overBound {
-					continue
-				}
-				if opts.MaxSteps > 0 && res.Steps >= opts.MaxSteps {
-					res.Verdict = ResourceBound
-					res.Reason = stats.ReasonSteps
-					return res
-				}
-				res.Steps += th.stepped
-				res.StatesStepped += len(th.prefix)
-				if th.fail != nil {
-					if len(th.prefix) == 0 {
-						res.Verdict = Error
-						res.Failure = th.fail
-						res.Trace = append(it.nd.trace(), failEvent(th.fail))
-						return res
+
+			// Expansion round: step (and fold) every schedulable thread of
+			// every item, read-only against the visited set.
+			slots := make([]cmSlot, len(bucket))
+			expandItem := func(i, w int) {
+				it := bucket[i]
+				expand := -1
+				if opts.POR {
+					for ti := range it.st.Threads {
+						if it.st.Threads[ti].Done() {
+							continue
+						}
+						if invisibleNext(it.st, ti) {
+							expand = ti
+							break
+						}
 					}
-					cands = append(cands, cMacroCand{
-						depth: depth + len(th.prefix),
-						path: func() []int32 {
-							p := append([]int32{}, paths[i]...)
-							for _, idx := range th.prefixIdx {
-								p = append(p, pathEntry(int32(th.ti), idx))
-							}
-							return p
-						}(),
-						nd:     it.nd,
-						prefix: th.prefix,
-						fail:   th.fail,
-					})
-					// The chain progressed before failing; the per-statement
-					// search would not count this item as a deadlock.
-					anyProgress = true
-					continue
 				}
-				if th.blocked {
-					continue
-				}
-				anyProgress = true
-				for _, ex := range th.exps {
-					if vis.Seen(ex.fp) {
+				var ths []cmThread
+				for ti := range it.st.Threads {
+					if it.st.Threads[ti].Done() {
 						continue
 					}
-					perWorker[sl.worker]++
-					res.States++
-					res.StatesStepped++
-					if opts.MaxStates > 0 && res.States > opts.MaxStates {
+					if expand >= 0 && ti != expand {
+						continue
+					}
+					switches := it.switches
+					if it.lastTh >= 0 && it.lastTh != ti {
+						switches++
+						if bounded && switches > opts.ContextBound {
+							ths = append(ths, cmThread{ti: ti, switches: switches, overBound: true})
+							continue
+						}
+					}
+					mr := sem.MacroStepMemoSum(it.st, ti, limit, opts.Memo, opts.Summaries)
+					th := cmThread{
+						ti: ti, switches: switches,
+						fail:      mr.Failure,
+						prefix:    mr.Prefix,
+						prefixIdx: mr.PrefixIdx,
+						stepped:   mr.Stepped,
+						blocked:   mr.Blocked,
+					}
+					if mr.Failure != nil {
+						// Folding only happens on sole-live items, so a failing
+						// thread is this item's only schedulable thread either
+						// way; stop as the sequential search does.
+						ths = append(ths, th)
+						break
+					}
+					if !mr.Blocked {
+						exps := cexpGet()
+						for k, out := range mr.Outcomes {
+							fp := hashers[w].Hash(out.State)
+							if bounded {
+								fp = sem.Mix64(fp, uint64(ti+1))
+								fp = sem.Mix64(fp, uint64(switches))
+							}
+							if vis.Contains(fp) {
+								continue
+							}
+							exps = append(exps, cexpansion{out: out, fp: fp, idx: mr.OutIdx[k]})
+						}
+						th.exps = exps
+					}
+					ths = append(ths, th)
+				}
+				slots[i] = cmSlot{threads: ths, worker: w}
+			}
+			if workers <= 1 || len(bucket) < minParallelLevel {
+				for i := range bucket {
+					expandItem(i, 0)
+					if opts.Context != nil && i%workerPollStride == workerPollStride-1 {
+						if err := opts.Context.Err(); err != nil {
+							res.Verdict = ResourceBound
+							res.Reason = reasonFor(err)
+							return res
+						}
+					}
+				}
+			} else {
+				var claim atomic.Int64
+				var stop atomic.Bool
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						polled := 0
+						for {
+							i := int(claim.Add(1)) - 1
+							if i >= len(bucket) || stop.Load() {
+								return
+							}
+							expandItem(i, w)
+							if polled++; polled >= workerPollStride {
+								polled = 0
+								if opts.Context != nil && opts.Context.Err() != nil {
+									stop.Store(true)
+									return
+								}
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+				if stop.Load() {
+					res.Verdict = ResourceBound
+					res.Reason = reasonFor(opts.Context.Err())
+					return res
+				}
+			}
+
+			// Commit: replay the chunk in sorted (item, thread) order
+			// through the sequential search's budget checks.
+			for i := range bucket {
+				it := bucket[i]
+				sl := &slots[i]
+				if candHere >= 0 && bytes.Compare(cands[candHere].path, keys[i]) < 0 {
+					return cFailFromCand(c, res, &cands[candHere])
+				}
+				anyLive, anyProgress := false, false
+				for t := range sl.threads {
+					th := &sl.threads[t]
+					anyLive = true
+					if th.overBound {
+						continue
+					}
+					if opts.MaxSteps > 0 && res.Steps >= opts.MaxSteps {
 						res.Verdict = ResourceBound
-						res.Reason = stats.ReasonStates
+						res.Reason = stats.ReasonSteps
 						return res
 					}
-					nd := &node{
-						parent:    it.nd,
-						prefix:    th.prefix,
-						prefixIdx: th.prefixIdx,
-						event:     ex.out.Event,
-						idx:       ex.idx,
-						ti:        int32(th.ti),
-						depth:     depth + len(th.prefix) + 1,
+					res.Steps += th.stepped
+					res.StatesStepped += len(th.prefix)
+					if th.fail != nil {
+						if len(th.prefix) == 0 {
+							res.Verdict = Error
+							res.Failure = th.fail
+							res.Trace = append(cFullTrace(c, it.nd), failEvent(th.fail))
+							return res
+						}
+						// keys[i] is reused by the next chunk; copy it.
+						p := append([]byte(nil), keys[i]...)
+						for _, idx := range th.prefixIdx {
+							p = cAppendPathEntry(p, pathEntry(int32(th.ti), idx))
+						}
+						cands = append(cands, cMacroCand{
+							depth:  depth + len(th.prefix),
+							path:   p,
+							nd:     it.nd,
+							prefix: th.prefix,
+							fail:   th.fail,
+						})
+						// The chain progressed before failing; the per-statement
+						// search would not count this item as a deadlock.
+						anyProgress = true
+						continue
 					}
-					b, ok := buckets[nd.depth]
-					if !ok {
-						b = cframesGet()
+					if th.blocked {
+						continue
 					}
-					buckets[nd.depth] = append(b, searchState{
-						st:       ex.out.State,
-						nd:       nd,
-						lastTh:   th.ti,
-						switches: th.switches,
-					})
-					frontSize++
+					anyProgress = true
+					for _, ex := range th.exps {
+						if vis.Seen(ex.fp) {
+							continue
+						}
+						perWorker[sl.worker]++
+						res.States++
+						res.StatesStepped++
+						if opts.MaxStates > 0 && res.States > opts.MaxStates {
+							res.Verdict = ResourceBound
+							res.Reason = stats.ReasonStates
+							return res
+						}
+						nd := &node{
+							parent:    it.nd,
+							prefix:    th.prefix,
+							prefixIdx: th.prefixIdx,
+							event:     ex.out.Event,
+							idx:       ex.idx,
+							ti:        int32(th.ti),
+							depth:     depth + len(th.prefix) + 1,
+						}
+						q.Push(nd.depth, searchState{
+							st:       ex.out.State,
+							nd:       nd,
+							lastTh:   th.ti,
+							switches: th.switches,
+						})
+					}
+					cexpPut(th.exps)
+					th.exps = nil
 				}
-				cexpPut(th.exps)
-				th.exps = nil
-			}
-			if anyLive && !anyProgress {
-				res.Deadlocks++
+				if anyLive && !anyProgress {
+					res.Deadlocks++
+				}
 			}
 		}
+		bkt.Close()
 		if candHere >= 0 {
-			return cFailFromCand(res, &cands[candHere])
+			return cFailFromCand(c, res, &cands[candHere])
 		}
-		cframesPut(bucket)
-		if frontSize > res.PeakFrontier {
-			res.PeakFrontier = frontSize
+		if q.Len() > res.PeakFrontier {
+			res.PeakFrontier = q.Len()
 		}
-		opts.Collector.Sample(res.States, res.Steps, frontSize, depth, vis.Len())
+		opts.Collector.Sample(res.States, res.Steps, q.Len(), depth, vis.Len())
 	}
 	if h := cMinCand(cands); h >= 0 {
-		return cFailFromCand(res, &cands[h])
+		return cFailFromCand(c, res, &cands[h])
 	}
 	res.Verdict = Safe
 	return res

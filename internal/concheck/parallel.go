@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/sem"
 	"repro/internal/stats"
-	"repro/internal/visited"
 )
 
 // The parallel interleaving search mirrors seqcheck's (see the design
@@ -46,9 +45,8 @@ type cexpansion struct {
 // buffers are cleared before Put so pooled memory never pins dead states;
 // early returns may skip a Put, which is only a pool miss).
 var (
-	cexpPool    = sync.Pool{New: func() any { return new([]cexpansion) }}
-	cslotPool   = sync.Pool{New: func() any { return new([]citemSlot) }}
-	cframesPool = sync.Pool{New: func() any { return new([]searchState) }}
+	cexpPool  = sync.Pool{New: func() any { return new([]cexpansion) }}
+	cslotPool = sync.Pool{New: func() any { return new([]citemSlot) }}
 )
 
 func cexpGet() []cexpansion {
@@ -75,16 +73,6 @@ func cslotsPut(slots []citemSlot) {
 	clear(slots)
 	slots = slots[:0]
 	cslotPool.Put(&slots)
-}
-
-func cframesGet() []searchState {
-	return (*cframesPool.Get().(*[]searchState))[:0]
-}
-
-func cframesPut(frames []searchState) {
-	clear(frames)
-	frames = frames[:0]
-	cframesPool.Put(&frames)
 }
 
 // cthread records the expansion of one schedulable thread of an item, in
@@ -114,7 +102,7 @@ func checkParallel(c *sem.Compiled, opts Options) *Result {
 	init := sem.NewState(c)
 	bounded := opts.ContextBound >= 0
 
-	vis := visited.New(opts.NumShards)
+	vis := cNewVisited(opts)
 	initFP := sem.NewFPHasher().Hash(init)
 	if bounded {
 		initFP = sem.Mix64(initFP, uint64(0)) // lastTh -1 encodes as 0
@@ -124,6 +112,11 @@ func checkParallel(c *sem.Compiled, opts Options) *Result {
 	res.States = 1
 	res.PeakFrontier = 1
 	perWorker := make([]int, workers)
+	// The level queue is a FIFO frontier bucket per depth: arrival order
+	// is commit order, spilled or resident, and a fully resident level
+	// streams back as one chunk — the classic whole-level pass.
+	q := cNewQueue(c, opts, false)
+	defer q.Close()
 	defer func() {
 		res.Visited = vis.Len()
 		res.Parallel = &stats.Parallel{
@@ -132,6 +125,7 @@ func checkParallel(c *sem.Compiled, opts Options) *Result {
 			PerWorkerStates: perWorker,
 			ShardContention: vis.Contention(),
 		}
+		res.Memory = cMemoryRecord(opts, vis, q.Stats())
 	}()
 
 	hashers := make([]*sem.FPHasher, workers)
@@ -139,8 +133,8 @@ func checkParallel(c *sem.Compiled, opts Options) *Result {
 		hashers[i] = sem.NewFPHasher()
 	}
 
-	level := []searchState{{st: init, nd: &node{}, lastTh: -1}}
-	for depth := 0; len(level) > 0; depth++ {
+	q.Push(0, searchState{st: init, nd: &node{}, lastTh: -1})
+	for depth := 0; q.Len() > 0; depth++ {
 		res.PeakDepth = depth
 		if opts.Context != nil {
 			if err := opts.Context.Err(); err != nil {
@@ -153,182 +147,196 @@ func checkParallel(c *sem.Compiled, opts Options) *Result {
 			break
 		}
 
-		// Expansion round: step every schedulable thread of every item.
-		slots := cslotsGet(len(level))
-		expandItem := func(i, w int) {
-			it := level[i]
-			expand := -1
-			if opts.POR {
+		bkt := q.Drain(depth)
+		total := bkt.Len()
+		pushed := 0 // successors committed to depth+1 so far
+		base := 0   // items of this level committed in earlier chunks
+		for {
+			level, _ := bkt.Next(frontierChunk)
+			if len(level) == 0 {
+				break
+			}
+
+			// Expansion round: step every schedulable thread of every item.
+			slots := cslotsGet(len(level))
+			expandItem := func(i, w int) {
+				it := level[i]
+				expand := -1
+				if opts.POR {
+					for ti := range it.st.Threads {
+						if it.st.Threads[ti].Done() {
+							continue
+						}
+						if invisibleNext(it.st, ti) {
+							expand = ti
+							break
+						}
+					}
+				}
+				var ths []cthread
 				for ti := range it.st.Threads {
 					if it.st.Threads[ti].Done() {
 						continue
 					}
-					if invisibleNext(it.st, ti) {
-						expand = ti
+					if expand >= 0 && ti != expand {
+						continue
+					}
+					switches := it.switches
+					if it.lastTh >= 0 && it.lastTh != ti {
+						switches++
+						if bounded && switches > opts.ContextBound {
+							ths = append(ths, cthread{ti: ti, switches: switches, overBound: true})
+							continue
+						}
+					}
+					sr := sem.Step(it.st, ti)
+					if sr.Failure != nil {
+						// The sequential search returns on the first failing
+						// thread; later threads of this item never step.
+						ths = append(ths, cthread{ti: ti, switches: switches, fail: sr.Failure})
 						break
 					}
-				}
-			}
-			var ths []cthread
-			for ti := range it.st.Threads {
-				if it.st.Threads[ti].Done() {
-					continue
-				}
-				if expand >= 0 && ti != expand {
-					continue
-				}
-				switches := it.switches
-				if it.lastTh >= 0 && it.lastTh != ti {
-					switches++
-					if bounded && switches > opts.ContextBound {
-						ths = append(ths, cthread{ti: ti, switches: switches, overBound: true})
+					if sr.Blocked {
+						ths = append(ths, cthread{ti: ti, switches: switches, blocked: true})
 						continue
 					}
-				}
-				sr := sem.Step(it.st, ti)
-				if sr.Failure != nil {
-					// The sequential search returns on the first failing
-					// thread; later threads of this item never step.
-					ths = append(ths, cthread{ti: ti, switches: switches, fail: sr.Failure})
-					break
-				}
-				if sr.Blocked {
-					ths = append(ths, cthread{ti: ti, switches: switches, blocked: true})
-					continue
-				}
-				exps := cexpGet()
-				for k, out := range sr.Outcomes {
-					fp := hashers[w].Hash(out.State)
-					if bounded {
-						fp = sem.Mix64(fp, uint64(ti+1))
-						fp = sem.Mix64(fp, uint64(switches))
-					}
-					if vis.Contains(fp) {
-						continue
-					}
-					exps = append(exps, cexpansion{out: out, fp: fp, idx: int32(k)})
-				}
-				ths = append(ths, cthread{
-					ti: ti, switches: switches,
-					progressed: len(sr.Outcomes) > 0,
-					exps:       exps,
-				})
-			}
-			slots[i] = citemSlot{threads: ths, worker: w}
-		}
-		if workers == 1 || len(level) < minParallelLevel {
-			for i := range level {
-				expandItem(i, 0)
-				if opts.Context != nil && i%workerPollStride == workerPollStride-1 {
-					if err := opts.Context.Err(); err != nil {
-						res.Verdict = ResourceBound
-						res.Reason = reasonFor(err)
-						return res
-					}
-				}
-			}
-		} else {
-			var claim atomic.Int64
-			var stop atomic.Bool
-			var wg sync.WaitGroup
-			for w := 0; w < workers; w++ {
-				wg.Add(1)
-				go func(w int) {
-					defer wg.Done()
-					polled := 0
-					for {
-						i := int(claim.Add(1)) - 1
-						if i >= len(level) || stop.Load() {
-							return
+					exps := cexpGet()
+					for k, out := range sr.Outcomes {
+						fp := hashers[w].Hash(out.State)
+						if bounded {
+							fp = sem.Mix64(fp, uint64(ti+1))
+							fp = sem.Mix64(fp, uint64(switches))
 						}
-						expandItem(i, w)
-						if polled++; polled >= workerPollStride {
-							polled = 0
-							if opts.Context != nil && opts.Context.Err() != nil {
-								stop.Store(true)
+						if vis.Contains(fp) {
+							continue
+						}
+						exps = append(exps, cexpansion{out: out, fp: fp, idx: int32(k)})
+					}
+					ths = append(ths, cthread{
+						ti: ti, switches: switches,
+						progressed: len(sr.Outcomes) > 0,
+						exps:       exps,
+					})
+				}
+				slots[i] = citemSlot{threads: ths, worker: w}
+			}
+			if workers == 1 || len(level) < minParallelLevel {
+				for i := range level {
+					expandItem(i, 0)
+					if opts.Context != nil && i%workerPollStride == workerPollStride-1 {
+						if err := opts.Context.Err(); err != nil {
+							res.Verdict = ResourceBound
+							res.Reason = reasonFor(err)
+							return res
+						}
+					}
+				}
+			} else {
+				var claim atomic.Int64
+				var stop atomic.Bool
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						polled := 0
+						for {
+							i := int(claim.Add(1)) - 1
+							if i >= len(level) || stop.Load() {
 								return
 							}
+							expandItem(i, w)
+							if polled++; polled >= workerPollStride {
+								polled = 0
+								if opts.Context != nil && opts.Context.Err() != nil {
+									stop.Store(true)
+									return
+								}
+							}
 						}
-					}
-				}(w)
-			}
-			wg.Wait()
-			if stop.Load() {
-				res.Verdict = ResourceBound
-				res.Reason = reasonFor(opts.Context.Err())
-				return res
-			}
-		}
-
-		// Commit: replay in (item, thread) order through the sequential
-		// search's budget checks.
-		next := cframesGet()
-		for i := range level {
-			it := level[i]
-			sl := &slots[i]
-			anyLive, anyProgress := false, false
-			for t := range sl.threads {
-				th := &sl.threads[t]
-				anyLive = true
-				if th.overBound {
-					continue
+					}(w)
 				}
-				if opts.MaxSteps > 0 && res.Steps >= opts.MaxSteps {
+				wg.Wait()
+				if stop.Load() {
 					res.Verdict = ResourceBound
-					res.Reason = stats.ReasonSteps
+					res.Reason = reasonFor(opts.Context.Err())
 					return res
 				}
-				res.Steps++
-				if th.fail != nil {
-					res.Verdict = Error
-					res.Failure = th.fail
-					failEv := sem.Event{
-						Kind:     sem.EvStmt,
-						ThreadID: th.fail.ThreadID,
-						Pos:      th.fail.Pos,
-						Text:     th.fail.Msg,
+			}
+
+			// Commit: replay the chunk in (item, thread) order through the
+			// sequential search's budget checks.
+			for i := range level {
+				it := level[i]
+				sl := &slots[i]
+				anyLive, anyProgress := false, false
+				for t := range sl.threads {
+					th := &sl.threads[t]
+					anyLive = true
+					if th.overBound {
+						continue
 					}
-					res.Trace = append(it.nd.trace(), failEv)
-					return res
-				}
-				if th.blocked {
-					continue
-				}
-				anyProgress = anyProgress || th.progressed
-				for _, ex := range th.exps {
-					if vis.Seen(ex.fp) {
-						continue // claimed by an earlier (item, thread) this level
-					}
-					perWorker[sl.worker]++
-					res.States++
-					if opts.MaxStates > 0 && res.States > opts.MaxStates {
+					if opts.MaxSteps > 0 && res.Steps >= opts.MaxSteps {
 						res.Verdict = ResourceBound
-						res.Reason = stats.ReasonStates
+						res.Reason = stats.ReasonSteps
 						return res
 					}
-					next = append(next, searchState{
-						st:       ex.out.State,
-						nd:       &node{parent: it.nd, event: ex.out.Event, depth: depth + 1},
-						lastTh:   th.ti,
-						switches: th.switches,
-					})
-					if fl := (len(level) - 1 - i) + len(next); fl > res.PeakFrontier {
-						res.PeakFrontier = fl
+					res.Steps++
+					if th.fail != nil {
+						res.Verdict = Error
+						res.Failure = th.fail
+						failEv := sem.Event{
+							Kind:     sem.EvStmt,
+							ThreadID: th.fail.ThreadID,
+							Pos:      th.fail.Pos,
+							Text:     th.fail.Msg,
+						}
+						res.Trace = append(cFullTrace(c, it.nd), failEv)
+						return res
+					}
+					if th.blocked {
+						continue
+					}
+					anyProgress = anyProgress || th.progressed
+					for _, ex := range th.exps {
+						if vis.Seen(ex.fp) {
+							continue // claimed by an earlier (item, thread) this level
+						}
+						perWorker[sl.worker]++
+						res.States++
+						if opts.MaxStates > 0 && res.States > opts.MaxStates {
+							res.Verdict = ResourceBound
+							res.Reason = stats.ReasonStates
+							return res
+						}
+						q.Push(depth+1, searchState{
+							st: ex.out.State,
+							nd: &node{
+								parent: it.nd, event: ex.out.Event,
+								idx: ex.idx, ti: int32(th.ti), depth: depth + 1,
+							},
+							lastTh:   th.ti,
+							switches: th.switches,
+						})
+						pushed++
+						if fl := (total - 1 - (base + i)) + pushed; fl > res.PeakFrontier {
+							res.PeakFrontier = fl
+						}
+					}
+					if th.exps != nil {
+						cexpPut(th.exps)
+						th.exps = nil
 					}
 				}
-				if th.exps != nil {
-					cexpPut(th.exps)
-					th.exps = nil
+				if anyLive && !anyProgress {
+					res.Deadlocks++
 				}
 			}
-			if anyLive && !anyProgress {
-				res.Deadlocks++
-			}
+			cslotsPut(slots)
+			base += len(level)
 		}
-		opts.Collector.Sample(res.States, res.Steps, len(next), depth, vis.Len())
-		cslotsPut(slots)
-		cframesPut(level)
-		level = next
+		bkt.Close()
+		opts.Collector.Sample(res.States, res.Steps, pushed, depth, vis.Len())
 	}
 	res.Verdict = Safe
 	return res

@@ -1,0 +1,180 @@
+package concheck
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/frontier"
+	"repro/internal/sem"
+	"repro/internal/stats"
+	"repro/internal/visited"
+)
+
+// Memory-bounded search support for the interleaving BFS engines,
+// mirroring internal/seqcheck/spill.go. The frontier key is the padded
+// (thread, successor-index) path — pathEntry packs both into one
+// non-negative int32, so 4-byte big-endian encoding makes bytes.Compare
+// reproduce cPathLess. The payload is the scheduling context (last
+// thread, consumed switches) followed by a sem state snapshot. A node
+// restored from disk is root-like with the path in base; the trace of a
+// failure beneath it is rebuilt by replaying base's (thread, index)
+// entries from the initial state.
+
+// frontierChunk is how many frames a spilled bucket is streamed in at a
+// time; fully resident buckets arrive as one chunk (the classic
+// whole-bucket pass).
+const frontierChunk = 4096
+
+// cframeNodeBytes is the budget estimate for a frame's node, scheduling
+// context, and queue slot on top of its state.
+const cframeNodeBytes = 112
+
+func cAppendPathEntry(buf []byte, entry int32) []byte {
+	return binary.BigEndian.AppendUint32(buf, uint32(entry))
+}
+
+// cAppendNodePath appends nd's full padded (thread, successor-index)
+// path (root-first) in key encoding.
+func cAppendNodePath(buf []byte, nd *node) []byte {
+	if nd == nil {
+		return buf
+	}
+	if nd.parent != nil {
+		buf = cAppendNodePath(buf, nd.parent)
+		for _, idx := range nd.prefixIdx {
+			buf = cAppendPathEntry(buf, pathEntry(nd.ti, idx))
+		}
+		return cAppendPathEntry(buf, pathEntry(nd.ti, nd.idx))
+	}
+	for _, entry := range nd.base {
+		buf = cAppendPathEntry(buf, entry)
+	}
+	return buf
+}
+
+func cDecodePathKey(key []byte) []int32 {
+	out := make([]int32, len(key)/4)
+	for i := range out {
+		out[i] = int32(binary.BigEndian.Uint32(key[i*4:]))
+	}
+	return out
+}
+
+// cNewQueue builds the frontier queue for a concheck BFS engine; ordered
+// selects path-key order (the macro bucket engine) over arrival order
+// (the per-statement level engine).
+func cNewQueue(c *sem.Compiled, opts Options, ordered bool) *frontier.Queue[searchState] {
+	return frontier.New(frontier.Config{
+		BudgetBytes: opts.FrontierBudget,
+		Dir:         opts.SpillDir,
+		Ordered:     ordered,
+	}, frontier.Codec[searchState]{
+		Key: func(s searchState, buf []byte) []byte {
+			return cAppendNodePath(buf, s.nd)
+		},
+		Encode: func(s searchState, buf []byte) []byte {
+			buf = binary.AppendUvarint(buf, uint64(s.lastTh+1))
+			buf = binary.AppendUvarint(buf, uint64(s.switches))
+			return sem.AppendSnapshot(buf, s.st)
+		},
+		Decode: func(key, payload []byte, depth int) searchState {
+			lastTh, n1 := binary.Uvarint(payload)
+			if n1 <= 0 {
+				panic("concheck: corrupt spilled frame: lastTh")
+			}
+			switches, n2 := binary.Uvarint(payload[n1:])
+			if n2 <= 0 {
+				panic("concheck: corrupt spilled frame: switches")
+			}
+			st, err := sem.DecodeSnapshot(c, payload[n1+n2:])
+			if err != nil {
+				panic(fmt.Sprintf("concheck: corrupt spilled frame: %v", err))
+			}
+			return searchState{
+				st:       st,
+				nd:       &node{base: cDecodePathKey(key), depth: depth},
+				lastTh:   int(lastTh) - 1,
+				switches: int(switches),
+			}
+		},
+		Size: func(s searchState) int {
+			return s.st.MemSize() + cframeNodeBytes
+		},
+	})
+}
+
+// cReplayPath re-executes the (thread, successor-index) entries of a
+// padded path from the initial state, returning the event sequence it
+// spells. O(depth), run once per reported failure under a restored frame.
+func cReplayPath(c *sem.Compiled, path []int32) []sem.Event {
+	st := sem.NewState(c)
+	evs := make([]sem.Event, 0, len(path))
+	for _, entry := range path {
+		ti, idx := int(entry>>16), int(entry&0xffff)
+		sr := sem.Step(st, ti)
+		if sr.Failure != nil || idx >= len(sr.Outcomes) {
+			panic(fmt.Sprintf("concheck: spilled path does not replay (thread %d idx %d of %d outcomes)",
+				ti, idx, len(sr.Outcomes)))
+		}
+		out := sr.Outcomes[idx]
+		evs = append(evs, out.Event)
+		st = out.State
+	}
+	return evs
+}
+
+// cFullTrace is node.trace extended to chains rooted in a restored frame.
+func cFullTrace(c *sem.Compiled, nd *node) []sem.Event {
+	root := nd
+	for root != nil && root.parent != nil {
+		root = root.parent
+	}
+	if root == nil || len(root.base) == 0 {
+		return nd.trace()
+	}
+	pre := cReplayPath(c, root.base)
+	return append(pre, nd.trace()...)
+}
+
+// cNewVisited selects the visited store for this search's options.
+func cNewVisited(opts Options) visited.Store {
+	if !opts.VisitedCompact {
+		return visited.New(opts.NumShards)
+	}
+	if opts.AuditVisited {
+		return visited.NewAudited(opts.VisitedBytes)
+	}
+	return visited.NewCompact(opts.VisitedBytes)
+}
+
+// cMemoryRecord assembles the Result.Memory diagnostics; nil when neither
+// memory-bounding feature engaged.
+func cMemoryRecord(opts Options, vis visited.Store, fst frontier.Stats) *stats.Memory {
+	if !opts.VisitedCompact && opts.FrontierBudget <= 0 {
+		return nil
+	}
+	m := &stats.Memory{VisitedMode: "exact"}
+	var filter *visited.Compact
+	switch v := vis.(type) {
+	case *visited.Compact:
+		filter = v
+	case *visited.Audited:
+		filter = v.Filter()
+		m.VisitedFalsePositives = v.FalsePositives()
+	}
+	if filter != nil {
+		m.VisitedMode = "compact"
+		m.VisitedBytes = filter.SizeBytes()
+		m.VisitedOccupancy = filter.Occupancy()
+		m.VisitedFPRate = filter.EstFPRate()
+	}
+	if opts.FrontierBudget > 0 {
+		m.SpillBudgetBytes = opts.FrontierBudget
+		m.SpilledBytes = fst.SpilledBytes
+		m.SpilledFrames = fst.SpilledFrames
+		m.SpilledRuns = fst.Runs
+		m.MergePasses = fst.MergePasses
+		m.FrontierPeakRAM = fst.PeakRAMBytes
+	}
+	return m
+}

@@ -127,6 +127,18 @@ type Options struct {
 	// SummaryMB is the per-field summary-table byte budget in MiB
 	// (0: default).
 	SummaryMB int
+	// VisitedMode selects the visited-set representation for every field
+	// check (kiss.Config.VisitedMode): "" or kiss.VisitedExact keeps the
+	// exact fingerprint set; kiss.VisitedCompact stores fingerprints in a
+	// blocked Bloom filter, which can only shrink the explored set.
+	VisitedMode string
+	// MemBudgetMB caps each field check's search memory in MiB
+	// (kiss.Config.MemBudgetMB): the BFS frontier spills to disk past its
+	// share and a compact filter is sized to the rest. 0 = unlimited.
+	MemBudgetMB int
+	// AuditVisited shadow-checks compact-filter hits against an exact set,
+	// counting measured false positives in each field's Stats.Memory.
+	AuditVisited bool
 	// Server, when non-empty, is the base URL of a running kissd
 	// (cmd/kissd): field checks are submitted over HTTP instead of run
 	// in-process, so repeated corpus runs hit the daemon's content-
@@ -369,6 +381,9 @@ func fieldConfig(f drivers.FieldSpec, opts Options, maxStates int) *kiss.Config 
 		MemoMB:               opts.MemoMB,
 		DisableCallSummaries: opts.DisableCallSummaries,
 		SummaryMB:            opts.SummaryMB,
+		VisitedMode:          opts.VisitedMode,
+		MemBudgetMB:          opts.MemBudgetMB,
+		AuditVisited:         opts.AuditVisited,
 		SearchWorkers:        opts.SearchWorkers,
 		Context:              opts.Context,
 	}

@@ -1,0 +1,211 @@
+package frontier
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// rec is a synthetic frame: an order key plus a payload blob.
+type rec struct {
+	key     []byte
+	payload []byte
+}
+
+func recCodec() Codec[rec] {
+	return Codec[rec]{
+		Key:    func(r rec, buf []byte) []byte { return append(buf, r.key...) },
+		Encode: func(r rec, buf []byte) []byte { return append(buf, r.payload...) },
+		Decode: func(key, payload []byte, depth int) rec {
+			return rec{key: append([]byte(nil), key...), payload: append([]byte(nil), payload...)}
+		},
+		Size: func(r rec) int { return len(r.key) + len(r.payload) + 48 },
+	}
+}
+
+// genRecs builds n records with unique keys in random push order.
+func genRecs(rng *rand.Rand, n int) []rec {
+	out := make([]rec, n)
+	for i := range out {
+		var key [12]byte
+		binary.BigEndian.PutUint32(key[:4], uint32(rng.Intn(1<<20)))
+		binary.BigEndian.PutUint64(key[4:], uint64(i)) // uniqueness
+		payload := make([]byte, rng.Intn(64))
+		rng.Read(payload)
+		out[i] = rec{key: key[:], payload: payload}
+	}
+	return out
+}
+
+func drainAll(t *testing.T, q *Queue[rec], depth, chunk int) []rec {
+	t.Helper()
+	b := q.Drain(depth)
+	var got []rec
+	for {
+		items, keys := b.Next(chunk)
+		if len(items) == 0 {
+			break
+		}
+		for i, it := range items {
+			if keys != nil && !bytes.Equal(keys[i], it.key) {
+				t.Fatalf("returned key %x does not match item key %x", keys[i], it.key)
+			}
+			got = append(got, rec{
+				key:     append([]byte(nil), it.key...),
+				payload: append([]byte(nil), it.payload...),
+			})
+		}
+	}
+	b.Close()
+	return got
+}
+
+// TestOrderedSpillRoundTrip: an ordered bucket drained through spilled
+// runs yields the byte-identical sequence the pure in-RAM queue yields,
+// across a range of budgets (none, tiny, partial) and chunk sizes.
+func TestOrderedSpillRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	recs := genRecs(rng, 1200)
+
+	ram := New(Config{Ordered: true}, recCodec())
+	for _, r := range recs {
+		ram.Push(5, r)
+	}
+	want := drainAll(t, ram, 5, 1<<30)
+	ram.Close()
+
+	for _, budget := range []int64{1, 1 << 10, 32 << 10, 1 << 20} {
+		for _, chunk := range []int{1, 7, 256, 1 << 30} {
+			q := New(Config{Ordered: true, BudgetBytes: budget, Dir: t.TempDir()}, recCodec())
+			for _, r := range recs {
+				q.Push(5, r)
+			}
+			got := drainAll(t, q, 5, chunk)
+			if len(got) != len(want) {
+				t.Fatalf("budget %d chunk %d: got %d records, want %d", budget, chunk, len(got), len(want))
+			}
+			for i := range got {
+				if !bytes.Equal(got[i].key, want[i].key) || !bytes.Equal(got[i].payload, want[i].payload) {
+					t.Fatalf("budget %d chunk %d: record %d differs", budget, chunk, i)
+				}
+			}
+			st := q.Stats()
+			if budget < 32<<10 && st.SpilledFrames == 0 {
+				t.Fatalf("budget %d: expected spilling, got none", budget)
+			}
+			q.Close()
+		}
+	}
+}
+
+// TestFIFOSpillRoundTrip: a FIFO bucket preserves arrival order exactly
+// through spills.
+func TestFIFOSpillRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	recs := genRecs(rng, 1000)
+
+	for _, budget := range []int64{0, 1, 4 << 10, 64 << 10} {
+		q := New(Config{Ordered: false, BudgetBytes: budget, Dir: t.TempDir()}, recCodec())
+		for _, r := range recs {
+			q.Push(0, r)
+		}
+		got := drainAll(t, q, 0, 97)
+		if len(got) != len(recs) {
+			t.Fatalf("budget %d: got %d records, want %d", budget, len(got), len(recs))
+		}
+		for i := range got {
+			if !bytes.Equal(got[i].key, recs[i].key) || !bytes.Equal(got[i].payload, recs[i].payload) {
+				t.Fatalf("budget %d: record %d out of arrival order", budget, i)
+			}
+		}
+		q.Close()
+	}
+}
+
+// TestMergeFanIn: a bucket with more runs than the fan-in cap pre-merges
+// and still drains in exact order.
+func TestMergeFanIn(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	recs := genRecs(rng, 1500)
+	// A 1-byte budget spills on nearly every push, producing far more
+	// runs than maxFanIn.
+	q := New(Config{Ordered: true, BudgetBytes: 1, Dir: t.TempDir()}, recCodec())
+	for _, r := range recs {
+		q.Push(2, r)
+	}
+	if runs := q.Stats().Runs; runs <= maxFanIn {
+		t.Skipf("only %d runs; cannot exercise fan-in", runs)
+	}
+	got := drainAll(t, q, 2, 33)
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i := 1; i < len(got); i++ {
+		if bytes.Compare(got[i-1].key, got[i].key) >= 0 {
+			t.Fatalf("record %d not in strictly ascending key order", i)
+		}
+	}
+	if q.Stats().MergePasses == 0 {
+		t.Fatal("expected at least one merge pass")
+	}
+	q.Close()
+}
+
+// TestMultiBucketAccounting: Len/MinDepth track pushes and drains across
+// buckets, spilled or not.
+func TestMultiBucketAccounting(t *testing.T) {
+	q := New(Config{Ordered: true, BudgetBytes: 256, Dir: t.TempDir()}, recCodec())
+	rng := rand.New(rand.NewSource(3))
+	perDepth := map[int][]rec{}
+	for d := 3; d <= 7; d++ {
+		rs := genRecs(rng, 50*d)
+		perDepth[d] = rs
+		for _, r := range rs {
+			q.Push(d, r)
+		}
+	}
+	total := 0
+	for _, rs := range perDepth {
+		total += len(rs)
+	}
+	if q.Len() != total {
+		t.Fatalf("Len = %d, want %d", q.Len(), total)
+	}
+	for d := 3; d <= 7; d++ {
+		md, ok := q.MinDepth()
+		if !ok || md != d {
+			t.Fatalf("MinDepth = %d,%v, want %d", md, ok, d)
+		}
+		got := drainAll(t, q, d, 11)
+		if len(got) != len(perDepth[d]) {
+			t.Fatalf("depth %d: got %d records, want %d", d, len(got), len(perDepth[d]))
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after draining everything", q.Len())
+	}
+	if _, ok := q.MinDepth(); ok {
+		t.Fatal("MinDepth reports a bucket after draining everything")
+	}
+	q.Close()
+}
+
+// TestBrokenSpillDegradesToRAM: an unwritable spill dir must not lose
+// frames — the queue keeps everything resident.
+func TestBrokenSpillDegradesToRAM(t *testing.T) {
+	q := New(Config{Ordered: true, BudgetBytes: 1, Dir: fmt.Sprintf("%s/no/such/dir", t.TempDir())}, recCodec())
+	rng := rand.New(rand.NewSource(9))
+	recs := genRecs(rng, 500)
+	for _, r := range recs {
+		q.Push(1, r)
+	}
+	if got := drainAll(t, q, 1, 64); len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	if q.Stats().SpilledFrames != 0 {
+		t.Fatal("spilled despite unwritable dir")
+	}
+	q.Close()
+}

@@ -40,7 +40,7 @@ type Instr struct {
 	Targets []int      // OpJump (1), OpNondetJump (>=2)
 	Atomic  []Instr    // OpAtomic: sub-program; jump targets index into it
 	Pos     ast.Pos
-	text    string     // rendering cache, filled once after compilation
+	text    string // rendering cache, filled once after compilation
 }
 
 // Text returns a short human-readable rendering for traces. Compiled

@@ -1,10 +1,11 @@
 package seqcheck
 
 import (
-	"sort"
+	"bytes"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/frontier"
 	"repro/internal/sem"
 	"repro/internal/stats"
 	"repro/internal/visited"
@@ -77,9 +78,24 @@ func checkMacroDFS(c *sem.Compiled, opts Options) *Result {
 	init := sem.NewState(c)
 
 	hasher := sem.NewFPHasher()
+	// Exact mode keeps the plain map (the seed's representation); compact
+	// mode swaps in the Bloom-filter store.
+	var vis visited.Store
+	if opts.VisitedCompact {
+		vis = newVisited(opts)
+	}
 	visitedSet := map[uint64]struct{}{}
+	visLen := func() int {
+		if vis != nil {
+			return vis.Len()
+		}
+		return len(visitedSet)
+	}
 	seen := func(st *sem.State) bool {
 		fp := hasher.Hash(st)
+		if vis != nil {
+			return vis.Seen(fp)
+		}
 		if _, ok := visitedSet[fp]; ok {
 			return true
 		}
@@ -96,7 +112,12 @@ func checkMacroDFS(c *sem.Compiled, opts Options) *Result {
 	res.States = 1
 	res.StatesStepped = 1
 	res.PeakFrontier = 1
-	defer func() { res.Visited = len(visitedSet) }()
+	defer func() {
+		res.Visited = visLen()
+		if vis != nil {
+			res.Memory = memoryRecord(opts, vis, frontier.Stats{})
+		}
+	}()
 
 	ctxCountdown := 1 // poll the context on the first iteration
 	for len(stack) > 0 {
@@ -116,7 +137,7 @@ func checkMacroDFS(c *sem.Compiled, opts Options) *Result {
 		if cur.nd.depth > res.PeakDepth {
 			res.PeakDepth = cur.nd.depth
 		}
-		opts.Collector.Sample(res.States, res.Steps, len(stack), cur.nd.depth, len(visitedSet))
+		opts.Collector.Sample(res.States, res.Steps, len(stack), cur.nd.depth, visLen())
 
 		if cur.st.Threads[0].Done() {
 			continue
@@ -171,21 +192,14 @@ func checkMacroDFS(c *sem.Compiled, opts Options) *Result {
 	return res
 }
 
-// paddedPath appends n's full padded successor-index path (root-first) to
-// buf: for each edge, the folded positions' raw indices then the final
-// edge's raw index, then extra. Two states at the same micro depth have
-// equal-length paths, and the per-statement BFS builds each level in
-// exactly lexicographic path order, so plain lexicographic comparison
-// reproduces its within-level order.
-func paddedPath(nd *node, extra []int32, buf []int32) []int32 {
-	if nd != nil && nd.parent != nil {
-		buf = paddedPath(nd.parent, nil, buf)
-		buf = append(buf, nd.prefixIdx...)
-		buf = append(buf, nd.idx)
-	}
-	return append(buf, extra...)
-}
-
+// pathLess is lexicographic order on padded successor-index paths: for
+// each edge, the folded positions' raw indices then the final edge's raw
+// index. Two states at the same micro depth have equal-length paths, and
+// the per-statement BFS builds each level in exactly lexicographic path
+// order, so this comparison reproduces its within-level order. The
+// engines compare key-encoded paths with bytes.Compare instead (see
+// appendNodePath); pathLess is the specification the encoding is tested
+// against.
 func pathLess(a, b []int32) bool {
 	n := len(a)
 	if len(b) < n {
@@ -201,11 +215,13 @@ func pathLess(a, b []int32) bool {
 
 // macroCand is a failure discovered mid-run: the per-statement BFS would
 // report it while processing micro depth `depth`, so it is held until
-// every stored state shallower than that has been expanded.
+// every stored state shallower than that has been expanded. path is the
+// failing state's padded path in the frontier's key encoding —
+// bytes.Compare on it is pathLess on the index slices.
 type macroCand struct {
 	depth  int
-	path   []int32 // padded path of the failing state
-	nd     *node   // origin item
+	path   []byte // padded path of the failing state, key-encoded
+	nd     *node  // origin item
 	prefix []sem.Event
 	fail   *sem.Failure
 }
@@ -214,17 +230,17 @@ func minCand(cands []macroCand) int {
 	h := -1
 	for i := range cands {
 		if h < 0 || cands[i].depth < cands[h].depth ||
-			(cands[i].depth == cands[h].depth && pathLess(cands[i].path, cands[h].path)) {
+			(cands[i].depth == cands[h].depth && bytes.Compare(cands[i].path, cands[h].path) < 0) {
 			h = i
 		}
 	}
 	return h
 }
 
-func failFromCand(res *Result, cd *macroCand) *Result {
+func failFromCand(c *sem.Compiled, res *Result, cd *macroCand) *Result {
 	res.Verdict = Error
 	res.Failure = cd.fail
-	res.Trace = append(append(cd.nd.trace(), cd.prefix...), failEvent(cd.fail))
+	res.Trace = append(append(fullTrace(c, cd.nd), cd.prefix...), failEvent(cd.fail))
 	return res
 }
 
@@ -239,29 +255,25 @@ type macroSlot struct {
 	done      bool // the item's thread had terminated: nothing stepped
 }
 
-// bucketSort sorts a bucket and its precomputed paths together.
-type bucketSort struct {
-	frames []pframe
-	paths  [][]int32
-}
-
-func (b *bucketSort) Len() int           { return len(b.frames) }
-func (b *bucketSort) Less(i, j int) bool { return pathLess(b.paths[i], b.paths[j]) }
-func (b *bucketSort) Swap(i, j int) {
-	b.frames[i], b.frames[j] = b.frames[j], b.frames[i]
-	b.paths[i], b.paths[j] = b.paths[j], b.paths[i]
-}
-
 // checkMacroBFS is the micro-depth bucket BFS with macro-step compression;
 // SearchWorkers 0 runs it inline, >= 1 expands buckets with the worker
 // pool (the commit loop is single-threaded either way, so every
 // deterministic counter is identical at every worker count).
+//
+// The bucket queue is a frontier.Queue in ordered mode: each bucket is
+// kept in the per-statement BFS's within-level order by padded-path key,
+// resident or spilled. A fully resident bucket streams back as a single
+// chunk — the classic whole-bucket pass — while a spilled one arrives in
+// frontierChunk pieces merged from disk in exactly the same order, so
+// chunking never reorders commits. The fold limit and the bucket's
+// competing failure candidate are fixed before the first chunk, which
+// keeps them identical to the one-pass computation.
 func checkMacroBFS(c *sem.Compiled, opts Options) *Result {
 	workers := opts.SearchWorkers
 	res := &Result{}
 	init := sem.NewState(c)
 
-	vis := visited.New(opts.NumShards)
+	vis := newVisited(opts)
 	vis.Seen(sem.NewFPHasher().Hash(init))
 	res.States = 1
 	res.StatesStepped = 1
@@ -271,6 +283,8 @@ func checkMacroBFS(c *sem.Compiled, opts Options) *Result {
 		nworkers = 1
 	}
 	perWorker := make([]int, nworkers)
+	q := newSeqQueue(c, opts, true)
+	defer q.Close()
 	defer func() {
 		res.Visited = vis.Len()
 		if workers >= 1 {
@@ -281,6 +295,7 @@ func checkMacroBFS(c *sem.Compiled, opts Options) *Result {
 				ShardContention: vis.Contention(),
 			}
 		}
+		res.Memory = memoryRecord(opts, vis, q.Stats())
 	}()
 
 	hashers := make([]*sem.FPHasher, nworkers)
@@ -288,20 +303,11 @@ func checkMacroBFS(c *sem.Compiled, opts Options) *Result {
 		hashers[i] = sem.NewFPHasher()
 	}
 
-	buckets := map[int][]pframe{0: {{st: init, nd: &node{}}}}
-	frontSize := 1
+	q.Push(0, pframe{st: init, nd: &node{}})
 	var cands []macroCand
 
-	for frontSize > 0 {
-		depth := -1
-		for d := range buckets {
-			if depth < 0 || d < depth {
-				depth = d
-			}
-		}
-		bucket := buckets[depth]
-		delete(buckets, depth)
-		frontSize -= len(bucket)
+	for q.Len() > 0 {
+		depth, _ := q.MinDepth()
 		res.PeakDepth = depth
 
 		if opts.Context != nil {
@@ -314,7 +320,7 @@ func checkMacroBFS(c *sem.Compiled, opts Options) *Result {
 		// A pending candidate shallower than every remaining stored state
 		// is the first failure the per-statement BFS reports.
 		if h := minCand(cands); h >= 0 && cands[h].depth < depth {
-			return failFromCand(res, &cands[h])
+			return failFromCand(c, res, &cands[h])
 		}
 		if opts.MaxDepth > 0 && depth >= opts.MaxDepth {
 			// Buckets come off the queue in increasing depth: nothing at
@@ -322,180 +328,183 @@ func checkMacroBFS(c *sem.Compiled, opts Options) *Result {
 			break
 		}
 
-		// Sort the bucket into the per-statement BFS's within-level order.
-		paths := make([][]int32, len(bucket))
-		for i := range bucket {
-			paths[i] = paddedPath(bucket[i].nd, nil, nil)
-		}
-		sort.Sort(&bucketSort{frames: bucket, paths: paths})
+		bkt := q.Drain(depth)
 
-		// Expansion round (read-only against the visited set).
+		// The fold limit and this bucket's competing candidate are fixed
+		// for every chunk: the limit reads the step counter as of the
+		// bucket's start, and candidates appended during this bucket's
+		// commit are strictly deeper (depth + a nonempty prefix).
 		limit := macroLimit(opts, depth, res.Steps)
-		slots := make([]macroSlot, len(bucket))
-		expandItem := func(i, w int) {
-			it := bucket[i]
-			if it.st.Threads[0].Done() {
-				slots[i] = macroSlot{done: true}
-				return
-			}
-			mr := sem.MacroStepMemoSum(it.st, 0, limit, opts.Memo, opts.Summaries)
-			sl := macroSlot{
-				prefix:    mr.Prefix,
-				prefixIdx: mr.PrefixIdx,
-				stepped:   mr.Stepped,
-				worker:    w,
-				fail:      mr.Failure,
-			}
-			if mr.Failure == nil {
-				exps := expGet()
-				for k, out := range mr.Outcomes {
-					fp := hashers[w].Hash(out.State)
-					if vis.Contains(fp) {
-						continue
-					}
-					exps = append(exps, expansion{out: out, fp: fp, idx: mr.OutIdx[k]})
-				}
-				sl.exps = exps
-			}
-			slots[i] = sl
-		}
-		if workers <= 1 || len(bucket) < minParallelLevel {
-			for i := range bucket {
-				expandItem(i, 0)
-				if opts.Context != nil && i%workerPollStride == workerPollStride-1 {
-					if err := opts.Context.Err(); err != nil {
-						res.Verdict = ResourceBound
-						res.Reason = reasonFor(err)
-						return res
-					}
-				}
-			}
-		} else {
-			var claim atomic.Int64
-			var stop atomic.Bool
-			var wg sync.WaitGroup
-			for w := 0; w < workers; w++ {
-				wg.Add(1)
-				go func(w int) {
-					defer wg.Done()
-					polled := 0
-					for {
-						i := int(claim.Add(1)) - 1
-						if i >= len(bucket) || stop.Load() {
-							return
-						}
-						expandItem(i, w)
-						if polled++; polled >= workerPollStride {
-							polled = 0
-							if opts.Context != nil && opts.Context.Err() != nil {
-								stop.Store(true)
-								return
-							}
-						}
-					}
-				}(w)
-			}
-			wg.Wait()
-			if stop.Load() {
-				res.Verdict = ResourceBound
-				res.Reason = reasonFor(opts.Context.Err())
-				return res
-			}
-		}
-
-		// Candidates at exactly this depth compete with the bucket's items
-		// in path order: they are the failing chain states the
-		// per-statement BFS would process within this very level.
 		candHere := -1
 		for i := range cands {
 			if cands[i].depth == depth &&
-				(candHere < 0 || pathLess(cands[i].path, cands[candHere].path)) {
+				(candHere < 0 || bytes.Compare(cands[i].path, cands[candHere].path) < 0) {
 				candHere = i
 			}
 		}
 
-		// Commit: replay the bucket in sorted order through the budget
-		// checks; only this loop mutates the visited set and counters.
-		for i := range bucket {
-			it := bucket[i]
-			sl := &slots[i]
-			if candHere >= 0 && pathLess(cands[candHere].path, paths[i]) {
-				return failFromCand(res, &cands[candHere])
+		for {
+			bucket, keys := bkt.Next(frontierChunk)
+			if len(bucket) == 0 {
+				break
 			}
-			if sl.done {
-				continue
-			}
-			if opts.MaxSteps > 0 && res.Steps >= opts.MaxSteps {
-				res.Verdict = ResourceBound
-				res.Reason = stats.ReasonSteps
-				return res
-			}
-			res.Steps += sl.stepped
-			res.StatesStepped += len(sl.prefix)
-			if sl.fail != nil {
-				if len(sl.prefix) == 0 {
-					// Failed at this depth: every lex-smaller competitor
-					// has already been flushed, so this is the
-					// per-statement BFS's first failure.
-					res.Verdict = Error
-					res.Failure = sl.fail
-					res.Trace = append(it.nd.trace(), failEvent(sl.fail))
-					return res
+
+			// Expansion round (read-only against the visited set).
+			slots := make([]macroSlot, len(bucket))
+			expandItem := func(i, w int) {
+				it := bucket[i]
+				if it.st.Threads[0].Done() {
+					slots[i] = macroSlot{done: true}
+					return
 				}
-				// Failed mid-run at a deeper micro depth: defer — a
-				// shallower or lex-smaller failure may still exist.
-				cands = append(cands, macroCand{
-					depth:  depth + len(sl.prefix),
-					path:   append(append([]int32{}, paths[i]...), sl.prefixIdx...),
-					nd:     it.nd,
-					prefix: sl.prefix,
-					fail:   sl.fail,
-				})
-				continue
-			}
-			for _, ex := range sl.exps {
-				if vis.Seen(ex.fp) {
-					continue // claimed by an earlier item of some bucket
+				mr := sem.MacroStepMemoSum(it.st, 0, limit, opts.Memo, opts.Summaries)
+				sl := macroSlot{
+					prefix:    mr.Prefix,
+					prefixIdx: mr.PrefixIdx,
+					stepped:   mr.Stepped,
+					worker:    w,
+					fail:      mr.Failure,
 				}
-				perWorker[sl.worker]++
-				res.States++
-				res.StatesStepped++
-				if opts.MaxStates > 0 && res.States > opts.MaxStates {
+				if mr.Failure == nil {
+					exps := expGet()
+					for k, out := range mr.Outcomes {
+						fp := hashers[w].Hash(out.State)
+						if vis.Contains(fp) {
+							continue
+						}
+						exps = append(exps, expansion{out: out, fp: fp, idx: mr.OutIdx[k]})
+					}
+					sl.exps = exps
+				}
+				slots[i] = sl
+			}
+			if workers <= 1 || len(bucket) < minParallelLevel {
+				for i := range bucket {
+					expandItem(i, 0)
+					if opts.Context != nil && i%workerPollStride == workerPollStride-1 {
+						if err := opts.Context.Err(); err != nil {
+							res.Verdict = ResourceBound
+							res.Reason = reasonFor(err)
+							return res
+						}
+					}
+				}
+			} else {
+				var claim atomic.Int64
+				var stop atomic.Bool
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						polled := 0
+						for {
+							i := int(claim.Add(1)) - 1
+							if i >= len(bucket) || stop.Load() {
+								return
+							}
+							expandItem(i, w)
+							if polled++; polled >= workerPollStride {
+								polled = 0
+								if opts.Context != nil && opts.Context.Err() != nil {
+									stop.Store(true)
+									return
+								}
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+				if stop.Load() {
 					res.Verdict = ResourceBound
-					res.Reason = stats.ReasonStates
+					res.Reason = reasonFor(opts.Context.Err())
 					return res
 				}
-				nd := &node{
-					parent:    it.nd,
-					prefix:    sl.prefix,
-					prefixIdx: sl.prefixIdx,
-					event:     ex.out.Event,
-					idx:       ex.idx,
-					depth:     depth + len(sl.prefix) + 1,
-				}
-				b, ok := buckets[nd.depth]
-				if !ok {
-					b = framesGet()
-				}
-				buckets[nd.depth] = append(b, pframe{st: ex.out.State, nd: nd})
-				frontSize++
 			}
-			expPut(sl.exps)
-			sl.exps = nil
+
+			// Commit: replay the chunk in bucket order through the budget
+			// checks; only this loop mutates the visited set and counters.
+			for i := range bucket {
+				it := bucket[i]
+				sl := &slots[i]
+				if candHere >= 0 && bytes.Compare(cands[candHere].path, keys[i]) < 0 {
+					return failFromCand(c, res, &cands[candHere])
+				}
+				if sl.done {
+					continue
+				}
+				if opts.MaxSteps > 0 && res.Steps >= opts.MaxSteps {
+					res.Verdict = ResourceBound
+					res.Reason = stats.ReasonSteps
+					return res
+				}
+				res.Steps += sl.stepped
+				res.StatesStepped += len(sl.prefix)
+				if sl.fail != nil {
+					if len(sl.prefix) == 0 {
+						// Failed at this depth: every lex-smaller competitor
+						// has already been flushed, so this is the
+						// per-statement BFS's first failure.
+						res.Verdict = Error
+						res.Failure = sl.fail
+						res.Trace = append(fullTrace(c, it.nd), failEvent(sl.fail))
+						return res
+					}
+					// Failed mid-run at a deeper micro depth: defer — a
+					// shallower or lex-smaller failure may still exist.
+					// keys[i] is reused by the next chunk; copy it.
+					p := append([]byte(nil), keys[i]...)
+					for _, idx := range sl.prefixIdx {
+						p = appendPathIdx(p, idx)
+					}
+					cands = append(cands, macroCand{
+						depth:  depth + len(sl.prefix),
+						path:   p,
+						nd:     it.nd,
+						prefix: sl.prefix,
+						fail:   sl.fail,
+					})
+					continue
+				}
+				for _, ex := range sl.exps {
+					if vis.Seen(ex.fp) {
+						continue // claimed by an earlier item of some bucket
+					}
+					perWorker[sl.worker]++
+					res.States++
+					res.StatesStepped++
+					if opts.MaxStates > 0 && res.States > opts.MaxStates {
+						res.Verdict = ResourceBound
+						res.Reason = stats.ReasonStates
+						return res
+					}
+					nd := &node{
+						parent:    it.nd,
+						prefix:    sl.prefix,
+						prefixIdx: sl.prefixIdx,
+						event:     ex.out.Event,
+						idx:       ex.idx,
+						depth:     depth + len(sl.prefix) + 1,
+					}
+					q.Push(nd.depth, pframe{st: ex.out.State, nd: nd})
+				}
+				expPut(sl.exps)
+				sl.exps = nil
+			}
 		}
+		bkt.Close()
 		// Depth-bucket candidates with paths beyond the last item beat
 		// everything deeper.
 		if candHere >= 0 {
-			return failFromCand(res, &cands[candHere])
+			return failFromCand(c, res, &cands[candHere])
 		}
-		framesPut(bucket)
-		if frontSize > res.PeakFrontier {
-			res.PeakFrontier = frontSize
+		if q.Len() > res.PeakFrontier {
+			res.PeakFrontier = q.Len()
 		}
-		opts.Collector.Sample(res.States, res.Steps, frontSize, depth, vis.Len())
+		opts.Collector.Sample(res.States, res.Steps, q.Len(), depth, vis.Len())
 	}
 	if h := minCand(cands); h >= 0 {
-		return failFromCand(res, &cands[h])
+		return failFromCand(c, res, &cands[h])
 	}
 	res.Verdict = Safe
 	return res

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/sem"
 	"repro/internal/stats"
-	"repro/internal/visited"
 )
 
 // The parallel search is a level-synchronized BFS split into two
@@ -50,16 +49,16 @@ type expansion struct {
 	idx int32
 }
 
-// Expansion rounds allocate a successor buffer per item and a slot/frame
-// slice per level, all dead by the next level. The pools recycle them
-// across levels and across checks; buffers are cleared before Put so
-// pooled memory never pins dead states. Early returns (budget trips,
-// failures) may skip a Put — a pool miss later, never a leak or a
-// correctness issue.
+// Expansion rounds allocate a successor buffer per item and a slot slice
+// per level, all dead by the next level. The pools recycle them across
+// levels and across checks; buffers are cleared before Put so pooled
+// memory never pins dead states. Early returns (budget trips, failures)
+// may skip a Put — a pool miss later, never a leak or a correctness
+// issue. (Frontier frames themselves live in the frontier.Queue now,
+// which owns and reuses their slices.)
 var (
-	expPool   = sync.Pool{New: func() any { return new([]expansion) }}
-	slotPool  = sync.Pool{New: func() any { return new([]itemSlot) }}
-	framePool = sync.Pool{New: func() any { return new([]pframe) }}
+	expPool  = sync.Pool{New: func() any { return new([]expansion) }}
+	slotPool = sync.Pool{New: func() any { return new([]itemSlot) }}
 )
 
 func expGet() []expansion {
@@ -88,16 +87,6 @@ func slotsPut(slots []itemSlot) {
 	slotPool.Put(&slots)
 }
 
-func framesGet() []pframe {
-	return (*framePool.Get().(*[]pframe))[:0]
-}
-
-func framesPut(frames []pframe) {
-	clear(frames)
-	frames = frames[:0]
-	framePool.Put(&frames)
-}
-
 // itemSlot is the private output slot for one level item. Slots make the
 // round's output independent of worker scheduling: item i's results land
 // in slot i no matter which worker claimed it.
@@ -118,11 +107,16 @@ func checkParallel(c *sem.Compiled, opts Options) *Result {
 	res := &Result{}
 	init := sem.NewState(c)
 
-	vis := visited.New(opts.NumShards)
+	vis := newVisited(opts)
 	vis.Seen(sem.NewFPHasher().Hash(init))
 	res.States = 1
 	res.PeakFrontier = 1
 	perWorker := make([]int, workers)
+	// The level queue is a FIFO frontier bucket per depth: arrival order
+	// is commit order, spilled or resident, and a fully resident level
+	// streams back as one chunk — the classic whole-level pass.
+	q := newSeqQueue(c, opts, false)
+	defer q.Close()
 	defer func() {
 		res.Visited = vis.Len()
 		res.Parallel = &stats.Parallel{
@@ -131,6 +125,7 @@ func checkParallel(c *sem.Compiled, opts Options) *Result {
 			PerWorkerStates: perWorker,
 			ShardContention: vis.Contention(),
 		}
+		res.Memory = memoryRecord(opts, vis, q.Stats())
 	}()
 
 	hashers := make([]*sem.FPHasher, workers)
@@ -138,8 +133,8 @@ func checkParallel(c *sem.Compiled, opts Options) *Result {
 		hashers[i] = sem.NewFPHasher()
 	}
 
-	level := []pframe{{st: init, nd: &node{}}}
-	for depth := 0; len(level) > 0; depth++ {
+	q.Push(0, pframe{st: init, nd: &node{}})
+	for depth := 0; q.Len() > 0; depth++ {
 		res.PeakDepth = depth
 		if opts.Context != nil {
 			if err := opts.Context.Err(); err != nil {
@@ -152,128 +147,139 @@ func checkParallel(c *sem.Compiled, opts Options) *Result {
 			break // no state at or below this level may be expanded
 		}
 
-		// Expansion round.
-		slots := slotsGet(len(level))
-		expandItem := func(i, w int) {
-			it := level[i]
-			if it.st.Threads[0].Done() {
-				return
+		bkt := q.Drain(depth)
+		total := bkt.Len()
+		pushed := 0 // successors committed to depth+1 so far
+		base := 0   // items of this level committed in earlier chunks
+		for {
+			level, _ := bkt.Next(frontierChunk)
+			if len(level) == 0 {
+				break
 			}
-			sr := sem.Step(it.st, 0)
-			if sr.Failure != nil {
-				slots[i] = itemSlot{fail: sr.Failure, worker: w}
-				return
-			}
-			exps := expGet()
-			for k, out := range sr.Outcomes {
-				fp := hashers[w].Hash(out.State)
-				if vis.Contains(fp) {
-					continue
+
+			// Expansion round.
+			slots := slotsGet(len(level))
+			expandItem := func(i, w int) {
+				it := level[i]
+				if it.st.Threads[0].Done() {
+					return
 				}
-				exps = append(exps, expansion{out: out, fp: fp, idx: int32(k)})
+				sr := sem.Step(it.st, 0)
+				if sr.Failure != nil {
+					slots[i] = itemSlot{fail: sr.Failure, worker: w}
+					return
+				}
+				exps := expGet()
+				for k, out := range sr.Outcomes {
+					fp := hashers[w].Hash(out.State)
+					if vis.Contains(fp) {
+						continue
+					}
+					exps = append(exps, expansion{out: out, fp: fp, idx: int32(k)})
+				}
+				slots[i] = itemSlot{exps: exps, worker: w}
 			}
-			slots[i] = itemSlot{exps: exps, worker: w}
-		}
-		if workers == 1 || len(level) < minParallelLevel {
-			for i := range level {
-				expandItem(i, 0)
-				if opts.Context != nil && i%workerPollStride == workerPollStride-1 {
-					if err := opts.Context.Err(); err != nil {
-						res.Verdict = ResourceBound
-						res.Reason = reasonFor(err)
-						return res
+			if workers == 1 || len(level) < minParallelLevel {
+				for i := range level {
+					expandItem(i, 0)
+					if opts.Context != nil && i%workerPollStride == workerPollStride-1 {
+						if err := opts.Context.Err(); err != nil {
+							res.Verdict = ResourceBound
+							res.Reason = reasonFor(err)
+							return res
+						}
 					}
 				}
-			}
-		} else {
-			var claim atomic.Int64
-			var stop atomic.Bool
-			var wg sync.WaitGroup
-			for w := 0; w < workers; w++ {
-				wg.Add(1)
-				go func(w int) {
-					defer wg.Done()
-					polled := 0
-					for {
-						i := int(claim.Add(1)) - 1
-						if i >= len(level) || stop.Load() {
-							return
-						}
-						expandItem(i, w)
-						if polled++; polled >= workerPollStride {
-							polled = 0
-							if opts.Context != nil && opts.Context.Err() != nil {
-								stop.Store(true)
+			} else {
+				var claim atomic.Int64
+				var stop atomic.Bool
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						polled := 0
+						for {
+							i := int(claim.Add(1)) - 1
+							if i >= len(level) || stop.Load() {
 								return
 							}
+							expandItem(i, w)
+							if polled++; polled >= workerPollStride {
+								polled = 0
+								if opts.Context != nil && opts.Context.Err() != nil {
+									stop.Store(true)
+									return
+								}
+							}
 						}
-					}
-				}(w)
-			}
-			wg.Wait()
-			if stop.Load() {
-				res.Verdict = ResourceBound
-				res.Reason = reasonFor(opts.Context.Err())
-				return res
-			}
-		}
-
-		// Commit: replay the level in item order through the sequential
-		// search's budget checks.
-		next := framesGet()
-		for i := range level {
-			it := level[i]
-			if it.st.Threads[0].Done() {
-				continue
-			}
-			if opts.MaxSteps > 0 && res.Steps >= opts.MaxSteps {
-				res.Verdict = ResourceBound
-				res.Reason = stats.ReasonSteps
-				return res
-			}
-			res.Steps++
-			sl := &slots[i]
-			if sl.fail != nil {
-				res.Verdict = Error
-				res.Failure = sl.fail
-				failEv := sem.Event{
-					Kind:     sem.EvStmt,
-					ThreadID: sl.fail.ThreadID,
-					Fn:       sl.fail.Fn,
-					Pos:      sl.fail.Pos,
-					Text:     sl.fail.Msg,
+					}(w)
 				}
-				res.Trace = append(it.nd.trace(), failEv)
-				return res
-			}
-			for _, ex := range sl.exps {
-				if vis.Seen(ex.fp) {
-					continue // claimed by an earlier item this level
-				}
-				perWorker[sl.worker]++
-				res.States++
-				if opts.MaxStates > 0 && res.States > opts.MaxStates {
+				wg.Wait()
+				if stop.Load() {
 					res.Verdict = ResourceBound
-					res.Reason = stats.ReasonStates
+					res.Reason = reasonFor(opts.Context.Err())
 					return res
 				}
-				next = append(next, pframe{
-					st: ex.out.State,
-					nd: &node{parent: it.nd, event: ex.out.Event, depth: depth + 1},
-				})
-				if fl := (len(level) - 1 - i) + len(next); fl > res.PeakFrontier {
-					res.PeakFrontier = fl
+			}
+
+			// Commit: replay the chunk in arrival order through the
+			// sequential search's budget checks.
+			for i := range level {
+				it := level[i]
+				if it.st.Threads[0].Done() {
+					continue
+				}
+				if opts.MaxSteps > 0 && res.Steps >= opts.MaxSteps {
+					res.Verdict = ResourceBound
+					res.Reason = stats.ReasonSteps
+					return res
+				}
+				res.Steps++
+				sl := &slots[i]
+				if sl.fail != nil {
+					res.Verdict = Error
+					res.Failure = sl.fail
+					failEv := sem.Event{
+						Kind:     sem.EvStmt,
+						ThreadID: sl.fail.ThreadID,
+						Fn:       sl.fail.Fn,
+						Pos:      sl.fail.Pos,
+						Text:     sl.fail.Msg,
+					}
+					res.Trace = append(fullTrace(c, it.nd), failEv)
+					return res
+				}
+				for _, ex := range sl.exps {
+					if vis.Seen(ex.fp) {
+						continue // claimed by an earlier item this level
+					}
+					perWorker[sl.worker]++
+					res.States++
+					if opts.MaxStates > 0 && res.States > opts.MaxStates {
+						res.Verdict = ResourceBound
+						res.Reason = stats.ReasonStates
+						return res
+					}
+					q.Push(depth+1, pframe{
+						st: ex.out.State,
+						nd: &node{parent: it.nd, event: ex.out.Event, idx: ex.idx, depth: depth + 1},
+					})
+					pushed++
+					if fl := (total - 1 - (base + i)) + pushed; fl > res.PeakFrontier {
+						res.PeakFrontier = fl
+					}
+				}
+				if sl.exps != nil {
+					expPut(sl.exps)
+					sl.exps = nil
 				}
 			}
-			if sl.exps != nil {
-				expPut(sl.exps)
-				sl.exps = nil
-			}
+			slotsPut(slots)
+			base += len(level)
 		}
-		opts.Collector.Sample(res.States, res.Steps, len(next), depth, vis.Len())
-		slotsPut(slots)
-		framesPut(level)
-		level = next
+		bkt.Close()
+		opts.Collector.Sample(res.States, res.Steps, pushed, depth, vis.Len())
 	}
 	res.Verdict = Safe
 	return res

@@ -107,6 +107,40 @@ type Options struct {
 	// NumShards is the visited-set shard count for the parallel search
 	// (rounded up to a power of two; 0 selects visited.DefaultShards).
 	NumShards int
+	// FrontierBudget, when > 0, bounds the BFS frontier's resident bytes:
+	// past the budget the bucket queue serializes frames (state snapshot
+	// plus padded successor-index path) to sorted on-disk runs under
+	// SpillDir and streams them back in exact processing order. Spilling
+	// is strictly an eviction policy — the verdict, trace, and every
+	// deterministic counter are bit-identical to an unbounded run at
+	// every worker count and budget. Ignored by the DFS engines (their
+	// frontier is a stack of O(depth) states). <= 0 disables spilling.
+	FrontierBudget int64
+	// SpillDir is where frontier runs are created (empty selects the
+	// system temp directory). A private subdirectory is created on first
+	// spill and removed when the search finishes.
+	SpillDir string
+	// VisitedCompact replaces the exact visited set with a blocked Bloom
+	// filter over the 64-bit fingerprints (~8–16 bits per state at the
+	// budgets it is meant for). Its only error is a false "seen" — a
+	// fresh state mistaken for visited and pruned, the same unsoundness
+	// direction as fingerprint hashing and the KISS reduction itself
+	// (missed states, never false alarms). Honored by the macro DFS and
+	// all BFS engines; the classic per-statement sequential search (and
+	// AuditFingerprints, whose audit maps shadow exact inserts) keeps
+	// the exact set.
+	VisitedCompact bool
+	// VisitedBytes sizes the compact filter (<= 0 selects
+	// visited.DefaultCompactBytes). Part of the result contract in
+	// compact mode: the filter size determines which states false-
+	// positive away.
+	VisitedBytes int64
+	// AuditVisited shadows the compact filter with an exact set and
+	// counts real false positives in the Memory stats. The search still
+	// explores the compact filter's state set — audit observes, never
+	// corrects — but restores the exact set's memory cost; meant for
+	// tests and calibration runs. Ignored unless VisitedCompact.
+	AuditVisited bool
 	// Context, when non-nil, is polled during the search (every
 	// ctxPollStride transitions). Cancellation or deadline expiry stops
 	// the search with a ResourceBound verdict and Reason
@@ -158,6 +192,10 @@ type Result struct {
 	// Parallel carries the worker-pool diagnostics of a parallel search
 	// (SearchWorkers > 1); nil for sequential runs.
 	Parallel *stats.Parallel
+	// Memory carries the memory-bounding diagnostics (compact-filter
+	// occupancy, spilled bytes/runs/merges); nil when neither
+	// FrontierBudget nor VisitedCompact engaged.
+	Memory *stats.Memory
 }
 
 func (r *Result) String() string {
@@ -192,6 +230,11 @@ func reasonFor(err error) stats.Reason {
 // together they spell this state's padded successor-index path, the
 // uncompressed BFS's within-level ordering key (see pathLess). depth is
 // the micro depth: parent.depth + len(prefix) + 1.
+//
+// A node restored from a spilled frontier frame has no parent chain:
+// base holds its full padded path instead (the spill key), which
+// appendNodePath counts toward descendants' order keys and replayPath
+// turns back into the trace prefix on failure.
 type node struct {
 	parent    *node
 	prefix    []sem.Event
@@ -199,6 +242,7 @@ type node struct {
 	event     sem.Event
 	idx       int32
 	depth     int
+	base      []int32
 }
 
 func (n *node) trace() []sem.Event {

@@ -1,0 +1,179 @@
+package seqcheck
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/frontier"
+	"repro/internal/sem"
+	"repro/internal/stats"
+	"repro/internal/visited"
+)
+
+// Memory-bounded search support for the BFS engines: the spilling
+// frontier's codec (order key = the padded successor-index path, payload
+// = a sem state snapshot), the visited-store selection, and trace
+// reconstruction for frames restored from disk.
+//
+// A spilled frame drops its trace-tree node chain — serializing parent
+// pointers would drag the whole ancestor tree to disk — and keeps only
+// its padded path. The restored frame's node carries that path in `base`;
+// paddedPath counts it toward descendants' order keys, which is what
+// keeps the bucket order (and therefore every counter and the first
+// reported failure) bit-identical to the unspilled search. The event
+// trace of a failure below a restored node is rebuilt by replaying the
+// base path from the initial state: each entry is the raw successor index
+// the per-statement search took at that micro step, so the replayed
+// events are exactly the ones the in-RAM node chain would have held.
+
+// frontierChunk is how many frames a spilled bucket is streamed in at a
+// time. Fully resident buckets always arrive as one chunk, so with
+// spilling disabled the chunk loop degenerates to the classic
+// whole-bucket pass.
+const frontierChunk = 4096
+
+// pframeNodeBytes is the budget estimate for a frame's node and queue
+// slot on top of its state.
+const pframeNodeBytes = 96
+
+// appendPathIdx appends one raw successor index to an encoded path key.
+// Indices are non-negative, so 4-byte big-endian encoding makes
+// bytes.Compare on keys agree with pathLess on index slices (including
+// the shorter-prefix-first tie break).
+func appendPathIdx(buf []byte, idx int32) []byte {
+	return binary.BigEndian.AppendUint32(buf, uint32(idx))
+}
+
+// appendNodePath appends nd's full padded path (root-first) in key
+// encoding.
+func appendNodePath(buf []byte, nd *node) []byte {
+	if nd == nil {
+		return buf
+	}
+	if nd.parent != nil {
+		buf = appendNodePath(buf, nd.parent)
+		for _, idx := range nd.prefixIdx {
+			buf = appendPathIdx(buf, idx)
+		}
+		return appendPathIdx(buf, nd.idx)
+	}
+	// A restored root carries its ancestry as an already-encoded base.
+	for _, idx := range nd.base {
+		buf = appendPathIdx(buf, idx)
+	}
+	return buf
+}
+
+// decodePathKey decodes a key back into raw successor indices.
+func decodePathKey(key []byte) []int32 {
+	out := make([]int32, len(key)/4)
+	for i := range out {
+		out[i] = int32(binary.BigEndian.Uint32(key[i*4:]))
+	}
+	return out
+}
+
+// newSeqQueue builds the frontier queue for a seqcheck BFS engine;
+// ordered selects path-key order (the macro bucket engine) over arrival
+// order (the per-statement level engine).
+func newSeqQueue(c *sem.Compiled, opts Options, ordered bool) *frontier.Queue[pframe] {
+	return frontier.New(frontier.Config{
+		BudgetBytes: opts.FrontierBudget,
+		Dir:         opts.SpillDir,
+		Ordered:     ordered,
+	}, frontier.Codec[pframe]{
+		Key: func(f pframe, buf []byte) []byte {
+			return appendNodePath(buf, f.nd)
+		},
+		Encode: func(f pframe, buf []byte) []byte {
+			return sem.AppendSnapshot(buf, f.st)
+		},
+		Decode: func(key, payload []byte, depth int) pframe {
+			st, err := sem.DecodeSnapshot(c, payload)
+			if err != nil {
+				panic(fmt.Sprintf("seqcheck: corrupt spilled frame: %v", err))
+			}
+			return pframe{st: st, nd: &node{base: decodePathKey(key), depth: depth}}
+		},
+		Size: func(f pframe) int {
+			return f.st.MemSize() + pframeNodeBytes
+		},
+	})
+}
+
+// replayPath re-executes the raw successor indices of a padded path from
+// the initial state, returning the event sequence it spells. Used only
+// to rebuild the trace prefix of a failure under a restored frame —
+// O(depth) once per reported failure.
+func replayPath(c *sem.Compiled, path []int32) []sem.Event {
+	st := sem.NewState(c)
+	evs := make([]sem.Event, 0, len(path))
+	for _, idx := range path {
+		sr := sem.Step(st, 0)
+		if sr.Failure != nil || int(idx) >= len(sr.Outcomes) {
+			panic(fmt.Sprintf("seqcheck: spilled path does not replay (idx %d of %d outcomes)",
+				idx, len(sr.Outcomes)))
+		}
+		out := sr.Outcomes[idx]
+		evs = append(evs, out.Event)
+		st = out.State
+	}
+	return evs
+}
+
+// fullTrace is node.trace extended to chains rooted in a restored frame:
+// the base path's events are replayed and prepended.
+func fullTrace(c *sem.Compiled, nd *node) []sem.Event {
+	root := nd
+	for root != nil && root.parent != nil {
+		root = root.parent
+	}
+	if root == nil || len(root.base) == 0 {
+		return nd.trace()
+	}
+	pre := replayPath(c, root.base)
+	return append(pre, nd.trace()...)
+}
+
+// newVisited selects the visited store for this search's options.
+func newVisited(opts Options) visited.Store {
+	if !opts.VisitedCompact {
+		return visited.New(opts.NumShards)
+	}
+	if opts.AuditVisited {
+		return visited.NewAudited(opts.VisitedBytes)
+	}
+	return visited.NewCompact(opts.VisitedBytes)
+}
+
+// memoryRecord assembles the Result.Memory diagnostics; nil when neither
+// memory-bounding feature engaged.
+func memoryRecord(opts Options, vis visited.Store, fst frontier.Stats) *stats.Memory {
+	if !opts.VisitedCompact && opts.FrontierBudget <= 0 {
+		return nil
+	}
+	m := &stats.Memory{VisitedMode: "exact"}
+	var filter *visited.Compact
+	switch v := vis.(type) {
+	case *visited.Compact:
+		filter = v
+	case *visited.Audited:
+		filter = v.Filter()
+		m.VisitedFalsePositives = v.FalsePositives()
+	}
+	if filter != nil {
+		m.VisitedMode = "compact"
+		m.VisitedBytes = filter.SizeBytes()
+		m.VisitedOccupancy = filter.Occupancy()
+		m.VisitedFPRate = filter.EstFPRate()
+	}
+	if opts.FrontierBudget > 0 {
+		m.SpillBudgetBytes = opts.FrontierBudget
+		m.SpilledBytes = fst.SpilledBytes
+		m.SpilledFrames = fst.SpilledFrames
+		m.SpilledRuns = fst.Runs
+		m.MergePasses = fst.MergePasses
+		m.FrontierPeakRAM = fst.PeakRAMBytes
+	}
+	return m
+}

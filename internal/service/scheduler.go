@@ -103,6 +103,13 @@ func (s *Server) observe(res *kiss.Result) {
 		s.summaryStepsSaved.Add(float64(sm.StepsSaved))
 		s.summaryStores.Add(float64(sm.Stores))
 	}
+	if mem := res.Stats.Memory; mem != nil {
+		s.spilledBytes.Add(float64(mem.SpilledBytes))
+		s.spilledFrames.Add(float64(mem.SpilledFrames))
+		s.spilledRuns.Add(float64(mem.SpilledRuns))
+		s.mergePasses.Add(float64(mem.MergePasses))
+		s.visitedFPs.Add(float64(mem.VisitedFalsePositives))
+	}
 	s.phaseParse.Observe(res.Stats.Phases.Parse.Seconds())
 	s.phaseTransform.Observe(res.Stats.Phases.Transform.Seconds())
 	s.phaseCheck.Observe(res.Stats.Phases.Check.Seconds())
@@ -194,6 +201,16 @@ func (s *Server) registerMetrics() {
 			"Whole summary tables evicted by the store's byte budget.", nil,
 			func() float64 { _, _, ev := s.summaries.stats(); return float64(ev) })
 	}
+	s.spilledBytes = r.Counter("kissd_spilled_bytes_total",
+		"Frontier frame bytes spilled to sorted disk runs under the memory budget.", nil)
+	s.spilledFrames = r.Counter("kissd_spilled_frames_total",
+		"Frontier frames spilled to disk under the memory budget.", nil)
+	s.spilledRuns = r.Counter("kissd_spilled_runs_total",
+		"Sorted on-disk runs written by budgeted frontiers.", nil)
+	s.mergePasses = r.Counter("kissd_merge_passes_total",
+		"K-way merge passes streaming spilled runs back into dequeue order.", nil)
+	s.visitedFPs = r.Counter("kissd_visited_false_positives_total",
+		"Compact visited-set false positives observed by audited checks.", nil)
 	s.phaseParse = r.Histogram("kissd_phase_seconds", "Per-phase wall time of completed checks.",
 		map[string]string{"phase": "parse"}, nil)
 	s.phaseTransform = r.Histogram("kissd_phase_seconds", "Per-phase wall time of completed checks.",

@@ -43,6 +43,17 @@ type Config struct {
 	// queue wait included) when the request doesn't set timeout_ms.
 	// 0 means no default deadline.
 	DefaultTimeout time.Duration
+	// MemBudgetMB is the per-job memory ceiling in MiB: a submission
+	// asking for more (or for no budget at all) is clamped before the
+	// cache key is computed — the scheduler owns the machine's RAM the
+	// same way it owns its cores, and an unbudgeted frontier on a busy
+	// daemon is an OOM, not a policy. The clamp changes the key only
+	// under a compact visited set (where the budget sizes the filter and
+	// so shapes the result); a fleet behind one coordinator should run a
+	// uniform ceiling, or peer cache lookups for compact-mode jobs miss
+	// across nodes (never corrupt — keys always reflect the effective
+	// config). 0 = no ceiling.
+	MemBudgetMB int
 	// MaxSourceBytes bounds the request body. Default 8 MiB.
 	MaxSourceBytes int64
 }
@@ -81,6 +92,11 @@ type Server struct {
 	summaryMisses     *stats.Counter
 	summaryStepsSaved *stats.Counter
 	summaryStores     *stats.Counter
+	spilledBytes      *stats.Counter
+	spilledFrames     *stats.Counter
+	spilledRuns       *stats.Counter
+	mergePasses       *stats.Counter
+	visitedFPs        *stats.Counter
 	phaseParse        *stats.Histogram
 	phaseTransform    *stats.Histogram
 	phaseCheck        *stats.Histogram
@@ -149,6 +165,7 @@ func (s *Server) Health() Health {
 		Version:       s.cfg.Version,
 		Workers:       s.cfg.Workers,
 		SearchWorkers: s.cfg.SearchWorkers,
+		MemBudgetMB:   s.cfg.MemBudgetMB,
 		QueueDepth:    len(s.queue),
 		QueueCapacity: cap(s.queue),
 		InFlight:      int(s.inflight.Load()),
@@ -240,6 +257,13 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	cfg := req.Config
 	if cfg == nil {
 		cfg = kiss.NewConfig()
+	}
+	// Apply the per-job memory ceiling before the key is computed, so the
+	// cache is always keyed on the config the check actually ran under.
+	if s.cfg.MemBudgetMB > 0 && (cfg.MemBudgetMB == 0 || cfg.MemBudgetMB > s.cfg.MemBudgetMB) {
+		clamped := *cfg
+		clamped.MemBudgetMB = s.cfg.MemBudgetMB
+		cfg = &clamped
 	}
 	key, err := CacheKey(prog.Source(), cfg)
 	if err != nil {

@@ -254,6 +254,66 @@ func isStatus(err error, code int) bool {
 	return ok && se.Code == code
 }
 
+// TestMemBudgetCeiling: the scheduler clamps each job's memory budget to
+// the server ceiling before the cache key is computed, so the cache is
+// always keyed on the config the check actually ran under.
+func TestMemBudgetCeiling(t *testing.T) {
+	_, cl := newTestServer(t, Config{Workers: 1, MemBudgetMB: 8})
+	ctx := context.Background()
+
+	// A compact-mode job asking for 512 MiB runs under the 8 MiB ceiling:
+	// half the budget sizes the visited filter.
+	big := kiss.NewConfig(kiss.WithBFS(), kiss.WithMaxStates(2000),
+		kiss.WithVisitedMode(kiss.VisitedCompact), kiss.WithMemBudgetMB(512))
+	resp, err := cl.Check(ctx, bigSrc, big, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := resp.Result.Stats.Memory
+	if mem == nil {
+		t.Fatal("budgeted check reported no memory record")
+	}
+	if want := int64(8<<20) / 2; mem.VisitedBytes != want {
+		t.Errorf("visited filter sized %d bytes, want %d (the clamped ceiling's half)", mem.VisitedBytes, want)
+	}
+
+	// An explicit request at the ceiling is the same effective problem —
+	// it must hit the cache entry the clamped job wrote.
+	atCeiling := kiss.NewConfig(kiss.WithBFS(), kiss.WithMaxStates(2000),
+		kiss.WithVisitedMode(kiss.VisitedCompact), kiss.WithMemBudgetMB(8))
+	again, err := cl.Check(ctx, bigSrc, atCeiling, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Error("compact job at the ceiling missed the cache entry the clamped job wrote")
+	}
+
+	// Exact-mode jobs: the budget only moves frontier frames between RAM
+	// and disk (bit-identical results), so the clamp never splits the
+	// cache — budgeted and unbudgeted submissions share one key.
+	exact := kiss.NewConfig(kiss.WithBFS(), kiss.WithMaxStates(2000))
+	if _, err := cl.Check(ctx, bigSrc, exact, 0); err != nil {
+		t.Fatal(err)
+	}
+	exactBudgeted := kiss.NewConfig(kiss.WithBFS(), kiss.WithMaxStates(2000), kiss.WithMemBudgetMB(512))
+	hit, err := cl.Check(ctx, bigSrc, exactBudgeted, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached {
+		t.Error("exact-mode budgeted submission missed the unbudgeted job's cache entry")
+	}
+
+	h, err := cl.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.MemBudgetMB != 8 {
+		t.Errorf("healthz mem_budget_mb = %d, want 8", h.MemBudgetMB)
+	}
+}
+
 // TestHealthz: version and counters surface through /healthz.
 func TestHealthz(t *testing.T) {
 	_, cl := newTestServer(t, Config{Workers: 1, Version: "v1.2.3-test"})

@@ -166,6 +166,7 @@ type Health struct {
 	Version       string     `json:"version"`
 	Workers       int        `json:"workers"`
 	SearchWorkers int        `json:"search_workers"`
+	MemBudgetMB   int        `json:"mem_budget_mb,omitempty"`
 	QueueDepth    int        `json:"queue_depth"`
 	QueueCapacity int        `json:"queue_capacity"`
 	InFlight      int        `json:"inflight"`

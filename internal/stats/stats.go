@@ -237,6 +237,40 @@ type Stats struct {
 	// (nil when summaries are off or never engaged). Kept separate from
 	// Memo so the ablation can tell fold hits from summary hits.
 	Summary *Summary `json:"summary,omitempty"`
+	// Memory carries the memory-bounded search diagnostics (nil when
+	// neither the spilling frontier nor the compact visited set engaged).
+	Memory *Memory `json:"memory,omitempty"`
+}
+
+// Memory reports the memory-bounded search layer: the compact visited
+// set's load and the spilling frontier's disk traffic. Every field is
+// deterministic for a fixed configuration — spill decisions and filter
+// inserts happen on the searches' single-threaded commit paths in commit
+// order — but the record describes a *memory policy*, not the verdict,
+// so StripTiming drops it along with the other diagnostics when results
+// are compared across configurations.
+type Memory struct {
+	// VisitedMode is "exact" or "compact".
+	VisitedMode string `json:"visited_mode"`
+	// VisitedBytes is the compact filter's allocated size (0 in exact
+	// mode); VisitedOccupancy the fraction of its bits set; VisitedFPRate
+	// the estimated false-positive probability of the next lookup at that
+	// occupancy.
+	VisitedBytes     int64   `json:"visited_bytes,omitempty"`
+	VisitedOccupancy float64 `json:"visited_occupancy,omitempty"`
+	VisitedFPRate    float64 `json:"visited_fp_rate,omitempty"`
+	// VisitedFalsePositives counts measured false positives against the
+	// shadow exact set (AuditVisited runs only).
+	VisitedFalsePositives int64 `json:"visited_false_positives,omitempty"`
+	// SpillBudgetBytes is the frontier's configured in-RAM budget (0 when
+	// spilling is disabled); the remaining fields are the frontier's
+	// cumulative disk traffic and resident high-water mark.
+	SpillBudgetBytes int64 `json:"spill_budget_bytes,omitempty"`
+	SpilledBytes     int64 `json:"spilled_bytes,omitempty"`
+	SpilledFrames    int64 `json:"spilled_frames,omitempty"`
+	SpilledRuns      int64 `json:"spilled_runs,omitempty"`
+	MergePasses      int64 `json:"merge_passes,omitempty"`
+	FrontierPeakRAM  int64 `json:"frontier_peak_ram,omitempty"`
 }
 
 // Memo reports the fold-memoization table of a macro-step search: how
@@ -329,6 +363,7 @@ func (s *Stats) StripTiming() {
 	s.Parallel = nil
 	s.Memo = nil
 	s.Summary = nil
+	s.Memory = nil
 }
 
 // BoundName renders the tripped bound for human-readable results; a zero

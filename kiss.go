@@ -264,6 +264,33 @@ type Config struct {
 	// delta model; audit exists to detect that and for differential
 	// tests, and costs more than the replay saves.
 	AuditFoldMemo bool
+	// VisitedMode selects the visited-set representation of the
+	// explicit-state searches: VisitedExact (the default; "" means exact)
+	// stores every 64-bit state fingerprint exactly, reproducing the seed
+	// search bit-for-bit; VisitedCompact stores fingerprints in a blocked
+	// Bloom filter at ~8–16 bits per state, an order of magnitude smaller.
+	// A compact filter's only error is a false "already seen" — it can
+	// *shrink* the explored set (possibly missing a failure) but never
+	// fabricate one, and Stats.Memory reports its occupancy and estimated
+	// false-positive rate.
+	VisitedMode string
+	// MemBudgetMB caps the search's memory footprint in MiB; 0 means
+	// unlimited (no frontier spilling; a compact filter takes its default
+	// size). Under a budget the BFS frontier spills overflowing depth
+	// buckets to sorted on-disk runs and streams them back in order —
+	// results stay bit-identical at every worker count — and under
+	// VisitedCompact the budget is split evenly between the frontier's
+	// in-RAM share and the filter.
+	MemBudgetMB int
+	// SpillDir is where frontier spill files are created under a memory
+	// budget; "" uses the system temp directory. Placement only — it never
+	// changes what a check computes.
+	SpillDir string
+	// AuditVisited shadows a compact visited filter with an exact set,
+	// counting measured false positives in Stats.Memory without changing
+	// the search (differential testing; costs the exact set's memory).
+	// Ignored under VisitedExact.
+	AuditVisited bool
 	// SearchWorkers >= 1 runs the state-space search of a *single* check
 	// with that many concurrent workers over a level-synchronized
 	// breadth-first frontier and a sharded visited set (both Check and
@@ -374,6 +401,29 @@ func WithCallSummaries(on bool) Option { return func(c *Config) { c.DisableCallS
 // WithSummaryMB sets the summary-table byte budget in MiB (0: default).
 func WithSummaryMB(n int) Option { return func(c *Config) { c.SummaryMB = n } }
 
+// Visited-set representations (Config.VisitedMode).
+const (
+	// VisitedExact stores every state fingerprint exactly (the default).
+	VisitedExact = "exact"
+	// VisitedCompact stores fingerprints in a blocked Bloom filter at
+	// ~8–16 bits per state; false positives only ever shrink the search.
+	VisitedCompact = "compact"
+)
+
+// WithVisitedMode selects the visited-set representation: VisitedExact
+// (bit-identical to the classic search) or VisitedCompact (an order of
+// magnitude less memory; may under-explore, never over-reports).
+func WithVisitedMode(mode string) Option { return func(c *Config) { c.VisitedMode = mode } }
+
+// WithMemBudgetMB caps the search's memory footprint in MiB: the BFS
+// frontier spills to disk past its share of the budget, and a compact
+// visited filter is sized to the other half. 0 means unlimited.
+func WithMemBudgetMB(n int) Option { return func(c *Config) { c.MemBudgetMB = n } }
+
+// WithAuditVisited shadows a compact visited filter with an exact set,
+// counting measured false positives in Stats.Memory.
+func WithAuditVisited() Option { return func(c *Config) { c.AuditVisited = true } }
+
 // WithSearchWorkers runs the state-space search with n concurrent workers
 // (n >= 1; results are bit-identical at every n). 0 restores the classic
 // sequential search.
@@ -403,6 +453,34 @@ func WithProgressCadence(everyStates int, every time.Duration) Option {
 // when no progress hook is registered).
 func (c *Config) collector() *stats.Collector {
 	return stats.NewCollector(c.Progress, c.ProgressStates, c.ProgressEvery)
+}
+
+// visitedCompact validates VisitedMode, reporting whether the compact
+// filter is selected.
+func (c *Config) visitedCompact() (bool, error) {
+	switch c.VisitedMode {
+	case "", VisitedExact:
+		return false, nil
+	case VisitedCompact:
+		return true, nil
+	}
+	return false, fmt.Errorf("kiss: unknown visited mode %q (want %q or %q)",
+		c.VisitedMode, VisitedExact, VisitedCompact)
+}
+
+// memoryBudget splits MemBudgetMB between the frontier's in-RAM share and
+// the compact filter: half and half when both are bounded, all of it to
+// the frontier under an exact visited set. No budget means no spilling; a
+// compact filter then takes its default size.
+func (c *Config) memoryBudget(compact bool) (frontierBytes, filterBytes int64) {
+	if c.MemBudgetMB <= 0 {
+		return 0, 0
+	}
+	total := int64(c.MemBudgetMB) << 20
+	if compact {
+		return total / 2, total / 2
+	}
+	return total, 0
 }
 
 // ikissOptions lowers the transformation knobs.
@@ -532,6 +610,12 @@ func (c *Config) Check(p *Program) (*Result, error) {
 		return c.checkSummaries(seq, col)
 	}
 
+	compactVis, err := c.visitedCompact()
+	if err != nil {
+		return nil, err
+	}
+	frontierBytes, filterBytes := c.memoryBudget(compactVis)
+
 	col.Start(stats.PhaseCheck)
 	sum := c.newSummaryTable()
 	compiled, err := compileFor(sum, seq.ast)
@@ -551,6 +635,11 @@ func (c *Config) Check(p *Program) (*Result, error) {
 		Summaries:         sum,
 		SearchWorkers:     c.SearchWorkers,
 		NumShards:         c.NumShards,
+		VisitedCompact:    compactVis,
+		VisitedBytes:      filterBytes,
+		AuditVisited:      c.AuditVisited,
+		FrontierBudget:    frontierBytes,
+		SpillDir:          c.SpillDir,
 		Context:           c.Context,
 		Collector:         col,
 	})
@@ -588,6 +677,7 @@ func (c *Config) Check(p *Program) (*Result, error) {
 		Parallel:         r.Parallel,
 		Memo:             memoStats(memo),
 		Summary:          summaryStats(sum, sumPrev),
+		Memory:           r.Memory,
 	}
 	col.Finalize(&out.Stats)
 	return out, nil
@@ -731,6 +821,11 @@ func (c *Config) checkSummaries(seq *Program, col *stats.Collector) (*Result, er
 func (c *Config) Explore(p *Program) (*Result, error) {
 	col := c.collector()
 	col.AddPhase(stats.PhaseParse, p.parseTime)
+	compactVis, err := c.visitedCompact()
+	if err != nil {
+		return nil, err
+	}
+	frontierBytes, filterBytes := c.memoryBudget(compactVis)
 	col.Start(stats.PhaseCheck)
 	sum := c.newSummaryTable()
 	compiled, err := compileFor(sum, p.ast)
@@ -750,6 +845,11 @@ func (c *Config) Explore(p *Program) (*Result, error) {
 		Summaries:         sum,
 		SearchWorkers:     c.SearchWorkers,
 		NumShards:         c.NumShards,
+		VisitedCompact:    compactVis,
+		VisitedBytes:      filterBytes,
+		AuditVisited:      c.AuditVisited,
+		FrontierBudget:    frontierBytes,
+		SpillDir:          c.SpillDir,
 		Context:           c.Context,
 		Collector:         col,
 	})
@@ -774,6 +874,7 @@ func (c *Config) Explore(p *Program) (*Result, error) {
 		Parallel:         r.Parallel,
 		Memo:             memoStats(memo),
 		Summary:          summaryStats(sum, sumPrev),
+		Memory:           r.Memory,
 	}
 	col.Finalize(&out.Stats)
 	return out, nil
