@@ -79,6 +79,7 @@ bench:
 	$(GO) run ./cmd/kissbench -macrobench -min-ratio 3.0 -min-hit-ratio 0.10 -json -o BENCH_PR6.json
 	$(GO) run ./cmd/kissbench -membench -drivers fakemodem,kbdclass,mouclass,mouser -max-states 4000 -mem-budget-mb 1 -min-improved 3 -o BENCH_PR9.json
 	$(GO) run ./cmd/kissbench -macrobench -min-ratio 3.0 -min-hit-ratio 0.10 -require-memo-speedup -json -o BENCH_PR8.json
+	$(GO) run ./cmd/kissbench -seqbench -min-cb-only 1 -o BENCH_PR10.json
 
 # bench-smoke is the CI-sized slice of the ablation suite: four arms on
 # four small drivers with the same identity verification, asserting the
@@ -98,6 +99,12 @@ bench-smoke:
 	@grep -q '"rows"' .bench-smoke.json && grep -q '"spilled_bytes"' .bench-smoke.json || { echo "bench-smoke: malformed bench artifact"; rm -f .bench-smoke.json; exit 1; }
 	@rm -f .bench-smoke.json
 	@echo "bench-smoke: membench artifact non-empty and well-formed"
+	@rm -f .bench-smoke.json
+	$(GO) run ./cmd/kissbench -seqbench -seq-programs -1 -max-states 50000 -min-cb-only 1 -o .bench-smoke.json
+	@test -s .bench-smoke.json || { echo "bench-smoke: empty seqbench artifact"; rm -f .bench-smoke.json; exit 1; }
+	@grep -q '"cb_only": true' .bench-smoke.json && grep -q '"sound": true' .bench-smoke.json || { echo "bench-smoke: seqbench found no CB-only bug"; rm -f .bench-smoke.json; exit 1; }
+	@rm -f .bench-smoke.json
+	@echo "bench-smoke: seqbench artifact non-empty; CB finds scenario bugs KISS misses"
 
 # serve-smoke is the kissd acceptance loop: start the daemon on a
 # loopback port, run a two-driver corpus slice through it twice, require

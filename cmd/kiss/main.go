@@ -34,6 +34,15 @@
 // resolution"). -audit-visited shadow-checks compact hits against an
 // exact set and reports the false-positive count.
 //
+// Sequentialization (PR 10): -seq cb -context-switches K replaces the
+// KISS translation with the context-bounded (CB) transform for check and
+// transform: per-global snapshots are guessed at each of K context
+// switches and validated by linking assumes at the end, so bugs needing a
+// preempted thread to *resume* — which the KISS discipline can never
+// schedule — become reachable at the price of branching on the guessed
+// values. CB handles the scalar-globals fragment only (no heap, no race
+// targets); -seq kiss (the default) is the paper's translation.
+//
 // check and race also take -server URL to submit the job to a running
 // kissd daemon instead of checking in-process: the daemon may answer
 // from its content-addressed result cache (marked "[cached]"), and
@@ -102,9 +111,9 @@ func usage() {
 	fmt.Fprint(os.Stderr, `kiss - sequentializing checker for concurrent programs (Qadeer & Wu, PLDI 2004)
 
 commands:
-  check     [-max-ts N] [-max-states N] [-max-steps N] [-max-depth N] [-bfs] [-timeout D] [-progress] prog.pl
+  check     [-seq kiss|cb] [-context-switches K] [-max-ts N] [-max-states N] [-max-steps N] [-max-depth N] [-bfs] [-timeout D] [-progress] prog.pl
   race      [-max-ts N] -target T [-max-states N] [-max-steps N] [-max-depth N] [-timeout D] [-progress] prog.pl
-  transform [-max-ts N] [-target T] prog.pl
+  transform [-seq kiss|cb] [-context-switches K] [-max-ts N] [-target T] prog.pl
   explore   [-context-bound N] [-max-states N] [-timeout D] [-progress] prog.pl
   print     prog.pl
   cfg       [-fn NAME] [-max-ts N] [-target T] prog.pl   (DOT of the transformed CFG)
@@ -194,6 +203,24 @@ func (bf *budgetFlags) options() ([]kiss.Option, context.CancelFunc) {
 	return opts, cancel
 }
 
+// addSeqFlags registers the sequentialization axis shared by check and
+// transform.
+func addSeqFlags(fs *flag.FlagSet) (seq *string, contextSwitches *int) {
+	seq = fs.String("seq", "", `sequentialization: "kiss" (default, the paper's translation) or "cb" (context-bounded, guessed round snapshots)`)
+	contextSwitches = fs.Int("context-switches", 0,
+		fmt.Sprintf("CB context-switch bound K (0 = default %d; -seq cb only)", kiss.DefaultContextSwitches))
+	return seq, contextSwitches
+}
+
+// warnMemBudget points out a configured memory budget the selected engine
+// would silently ignore: the budget machinery (spilling frontier, sized
+// visited filter) lives in the BFS engines only.
+func warnMemBudget(cfg *kiss.Config) {
+	if cfg.MemBudgetIgnored() {
+		fmt.Fprintln(os.Stderr, "kiss: warning: -mem-budget-mb has no effect on the default sequential DFS engine; add -bfs (or -search-workers N) to engage the spilling frontier")
+	}
+}
+
 func printProgress(e kiss.Event) {
 	if e.Final {
 		fmt.Fprintf(os.Stderr, "progress: done phase=%s states=%d steps=%d visited=%d elapsed=%s\n",
@@ -270,13 +297,15 @@ func runCheck(args []string) error {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
 	maxTS := fs.Int("max-ts", 0, "bound MAX on the pending-thread multiset ts")
 	bf := addBudgetFlags(fs)
+	seq, contextSwitches := addSeqFlags(fs)
 	bfs := fs.Bool("bfs", false, "breadth-first search (shortest counterexample)")
 	certify := fs.Bool("certify", false, "on error, replay the reconstructed schedule on the concurrent program")
 	summaries := fs.Bool("summaries", false, "use the summary-based engine (pointer-free fragment; handles recursion; no trace)")
 	fs.Parse(args)
 	opts, cancel := bf.options()
 	defer cancel()
-	opts = append(opts, kiss.WithMaxTS(*maxTS))
+	opts = append(opts, kiss.WithMaxTS(*maxTS),
+		kiss.WithSequentialization(*seq), kiss.WithContextSwitches(*contextSwitches))
 	if *bfs {
 		opts = append(opts, kiss.WithBFS())
 	}
@@ -284,6 +313,7 @@ func runCheck(args []string) error {
 		opts = append(opts, kiss.WithSummaries())
 	}
 	cfg := kiss.NewConfig(opts...)
+	warnMemBudget(cfg)
 	if *bf.server != "" {
 		if *certify {
 			return fmt.Errorf("-certify replays the trace locally and is incompatible with -server")
@@ -326,6 +356,7 @@ func runRace(args []string) error {
 	defer cancel()
 	opts = append(opts, kiss.WithMaxTS(*maxTS), kiss.WithRaceTarget(t))
 	cfg := kiss.NewConfig(opts...)
+	warnMemBudget(cfg)
 	if *bf.server != "" {
 		if fs.NArg() != 1 {
 			return fmt.Errorf("expected exactly one program file, got %d args", fs.NArg())
@@ -350,13 +381,14 @@ func runTransform(args []string) error {
 	fs := flag.NewFlagSet("transform", flag.ExitOnError)
 	maxTS := fs.Int("max-ts", 0, "bound MAX on the pending-thread multiset ts")
 	target := fs.String("target", "", "optional race target: instrument for race checking")
+	seqMode, contextSwitches := addSeqFlags(fs)
 	stats := fs.Bool("stats", false, "print instrumentation blowup statistics instead of the program")
 	fs.Parse(args)
 	prog, err := loadProgram(fs)
 	if err != nil {
 		return err
 	}
-	seq, err := transformed(prog, *maxTS, *target)
+	seq, err := transformed(prog, *maxTS, *target, *seqMode, *contextSwitches)
 	if err != nil {
 		return err
 	}
@@ -391,12 +423,17 @@ func runExplore(args []string) error {
 	return nil
 }
 
-// transformed applies the KISS transformation, race-instrumented when a
-// target is given — the shared front half of transform and cfg.
-func transformed(prog *kiss.Program, maxTS int, target string) (*kiss.Program, error) {
-	cfg := kiss.NewConfig(kiss.WithMaxTS(maxTS))
+// transformed applies the selected sequentialization (KISS or CB),
+// race-instrumented when a target is given — the shared front half of
+// transform and cfg. Race instrumentation needs the KISS translation.
+func transformed(prog *kiss.Program, maxTS int, target, seq string, contextSwitches int) (*kiss.Program, error) {
+	cfg := kiss.NewConfig(kiss.WithMaxTS(maxTS),
+		kiss.WithSequentialization(seq), kiss.WithContextSwitches(contextSwitches))
 	if target == "" {
 		return cfg.Transform(prog)
+	}
+	if seq == kiss.SeqCB {
+		return nil, fmt.Errorf("-target requires the KISS translation; it is not supported under -seq %s", kiss.SeqCB)
 	}
 	t, err := parseTarget(target)
 	if err != nil {
@@ -415,7 +452,7 @@ func runCFG(args []string) error {
 	if err != nil {
 		return err
 	}
-	seq, err := transformed(prog, *maxTS, *target)
+	seq, err := transformed(prog, *maxTS, *target, "", 0)
 	if err != nil {
 		return err
 	}

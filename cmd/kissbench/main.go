@@ -66,7 +66,18 @@
 // caps search memory, and -audit-visited shadow-checks compact hits
 // against an exact set.
 //
-// -o FILE writes the run's JSON output (from -json or -membench) to FILE
+// -seqbench runs the sequentialization ablation (PR 10): KISS vs CB(K)
+// at K = 2, 3, 4 vs the concurrent ground truth over the assertion
+// scenarios (internal/drivers.Scenarios) plus -seq-programs random
+// programs. It exits non-zero if any CB arm reports a bug the oracle
+// refutes, if raising K ever loses a bug, or if -min-cb-only N is given
+// and fewer than N truth-confirmed bugs were found by CB but missed by
+// KISS. For the corpus tables, -seq kiss|cb and -context-switches K
+// select the transform (the race-target corpus is outside the CB
+// fragment and reports per-field "unsupported" under -seq cb).
+//
+// -o FILE writes the run's JSON output (from -json, -membench, or
+// -seqbench) to FILE
 // atomically — the bytes are staged in memory, written to a temp file,
 // and renamed into place only when non-empty — so an interrupted or
 // failed run can never leave a truncated artifact behind; kissbench
@@ -155,6 +166,11 @@ func main() {
 	macrobench := flag.Bool("macrobench", false, "run the macro-step compression ablation")
 	membench := flag.Bool("membench", false, "run the memory-budget study: exact visited set vs compact filter + spilling frontier on the hard fields")
 	minImproved := flag.Int("min-improved", 0, "with -membench: fail unless at least N MaxStates-tripped fields complete or reach 10x states under the budget (0 = no check)")
+	seqbench := flag.Bool("seqbench", false, "run the sequentialization ablation: KISS vs CB(K) vs the concurrent ground truth on the assertion scenarios and random programs")
+	seqPrograms := flag.Int("seq-programs", 0, "with -seqbench: random-program population size (0 = default, negative = scenarios only)")
+	minCBOnly := flag.Int("min-cb-only", 0, "with -seqbench: fail unless at least N truth-confirmed bugs are found by CB but missed by KISS (0 = no check)")
+	seqMode := flag.String("seq", "", `sequentialization for the corpus tables: "kiss" (default) or "cb" (context-bounded; the race-target corpus reports per-field "unsupported")`)
+	contextSwitches := flag.Int("context-switches", 0, "CB context-switch bound K for the corpus tables (0 = default; -seq cb only)")
 	visitedMode := flag.String("visited", "", "visited-set representation for the table runs: exact (default) or compact")
 	memBudgetMB := flag.Int("mem-budget-mb", 0, "search memory budget in MiB: the frontier spills to disk past its share, a compact filter is sized to the rest (0 = unlimited)")
 	auditVisited := flag.Bool("audit-visited", false, "shadow-check compact visited hits against an exact set, counting false positives in the metrics")
@@ -190,7 +206,7 @@ func main() {
 	if *all {
 		*table1, *table2, *refcount, *blowup, *coverage, *locksetCmp, *contextBound, *schedulers = true, true, true, true, true, true, true, true
 	}
-	if !*table1 && !*table2 && !*refcount && !*blowup && !*coverage && !*locksetCmp && !*contextBound && !*schedulers && !*macrobench && !*membench {
+	if !*table1 && !*table2 && !*refcount && !*blowup && !*coverage && !*locksetCmp && !*contextBound && !*schedulers && !*macrobench && !*membench && !*seqbench {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -200,6 +216,13 @@ func main() {
 		DisableMacroSteps: !*macroSteps, DisableFoldMemo: !*foldMemo, MemoMB: *memoMB,
 		DisableCallSummaries: !*callSummaries, SummaryMB: *summaryMB,
 		VisitedMode: *visitedMode, MemBudgetMB: *memBudgetMB, AuditVisited: *auditVisited,
+		Sequentialization: *seqMode, ContextSwitches: *contextSwitches,
+	}
+	// The memory-budget machinery lives in the BFS engines; the corpus
+	// tables run the sequential DFS default, which would silently ignore
+	// the budget. -membench forces BFS itself, so it is exempt.
+	if *memBudgetMB > 0 && *searchWorkers < 1 && !*membench {
+		fmt.Fprintln(os.Stderr, "kissbench: warning: -mem-budget-mb has no effect on the default sequential DFS engine; use -search-workers N (or the kiss binary's -bfs) to engage the spilling frontier")
 	}
 	if *batch && *server == "" {
 		fmt.Fprintln(os.Stderr, "kissbench: -batch requires -server (a kiss-coord coordinator)")
@@ -359,6 +382,32 @@ func main() {
 		}
 		if *minImproved > 0 && rep.Improved < *minImproved {
 			fmt.Fprintf(os.Stderr, "kissbench: membench: only %d fields improved under the budget, required %d\n", rep.Improved, *minImproved)
+			exitCode = 1
+		}
+	}
+	if *seqbench {
+		rep, err := eval.RunSeqAblation(eval.SeqAblationOptions{
+			Programs:      *seqPrograms,
+			MaxStates:     opts.MaxStates,
+			Workers:       *workers,
+			SearchWorkers: *searchWorkers,
+		})
+		fatal(err)
+		if *jsonOut || *outFile != "" {
+			fatal(eval.WriteSeqAblation(out.Writer(), rep))
+		}
+		if !*jsonOut {
+			fmt.Print(eval.FormatSeqAblation(rep))
+		}
+		// Soundness and monotonicity are correctness properties, not
+		// tunable thresholds: any violation fails the run.
+		if !rep.Sound || !rep.Monotone {
+			fmt.Fprintf(os.Stderr, "kissbench: seqbench: sound=%v monotone=%v (%d violations)\n",
+				rep.Sound, rep.Monotone, len(rep.Violations))
+			exitCode = 1
+		}
+		if *minCBOnly > 0 && rep.CBOnly < *minCBOnly {
+			fmt.Fprintf(os.Stderr, "kissbench: seqbench: only %d CB-only bugs found, required %d\n", rep.CBOnly, *minCBOnly)
 			exitCode = 1
 		}
 	}

@@ -84,6 +84,13 @@ type wireConfig struct {
 	// so the v1 freeze holds without a version bump.
 	VisitedMode string `json:"visited_mode,omitempty"`
 	MemBudgetMB int    `json:"mem_budget_mb,omitempty"`
+	// The sequentialization knobs follow the same omitempty tail-field
+	// discipline: the default mode ("", meaning kiss) renders no bytes,
+	// so pre-CB payloads and cache keys are untouched, while cb-mode
+	// configs — which compute a different result — render distinct bytes
+	// and get distinct cache keys.
+	Sequentialization string `json:"sequentialization,omitempty"`
+	ContextSwitches   int    `json:"context_switches,omitempty"`
 }
 
 type wireRaceTarget struct {
@@ -137,6 +144,8 @@ func (c *Config) MarshalJSON() ([]byte, error) {
 		ContextBound:        c.ContextBound,
 		VisitedMode:         c.VisitedMode,
 		MemBudgetMB:         c.MemBudgetMB,
+		Sequentialization:   c.Sequentialization,
+		ContextSwitches:     c.ContextSwitches,
 	}
 	if c.RaceTarget != nil {
 		w.RaceTarget = &wireRaceTarget{
@@ -177,6 +186,14 @@ func (c *Config) UnmarshalJSON(data []byte) error {
 	default:
 		return fmt.Errorf("kiss: unknown visited mode %q", w.VisitedMode)
 	}
+	switch w.Sequentialization {
+	case "", SeqKISS, SeqCB:
+	default:
+		return fmt.Errorf("kiss: unknown sequentialization %q", w.Sequentialization)
+	}
+	if w.ContextSwitches < 0 {
+		return fmt.Errorf("kiss: negative context-switch bound %d", w.ContextSwitches)
+	}
 	*c = Config{
 		MaxTS:                w.MaxTS,
 		DisableAliasElision:  w.DisableAliasElision,
@@ -196,6 +213,8 @@ func (c *Config) UnmarshalJSON(data []byte) error {
 		ContextBound:         w.ContextBound,
 		VisitedMode:          w.VisitedMode,
 		MemBudgetMB:          w.MemBudgetMB,
+		Sequentialization:    w.Sequentialization,
+		ContextSwitches:      w.ContextSwitches,
 	}
 	if w.RaceTarget != nil {
 		c.RaceTarget = &RaceTarget{
@@ -236,9 +255,26 @@ func (c *Config) UnmarshalJSON(data []byte) error {
 //
 // Everything else — the transformation knobs, the engine selection, the
 // budgets, BFS, and macro-step compression (which changes the stored-state
-// counters a Result reports) — is kept.
+// counters a Result reports) — is kept. The sequentialization mode is
+// verdict-affecting and is kept, in canonical spelling: "kiss" reduces to
+// "" (they select the same transform), ContextSwitches is zeroed under
+// KISS (ignored there) and defaulted under cb, and the KISS-only
+// transform knobs (MaxTS, Scheduler, alias elision) are zeroed under cb,
+// which never consults them — so configs that must compute the same
+// result render the same bytes.
 func (c *Config) Normalized() Config {
 	n := *c
+	if n.Sequentialization == SeqKISS {
+		n.Sequentialization = ""
+	}
+	if n.Sequentialization == SeqCB {
+		n.ContextSwitches = n.EffectiveContextSwitches()
+		n.MaxTS = 0
+		n.Scheduler = SchedulerNondet
+		n.DisableAliasElision = false
+	} else {
+		n.ContextSwitches = 0
+	}
 	n.Context = nil
 	n.Progress = nil
 	n.ProgressStates = 0

@@ -238,3 +238,124 @@ func TestConfigCanonicalJSONMemoryKnobs(t *testing.T) {
 		t.Error("compact and exact visited modes share a canonical form")
 	}
 }
+
+// TestConfigWireGoldenSequentialization: the sequentialization knobs are
+// omitempty tail fields like the memory knobs — absent for the default
+// (KISS) mode so every pre-CB payload and cache key survives their
+// introduction byte-for-byte, pinned here when cb is selected.
+func TestConfigWireGoldenSequentialization(t *testing.T) {
+	cfg := kiss.NewConfig(
+		kiss.WithSequentialization(kiss.SeqCB),
+		kiss.WithContextSwitches(3),
+	)
+	const golden = `{"v":1,"max_ts":0,"disable_alias_elision":false,"scheduler":"nondet",` +
+		`"summaries":false,"max_states":0,"max_steps":0,"max_depth":0,` +
+		`"bfs":false,"disable_macro_steps":false,"disable_fold_memo":false,` +
+		`"memo_mb":0,"disable_call_summaries":false,"summary_mb":0,` +
+		`"search_workers":0,"num_shards":0,"context_bound":-1,` +
+		`"sequentialization":"cb","context_switches":3}`
+	got, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != golden {
+		t.Errorf("wire format drifted:\n got: %s\nwant: %s", got, golden)
+	}
+
+	// Cache-key stability: a default-mode config must render the exact
+	// bytes it rendered before the sequentialization knobs existed.
+	const preCB = `{"v":1,"max_ts":0,"disable_alias_elision":false,"scheduler":"nondet",` +
+		`"summaries":false,"max_states":0,"max_steps":0,"max_depth":0,` +
+		`"bfs":false,"disable_macro_steps":false,"disable_fold_memo":false,` +
+		`"memo_mb":0,"disable_call_summaries":false,"summary_mb":0,` +
+		`"search_workers":0,"num_shards":0,"context_bound":-1}`
+	got, err = json.Marshal(kiss.NewConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != preCB {
+		t.Errorf("default-mode bytes drifted from the pre-CB payload:\n got: %s\nwant: %s", got, preCB)
+	}
+}
+
+// TestConfigWireSequentializationRoundTrip: the new knobs survive a
+// marshal/unmarshal cycle, and a v1 payload carrying them decodes on
+// this build (DisallowUnknownFields peers reject it only when the
+// version is wrong, not because the field is new).
+func TestConfigWireSequentializationRoundTrip(t *testing.T) {
+	cfg := kiss.NewConfig(
+		kiss.WithSequentialization(kiss.SeqCB),
+		kiss.WithContextSwitches(4),
+		kiss.WithMaxStates(500),
+	)
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back kiss.Config
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if back.Sequentialization != kiss.SeqCB || back.ContextSwitches != 4 {
+		t.Errorf("round trip lost the sequentialization knobs: %+v", back)
+	}
+
+	// Same payload with a wrong version: rejected as version skew, not
+	// as an unknown field.
+	skew := []byte(`{"v":2,"sequentialization":"cb","context_switches":4}`)
+	var verr *kiss.WireVersionError
+	if err := json.Unmarshal(skew, &back); !errors.As(err, &verr) || verr.Got != 2 {
+		t.Errorf("versioned-wrong cb payload: got %v, want *WireVersionError{Got: 2}", err)
+	}
+
+	// Invalid values are rejected with knob-specific errors.
+	if err := json.Unmarshal([]byte(`{"v":1,"sequentialization":"rr"}`), &back); err == nil {
+		t.Error("unknown sequentialization accepted silently")
+	}
+	if err := json.Unmarshal([]byte(`{"v":1,"context_switches":-1}`), &back); err == nil {
+		t.Error("negative context-switch bound accepted silently")
+	}
+}
+
+// TestConfigCanonicalJSONSequentialization: the mode is verdict-affecting
+// and must split cache keys; its spelling and ignored side knobs must
+// not.
+func TestConfigCanonicalJSONSequentialization(t *testing.T) {
+	canon := func(c *kiss.Config) string {
+		t.Helper()
+		b, err := c.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	def := canon(kiss.NewConfig())
+	explicitKiss := canon(kiss.NewConfig(kiss.WithSequentialization(kiss.SeqKISS)))
+	if def != explicitKiss {
+		t.Error("explicit kiss mode and default mode render different canonical forms")
+	}
+	kissWithK := canon(kiss.NewConfig(kiss.WithContextSwitches(3)))
+	if def != kissWithK {
+		t.Error("ContextSwitches split the canonical form under KISS, which ignores it")
+	}
+
+	cb := canon(kiss.NewConfig(kiss.WithSequentialization(kiss.SeqCB)))
+	if cb == def {
+		t.Error("cb mode shares the default's canonical form; its verdicts differ")
+	}
+	cbDefaultK := canon(kiss.NewConfig(
+		kiss.WithSequentialization(kiss.SeqCB),
+		kiss.WithContextSwitches(kiss.DefaultContextSwitches)))
+	if cb != cbDefaultK {
+		t.Error("cb with explicit default K and cb with K=0 render different canonical forms")
+	}
+	cbK3 := canon(kiss.NewConfig(kiss.WithSequentialization(kiss.SeqCB), kiss.WithContextSwitches(3)))
+	if cbK3 == cb {
+		t.Error("different context-switch bounds share a canonical form")
+	}
+	cbMaxTS := canon(kiss.NewConfig(kiss.WithSequentialization(kiss.SeqCB), kiss.WithMaxTS(5)))
+	if cbMaxTS != cb {
+		t.Error("MaxTS split the canonical form under cb, which ignores it")
+	}
+}

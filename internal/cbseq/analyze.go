@@ -1,0 +1,425 @@
+package cbseq
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/ast"
+)
+
+// UnsupportedError reports a program construct outside the CB transform's
+// supported fragment. The fragment is deliberately narrow: threads may
+// share only scalar (int- or bool-valued) globals, because the round
+// snapshots are guessed from a finite value domain and a guessed value of
+// the wrong kind could fabricate a runtime error that no real execution
+// exhibits (arithmetic on a bool, call of a non-function), which would
+// break the transform's soundness.
+type UnsupportedError struct {
+	Reason string
+	Pos    ast.Pos
+}
+
+func (e *UnsupportedError) Error() string {
+	if (e.Pos != ast.Pos{}) {
+		return fmt.Sprintf("cbseq: unsupported program: %s (at %s)", e.Reason, e.Pos)
+	}
+	return fmt.Sprintf("cbseq: unsupported program: %s", e.Reason)
+}
+
+func unsup(pos ast.Pos, format string, args ...any) *UnsupportedError {
+	return &UnsupportedError{Reason: fmt.Sprintf(format, args...), Pos: pos}
+}
+
+// IsUnsupported reports whether err (or anything it wraps) is an
+// *UnsupportedError — a program outside the CB fragment, as opposed to an
+// ill-formed program or an internal failure. Callers running corpus
+// sweeps use it to report "unsupported" honestly instead of aborting.
+func IsUnsupported(err error) bool {
+	var u *UnsupportedError
+	return errors.As(err, &u)
+}
+
+// checkSupported rejects programs outside the CB fragment: any heap or
+// pointer operation (objects reachable from several threads would need
+// versioned snapshots of unbounded shape), and asynchronous calls through
+// a variable (the creation round must be attached to a statically known
+// thread wrapper).
+func checkSupported(p *ast.Program) error {
+	var bad *UnsupportedError
+	for _, f := range p.Funcs {
+		ast.WalkStmts(f.Body, func(s ast.Stmt) bool {
+			if bad != nil {
+				return false
+			}
+			if a, ok := s.(*ast.AsyncStmt); ok {
+				if _, direct := a.Fn.(*ast.FuncLit); !direct {
+					bad = unsup(a.StmtPos(), "async through a variable; cb needs a statically known thread entry")
+					return false
+				}
+			}
+			ast.WalkExprs(s, func(e ast.Expr) {
+				if bad != nil {
+					return
+				}
+				switch e := e.(type) {
+				case *ast.NewExpr:
+					bad = unsup(s.StmtPos(), "heap allocation (new %s); cb versions only scalar globals", e.Record)
+				case *ast.DerefExpr, *ast.FieldExpr, *ast.AddrFieldExpr, *ast.AddrOfExpr:
+					bad = unsup(s.StmtPos(), "pointer or heap access; cb versions only scalar globals")
+				}
+			})
+			return bad == nil
+		})
+		if bad != nil {
+			return bad
+		}
+	}
+	return nil
+}
+
+// sharedGlobals returns the names of globals accessed by code reachable
+// from any async target — the globals whose value can change between two
+// contexts of the same thread and therefore need per-round versions and
+// guesses. Globals touched only by main keep their single unversioned
+// cell: no other thread can observe or modify them, so their value
+// legitimately persists across round boundaries.
+//
+// Reachability is over the static call graph of direct calls; if any call
+// goes through a variable, every function is conservatively reachable.
+func sharedGlobals(p *ast.Program) map[string]bool {
+	calls := map[string][]string{} // direct call edges
+	indirect := false
+	entries := map[string]bool{} // async targets
+	for _, f := range p.Funcs {
+		ast.WalkStmts(f.Body, func(s ast.Stmt) bool {
+			switch s := s.(type) {
+			case *ast.CallStmt:
+				if fl, ok := s.Fn.(*ast.FuncLit); ok {
+					calls[f.Name] = append(calls[f.Name], fl.Name)
+				} else {
+					indirect = true
+				}
+			case *ast.AsyncStmt:
+				if fl, ok := s.Fn.(*ast.FuncLit); ok {
+					entries[fl.Name] = true
+					calls[f.Name] = append(calls[f.Name], fl.Name)
+				}
+			}
+			return true
+		})
+	}
+
+	reach := map[string]bool{}
+	if indirect {
+		if len(entries) > 0 {
+			for _, f := range p.Funcs {
+				reach[f.Name] = true
+			}
+		}
+	} else {
+		var visit func(string)
+		visit = func(name string) {
+			if reach[name] {
+				return
+			}
+			reach[name] = true
+			for _, callee := range calls[name] {
+				visit(callee)
+			}
+		}
+		for e := range entries {
+			visit(e)
+		}
+	}
+
+	globals := map[string]bool{}
+	for _, g := range p.Globals {
+		globals[g.Name] = true
+	}
+	shared := map[string]bool{}
+	for _, f := range p.Funcs {
+		if !reach[f.Name] {
+			continue
+		}
+		local := map[string]bool{}
+		for _, v := range f.Params {
+			local[v] = true
+		}
+		for _, v := range f.Locals {
+			local[v.Name] = true
+		}
+		ast.WalkStmts(f.Body, func(s ast.Stmt) bool {
+			ast.WalkExprs(s, func(e ast.Expr) {
+				if v, ok := e.(*ast.VarExpr); ok && globals[v.Name] && !local[v.Name] {
+					shared[v.Name] = true
+				}
+			})
+			return true
+		})
+	}
+	return shared
+}
+
+// valset is the abstract value set of one variable in the flow-insensitive
+// constant-propagation pass that derives guess domains.
+type valset struct {
+	ints   map[int64]bool
+	bools  bool // some bool constant flows here
+	funcs  bool // some function constant flows here
+	null   bool // the null constant flows here
+	arith  bool // an int-producing expression (arithmetic) flows here
+	boolex bool // a bool-producing expression (comparison, !, &&, ||) flows here
+	top    bool // an unknowable value (indirect-call result) flows here
+}
+
+func newValset() *valset { return &valset{ints: map[int64]bool{}} }
+
+// mergeFrom unions src into dst, reporting whether dst changed.
+func (dst *valset) mergeFrom(src *valset) bool {
+	changed := false
+	for v := range src.ints {
+		if !dst.ints[v] {
+			dst.ints[v] = true
+			changed = true
+		}
+	}
+	set := func(d *bool, s bool) {
+		if s && !*d {
+			*d = true
+			changed = true
+		}
+	}
+	set(&dst.bools, src.bools)
+	set(&dst.funcs, src.funcs)
+	set(&dst.null, src.null)
+	set(&dst.arith, src.arith)
+	set(&dst.boolex, src.boolex)
+	set(&dst.top, src.top)
+	return changed
+}
+
+// domain is the finite guess domain inferred for one shared global.
+type domain struct {
+	boolKind bool    // {false, true}
+	ints     []int64 // int kind: sorted candidate values
+}
+
+func (d domain) values() []ast.Expr {
+	if d.boolKind {
+		return []ast.Expr{ast.B(false), ast.B(true)}
+	}
+	out := make([]ast.Expr, len(d.ints))
+	for i, v := range d.ints {
+		out[i] = ast.I(v)
+	}
+	return out
+}
+
+// domainCap bounds the number of int candidates guessed per global per
+// round: each extra value multiplies the branching at a round's first
+// entry, and a domain that misses a reachable value only shrinks coverage
+// (the linking assume prunes the run), never soundness.
+const domainCap = 16
+
+// inferDomains runs a flow-insensitive dataflow over assignments, call
+// argument bindings, and returns to compute, for every shared global, a
+// kind-stable finite set of candidate snapshot values. Kind stability is
+// load-bearing: guessing an int where the program stores bools (or a
+// function, or null) could manufacture runtime type errors on paths no
+// real execution takes. Globals whose kind cannot be pinned to int or
+// bool are rejected as unsupported.
+func inferDomains(p *ast.Program, shared map[string]bool, extra []int64) (map[string]domain, error) {
+	sets := map[string]*valset{}
+	at := func(key string) *valset {
+		s := sets[key]
+		if s == nil {
+			s = newValset()
+			sets[key] = s
+		}
+		return s
+	}
+	var edges [][2]string // value flow: from key -> to key
+	edge := func(from, to string) { edges = append(edges, [2]string{from, to}) }
+
+	globals := map[string]bool{}
+	for _, g := range p.Globals {
+		globals[g.Name] = true
+	}
+	funcByName := map[string]*ast.Func{}
+	for _, f := range p.Funcs {
+		funcByName[f.Name] = f
+	}
+
+	// programInts collects every int literal in the program; it widens the
+	// domain of globals fed by arithmetic.
+	programInts := map[int64]bool{0: true}
+
+	for _, f := range p.Funcs {
+		local := map[string]bool{}
+		for _, v := range f.Params {
+			local[v] = true
+		}
+		for _, v := range f.Locals {
+			local[v.Name] = true
+		}
+		key := func(name string) string {
+			if local[name] || !globals[name] {
+				return "l:" + f.Name + ":" + name
+			}
+			return "g:" + name
+		}
+		retKey := "r:" + f.Name
+
+		// classify records the value of expression e flowing into dst.
+		classify := func(dst string, e ast.Expr) {
+			switch e := e.(type) {
+			case *ast.IntLit:
+				at(dst).ints[e.Value] = true
+			case *ast.BoolLit:
+				at(dst).bools = true
+			case *ast.NullLit:
+				at(dst).null = true
+			case *ast.FuncLit:
+				at(dst).funcs = true
+			case *ast.VarExpr:
+				edge(key(e.Name), dst)
+			case *ast.UnaryExpr:
+				if e.Op == "!" {
+					at(dst).boolex = true
+				} else if il, ok := e.X.(*ast.IntLit); ok && e.Op == "-" {
+					at(dst).ints[-il.Value] = true
+				} else {
+					at(dst).arith = true
+				}
+			case *ast.BinaryExpr:
+				switch e.Op {
+				case "+", "-", "*":
+					at(dst).arith = true
+				default:
+					at(dst).boolex = true
+				}
+			default:
+				at(dst).top = true
+			}
+		}
+		bindArgs := func(callee string, args []ast.Expr) {
+			cf := funcByName[callee]
+			if cf == nil {
+				return
+			}
+			for i, a := range args {
+				if i < len(cf.Params) {
+					classify("l:"+callee+":"+cf.Params[i], a)
+				}
+			}
+		}
+
+		ast.WalkStmts(f.Body, func(s ast.Stmt) bool {
+			ast.WalkExprs(s, func(e ast.Expr) {
+				if il, ok := e.(*ast.IntLit); ok {
+					programInts[il.Value] = true
+				}
+			})
+			switch s := s.(type) {
+			case *ast.AssignStmt:
+				if lv, ok := s.Lhs.(*ast.VarExpr); ok {
+					classify(key(lv.Name), s.Rhs)
+				}
+			case *ast.CallStmt:
+				if fl, ok := s.Fn.(*ast.FuncLit); ok {
+					bindArgs(fl.Name, s.Args)
+					if s.Result != "" {
+						edge("r:"+fl.Name, key(s.Result))
+					}
+				} else if s.Result != "" {
+					at(key(s.Result)).top = true
+				}
+			case *ast.AsyncStmt:
+				if fl, ok := s.Fn.(*ast.FuncLit); ok {
+					bindArgs(fl.Name, s.Args)
+				}
+			case *ast.ReturnStmt:
+				if s.Value != nil {
+					classify(retKey, s.Value)
+				}
+			}
+			return true
+		})
+	}
+
+	// Fixpoint over the flow edges.
+	for changed := true; changed; {
+		changed = false
+		for _, e := range edges {
+			src := sets[e[0]]
+			if src == nil {
+				continue
+			}
+			if at(e[1]).mergeFrom(src) {
+				changed = true
+			}
+		}
+	}
+
+	out := map[string]domain{}
+	var names []string
+	for g := range shared {
+		names = append(names, g)
+	}
+	sort.Strings(names)
+	for _, g := range names {
+		s := sets["g:"+g]
+		if s == nil {
+			s = newValset()
+		}
+		if s.top {
+			return nil, unsup(ast.Pos{}, "shared global %q takes values cb cannot enumerate (indirect-call result)", g)
+		}
+		if s.funcs || s.null {
+			return nil, unsup(ast.Pos{}, "shared global %q holds function or null values; cb guesses only int/bool snapshots", g)
+		}
+		boolKind := s.bools || s.boolex
+		intKind := len(s.ints) > 0 || s.arith
+		if boolKind && intKind {
+			return nil, unsup(ast.Pos{}, "shared global %q mixes int and bool values; cb needs a kind-stable guess domain", g)
+		}
+		if boolKind {
+			out[g] = domain{boolKind: true}
+			continue
+		}
+		ints := map[int64]bool{0: true}
+		for v := range s.ints {
+			ints[v] = true
+		}
+		if s.arith {
+			// Fed by arithmetic: widen with every literal in the program
+			// plus one ±1 closure step, which covers single increments and
+			// decrements around the constants the program compares against.
+			for v := range programInts {
+				ints[v] = true
+			}
+			base := make([]int64, 0, len(ints))
+			for v := range ints {
+				base = append(base, v)
+			}
+			for _, v := range base {
+				ints[v+1] = true
+				ints[v-1] = true
+			}
+		}
+		for _, v := range extra {
+			ints[v] = true
+		}
+		vals := make([]int64, 0, len(ints))
+		for v := range ints {
+			vals = append(vals, v)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		if len(vals) > domainCap {
+			vals = vals[:domainCap]
+		}
+		out[g] = domain{ints: vals}
+	}
+	return out, nil
+}

@@ -1,0 +1,203 @@
+package drivers
+
+// Assertion scenarios for the sequentialization ablation (KISS vs CB(K)).
+// Unlike the race-target driver corpus — heap-backed DEVICE_EXTENSION
+// models outside CB's scalar-globals fragment — these are small
+// handshake protocols over scalar globals, distilled from the same
+// driver idioms (a worker thread parked on a device flag that the
+// dispatch routine flips later). Each one records the minimum context
+// switches a checker needs to reach its failure, so the ablation can
+// report per-K frontiers honestly.
+
+// Scenario is one assertion-checking subject of the seq ablation.
+type Scenario struct {
+	// Name identifies the scenario in reports.
+	Name string
+	// Source is the program (assertion checking; no race target).
+	Source string
+	// MinSwitches is the smallest K for which CB(K) reaches the failure;
+	// negative means the program is safe. Note this counts *round
+	// boundaries*, not raw interleaving switches: draining forked threads
+	// after main is free, and one boundary serves every thread that
+	// splits across it.
+	MinSwitches int
+	// KissFinds records whether the KISS translation (ts bound >= forks)
+	// can reach the failure. KISS dispatch nests — a dispatched thread
+	// may run other pending threads to completion mid-flight and then
+	// resume — but a thread interrupted at a yield can never come back,
+	// so KISS misses exactly the schedules needing such resumptions.
+	KissFinds bool
+}
+
+// Scenarios returns the assertion corpus, safe and buggy subjects mixed.
+func Scenarios() []*Scenario {
+	return []*Scenario{
+		{
+			// The dispatch routine completes the worker's I/O while the
+			// worker is still parked: running the worker after main ends
+			// suffices, which costs CB nothing (the end-of-main drain is
+			// free) and is the schedule KISS was built for.
+			Name: "complete-once",
+			Source: `
+var pendingIo;
+func worker() {
+  assume(pendingIo == 1);
+  assert(false);
+}
+func main() {
+  async worker();
+  pendingIo = 1;
+}
+`,
+			MinSwitches: 0,
+			KissFinds:   true,
+		},
+		{
+			// A two-step handshake (M W M W): the worker must be
+			// suspended after acknowledging and resumed after main's
+			// second write. KISS kills the worker at its first yield, so
+			// only CB(K >= 1)-style resumption reaches the assert.
+			Name: "resume-once",
+			Source: `
+var phase;
+func worker() {
+  assume(phase == 1);
+  phase = 2;
+  assume(phase == 3);
+  assert(false);
+}
+func main() {
+  async worker();
+  phase = 1;
+  assume(phase == 2);
+  phase = 3;
+}
+`,
+			MinSwitches: 1,
+			KissFinds:   false,
+		},
+		{
+			// The three-phase variant (M W M W M): main needs three
+			// contexts, so two switches are the frontier — CB(1) must
+			// still miss it.
+			Name: "resume-twice",
+			Source: `
+var phase;
+func worker() {
+  assume(phase == 1);
+  phase = 2;
+  assume(phase == 3);
+  phase = 4;
+}
+func main() {
+  async worker();
+  phase = 1;
+  assume(phase == 2);
+  phase = 3;
+  assume(phase == 4);
+  assert(false);
+}
+`,
+			MinSwitches: 2,
+			KissFinds:   false,
+		},
+		{
+			// Two workers where the second runs entirely inside the
+			// first's interruption: KISS's nested dispatch covers it, and
+			// CB needs just the one boundary where first yields.
+			Name: "two-workers",
+			Source: `
+var a;
+var b;
+func first() {
+  assume(a == 1);
+  a = 2;
+  assume(b == 2);
+  assert(false);
+}
+func second() {
+  assume(a == 2);
+  b = 1;
+  assume(b == 1);
+  b = 2;
+}
+func main() {
+  async first();
+  async second();
+  a = 1;
+}
+`,
+			MinSwitches: 1,
+			KissFinds:   true,
+		},
+		{
+			// Crossing resumptions: each worker must pause mid-flight and
+			// resume after the *other* makes progress (M W1 W2 W1 W2).
+			// Nested dispatch cannot express the crossing — the inner
+			// thread would have to outlive the outer — so KISS misses it,
+			// while one CB round boundary splits both workers at once.
+			Name: "crossing-workers",
+			Source: `
+var x;
+var y;
+func first() {
+  assume(x == 1);
+  y = 1;
+  assume(x == 2);
+  y = 2;
+}
+func second() {
+  assume(y == 1);
+  x = 2;
+  assume(y == 2);
+  assert(false);
+}
+func main() {
+  async first();
+  async second();
+  x = 1;
+}
+`,
+			MinSwitches: 1,
+			KissFinds:   false,
+		},
+		{
+			// Safe: per-statement increments cannot be lost, so the bound
+			// holds on every interleaving. Every checker must stay quiet.
+			Name: "safe-increments",
+			Source: `
+var refcount;
+func worker() { refcount = refcount + 1; }
+func main() {
+  async worker();
+  async worker();
+  refcount = refcount + 1;
+  assert(refcount <= 3);
+}
+`,
+			MinSwitches: -1,
+			KissFinds:   false,
+		},
+		{
+			// Safe: the atomic section writes a transient value no
+			// interleaving can observe at a stable point — a trap for a
+			// guessed-snapshot checker that skipped its linking check.
+			Name: "safe-transient",
+			Source: `
+var state;
+func worker() {
+  atomic {
+    state = 2;
+    state = 1;
+  }
+}
+func main() {
+  async worker();
+  assert(state != 2);
+}
+`,
+			MinSwitches: -1,
+			KissFinds:   false,
+		},
+	}
+}

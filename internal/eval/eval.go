@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 
 	kiss "repro"
+	"repro/internal/cbseq"
 	"repro/internal/drivers"
 	"repro/internal/service"
 )
@@ -35,6 +36,11 @@ const (
 	// which is the paper's per-field budget; a canceled corpus returns
 	// partial results without error.
 	Canceled
+	// Unsupported: the configured sequentialization cannot express this
+	// field's check (the CB transform rejects race targets and heap-shaped
+	// programs). The field is reported, not silently dropped, so a CB-mode
+	// corpus run stays honest about its coverage.
+	Unsupported
 )
 
 func (v FieldVerdict) String() string {
@@ -45,6 +51,8 @@ func (v FieldVerdict) String() string {
 		return "race"
 	case Canceled:
 		return "canceled"
+	case Unsupported:
+		return "unsupported"
 	default:
 		return "timeout"
 	}
@@ -71,13 +79,14 @@ type FieldResult struct {
 
 // DriverResult aggregates one driver's row.
 type DriverResult struct {
-	Spec     *drivers.DriverSpec
-	ModelLOC int
-	Fields   []FieldResult
-	Races    int
-	NoRace   int
-	Timeouts int
-	Canceled int
+	Spec        *drivers.DriverSpec
+	ModelLOC    int
+	Fields      []FieldResult
+	Races       int
+	NoRace      int
+	Timeouts    int
+	Canceled    int
+	Unsupported int
 }
 
 // Options configure a corpus run.
@@ -136,6 +145,17 @@ type Options struct {
 	// (kiss.Config.MemBudgetMB): the BFS frontier spills to disk past its
 	// share and a compact filter is sized to the rest. 0 = unlimited.
 	MemBudgetMB int
+	// Sequentialization selects the transform for every field check
+	// (kiss.Config.Sequentialization): "" or kiss.SeqKISS keeps the KISS
+	// translation; kiss.SeqCB runs the context-bounded transform. The
+	// race-target corpus is outside the CB fragment, so under SeqCB the
+	// fields come back with the Unsupported verdict — the knob exists so
+	// corpus sweeps report that honestly rather than aborting.
+	Sequentialization string
+	// ContextSwitches is the CB bound (kiss.Config.ContextSwitches;
+	// 0 = kiss.DefaultContextSwitches). Ignored unless Sequentialization
+	// is kiss.SeqCB.
+	ContextSwitches int
 	// AuditVisited shadow-checks compact-filter hits against an exact set,
 	// counting measured false positives in each field's Stats.Memory.
 	AuditVisited bool
@@ -361,6 +381,8 @@ func RunCorpus(opts Options) ([]*DriverResult, error) {
 				dr.Timeouts++
 			case Canceled:
 				dr.Canceled++
+			case Unsupported:
+				dr.Unsupported++
 			}
 		}
 	}
@@ -385,6 +407,8 @@ func fieldConfig(f drivers.FieldSpec, opts Options, maxStates int) *kiss.Config 
 		MemBudgetMB:          opts.MemBudgetMB,
 		AuditVisited:         opts.AuditVisited,
 		SearchWorkers:        opts.SearchWorkers,
+		Sequentialization:    opts.Sequentialization,
+		ContextSwitches:      opts.ContextSwitches,
 		Context:              opts.Context,
 	}
 }
@@ -413,6 +437,11 @@ func checkField(model *drivers.Model, f drivers.FieldSpec, opts Options, maxStat
 	}
 	res, err := cfg.Check(prog)
 	if err != nil {
+		if cbseq.IsUnsupported(err) {
+			fr.Verdict = Unsupported
+			fr.Message = err.Error()
+			return fr, nil
+		}
 		return fr, err
 	}
 	fr.States, fr.Steps = res.States, res.Steps
@@ -587,7 +616,7 @@ func FormatTable1(results []*DriverResult) string {
 	fmt.Fprintf(&b, "%-18s %6s %8s %7s %6s %9s %9s\n",
 		"Driver", "KLOC", "ModelLOC", "Fields", "Races", "No Races", "Timeouts")
 	var tKloc float64
-	var tFields, tRaces, tNoRace, tTimeout, tCanceled int
+	var tFields, tRaces, tNoRace, tTimeout, tCanceled, tUnsupported int
 	for _, dr := range results {
 		fields := len(dr.Fields)
 		fmt.Fprintf(&b, "%-18s %6.1f %8d %7d %6d %9d %9d\n",
@@ -598,11 +627,15 @@ func FormatTable1(results []*DriverResult) string {
 		tNoRace += dr.NoRace
 		tTimeout += dr.Timeouts
 		tCanceled += dr.Canceled
+		tUnsupported += dr.Unsupported
 	}
 	fmt.Fprintf(&b, "%-18s %6.1f %8s %7d %6d %9d %9d\n",
 		"Total", tKloc, "", tFields, tRaces, tNoRace, tTimeout)
 	if tCanceled > 0 {
 		fmt.Fprintf(&b, "(%d field checks canceled before completion; counts above are partial)\n", tCanceled)
+	}
+	if tUnsupported > 0 {
+		fmt.Fprintf(&b, "(%d field checks outside the configured sequentialization's fragment)\n", tUnsupported)
 	}
 	return b.String()
 }

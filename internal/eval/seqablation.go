@@ -1,0 +1,343 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	kiss "repro"
+	"repro/internal/cbseq"
+	"repro/internal/drivers"
+	"repro/internal/randprog"
+)
+
+// The sequentialization ablation (PR 10): KISS vs CB(K) vs the
+// interleaving-exploring ground truth, over the assertion scenarios of
+// drivers.Scenarios plus a random-program population. Each subject runs
+// four-plus arms in one slot:
+//
+//   - truth: the concurrent explorer, unbounded context switches — the
+//     oracle every sequentialization is judged against;
+//   - kiss: the KISS translation at a generous ts bound — finds exactly
+//     the bugs reachable without resuming an interrupted thread;
+//   - cb(K) for each configured K: the guessed-snapshot translation —
+//     finds exactly the bugs reachable within K context switches, at the
+//     price of branching on the guess domains.
+//
+// The report checks two structural properties across the population —
+// soundness (no CB arm reports a bug the oracle refutes) and
+// monotonicity (raising K never loses a bug) — and counts the headline
+// quantity: subjects where some CB(K) finds a bug KISS misses.
+
+// SeqAblationOptions configure RunSeqAblation.
+type SeqAblationOptions struct {
+	// Bounds are the CB context-switch bounds to run (nil = {2, 3, 4}).
+	Bounds []int
+	// Programs is the random-program population size (0 = 24; negative
+	// skips the random sweep and runs the scenarios only).
+	Programs int
+	// MaxStates is the per-arm state bound (0 = 300000).
+	MaxStates int
+	// MaxTS is the KISS arm's ts bound (0 = 2, enough to dispatch every
+	// fork the scenarios make).
+	MaxTS int
+	// Workers bounds concurrently running subjects; the arms of one
+	// subject always share a slot, so the report is deterministic at any
+	// setting (0 = one subject per CPU).
+	Workers int
+	// SearchWorkers is the per-arm search parallelism (kiss.Config.
+	// SearchWorkers); verdicts are independent of it.
+	SearchWorkers int
+}
+
+// SeqAblationArm is one checker's outcome on one subject.
+type SeqAblationArm struct {
+	Verdict string `json:"verdict"`
+	States  int    `json:"states"`
+}
+
+// SeqAblationRow is one subject's record across all arms.
+type SeqAblationRow struct {
+	// Subject is "scenario:<name>" or "rand:<seed>".
+	Subject string `json:"subject"`
+
+	Truth SeqAblationArm `json:"truth"`
+	Kiss  SeqAblationArm `json:"kiss"`
+	// CB is aligned with the report's Bounds. Empty when Unsupported.
+	CB []SeqAblationArm `json:"cb,omitempty"`
+
+	// Unsupported carries the cbseq rejection reason for subjects outside
+	// the CB fragment; the other arms still run.
+	Unsupported string `json:"unsupported,omitempty"`
+
+	// CBOnly: some CB arm found the bug, the oracle confirms it, and the
+	// KISS arm completed without finding it.
+	CBOnly bool `json:"cb_only,omitempty"`
+}
+
+// SeqAblationReport is the study result.
+type SeqAblationReport struct {
+	BoundList []int `json:"bounds"`
+	MaxStates int   `json:"max_states"`
+	MaxTS     int   `json:"max_ts"`
+	Subjects  int   `json:"subjects"`
+
+	Rows []SeqAblationRow `json:"rows"`
+
+	TruthErrors int   `json:"truth_errors"`
+	KissErrors  int   `json:"kiss_errors"`
+	CBErrors    []int `json:"cb_errors"` // aligned with bounds
+	CBOnly      int   `json:"cb_only"`
+	Unsupported int   `json:"unsupported"`
+
+	// Sound: no CB arm reported a bug on a subject the oracle exhausted
+	// as safe. Monotone: no subject where CB(k) errored and a completed
+	// CB(k') with k' > k did not. Violations lists the offending
+	// subjects (empty on a correct build).
+	Sound      bool     `json:"sound"`
+	Monotone   bool     `json:"monotone"`
+	Violations []string `json:"violations,omitempty"`
+}
+
+// seqRandConfig keeps the random population inside the CB fragment's
+// comfort zone: few globals bound the guess-domain branching, shallow
+// nesting keeps the oracle's interleaving count small.
+var seqRandConfig = randprog.Config{Globals: 2, Funcs: 2, MaxStmts: 4, MaxAsyncs: 2, Depth: 2}
+
+// RunSeqAblation runs every arm on every subject and aggregates the
+// soundness/monotonicity verdicts.
+func RunSeqAblation(opts SeqAblationOptions) (*SeqAblationReport, error) {
+	bounds := opts.Bounds
+	if len(bounds) == 0 {
+		bounds = []int{2, 3, 4}
+	}
+	maxStates := opts.MaxStates
+	if maxStates == 0 {
+		maxStates = 300000
+	}
+	maxTS := opts.MaxTS
+	if maxTS == 0 {
+		maxTS = 2
+	}
+	programs := opts.Programs
+	if programs == 0 {
+		programs = 24
+	}
+	if programs < 0 {
+		programs = 0
+	}
+
+	type subject struct {
+		name string
+		src  string
+	}
+	var subjects []subject
+	for _, sc := range drivers.Scenarios() {
+		subjects = append(subjects, subject{name: "scenario:" + sc.Name, src: sc.Source})
+	}
+	for seed := int64(0); seed < int64(programs); seed++ {
+		subjects = append(subjects, subject{
+			name: fmt.Sprintf("rand:%d", seed),
+			src:  randprog.Generate(seed, seqRandConfig),
+		})
+	}
+
+	rep := &SeqAblationReport{
+		BoundList: bounds,
+		MaxStates: maxStates,
+		MaxTS:     maxTS,
+		Subjects:  len(subjects),
+		Rows:      make([]SeqAblationRow, len(subjects)),
+		CBErrors:  make([]int, len(bounds)),
+	}
+
+	arm := func(res *kiss.Result) SeqAblationArm {
+		return SeqAblationArm{Verdict: res.Verdict.String(), States: res.States}
+	}
+	run := func(i int) error {
+		s := subjects[i]
+		row := SeqAblationRow{Subject: s.name}
+
+		prog, err := kiss.Parse(s.src)
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+		truth, err := (&kiss.Config{ContextBound: -1, MaxStates: maxStates, SearchWorkers: opts.SearchWorkers}).Explore(prog)
+		if err != nil {
+			return fmt.Errorf("%s: truth: %w", s.name, err)
+		}
+		row.Truth = arm(truth)
+
+		kres, err := (&kiss.Config{MaxTS: maxTS, MaxStates: maxStates, SearchWorkers: opts.SearchWorkers}).Check(prog)
+		if err != nil {
+			return fmt.Errorf("%s: kiss: %w", s.name, err)
+		}
+		row.Kiss = arm(kres)
+
+		for _, k := range bounds {
+			cfg := &kiss.Config{
+				Sequentialization: kiss.SeqCB,
+				ContextSwitches:   k,
+				MaxStates:         maxStates,
+				SearchWorkers:     opts.SearchWorkers,
+			}
+			cres, err := cfg.Check(prog)
+			if err != nil {
+				if cbseq.IsUnsupported(err) {
+					row.Unsupported = err.Error()
+					row.CB = nil
+					break
+				}
+				return fmt.Errorf("%s: cb(%d): %w", s.name, k, err)
+			}
+			row.CB = append(row.CB, arm(cres))
+		}
+
+		cbFound := false
+		for _, a := range row.CB {
+			if a.Verdict == kiss.Error.String() {
+				cbFound = true
+			}
+		}
+		row.CBOnly = cbFound &&
+			row.Truth.Verdict == kiss.Error.String() &&
+			row.Kiss.Verdict == kiss.Safe.String()
+		rep.Rows[i] = row
+		return nil
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if opts.SearchWorkers > 1 {
+			workers = max(1, workers/opts.SearchWorkers)
+		}
+	}
+	if workers > len(subjects) {
+		workers = len(subjects)
+	}
+	if workers <= 1 {
+		for i := range subjects {
+			if err := run(i); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		var (
+			next     atomic.Int64
+			wg       sync.WaitGroup
+			failOnce sync.Once
+			firstErr error
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(subjects) {
+						return
+					}
+					if err := run(i); err != nil {
+						failOnce.Do(func() { firstErr = err })
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	}
+
+	rep.Sound, rep.Monotone = true, true
+	errStr, safeStr := kiss.Error.String(), kiss.Safe.String()
+	for _, row := range rep.Rows {
+		if row.Truth.Verdict == errStr {
+			rep.TruthErrors++
+		}
+		if row.Kiss.Verdict == errStr {
+			rep.KissErrors++
+		}
+		if row.Unsupported != "" {
+			rep.Unsupported++
+			continue
+		}
+		for i, a := range row.CB {
+			if a.Verdict == errStr {
+				rep.CBErrors[i]++
+			}
+			// Soundness: a CB-reported bug on a subject the oracle
+			// *exhausted* as safe is a false positive. A resource-bounded
+			// oracle is no evidence either way.
+			if a.Verdict == errStr && row.Truth.Verdict == safeStr {
+				rep.Sound = false
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("%s: cb(%d) reports a bug the oracle refutes", row.Subject, rep.BoundList[i]))
+			}
+			// Monotonicity: a completed higher bound must keep every bug a
+			// lower bound found (resource-bounded arms are excluded).
+			for j := i + 1; j < len(row.CB); j++ {
+				if a.Verdict == errStr && row.CB[j].Verdict == safeStr {
+					rep.Monotone = false
+					rep.Violations = append(rep.Violations,
+						fmt.Sprintf("%s: cb(%d) finds a bug cb(%d) loses", row.Subject, rep.BoundList[i], rep.BoundList[j]))
+				}
+			}
+		}
+		if row.CBOnly {
+			rep.CBOnly++
+		}
+	}
+	return rep, nil
+}
+
+// FormatSeqAblation renders the study as the EXPERIMENTS.md table.
+func FormatSeqAblation(rep *SeqAblationReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sequentialization ablation: %d subjects, state bound %d\n", rep.Subjects, rep.MaxStates)
+	header := fmt.Sprintf("%-24s %-18s %-18s", "Subject", "Truth", "KISS ts="+fmt.Sprint(rep.MaxTS))
+	for _, k := range rep.BoundList {
+		header += fmt.Sprintf(" %-18s", fmt.Sprintf("CB(%d)", k))
+	}
+	b.WriteString(header + "\n")
+	cell := func(a SeqAblationArm) string {
+		return fmt.Sprintf("%s/%d", a.Verdict, a.States)
+	}
+	for _, r := range rep.Rows {
+		fmt.Fprintf(&b, "%-24s %-18s %-18s", r.Subject, cell(r.Truth), cell(r.Kiss))
+		if r.Unsupported != "" {
+			b.WriteString(" unsupported")
+		} else {
+			for _, a := range r.CB {
+				fmt.Fprintf(&b, " %-18s", cell(a))
+			}
+		}
+		if r.CBOnly {
+			b.WriteString("  <- CB-only")
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "errors: truth=%d kiss=%d", rep.TruthErrors, rep.KissErrors)
+	for i, k := range rep.BoundList {
+		fmt.Fprintf(&b, " cb(%d)=%d", k, rep.CBErrors[i])
+	}
+	fmt.Fprintf(&b, "; cb-only=%d unsupported=%d sound=%v monotone=%v\n",
+		rep.CBOnly, rep.Unsupported, rep.Sound, rep.Monotone)
+	for _, v := range rep.Violations {
+		fmt.Fprintf(&b, "  VIOLATION: %s\n", v)
+	}
+	return b.String()
+}
+
+// WriteSeqAblation emits the report as one indented JSON document.
+func WriteSeqAblation(w io.Writer, rep *SeqAblationReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

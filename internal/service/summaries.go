@@ -25,14 +25,33 @@ import (
 
 // SummaryKey derives the program key a persistent summary table is stored
 // under: SHA-256 of the canonical source and the shaping config subset
-// (MaxTS, alias elision, scheduler, race target — everything that changes
-// the transformed program), version-stamped via the config wire format.
+// (MaxTS, alias elision, scheduler, race target, sequentialization mode
+// and context-switch bound — everything that changes the transformed
+// program), version-stamped via the config wire format. The
+// sequentialization knobs are load-bearing: the KISS and CB translations
+// of the same source are different sequential programs, so sharing a
+// summary table across modes would replay the wrong program's segments.
+// The subset is normalized (via Config.Normalized's shape rules embedded
+// here) so spelling variants of the same transform share a table.
 func SummaryKey(canonSource string, cfg *kiss.Config) (string, error) {
 	shape := kiss.Config{
 		MaxTS:               cfg.MaxTS,
 		DisableAliasElision: cfg.DisableAliasElision,
 		Scheduler:           cfg.Scheduler,
 		RaceTarget:          cfg.RaceTarget,
+		Sequentialization:   cfg.Sequentialization,
+		ContextSwitches:     cfg.ContextSwitches,
+	}
+	if shape.Sequentialization == kiss.SeqKISS {
+		shape.Sequentialization = ""
+	}
+	if shape.Sequentialization == kiss.SeqCB {
+		shape.ContextSwitches = shape.EffectiveContextSwitches()
+		shape.MaxTS = 0
+		shape.Scheduler = kiss.SchedulerNondet
+		shape.DisableAliasElision = false
+	} else {
+		shape.ContextSwitches = 0
 	}
 	sj, err := shape.MarshalJSON()
 	if err != nil {

@@ -133,3 +133,37 @@ func TestSummaryStoreLifecycle(t *testing.T) {
 		t.Errorf("the new program's table was not populated: stores %d -> %d", agg2.Stores, agg3.Stores)
 	}
 }
+
+// TestSummaryKeySplitsOnSequentialization: the KISS and CB translations
+// of the same source are different sequential programs, so their summary
+// tables must live under different keys — while spelling variants of the
+// same transform (explicit "kiss", default K, cb-ignored MaxTS) share
+// one.
+func TestSummaryKeySplitsOnSequentialization(t *testing.T) {
+	key := func(opts ...kiss.Option) string {
+		t.Helper()
+		k, err := SummaryKey(recurSrc, kiss.NewConfig(opts...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	base := key()
+	if key(kiss.WithSequentialization(kiss.SeqKISS)) != base {
+		t.Error("explicit kiss mode split the summary key")
+	}
+	cb := key(kiss.WithSequentialization(kiss.SeqCB))
+	if cb == base {
+		t.Error("cb mode shares the kiss summary key; the transformed programs differ")
+	}
+	if key(kiss.WithSequentialization(kiss.SeqCB),
+		kiss.WithContextSwitches(kiss.DefaultContextSwitches)) != cb {
+		t.Error("explicit default K split the cb summary key")
+	}
+	if key(kiss.WithSequentialization(kiss.SeqCB), kiss.WithContextSwitches(4)) == cb {
+		t.Error("a different context-switch bound shares the cb summary key")
+	}
+	if key(kiss.WithSequentialization(kiss.SeqCB), kiss.WithMaxTS(3)) != cb {
+		t.Error("MaxTS split the cb summary key; cb ignores it")
+	}
+}

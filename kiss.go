@@ -46,6 +46,7 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/boolcheck"
+	"repro/internal/cbseq"
 	"repro/internal/concheck"
 	ikiss "repro/internal/kiss"
 	"repro/internal/lower"
@@ -158,6 +159,22 @@ const (
 	ReasonCanceled = stats.ReasonCanceled
 )
 
+// Sequentialization modes (Config.Sequentialization).
+const (
+	// SeqKISS is the paper's translation (Figure 4/5): forked threads run
+	// from a bounded ts multiset and never resume once interrupted.
+	SeqKISS = "kiss"
+	// SeqCB is context-bounded sequentialization (internal/cbseq,
+	// Lal–Reps style): per-global snapshots are guessed at each of K
+	// context switches and linked by assumes at the end, so every thread
+	// can be suspended and resumed up to K times.
+	SeqCB = "cb"
+)
+
+// DefaultContextSwitches is the CB bound K used when SeqCB is selected
+// without an explicit WithContextSwitches.
+const DefaultContextSwitches = 2
+
 // RaceTarget names the distinguished variable r checked for races
 // (Section 5): either a global variable, or a field of a record type (the
 // form used for device-extension fields).
@@ -194,6 +211,21 @@ type Config struct {
 	// function (Section 4's pluggable-scheduler remark). The zero value
 	// is the paper's fully nondeterministic scheduler.
 	Scheduler Scheduler
+	// Sequentialization selects the source-to-source transform feeding
+	// the sequential checker: SeqKISS (the default; "" means kiss) or
+	// SeqCB. The mode changes which interleavings are reachable — it is
+	// verdict-affecting — so it participates in Normalized()/
+	// CanonicalJSON and in persistent summary keys. SeqCB checks
+	// assertions on the scalar-globals fragment only: RaceTarget and the
+	// Summaries engine are rejected, and programs with heap or pointer
+	// operations return an unsupported error (cbseq.IsUnsupported).
+	Sequentialization string
+	// ContextSwitches is K for SeqCB: how many context switches the
+	// translated program simulates (each one guesses a snapshot of the
+	// shared globals). 0 selects DefaultContextSwitches; the knob is
+	// ignored under SeqKISS. Not to be confused with ContextBound, which
+	// bounds the *concurrent* baseline in Explore.
+	ContextSwitches int
 
 	// RaceTarget, when non-nil, selects the race-checking translation
 	// (Figure 5) on that distinguished variable; nil selects assertion
@@ -344,6 +376,14 @@ func NewConfig(opts ...Option) *Config {
 // WithMaxTS bounds the pending-thread multiset ts (Section 4's MAX).
 func WithMaxTS(n int) Option { return func(c *Config) { c.MaxTS = n } }
 
+// WithSequentialization selects the transform: SeqKISS or SeqCB.
+func WithSequentialization(mode string) Option {
+	return func(c *Config) { c.Sequentialization = mode }
+}
+
+// WithContextSwitches sets K for the SeqCB transform (0 = default).
+func WithContextSwitches(k int) Option { return func(c *Config) { c.ContextSwitches = k } }
+
 // WithScheduler selects the generated schedule function's policy.
 func WithScheduler(s Scheduler) Option { return func(c *Config) { c.Scheduler = s } }
 
@@ -491,11 +531,64 @@ func (c *Config) ikissOptions() ikiss.Options {
 // Transform applies the assertion-checking translation (Figure 4) under
 // this config, producing a sequential program.
 func (c *Config) Transform(p *Program) (*Program, error) {
-	out, err := ikiss.Transform(p.ast, c.ikissOptions())
+	cb, err := c.seqCB()
+	if err != nil {
+		return nil, err
+	}
+	var out *ast.Program
+	if cb {
+		out, err = cbseq.Transform(p.ast, c.cbOptions())
+	} else {
+		out, err = ikiss.Transform(p.ast, c.ikissOptions())
+	}
 	if err != nil {
 		return nil, err
 	}
 	return &Program{ast: out, sequential: true, parseTime: p.parseTime}, nil
+}
+
+// seqCB validates Sequentialization and reports whether the CB transform
+// is selected.
+func (c *Config) seqCB() (bool, error) {
+	switch c.Sequentialization {
+	case "", SeqKISS:
+		return false, nil
+	case SeqCB:
+		if c.ContextSwitches < 0 {
+			return false, fmt.Errorf("kiss: negative context-switch bound %d", c.ContextSwitches)
+		}
+		return true, nil
+	}
+	return false, fmt.Errorf("kiss: unknown sequentialization %q (want %q or %q)",
+		c.Sequentialization, SeqKISS, SeqCB)
+}
+
+// EffectiveContextSwitches is K for SeqCB after applying the default.
+func (c *Config) EffectiveContextSwitches() int {
+	if c.ContextSwitches > 0 {
+		return c.ContextSwitches
+	}
+	return DefaultContextSwitches
+}
+
+func (c *Config) cbOptions() cbseq.Options {
+	return cbseq.Options{ContextSwitches: c.EffectiveContextSwitches()}
+}
+
+// MemBudgetIgnored reports whether MemBudgetMB is set but the selected
+// engine silently ignores it: the budget's frontier spilling and filter
+// sizing live in the BFS engines (BFS, or SearchWorkers >= 1), and the
+// summary engine has no frontier at all — the sequential DFS default
+// pays it no attention (the membench study forces BFS for exactly this
+// reason). CLIs use this to warn and point at -bfs.
+func (c *Config) MemBudgetIgnored() bool {
+	if c.MemBudgetMB <= 0 {
+		return false
+	}
+	if c.Summaries {
+		return true
+	}
+	return !c.BFS && c.SearchWorkers < 1
 }
 
 // TransformRace applies the race-checking translation (Figure 5) for the
@@ -592,6 +685,22 @@ func (c *Config) Check(p *Program) (*Result, error) {
 	col := c.collector()
 	col.AddPhase(stats.PhaseParse, p.parseTime)
 
+	cb, err := c.seqCB()
+	if err != nil {
+		return nil, err
+	}
+	if cb {
+		if c.RaceTarget != nil {
+			// An UnsupportedError (not a plain config error) so corpus
+			// sweeps classify race-target fields as outside the CB
+			// fragment instead of aborting the whole run.
+			return nil, &cbseq.UnsupportedError{Reason: fmt.Sprintf("race checking needs the KISS translation (Figure 5); it is not supported under %q", SeqCB)}
+		}
+		if c.Summaries {
+			return nil, fmt.Errorf("kiss: the summary engine is not supported under %q", SeqCB)
+		}
+	}
+
 	seq := p
 	if !p.sequential {
 		col.Start(stats.PhaseTransform)
@@ -660,7 +769,22 @@ func (c *Config) Check(p *Program) (*Result, error) {
 			out.Message = fmt.Sprintf("race condition on %s (%s conflict)", t, kind)
 		}
 		out.SeqEvents = r.Trace
-		out.Trace = trace.Reconstruct(r.Trace)
+		if cb {
+			// CB failures surface at the deferred assert in __cb_fin,
+			// after the linking assumes validated the guessed snapshots.
+			// Trace reconstruction assumes KISS-shaped events, so the raw
+			// sequential counterexample is all the CB pipeline reports.
+			if r.Failure.Fn == cbseq.FinFn {
+				n, plural := c.EffectiveContextSwitches(), "es"
+				if n == 1 {
+					plural = ""
+				}
+				out.Message = fmt.Sprintf(
+					"assertion failure reachable within %d context switch%s", n, plural)
+			}
+		} else {
+			out.Trace = trace.Reconstruct(r.Trace)
+		}
 	}
 	col.End(stats.PhaseCheck)
 	stepped, ratio := compression(r.States, r.StatesStepped)
